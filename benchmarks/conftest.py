@@ -1,0 +1,44 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures from
+the same bench-scale study (150 countries, 2,500 sites each), built once
+per session.  Each benchmark also writes its regenerated rows/series to
+``benchmarks/output/<experiment>.txt`` so the artifacts survive pytest's
+output capture, and asserts the paper's *shape* (who wins, by roughly
+what factor, where crossovers fall).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import DependenceStudy
+from repro.worldgen import BENCH_SCALE
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def study() -> DependenceStudy:
+    """The shared bench-scale study (built once, ~1 minute)."""
+    return DependenceStudy.run(BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def write_report(report_dir: Path):
+    """Write an experiment's regenerated output to a stable artifact."""
+
+    def _write(name: str, text: str) -> Path:
+        path = report_dir / f"{name}.txt"
+        path.write_text(text)
+        return path
+
+    return _write

@@ -1,0 +1,80 @@
+"""Ablation — sensitivity to geolocation error (Section 3.4 Limitations).
+
+The paper's NetAcuity geolocation is 89.4% accurate at the country
+level.  This ablation rebuilds a reduced world with that error rate
+injected and measures which results move: geolocation-derived views
+(the Figure 8b IP-geolocation matrix) absorb the noise, while the
+provider-based metrics (S, insularity) are untouched because they rely
+on AS organization data, not geolocation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import DependenceStudy, ip_geolocation_matrix
+from repro.net.geo import NETACUITY_COUNTRY_ACCURACY
+from repro.worldgen import WorldConfig
+
+ABLATION_COUNTRIES = (
+    "TH", "IR", "US", "JP", "RU", "CZ", "FR", "DE", "NG", "BR",
+    "AU", "KG", "IN", "MX", "ZA", "SE",
+)
+
+
+def _paired_studies():
+    clean_config = WorldConfig(
+        sites_per_country=400, countries=ABLATION_COUNTRIES
+    )
+    noisy_config = WorldConfig(
+        sites_per_country=400,
+        countries=ABLATION_COUNTRIES,
+        geo_error_rate=1.0 - NETACUITY_COUNTRY_ACCURACY,
+    )
+    return (
+        DependenceStudy.run(clean_config),
+        DependenceStudy.run(noisy_config),
+    )
+
+
+def test_ablation_geolocation_noise(benchmark, write_report) -> None:
+    clean, noisy = benchmark.pedantic(
+        _paired_studies, rounds=1, iterations=1
+    )
+
+    # Provider-based scores are identical: geolocation plays no role.
+    score_drift = max(
+        abs(clean.hosting.scores[cc] - noisy.hosting.scores[cc])
+        for cc in ABLATION_COUNTRIES
+    )
+    insularity_drift = max(
+        abs(clean.hosting.insularity[cc] - noisy.hosting.insularity[cc])
+        for cc in ABLATION_COUNTRIES
+    )
+
+    # The geolocation matrix degrades in proportion to the error rate.
+    clean_matrix = ip_geolocation_matrix(clean.dataset)
+    noisy_matrix = ip_geolocation_matrix(noisy.dataset)
+    diffs = []
+    for row in clean_matrix.rows:
+        for col in set(clean_matrix.columns) | set(noisy_matrix.columns):
+            diffs.append(
+                abs(clean_matrix.share(row, col) - noisy_matrix.share(row, col))
+            )
+    geo_drift = float(np.max(diffs))
+
+    lines = [
+        "Ablation — geolocation noise at the NetAcuity error rate "
+        f"({1 - NETACUITY_COUNTRY_ACCURACY:.1%})",
+        f"max |S drift| across countries:          {score_drift:.6f}",
+        f"max |insularity drift|:                  {insularity_drift:.6f}",
+        f"max |IP-geo matrix cell drift|:          {geo_drift:.4f}",
+        "",
+        "provider-based metrics are geolocation-independent; only the",
+        "Figure 8b geolocation view absorbs the noise.",
+    ]
+    write_report("ablation_geolocation_noise", "\n".join(lines) + "\n")
+
+    assert score_drift < 1e-12
+    assert insularity_drift < 1e-12
+    assert 0.005 < geo_drift < 0.25

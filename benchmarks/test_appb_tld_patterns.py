@@ -1,0 +1,86 @@
+"""Appendix B — cross-border TLD dependence patterns.
+
+The ccTLD case studies: .fr used across 14 francophone countries (and
+more popular than the local ccTLD in the DOM regions), .ru across the
+CIS, .de across the German-speaking world — mirroring the hosting-layer
+affinities even though the technical barrier to an in-country TLD is
+low.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import DependenceStudy
+from repro.datasets import paper_anchors
+from repro.net.psl import CCTLD_OF_COUNTRY
+
+
+def _external_usage(study: DependenceStudy) -> dict[str, dict[str, float]]:
+    """For each external ccTLD of interest: country -> usage share."""
+    out: dict[str, dict[str, float]] = {"fr": {}, "ru": {}, "de": {}}
+    for cc in study.countries:
+        dist = study.tld.distribution(cc)
+        for tld in out:
+            if CCTLD_OF_COUNTRY[cc] != tld:
+                share = dist.share_of(tld)
+                if share > 0:
+                    out[tld][cc] = share
+    return out
+
+
+def test_appb_tld_patterns(benchmark, study, write_report) -> None:
+    usage = benchmark.pedantic(
+        _external_usage, args=(study,), rounds=1, iterations=1
+    )
+
+    fr_users = {cc for cc, share in usage["fr"].items() if share > 0.02}
+    lines = ["Appendix B — external ccTLD dependence"]
+    lines.append(
+        f".fr used (>2%) in {len(fr_users)} external countries "
+        f"(paper: 14): {', '.join(sorted(fr_users))}"
+    )
+    lines.append(
+        ".ru usage: "
+        + ", ".join(
+            f"{cc}:{100 * usage['ru'][cc]:.0f}%"
+            for cc in sorted(usage["ru"], key=lambda c: -usage["ru"][c])[:8]
+        )
+    )
+    lines.append(
+        ".de usage: "
+        + ", ".join(
+            f"{cc}:{100 * usage['de'].get(cc, 0):.0f}%"
+            for cc in ("AT", "LU", "CH")
+        )
+    )
+    write_report("appb_tld_patterns", "\n".join(lines) + "\n")
+
+    # .fr in ~14 external countries, topping the local ccTLD in DOMs.
+    expected_fr = set(paper_anchors.TLD["fr_external_users"])
+    assert len(fr_users & expected_fr) >= 10
+    for dom in ("RE", "GP", "MQ"):
+        dist = study.tld.distribution(dom)
+        assert dist.share_of("fr") > dist.share_of(CCTLD_OF_COUNTRY[dom])
+
+    # .ru across the CIS, with KG's published 22%.
+    assert usage["ru"]["KG"] == pytest.approx(0.22, abs=0.05)
+    for cc in ("TJ", "KZ", "BY", "TM", "UZ"):
+        assert usage["ru"].get(cc, 0.0) > 0.08, cc
+
+    # .de in the German-speaking world (paper: AT 14%, LU 8%, CH 7%).
+    assert usage["de"]["AT"] == pytest.approx(0.14, abs=0.04)
+    assert usage["de"]["LU"] == pytest.approx(0.08, abs=0.04)
+    assert usage["de"]["CH"] == pytest.approx(0.07, abs=0.04)
+
+    # Cross-layer recurrence: countries leaning on French hosting also
+    # lean on .fr (the Appendix B observation).
+    hosting = study.hosting
+    heavy_fr_hosting = {
+        cc
+        for cc in study.countries
+        if CCTLD_OF_COUNTRY[cc] != "fr"
+        and hosting.dependence_on(cc, "FR") > 0.10
+    }
+    overlap = heavy_fr_hosting & fr_users
+    assert len(overlap) >= max(1, len(heavy_fr_hosting) // 2)

@@ -1,0 +1,53 @@
+"""Figure 1 — the top-N metric shortcoming (AZ vs HK rank curves).
+
+Azerbaijan and Hong Kong have near-identical top-5 hosting shares but
+visibly different rank curves: AZ's steep drop-off makes it more
+centralized than HK, which the top-5 heuristic cannot see while S can.
+Thailand (very centralized) and Iran (very decentralized) bracket them.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import DependenceStudy
+from repro.core import centralization_score, top_n_share
+
+
+def _curves(study: DependenceStudy) -> dict[str, list[float]]:
+    return {
+        cc: study.hosting.distribution(cc).rank_curve(max_rank=100).tolist()
+        for cc in ("AZ", "HK", "TH", "IR")
+    }
+
+
+def test_fig01_topn_shortcoming(benchmark, study, write_report) -> None:
+    curves = benchmark(_curves, study)
+
+    az = study.hosting.distribution("AZ")
+    hk = study.hosting.distribution("HK")
+    az_top5, hk_top5 = az.top_n_share(5), hk.top_n_share(5)
+    az_s, hk_s = centralization_score(az), centralization_score(hk)
+
+    lines = [
+        "Figure 1 — Top-N metric shortcoming",
+        f"paper: AZ and HK both have 59% on their top-5 providers",
+        f"measured top-5: AZ {100 * az_top5:.1f}%  HK {100 * hk_top5:.1f}%",
+        f"measured S:     AZ {az_s:.4f}  HK {hk_s:.4f} "
+        f"(paper: AZ 0.1743 > HK 0.1180)",
+        "",
+        "rank curve (% sites at provider rank 1..10):",
+    ]
+    for cc in ("AZ", "HK", "TH", "IR"):
+        head = " ".join(f"{v:5.1f}" for v in curves[cc][:10])
+        lines.append(f"  {cc}: {head}")
+    write_report("fig01_topn_shortcoming", "\n".join(lines) + "\n")
+
+    # Shape assertions: similar top-5, AZ more centralized; TH/IR bracket.
+    assert abs(az_top5 - hk_top5) < 0.08
+    assert az_s > hk_s
+    assert centralization_score(
+        study.hosting.distribution("TH")
+    ) > az_s > hk_s > centralization_score(study.hosting.distribution("IR"))
+    # AZ's top provider dominates harder than HK's (42% vs 33% in paper).
+    assert curves["AZ"][0] > curves["HK"][0]
+    # HK's second provider is bigger than AZ's (12% vs 5% in paper).
+    assert curves["HK"][1] > curves["AZ"][1]

@@ -1,0 +1,57 @@
+"""Figure 2 — the worked EMD example (countries A and B).
+
+The paper's toy example: two 3-provider countries whose EMDs to the
+decentralized reference come out ≈0.28 and ≈0.32, so country A is less
+centralized than B.  The exact toy counts are not printed in the paper;
+distributions matching the figure's geometry ([5,3,2] vs [5,4,1] over
+10 sites) regenerate the published values exactly: they equal 0.28 and 0.32,
+and the generic LP solver must agree with the closed form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import emd, emd_to_decentralized, paper_ground_distance_matrix
+
+COUNTRY_A = [5, 3, 2]
+COUNTRY_B = [5, 4, 1]
+
+
+def _solve_both() -> tuple[float, float]:
+    return (
+        emd_to_decentralized(COUNTRY_A, method="lp"),
+        emd_to_decentralized(COUNTRY_B, method="lp"),
+    )
+
+
+def test_fig02_emd_example(benchmark, write_report) -> None:
+    score_a, score_b = benchmark(_solve_both)
+
+    flow = emd(
+        np.array(COUNTRY_A, dtype=float),
+        np.ones(10),
+        paper_ground_distance_matrix(COUNTRY_A),
+    )
+    lines = [
+        "Figure 2 — EMD worked example",
+        f"country A {COUNTRY_A}: EMD = {score_a:.4f} (paper figure: 0.28)",
+        f"country B {COUNTRY_B}: EMD = {score_b:.4f} (paper figure: 0.32)",
+        f"optimal flow conserves mass: row sums {flow.flow.sum(axis=1)}",
+        "conclusion: A is less centralized than B"
+        if score_a < score_b
+        else "UNEXPECTED ORDERING",
+    ]
+    write_report("fig02_emd_example", "\n".join(lines) + "\n")
+
+    # The figure's claims: B more centralized; values near 0.28/0.32.
+    assert score_a < score_b
+    assert abs(score_a - 0.28) < 1e-9
+    assert abs(score_b - 0.32) < 1e-9
+    # LP and closed form agree.
+    assert score_a == __import__("pytest").approx(
+        emd_to_decentralized(COUNTRY_A), abs=1e-9
+    )
+    assert score_b == __import__("pytest").approx(
+        emd_to_decentralized(COUNTRY_B), abs=1e-9
+    )

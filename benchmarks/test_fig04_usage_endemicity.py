@@ -1,0 +1,60 @@
+"""Figure 4 — usage and endemicity curves (global vs regional provider).
+
+Cloudflare's measured usage curve (high everywhere) versus Beget LLC's
+(Russia + CIS only): usage U ranks the global provider far above the
+regional one, while the endemicity ratio E_R ranks them the other way.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import DependenceStudy
+from repro.core import endemicity, endemicity_ratio, usage
+
+
+def _curves(study: DependenceStudy):
+    hosting = study.hosting
+    return hosting.usage_curve("Cloudflare"), hosting.usage_curve("Beget LLC")
+
+
+def test_fig04_usage_endemicity(benchmark, study, write_report) -> None:
+    cf_curve, beget_curve = benchmark(_curves, study)
+
+    rows = []
+    for name, curve in (("Cloudflare", cf_curve), ("Beget LLC", beget_curve)):
+        rows.append(
+            (
+                name,
+                usage(curve),
+                endemicity(curve),
+                endemicity_ratio(curve),
+                curve.maximum,
+            )
+        )
+    lines = [
+        "Figure 4 — usage and endemicity",
+        f"{'provider':12s} {'U':>9s} {'E':>9s} {'E_R':>6s} {'max%':>6s}",
+    ]
+    for name, u, e, er, mx in rows:
+        lines.append(f"{name:12s} {u:9.1f} {e:9.1f} {er:6.3f} {mx:6.1f}")
+    lines.append("")
+    lines.append(
+        "Beget usage curve head (top countries): "
+        + ", ".join(
+            f"{cc}:{v:.1f}%"
+            for cc, v in zip(beget_curve.countries[:6], beget_curve.values[:6])
+        )
+    )
+    write_report("fig04_usage_endemicity", "\n".join(lines) + "\n")
+
+    (_, cf_u, _, cf_er, _), (_, beget_u, _, beget_er, _) = rows
+    # The figure's two claims.
+    assert cf_u > 10 * beget_u  # global provider is much "larger"
+    assert beget_er > cf_er + 0.2  # regional provider is more endemic
+    # Beget's strongest countries are Russia and the CIS (Turkmenistan
+    # can top the curve: 33% of its sites sit on Russian providers).
+    cis = {
+        "RU", "TM", "TJ", "KG", "KZ", "BY", "UZ", "AM", "AZ", "MD", "GE",
+        "MN",
+    }
+    assert set(beget_curve.countries[:5]) <= cis
+    assert "RU" in beget_curve.countries[:5]

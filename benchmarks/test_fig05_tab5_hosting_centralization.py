@@ -1,0 +1,73 @@
+"""Figure 5 / Table 5 — hosting centralization for 150 countries.
+
+Regenerates the full per-country hosting score table and the Figure 5
+shape claims: Thailand most centralized (S ≈ 0.3548, 60% on one
+provider), Iran least (S ≈ 0.0411, top provider 14%, 90% of sites
+across ≈80 providers), the U.S. at the median, Europe consistently low,
+Southeast Asia high, and the Section 5.1 headline "90% of websites are
+hosted by fewer than 206 providers in every country".
+"""
+
+from __future__ import annotations
+
+from repro.analysis import DependenceStudy, subregion_means
+from repro.core import pearson
+from repro.datasets.paper_scores import PAPER_SCORES
+
+
+def _scores(study: DependenceStudy) -> dict[str, float]:
+    return dict(study.hosting.scores)
+
+
+def test_fig05_tab5_hosting_centralization(
+    benchmark, study, write_report
+) -> None:
+    scores = benchmark(_scores, study)
+    hosting = study.hosting
+    published = PAPER_SCORES["hosting"]
+
+    ranking = sorted(scores.items(), key=lambda kv: -kv[1])
+    lines = ["Table 5 — hosting centralization (measured vs paper)"]
+    lines.append(f"{'rank':>4s} {'cc':3s} {'measured':>9s} {'paper':>8s}")
+    for rank, (cc, s) in enumerate(ranking, start=1):
+        lines.append(f"{rank:4d} {cc:3s} {s:9.4f} {published[cc]:8.4f}")
+    corr = pearson(
+        [scores[cc] for cc in sorted(scores)],
+        [published[cc] for cc in sorted(scores)],
+    )
+    lines.append(f"\ncorrelation with the published table: {corr}")
+    means = subregion_means(scores)
+    lines.append(f"SE Asia mean S:     {means['South-eastern Asia']:.4f} (paper 0.2403)")
+    lines.append(f"Central Asia mean:  {means['Central Asia']:.4f} (paper 0.0788)")
+    write_report("fig05_tab5_hosting_centralization", "\n".join(lines) + "\n")
+
+    # Table-level agreement.
+    assert corr.rho > 0.995
+    mean_err = sum(abs(scores[cc] - published[cc]) for cc in scores) / 150
+    assert mean_err < 0.005
+
+    # Extremes and the median.
+    assert ranking[0][0] == "TH"
+    assert ranking[-1][0] == "IR"
+    assert scores["TH"] == __import__("pytest").approx(0.3548, abs=0.01)
+    assert scores["IR"] == __import__("pytest").approx(0.0411, abs=0.01)
+    us_rank = hosting.rank_of("US")
+    assert 65 <= us_rank <= 85  # paper: exactly 75 (median)
+
+    # Headline prose claims.
+    th = hosting.distribution("TH")
+    assert th.top_n_share(1) > 0.5  # "60% on a single provider"
+    ir = hosting.distribution("IR")
+    assert ir.top_n_share(1) < 0.18  # "14%"
+    assert ir.providers_covering(0.9) > 40  # "across 80 providers"
+    bound = max(
+        hosting.providers_covering(cc, 0.9) for cc in scores
+    )
+    # Scaled version of "fewer than 206 providers cover 90% everywhere".
+    assert bound < 206 * 2
+
+    # Regional shape: Southeast Asia most centralized subregion,
+    # Central Asia least (Figure 5 / Section 5.1).
+    means = subregion_means(scores)
+    assert means["South-eastern Asia"] == max(means.values())
+    assert means["Central Asia"] == min(means.values())

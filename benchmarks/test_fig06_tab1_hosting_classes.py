@@ -1,0 +1,68 @@
+"""Figure 6 / Table 1 — classes of hosting providers.
+
+Clusters every measured hosting provider on (usage, endemicity ratio)
+with affinity propagation and maps clusters onto the eight classes.
+The paper finds 2 XL-GPs (Cloudflare, Amazon), a handful of L-GPs, OVH
+and Hetzner as large-global-with-regional-skew, and a huge XS-RP tail;
+the counts scale with world size but the ordering of class sizes and
+the named memberships must hold.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import DependenceStudy
+from repro.core import ProviderClass
+from repro.datasets import paper_anchors
+
+
+def _classify(study: DependenceStudy):
+    return study.hosting.classification
+
+
+def test_fig06_tab1_hosting_classes(benchmark, study, write_report) -> None:
+    result = benchmark.pedantic(
+        _classify, args=(study,), rounds=1, iterations=1
+    )
+    counts = result.class_counts()
+    paper = paper_anchors.CLASS_COUNTS["hosting"]
+
+    lines = [
+        "Table 1 — classes of hosting providers",
+        f"{'class':10s} {'measured':>9s} {'paper':>7s}  example",
+    ]
+    for cls in ProviderClass:
+        members = result.members(cls)
+        example = members[0] if members else "-"
+        lines.append(
+            f"{cls.value:10s} {counts[cls]:9d} {paper[cls.value]:7d}  {example}"
+        )
+    lines.append(f"\naffinity propagation clusters: {result.n_clusters}")
+    lines.append(
+        "XL-GP members: " + ", ".join(result.members(ProviderClass.XL_GP))
+    )
+    write_report("fig06_tab1_hosting_classes", "\n".join(lines) + "\n")
+
+    # The two XL-GPs are exactly Cloudflare and Amazon.
+    assert set(result.members(ProviderClass.XL_GP)) == {
+        "Cloudflare",
+        "Amazon",
+    }
+    # OVH and Hetzner land in the skewed-global class.
+    lgp_r = set(result.members(ProviderClass.L_GP_R))
+    assert "OVH" in lgp_r or "Hetzner" in lgp_r
+    # Named regional providers classify as large regional.
+    labels = result.labels
+    assert labels["Beget LLC"] in (
+        ProviderClass.L_RP,
+        ProviderClass.S_RP,
+    )
+    assert labels["SuperHosting.BG"] is ProviderClass.L_RP
+    # Class-size ordering: the regional tail dwarfs everything
+    # (paper: 11,548 XS-RP out of 12,414 providers).
+    assert counts[ProviderClass.XS_RP] > counts[ProviderClass.S_RP]
+    assert counts[ProviderClass.S_RP] > counts[ProviderClass.L_RP]
+    assert counts[ProviderClass.L_RP] > counts[ProviderClass.L_GP]
+    # Global classes are few; the paper has 105 global providers total.
+    n_global = sum(counts[c] for c in ProviderClass if c.is_global)
+    n_regional = sum(counts[c] for c in ProviderClass if c.is_regional)
+    assert n_global < 0.1 * n_regional

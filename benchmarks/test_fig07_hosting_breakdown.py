@@ -1,0 +1,71 @@
+"""Figure 7 — per-country breakdown of hosting provider types.
+
+The stacked-bar figure: countries sorted by S, each split into
+Cloudflare / Amazon / L-GP / L-GP (R) / M-GP / S-GP / L-RP / S-RP /
+XS-RP shares.  Shape claims: Cloudflare's bar grows with centralization
+(the most centralized countries overtly rely on it), and the least
+centralized countries are dominated by the regional (hatched) classes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import CountryBreakdown, DependenceStudy
+
+
+def _breakdowns(study: DependenceStudy) -> dict[str, CountryBreakdown]:
+    return {cc: study.hosting.breakdown(cc) for cc in study.countries}
+
+
+def test_fig07_hosting_breakdown(benchmark, study, write_report) -> None:
+    breakdowns = benchmark.pedantic(
+        _breakdowns, args=(study,), rounds=1, iterations=1
+    )
+    hosting = study.hosting
+    order = [cc for cc, _ in hosting.ranking]
+
+    from repro.analysis.figures import stacked_bars
+
+    lines = ["Figure 7 — hosting provider-type breakdown (sorted by S)"]
+    header = " ".join(f"{k[:6]:>7s}" for k in CountryBreakdown.KEYS)
+    lines.append(f"{'cc':3s} {header}")
+    for cc in order:
+        cells = " ".join(
+            f"{100 * breakdowns[cc][k]:7.1f}" for k in CountryBreakdown.KEYS
+        )
+        lines.append(f"{cc:3s} {cells}")
+    lines.append("")
+    lines.append("stacked view (every 10th country):")
+    lines.append(
+        stacked_bars(
+            {cc: breakdowns[cc] for cc in order[::10]},
+            segments=CountryBreakdown.KEYS,
+            width=60,
+        )
+    )
+    write_report("fig07_hosting_breakdown", "\n".join(lines) + "\n")
+
+    top10 = order[:10]
+    bottom10 = order[-10:]
+
+    def regional_share(cc: str) -> float:
+        b = breakdowns[cc]
+        return b["L-RP"] + b["S-RP"] + b["XS-RP"]
+
+    cf_top = sum(breakdowns[cc]["Cloudflare"] for cc in top10) / 10
+    cf_bottom = sum(breakdowns[cc]["Cloudflare"] for cc in bottom10) / 10
+    reg_top = sum(regional_share(cc) for cc in top10) / 10
+    reg_bottom = sum(regional_share(cc) for cc in bottom10) / 10
+
+    # Most centralized countries lean on Cloudflare; least centralized
+    # lean on regional providers (the figure's headline contrast; even
+    # centralized countries keep some regional usage, so the regional
+    # contrast is softer than the Cloudflare one).
+    assert cf_top > 2 * cf_bottom
+    assert reg_bottom > 1.5 * reg_top
+    # Every country's breakdown is a partition.
+    for cc in order:
+        assert abs(sum(breakdowns[cc].values()) - 1.0) < 1e-6
+    # Regional usage spans the paper's 12%..68% range (Section 5.2).
+    values = [regional_share(cc) for cc in order]
+    assert min(values) < 0.2
+    assert max(values) > 0.55

@@ -1,0 +1,74 @@
+"""Figure 8 — regional dependencies on other continents.
+
+Three continent-by-continent matrices: (a) hosting provider
+headquarters, (b) serving-IP geolocation, (c) nameserver geolocation.
+Shape claims: strong global reliance on North America (the home of the
+hyperscalers); Europe and Eastern Asia largely self-reliant; Africa
+served from North America and Europe; anycast much more visible at the
+DNS layer.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    DependenceStudy,
+    anycast_share,
+    ip_geolocation_matrix,
+    ns_geolocation_matrix,
+    provider_hq_matrix,
+)
+
+
+def _matrices(study: DependenceStudy):
+    return (
+        provider_hq_matrix(study.dataset, "hosting"),
+        ip_geolocation_matrix(study.dataset),
+        ns_geolocation_matrix(study.dataset),
+    )
+
+
+def _render(title: str, matrix) -> list[str]:
+    from repro.analysis.figures import matrix_heatmap
+
+    art = matrix_heatmap(
+        list(matrix.rows), list(matrix.columns), matrix.share
+    )
+    return [title, art, ""]
+
+
+def test_fig08_continent_dependence(benchmark, study, write_report) -> None:
+    hq, ip_geo, ns_geo = benchmark.pedantic(
+        _matrices, args=(study,), rounds=1, iterations=1
+    )
+
+    lines: list[str] = ["Figure 8 — regional dependencies"]
+    lines += _render("(a) hosting provider HQ continent", hq)
+    lines += _render("(b) serving IP geolocation continent", ip_geo)
+    lines += _render("(c) nameserver geolocation continent", ns_geo)
+    ip_any = anycast_share(study.dataset, "ip")
+    ns_any = anycast_share(study.dataset, "ns")
+    lines.append(f"anycast share: serving IPs {ip_any:.2%}, NS IPs {ns_any:.2%}")
+    write_report("fig08_continent_dependence", "\n".join(lines) + "\n")
+
+    # (a) every continent depends most heavily on NA or itself; Africa
+    # on other continents.
+    for row in hq.rows:
+        assert hq.dominant(row) in (row, "NA")
+    assert hq.share("AF", "NA") + hq.share("AF", "EU") > 0.6
+    assert hq.share("AF", "AF") < 0.15
+    # Europe and Eastern-Asia-heavy AS keep notable self-reliance.
+    assert hq.share("EU", "EU") > 0.25
+
+    # (b) content is served regionally where PoPs exist: Europe's
+    # non-anycast sites geolocate mostly to Europe, Africa's to NA/EU.
+    eu_row = ip_geo.row("EU")
+    assert eu_row.get("EU", 0.0) > eu_row.get("AS", 0.0)
+    af_row = ip_geo.row("AF")
+    assert af_row.get("AF", 0.0) < 0.15
+    assert af_row.get("NA", 0.0) + af_row.get("EU", 0.0) + af_row.get(
+        "anycast", 0.0
+    ) > 0.6
+
+    # (c) anycast is far more prevalent for nameservers (Section 6.2).
+    assert ns_any > 2 * ip_any
+    assert "anycast" in ns_geo.columns

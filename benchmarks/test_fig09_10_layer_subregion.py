@@ -1,0 +1,91 @@
+"""Figures 9 & 10 — centralization and insularity across layers and
+subregions.
+
+Figure 9: mean S per subregion per layer — hosting and DNS look alike,
+CA shows minimal variance at a higher level, TLD is highest and most
+variable.  Figure 10: mean insularity per subregion per layer — North
+America most insular (global providers are American), Europe/Eastern
+Asia consistently insular, the Global South insular only at the TLD
+layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import DependenceStudy, subregion_means
+from repro.datasets.paper_scores import LAYERS
+
+
+def _grids(study: DependenceStudy):
+    centralization = {
+        layer: subregion_means(study.layer(layer).scores)
+        for layer in LAYERS
+    }
+    insularity = {
+        layer: subregion_means(study.layer(layer).insularity)
+        for layer in LAYERS
+    }
+    return centralization, insularity
+
+
+def _render(title: str, grid: dict[str, dict[str, float]]) -> list[str]:
+    subregions = sorted(next(iter(grid.values())))
+    lines = [
+        title,
+        f"{'subregion':24s}" + "".join(f"{layer:>9s}" for layer in LAYERS),
+    ]
+    for subregion in subregions:
+        cells = "".join(
+            f"{grid[layer][subregion]:9.4f}" for layer in LAYERS
+        )
+        lines.append(f"{subregion:24s}{cells}")
+    lines.append("")
+    return lines
+
+
+def test_fig09_10_layer_subregion(benchmark, study, write_report) -> None:
+    centralization, insularity = benchmark.pedantic(
+        _grids, args=(study,), rounds=1, iterations=1
+    )
+
+    lines = _render(
+        "Figure 9 — mean centralization by subregion x layer",
+        centralization,
+    )
+    lines += _render(
+        "Figure 10 — mean insularity by subregion x layer", insularity
+    )
+    write_report("fig09_10_layer_subregion", "\n".join(lines))
+
+    # Figure 9 shape: layer means ordered TLD > CA > hosting ~ DNS.
+    def overall(layer: str) -> float:
+        scores = study.layer(layer).scores
+        return sum(scores.values()) / len(scores)
+
+    assert overall("tld") > overall("ca") > overall("hosting")
+    assert abs(overall("hosting") - overall("dns")) < 0.02
+    # CA variance is minimal across subregions.
+    ca_values = np.array(list(centralization["ca"].values()))
+    host_values = np.array(list(centralization["hosting"].values()))
+    assert ca_values.var() < host_values.var()
+    # SE Asia tops hosting; Eastern Europe is near the bottom.
+    host = centralization["hosting"]
+    assert host["South-eastern Asia"] == max(host.values())
+    assert host["Eastern Europe"] < np.median(list(host.values()))
+
+    # Figure 10 shape: Northern America most insular at hosting; Africa
+    # subregions near zero except at the TLD layer.
+    host_ins = insularity["hosting"]
+    assert host_ins["Northern America"] == max(host_ins.values())
+    for subregion in ("Western Africa", "Middle Africa", "Eastern Africa"):
+        assert host_ins[subregion] < 0.07
+        assert insularity["tld"][subregion] > host_ins[subregion]
+    # Eastern Asia and Eastern Europe stay insular at hosting and DNS.
+    for layer in ("hosting", "dns"):
+        grid = insularity[layer]
+        assert grid["Eastern Asia"] > 0.2
+        assert grid["Eastern Europe"] > 0.2
+    # CA insularity is near zero nearly everywhere.
+    ca_ins = insularity["ca"]
+    assert sum(v < 0.05 for v in ca_ins.values()) >= len(ca_ins) - 4

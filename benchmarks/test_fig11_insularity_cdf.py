@@ -1,0 +1,54 @@
+"""Figure 11 — CDF of insularity across layers.
+
+Countries are most insular at the TLD layer; hosting and DNS CDFs track
+each other closely; the CA CDF is heavily skewed toward zero (few
+countries have any domestic CA).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import DependenceStudy, layer_insularity_cdf
+from repro.datasets.paper_scores import LAYERS
+
+
+def _cdfs(study: DependenceStudy):
+    return {
+        layer: layer_insularity_cdf(study.layer(layer))
+        for layer in LAYERS
+    }
+
+
+def test_fig11_insularity_cdf(benchmark, study, write_report) -> None:
+    cdfs = benchmark.pedantic(_cdfs, args=(study,), rounds=1, iterations=1)
+
+    lines = ["Figure 11 — CDF of insularity across layers"]
+    xs = cdfs["hosting"][0]
+    lines.append(
+        f"{'x':>5s}" + "".join(f"{layer:>9s}" for layer in LAYERS)
+    )
+    for i in range(0, len(xs), 10):
+        cells = "".join(f"{cdfs[layer][1][i]:9.2f}" for layer in LAYERS)
+        lines.append(f"{xs[i]:5.2f}{cells}")
+    write_report("fig11_insularity_cdf", "\n".join(lines) + "\n")
+
+    # The TLD CDF lies at or below hosting's over most of the range
+    # (countries are more insular at the TLD layer; the curves may
+    # cross where very-insular hosting ecosystems like the U.S. and
+    # Iran exceed their ccTLD usage).
+    host_ys = np.array(cdfs["hosting"][1])
+    tld_ys = np.array(cdfs["tld"][1])
+    assert np.mean(tld_ys <= host_ys + 1e-9) > 0.6
+    # And the means are strictly ordered.
+    host_mean = np.mean(list(study.hosting.insularity.values()))
+    tld_mean = np.mean(list(study.tld.insularity.values()))
+    assert tld_mean > host_mean
+
+    # CA insularity is concentrated at ~zero: most countries below 2%.
+    ca_ys = cdfs["ca"][1]
+    assert ca_ys[2] > 0.7  # CDF at x=0.02
+
+    # Hosting and DNS CDFs track each other.
+    dns_ys = np.array(cdfs["dns"][1])
+    assert float(np.abs(host_ys - dns_ys).mean()) < 0.08

@@ -1,0 +1,61 @@
+"""Figure 12 — per-layer histograms of country scores + Global Top-C
+marker.
+
+Hosting and DNS histograms look alike; the CA histogram is a narrow
+spike (small variance, higher mean); the TLD histogram sits furthest
+right.  The Global Top-10k marker is representative of the hosting,
+DNS, and CA averages but *not* of the TLD average.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import DependenceStudy
+from repro.datasets.paper_scores import LAYERS
+
+
+def _histograms(study: DependenceStudy):
+    return {layer: study.score_histogram(layer) for layer in LAYERS}
+
+
+def test_fig12_centralization_histograms(
+    benchmark, study, write_report
+) -> None:
+    histograms = benchmark(_histograms, study)
+    markers = {layer: study.global_top_score(layer) for layer in LAYERS}
+
+    from repro.analysis.figures import histogram
+
+    lines = ["Figure 12 — centralization histograms by layer"]
+    for layer in LAYERS:
+        edges, counts = histograms[layer]
+        lines.append(f"\n[{layer}] Global Top marker = {markers[layer]:.4f}")
+        lines.append(
+            histogram(
+                edges, counts, marker=markers[layer], marker_label="Global Top"
+            )
+        )
+    write_report("fig12_centralization_histograms", "\n".join(lines) + "\n")
+
+    stats = {}
+    for layer in LAYERS:
+        values = np.array(list(study.layer(layer).scores.values()))
+        stats[layer] = (values.mean(), values.var())
+
+    # Layer means ordered; CA variance tiny (paper: var = 0.0007).
+    assert stats["tld"][0] > stats["ca"][0] > stats["hosting"][0]
+    assert stats["ca"][1] < 0.004
+    assert stats["ca"][1] < stats["hosting"][1]
+    assert stats["ca"][1] < stats["tld"][1]
+
+    # Global Top marker representative for hosting/dns/ca, not TLD.
+    for layer in ("hosting", "dns", "ca"):
+        assert abs(markers[layer] - stats[layer][0]) < 0.1, layer
+    assert abs(markers["tld"] - stats["tld"][0]) > abs(
+        markers["hosting"] - stats["hosting"][0]
+    )
+
+    # Histograms cover all 150 countries each.
+    for layer in LAYERS:
+        assert sum(histograms[layer][1]) == 150

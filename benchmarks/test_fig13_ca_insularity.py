@@ -1,0 +1,43 @@
+"""Figure 13 — CA insularity by country.
+
+Only ~24 of 150 countries use any CA based in their own country; the
+U.S. dominates (the large global CAs are mostly American), with Poland
+(Asseco), Taiwan (TWCA/Chunghwa), and Japan (SECOM/Cybertrust) the most
+insular after it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import DependenceStudy
+
+
+def _ca_insularity(study: DependenceStudy) -> dict[str, float]:
+    return dict(study.ca.insularity)
+
+
+def test_fig13_ca_insularity(benchmark, study, write_report) -> None:
+    insularity = benchmark(_ca_insularity, study)
+    ranked = sorted(insularity.items(), key=lambda kv: -kv[1])
+
+    lines = ["Figure 13 — CA insularity by country (nonzero only)"]
+    for cc, value in ranked:
+        if value > 0:
+            lines.append(f"  {cc}: {100 * value:5.1f}%")
+    nonzero = sum(1 for v in insularity.values() if v > 0.001)
+    lines.append(f"\ncountries using any domestic CA: {nonzero} (paper: 24)")
+    write_report("fig13_ca_insularity", "\n".join(lines) + "\n")
+
+    # The U.S. is the most insular (its CAs are the global ones).
+    assert ranked[0][0] == "US"
+    assert insularity["US"] > 0.5
+    # Poland, Taiwan, Japan are the most insular after the U.S.
+    top_after_us = [cc for cc, v in ranked[1:6]]
+    assert {"PL", "TW", "JP"} <= set(top_after_us)
+    assert insularity["PL"] == __import__("pytest").approx(0.19, abs=0.05)
+    assert insularity["TW"] == __import__("pytest").approx(0.17, abs=0.05)
+    assert insularity["JP"] == __import__("pytest").approx(0.14, abs=0.05)
+    # Only a small minority of countries have any domestic CA usage.
+    assert nonzero < 45
+    # Insularity is near zero for the vast majority.
+    near_zero = sum(1 for v in insularity.values() if v < 0.02)
+    assert near_zero > 100

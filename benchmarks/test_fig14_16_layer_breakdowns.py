@@ -1,0 +1,105 @@
+"""Figures 14–16 — per-country breakdowns for DNS, CA, and TLD layers.
+
+DNS mirrors Figure 7 (Cloudflare dominates everywhere but Japan); the
+CA breakdown is seven large global CAs ≈ 98% in nearly every country;
+the TLD breakdown splits into .com / global TLDs / local ccTLD /
+external ccTLDs, with external-ccTLD usage tied to *lower*
+centralization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import DependenceStudy
+from repro.core import pearson
+from repro.datasets.providers import LARGE_GLOBAL_CAS
+from repro.net.psl import CCTLD_OF_COUNTRY, GLOBAL_TLDS
+
+
+def _tld_breakdown(study: DependenceStudy, cc: str) -> dict[str, float]:
+    dist = study.tld.distribution(cc)
+    own = CCTLD_OF_COUNTRY[cc]
+    shares = {"com": 0.0, "global": 0.0, "local cc": 0.0, "external cc": 0.0}
+    for tld, count in dist.as_dict().items():
+        share = count / dist.total
+        if tld == "com":
+            shares["com"] += share
+        elif tld in GLOBAL_TLDS:
+            shares["global"] += share
+        elif tld == own:
+            shares["local cc"] += share
+        else:
+            shares["external cc"] += share
+    return shares
+
+
+def _compute(study: DependenceStudy):
+    dns_cf = {
+        cc: study.dns.distribution(cc).share_of("Cloudflare")
+        for cc in study.countries
+    }
+    ca_lgp = {
+        cc: sum(
+            study.ca.distribution(cc).share_of(ca)
+            for ca in LARGE_GLOBAL_CAS
+        )
+        for cc in study.countries
+    }
+    tld = {cc: _tld_breakdown(study, cc) for cc in study.countries}
+    return dns_cf, ca_lgp, tld
+
+
+def test_fig14_16_layer_breakdowns(benchmark, study, write_report) -> None:
+    dns_cf, ca_lgp, tld = benchmark.pedantic(
+        _compute, args=(study,), rounds=1, iterations=1
+    )
+
+    order = [cc for cc, _ in study.tld.ranking]
+    lines = ["Figure 16 — TLD type breakdown (countries sorted by TLD S)"]
+    lines.append(
+        f"{'cc':3s} {'com':>7s} {'global':>7s} {'local':>7s} {'extern':>7s}"
+    )
+    for cc in order:
+        b = tld[cc]
+        lines.append(
+            f"{cc:3s} {100 * b['com']:7.1f} {100 * b['global']:7.1f} "
+            f"{100 * b['local cc']:7.1f} {100 * b['external cc']:7.1f}"
+        )
+    lines.append("")
+    lines.append(
+        "Figure 15 summary — mean 7-CA share across countries: "
+        f"{np.mean(list(ca_lgp.values())):.3f} (paper: ~0.98 'an average of"
+        " 98%')"
+    )
+    lines.append(
+        "Figure 14 summary — countries where Cloudflare is the top DNS "
+        f"provider: {sum(1 for cc in study.countries if study.dns.distribution(cc).ranked()[0][0] == 'Cloudflare')}/150"
+    )
+    write_report("fig14_16_layer_breakdowns", "\n".join(lines) + "\n")
+
+    # Figure 14: Cloudflare is the top DNS provider everywhere but JP.
+    non_cf = [
+        cc
+        for cc in study.countries
+        if study.dns.distribution(cc).ranked()[0][0] != "Cloudflare"
+    ]
+    assert non_cf == ["JP"]
+
+    # Figure 15: the seven L-GP CAs average ~98% of sites per country.
+    assert float(np.mean(list(ca_lgp.values()))) > 0.93
+    assert min(ca_lgp.values()) > 0.75  # Iran's 80% is the floor
+
+    # Figure 16: external-ccTLD usage correlates with *lower* TLD
+    # centralization (the CIS pattern).
+    tld_scores = study.tld.scores
+    countries = sorted(study.countries)
+    corr = pearson(
+        [tld[cc]["external cc"] for cc in countries],
+        [tld_scores[cc] for cc in countries],
+    )
+    assert corr.rho < -0.3
+    # KG splits across com/.ru/.kg — external share is huge there.
+    assert tld["KG"]["external cc"] > 0.2
+    # The US is essentially all .com + global TLDs.
+    assert tld["US"]["com"] + tld["US"]["global"] > 0.85

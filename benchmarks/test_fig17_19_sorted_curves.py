@@ -1,0 +1,90 @@
+"""Figures 17–19 — sorted per-country score curves with continent coding.
+
+The Appendix C.2 figures: all 150 countries sorted by S for DNS, CA,
+and TLD, color-coded by continent.  Shape claims per figure:
+
+* Fig 17 (DNS): European countries cluster at the decentralized end,
+  Southeast Asia at the centralized end.
+* Fig 18 (CA): the pattern flips — Europe is *more* centralized.
+* Fig 19 (TLD): North America tends centralized; the CIS sits at the
+  decentralized extreme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import DependenceStudy
+from repro.datasets.countries import COUNTRIES
+
+
+def _sorted_curves(study: DependenceStudy):
+    return {
+        layer: [
+            (cc, score, COUNTRIES[cc].continent)
+            for cc, score in study.layer(layer).ranking
+        ]
+        for layer in ("dns", "ca", "tld")
+    }
+
+
+def _mean_rank(curve, continent: str) -> float:
+    ranks = [
+        rank
+        for rank, (_, _, cont) in enumerate(curve, start=1)
+        if cont == continent
+    ]
+    return float(np.mean(ranks))
+
+
+def test_fig17_19_sorted_curves(benchmark, study, write_report) -> None:
+    curves = benchmark.pedantic(
+        _sorted_curves, args=(study,), rounds=1, iterations=1
+    )
+
+    from repro.analysis.figures import line_panel
+
+    lines = []
+    for layer, curve in curves.items():
+        lines.append(f"Figure ({layer}) — countries sorted by S:")
+        lines.append(
+            "  "
+            + " ".join(f"{cc}:{s:.3f}" for cc, s, _ in curve[:8])
+            + "  ...  "
+            + " ".join(f"{cc}:{s:.3f}" for cc, s, _ in curve[-8:])
+        )
+    lines.append("")
+    lines.append(
+        line_panel(
+            {
+                layer: [s for _, s, _ in curve]
+                for layer, curve in curves.items()
+            },
+            width=75,
+            height=14,
+        )
+    )
+    write_report("fig17_19_sorted_curves", "\n".join(lines) + "\n")
+
+    dns, ca, tld = curves["dns"], curves["ca"], curves["tld"]
+
+    # Fig 17: Europe decentralized (mean rank in the lower half),
+    # flipped at the CA layer (Fig 18).
+    eu_dns_rank = _mean_rank(dns, "EU")
+    eu_ca_rank = _mean_rank(ca, "EU")
+    assert eu_dns_rank > 75  # toward the decentralized end
+    assert eu_ca_rank < 75  # toward the centralized end
+    assert eu_ca_rank < eu_dns_rank - 20
+
+    # Fig 17 extremes match Table 6.
+    assert dns[0][0] == "ID" and dns[-1][0] == "CZ"
+
+    # Fig 18: 8 of the 10 most centralized CA countries are European.
+    ca_top10 = [cont for _, _, cont in ca[:10]]
+    assert ca_top10.count("EU") >= 7
+
+    # Fig 19: North America centralized; CIS at the decentralized end.
+    na_tld_rank = _mean_rank(tld, "NA")
+    assert na_tld_rank < 70
+    tail_codes = {cc for cc, _, _ in tld[-8:]}
+    assert len(tail_codes & {"KG", "MD", "TJ", "UZ", "KZ", "AM", "AZ", "GE", "TM"}) >= 4

@@ -1,0 +1,77 @@
+"""Figures 20–22 — sorted insularity curves (hosting, DNS, TLD).
+
+Appendix D: the U.S. tops hosting and DNS insularity, followed by
+Iran, Czechia, and Russia; African and Caribbean countries sit at the
+bottom.  At the TLD layer (with .com counted as U.S.-insular) Eastern
+Europe joins the top; hosting insularity correlates with TLD
+insularity at rho ≈ 0.70.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import DependenceStudy
+from repro.core import pearson
+from repro.datasets import paper_anchors
+from repro.datasets.countries import COUNTRIES
+
+
+def _insularity_curves(study: DependenceStudy):
+    return {
+        layer: sorted(
+            study.layer(layer).insularity.items(), key=lambda kv: -kv[1]
+        )
+        for layer in ("hosting", "dns", "tld")
+    }
+
+
+def test_fig20_22_insularity_curves(benchmark, study, write_report) -> None:
+    curves = benchmark.pedantic(
+        _insularity_curves, args=(study,), rounds=1, iterations=1
+    )
+
+    lines = []
+    for layer, curve in curves.items():
+        lines.append(f"Figure ({layer} insularity) — top/bottom countries:")
+        lines.append(
+            "  top:    "
+            + ", ".join(f"{cc} {100 * v:.1f}%" for cc, v in curve[:6])
+        )
+        lines.append(
+            "  bottom: "
+            + ", ".join(f"{cc} {100 * v:.1f}%" for cc, v in curve[-6:])
+        )
+    write_report("fig20_22_insularity_curves", "\n".join(lines) + "\n")
+
+    hosting, dns, tld = curves["hosting"], curves["dns"], curves["tld"]
+
+    # Figure 20: US #1; IR/CZ/RU next (paper ranks 1-4).
+    assert hosting[0][0] == "US"
+    assert {cc for cc, _ in hosting[1:4]} == {"IR", "CZ", "RU"}
+    anchors = paper_anchors.HOSTING["insularity"]
+    measured = dict(hosting)
+    for cc in ("US", "IR", "CZ", "RU"):
+        assert abs(measured[cc] - anchors[cc]) < 0.07, cc
+
+    # African countries cluster at the bottom (mean ~3%).
+    africa = [v for cc, v in hosting if COUNTRIES[cc].continent == "AF"]
+    assert sum(africa) / len(africa) < 0.08
+
+    # Figure 21: DNS insularity tracks hosting's (paper top-4: US, CZ,
+    # IR, RU; Japan's domestic DNS ecosystem can interleave).
+    assert dns[0][0] == "US"
+    assert {"IR", "CZ", "RU"} <= {cc for cc, _ in dns[1:6]}
+
+    # Figure 22: with the .com convention the US tops TLD insularity;
+    # Eastern Europe is high.
+    assert tld[0][0] == "US"
+    tld_map = dict(tld)
+    assert tld_map["CZ"] > 0.4
+    assert tld_map["HU"] > 0.4
+
+    # Hosting insularity predicts TLD insularity (paper: rho = 0.70).
+    countries = sorted(dict(hosting))
+    corr = pearson(
+        [dict(hosting)[cc] for cc in countries],
+        [tld_map[cc] for cc in countries],
+    )
+    assert 0.4 < corr.rho <= 0.95

@@ -1,0 +1,64 @@
+"""Section 5.2 — provider-class share vs centralization correlations.
+
+The paper's three headline correlations across 150 countries:
+
+* XL-GP (Cloudflare+Amazon) share vs S:   rho =  0.90 (strong)
+* other L-GP share vs S:                  rho =  0.19 (poor)
+* large-regional (L-RP) share vs S:       rho = -0.72 (moderate, negative)
+"""
+
+from __future__ import annotations
+
+from repro.analysis import DependenceStudy
+from repro.core import (
+    CorrelationStrength,
+    ProviderClass,
+    interpret_correlation,
+    pearson,
+)
+
+
+def _correlations(study: DependenceStudy):
+    hosting = study.hosting
+    countries = study.countries
+    scores = [hosting.scores[cc] for cc in countries]
+
+    xl = [hosting.class_share(cc, ProviderClass.XL_GP) for cc in countries]
+    lgp = [
+        hosting.class_share(cc, ProviderClass.L_GP)
+        + hosting.class_share(cc, ProviderClass.L_GP_R)
+        for cc in countries
+    ]
+    lrp = [hosting.class_share(cc, ProviderClass.L_RP) for cc in countries]
+    return (
+        pearson(xl, scores),
+        pearson(lgp, scores),
+        pearson(lrp, scores),
+    )
+
+
+def test_sec52_class_correlations(benchmark, study, write_report) -> None:
+    xl_corr, lgp_corr, lrp_corr = benchmark.pedantic(
+        _correlations, args=(study,), rounds=1, iterations=1
+    )
+
+    lines = [
+        "Section 5.2 — class share vs centralization",
+        f"XL-GP share vs S: {xl_corr}   (paper: rho = 0.90)",
+        f"L-GP share vs S:  {lgp_corr}   (paper: rho = 0.19)",
+        f"L-RP share vs S:  {lrp_corr}   (paper: rho = -0.72)",
+    ]
+    write_report("sec52_class_correlations", "\n".join(lines) + "\n")
+
+    # XL-GP dominance drives centralization: strong positive.
+    assert xl_corr.rho > 0.8
+    assert interpret_correlation(xl_corr.rho) is CorrelationStrength.STRONG
+    # Other large globals barely matter: |rho| small.
+    assert abs(lgp_corr.rho) < 0.45
+    # Large regional providers diffuse the ecosystem: negative and at
+    # least fair-strength.
+    assert lrp_corr.rho < -0.35
+    assert xl_corr.significant and lrp_corr.significant
+    # The ordering of effects matches the paper's narrative.
+    assert xl_corr.rho > abs(lgp_corr.rho)
+    assert abs(lrp_corr.rho) > abs(lgp_corr.rho)

@@ -1,0 +1,78 @@
+"""Section 5.3.1 — hosting insularity.
+
+Anchors: the U.S. is the most insular country (92.1%) because the
+global providers are American; Iran (64.8%), Czechia (54.5%), and
+Russia (51.1%) follow on strong domestic ecosystems.  U.S. providers
+host the plurality of sites in all but five countries (IR, CZ, RU, HU,
+BY).  Turkmenistan is non-insular (4%) but non-American too (33%
+Russian).  Insularity correlates negatively with centralization
+(rho = -0.61).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import DependenceStudy
+from repro.core import pearson
+from repro.datasets import paper_anchors
+from repro.datasets.countries import COUNTRIES
+
+
+def _insularity(study: DependenceStudy) -> dict[str, float]:
+    return dict(study.hosting.insularity)
+
+
+def test_sec531_insularity(benchmark, study, write_report) -> None:
+    insularity = benchmark(_insularity, study)
+    hosting = study.hosting
+
+    non_us_topped = []
+    for cc in study.countries:
+        deps = hosting.country_dependencies(cc)
+        foreign_top = max(deps, key=lambda home: (deps[home], home))
+        if foreign_top != "US":
+            non_us_topped.append((cc, foreign_top))
+
+    lines = ["Section 5.3.1 — hosting insularity"]
+    anchors = paper_anchors.HOSTING["insularity"]
+    for cc in ("US", "IR", "CZ", "RU", "TM"):
+        lines.append(
+            f"  {cc}: measured {100 * insularity[cc]:5.1f}% "
+            f"(paper {100 * anchors[cc]:5.1f}%)"
+        )
+    lines.append(
+        "countries where the top serving country is not the U.S.: "
+        + ", ".join(f"{cc}->{top}" for cc, top in non_us_topped)
+    )
+    write_report("sec531_insularity", "\n".join(lines) + "\n")
+
+    # Anchors within tolerance.
+    for cc in ("US", "IR", "CZ", "RU"):
+        assert abs(insularity[cc] - anchors[cc]) < 0.07, cc
+    assert insularity["TM"] < 0.12
+
+    # The five countries not topped by U.S. providers (paper's list,
+    # give or take borderline cases).
+    named = {cc for cc, _ in non_us_topped}
+    assert {"IR", "CZ", "RU"} <= named
+    assert named <= {"IR", "CZ", "RU", "HU", "BY", "TM", "SK", "JP", "KR", "DE", "FR"}
+
+    # Turkmenistan's top foreign country is Russia (33%).
+    assert hosting.dependence_on("TM", "RU") > 0.25
+    # Slovakia leans on Czechia rather than itself.
+    assert hosting.dependence_on("SK", "CZ") > insularity["SK"]
+
+    # Africa's mean insularity ~3%.
+    africa = [
+        insularity[cc]
+        for cc in study.countries
+        if COUNTRIES[cc].continent == "AF"
+    ]
+    assert sum(africa) / len(africa) < 0.08
+
+    # Insularity vs centralization: moderate negative (paper: -0.61).
+    countries = sorted(study.countries)
+    corr = pearson(
+        [insularity[cc] for cc in countries],
+        [hosting.scores[cc] for cc in countries],
+    )
+    assert -0.85 < corr.rho < -0.3

@@ -1,0 +1,62 @@
+"""Section 8 — "Dependence Across Layers": measuring provider choice.
+
+The discussion hypothesizes that much web centralization results from
+*provider* rather than *operator* choice: hosting and DNS are bundled,
+and hosts partner with specific CAs.  This benchmark quantifies all
+three couplings over the measured world.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    DependenceStudy,
+    ca_attribution,
+    hosting_dns_bundling,
+    layer_score_coupling,
+)
+
+
+def _couplings(study: DependenceStudy):
+    return (
+        hosting_dns_bundling(study),
+        ca_attribution(study),
+        layer_score_coupling(study),
+    )
+
+
+def test_sec8_crosslayer_coupling(benchmark, study, write_report) -> None:
+    bundling, attribution, coupling = benchmark.pedantic(
+        _couplings, args=(study,), rounds=1, iterations=1
+    )
+
+    lines = [
+        "Section 8 — cross-layer coupling",
+        f"sites using the same org for hosting and DNS: "
+        f"{bundling.overall:.1%} (country mean)",
+        f"Cloudflare hosting -> Cloudflare DNS: "
+        f"{bundling.per_provider.get('Cloudflare', 0):.1%} "
+        "(the paper: CDN service predicated on their DNS)",
+        "",
+        "CA usage arriving via hosting partnerships:",
+    ]
+    for ca in ("Let's Encrypt", "DigiCert", "Google", "Sectigo", "Amazon"):
+        if ca in attribution:
+            lines.append(
+                f"  {ca:14s} {attribution[ca]['via_partner_host']:.1%}"
+            )
+    lines.append("")
+    lines.append("per-country score correlations between layers:")
+    for (a, b), result in coupling.items():
+        lines.append(f"  {a:8s} x {b:8s}: {result}")
+    write_report("sec8_crosslayer_coupling", "\n".join(lines) + "\n")
+
+    # The §8 hypotheses, measured:
+    assert bundling.overall > 0.5
+    assert bundling.per_provider["Cloudflare"] > 0.7
+    # Much of the dominant CAs' volume is provider-chosen.
+    assert attribution["Let's Encrypt"]["via_partner_host"] > 0.3
+    # Hosting and DNS centralization move together; hosting and CA do
+    # not (the CZ/SK flip of Section 7.2).
+    assert coupling[("hosting", "dns")].rho > 0.9
+    assert coupling[("hosting", "ca")].rho < 0.2
+    assert coupling[("hosting", "dns")].rho > coupling[("hosting", "tld")].rho

@@ -1,0 +1,80 @@
+"""Tables 2 & 3 — classes of DNS infrastructure providers and CAs.
+
+DNS: same taxonomy as hosting but with managed-DNS operators swelling
+the large-global class and a shift from small-regional to
+large-regional (Section 6.2).  CA: only five classes exist — exactly
+7 large global CAs dominating everything, 2 medium global, and a small
+regional tail; no CA reaches XL-GP's everywhere-dominant profile.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import DependenceStudy
+from repro.core import ProviderClass
+from repro.datasets import paper_anchors
+from repro.datasets.providers import LARGE_GLOBAL_CAS
+
+
+def _classes(study: DependenceStudy):
+    return study.dns.classification, study.ca.classification
+
+
+def test_tab2_tab3_dns_ca_classes(benchmark, study, write_report) -> None:
+    dns_result, ca_result = benchmark.pedantic(
+        _classes, args=(study,), rounds=1, iterations=1
+    )
+    dns_counts = dns_result.class_counts()
+    ca_counts = ca_result.class_counts()
+
+    lines = ["Table 2 — DNS provider classes"]
+    paper_dns = paper_anchors.CLASS_COUNTS["dns"]
+    for cls in ProviderClass:
+        members = dns_result.members(cls)
+        lines.append(
+            f"  {cls.value:10s} measured {dns_counts[cls]:6d} "
+            f"(paper {paper_dns[cls.value]:6d})  "
+            f"e.g. {members[0] if members else '-'}"
+        )
+    lines.append("\nTable 3 — CA classes")
+    paper_ca = paper_anchors.CLASS_COUNTS["ca"]
+    for cls in ProviderClass:
+        members = ca_result.members(cls)
+        lines.append(
+            f"  {cls.value:10s} measured {ca_counts[cls]:6d} "
+            f"(paper {paper_ca.get(cls.value, 0):6d})  "
+            f"e.g. {members[0] if members else '-'}"
+        )
+    write_report("tab2_3_dns_ca_classes", "\n".join(lines) + "\n")
+
+    # DNS: Cloudflare + Amazon are the XL-GPs; managed DNS lands global.
+    assert set(dns_result.members(ProviderClass.XL_GP)) == {
+        "Cloudflare",
+        "Amazon",
+    }
+    nsone_class = dns_result.labels.get("NSONE")
+    ultradns_class = dns_result.labels.get("Neustar UltraDNS")
+    assert nsone_class is not None and nsone_class.is_global
+    assert ultradns_class is not None and ultradns_class.is_global
+    # Regional tail ordering as in hosting.
+    assert (
+        dns_counts[ProviderClass.XS_RP]
+        > dns_counts[ProviderClass.S_RP]
+        > dns_counts[ProviderClass.L_RP]
+    )
+
+    # CA: the distribution collapses to few providers; the seven
+    # dominant CAs all classify global, led by Let's Encrypt/DigiCert.
+    ca_labels = ca_result.labels
+    assert len(ca_labels) <= 45
+    dominant = [ca for ca in LARGE_GLOBAL_CAS if ca in ca_labels]
+    assert len(dominant) == 7
+    for ca in ("Let's Encrypt", "DigiCert"):
+        assert ca_labels[ca].is_global
+    # Asseco is the canonical large regional CA.
+    assert ca_labels["Asseco"].is_regional
+    # No CA matches the hosting XL-GP scale profile at this layer...
+    # but the class split is global-few / regional-many as in Table 3.
+    n_global = sum(1 for c in ca_labels.values() if c.is_global)
+    n_regional = sum(1 for c in ca_labels.values() if c.is_regional)
+    assert 7 <= n_global <= 12
+    assert n_regional >= 15

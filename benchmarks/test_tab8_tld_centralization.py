@@ -1,0 +1,76 @@
+"""Table 8 / Figure 19 / Appendix B — TLD centralization.
+
+The most centralized layer overall (mean ≈ 0.3262): the U.S. leads on
+.com (77% of its top sites), the Caribbean follows, Eastern Europe
+rises on local ccTLDs (CZ/HU/PL ranks 5–7), and the CIS countries are
+*least* centralized because they split across .com, .ru, and their own
+ccTLD (Kyrgyzstan last at ≈ 0.1468).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import DependenceStudy
+from repro.core import pearson
+from repro.datasets.paper_scores import PAPER_SCORES
+
+
+def _scores(study: DependenceStudy) -> dict[str, float]:
+    return dict(study.tld.scores)
+
+
+def test_tab8_tld_centralization(benchmark, study, write_report) -> None:
+    scores = benchmark(_scores, study)
+    published = PAPER_SCORES["tld"]
+    ranking = sorted(scores.items(), key=lambda kv: -kv[1])
+
+    lines = ["Table 8 — TLD centralization (measured vs paper)"]
+    lines.append(f"{'rank':>4s} {'cc':3s} {'measured':>9s} {'paper':>8s}")
+    for rank, (cc, s) in enumerate(ranking, start=1):
+        lines.append(f"{rank:4d} {cc:3s} {s:9.4f} {published[cc]:8.4f}")
+    us = study.tld.distribution("US")
+    kg = study.tld.distribution("KG")
+    lines.append(f"\nUS .com share: {us.share_of('com'):.3f} (paper: 0.77)")
+    lines.append(
+        f"KG mix: .com {kg.share_of('com'):.2f} / .ru {kg.share_of('ru'):.2f}"
+        f" / .kg {kg.share_of('kg'):.2f} (paper: 0.29/0.22/0.12)"
+    )
+    write_report("tab8_tld_centralization", "\n".join(lines) + "\n")
+
+    corr = pearson(
+        [scores[cc] for cc in sorted(scores)],
+        [published[cc] for cc in sorted(scores)],
+    )
+    assert corr.rho > 0.995
+
+    # Extremes and headline shares.
+    assert ranking[0][0] == "US"
+    assert ranking[-1][0] == "KG"
+    assert scores["US"] == pytest.approx(0.5853, abs=0.015)
+    assert scores["KG"] == pytest.approx(0.1468, abs=0.015)
+    assert us.share_of("com") == pytest.approx(0.77, abs=0.03)
+    assert kg.share_of("ru") == pytest.approx(0.22, abs=0.05)
+
+    # TLD is the most centralized layer on average.
+    mean_tld = float(np.mean(list(scores.values())))
+    assert mean_tld == pytest.approx(0.3262, abs=0.01)
+    for other in ("hosting", "dns", "ca"):
+        other_scores = study.layer(other).scores
+        assert mean_tld > float(np.mean(list(other_scores.values())))
+
+    # Eastern Europe rises on local ccTLDs: CZ/HU/PL in the top ten.
+    top10 = {cc for cc, _ in ranking[:10]}
+    assert {"CZ", "HU", "PL"} <= top10
+    cz = study.tld.distribution("CZ")
+    assert cz.share_of("cz") > cz.share_of("com")
+
+    # Germany's .de usage spills into the German-speaking world
+    # (Appendix B: DE 44%, AT 14%, LU 8%, CH 7%).
+    assert study.tld.distribution("DE").share_of("de") == pytest.approx(
+        0.44, abs=0.04
+    )
+    assert study.tld.distribution("AT").share_of("de") == pytest.approx(
+        0.14, abs=0.04
+    )

@@ -1,0 +1,91 @@
+"""Extension — what-if resilience scenarios (the paper's Discussion).
+
+Section 8 calls for studying availability impact from provider outages
+and geopolitical schisms.  This benchmark runs both over the measured
+world: a Cloudflare outage, a US schism, a Russia schism, and the
+single-point-of-failure inventory.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    DependenceStudy,
+    country_schism,
+    provider_outage,
+    single_points_of_failure,
+)
+from repro.analysis.figures import bar_chart
+
+
+def _scenarios(study: DependenceStudy):
+    return (
+        provider_outage(study.dataset, "Cloudflare"),
+        country_schism(study.dataset, "US"),
+        country_schism(study.dataset, "RU"),
+        single_points_of_failure(study.dataset, threshold=0.3),
+    )
+
+
+def test_whatif_resilience(benchmark, study, write_report) -> None:
+    cf_outage, us_schism, ru_schism, spofs = benchmark.pedantic(
+        _scenarios, args=(study,), rounds=1, iterations=1
+    )
+
+    worst = dict(
+        sorted(
+            cf_outage.affected_share.items(), key=lambda kv: -kv[1]
+        )[:10]
+    )
+    lines = [
+        "What-if — Cloudflare hosting outage: worst-hit countries",
+        bar_chart(worst, width=40, fmt="{:.1%}"),
+        "",
+        f"global mean affected share: "
+        f"{cf_outage.global_affected_share():.1%}",
+        "",
+        "What-if — U.S. schism: hosting exposure (top 10)",
+        bar_chart(
+            dict(us_schism.most_exposed("hosting", top=10)),
+            width=40,
+            fmt="{:.1%}",
+        ),
+        "",
+        "What-if — Russia schism: hosting exposure (top 8)",
+        bar_chart(
+            dict(ru_schism.most_exposed("hosting", top=8)),
+            width=40,
+            fmt="{:.1%}",
+        ),
+        "",
+        f"single points of failure (>30% of a country on one host): "
+        f"{len(spofs)} countries",
+    ]
+    write_report("whatif_resilience", "\n".join(lines) + "\n")
+
+    # A Cloudflare outage is globe-spanning: every country affected,
+    # Thailand worst at ~60%.
+    assert cf_outage.worst_hit[0] == "TH"
+    assert cf_outage.worst_hit[1] > 0.5
+    assert cf_outage.global_affected_share() > 0.2
+
+    # A U.S. schism dwarfs a Russian one globally...
+    us_mean = sum(us_schism.exposure["hosting"].values()) / 150
+    ru_mean = sum(ru_schism.exposure["hosting"].values()) / 150
+    assert us_mean > 5 * ru_mean
+    # ...but for the CIS the Russian schism is the bigger event.
+    for cc in ("TM", "TJ", "KG"):
+        assert ru_schism.exposure["hosting"][cc] > 0.15
+
+    # The CA layer is the single most schism-exposed layer to the U.S.
+    ca_exposure = us_schism.exposure["ca"]
+    hosting_exposure = us_schism.exposure["hosting"]
+    higher = sum(
+        1
+        for cc in ca_exposure
+        if ca_exposure[cc] > hosting_exposure.get(cc, 0.0)
+    )
+    assert higher > 120
+
+    # Many countries carry a >30% single-host dependence.
+    assert len(spofs) > 30
+    assert all(share > 0.3 for entries in spofs.values() for _, share in entries)

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Full dependence study: build a calibrated world, scan it, report.
+
+Reproduces the paper's Sections 5–7 analysis end to end on a reduced
+scale (all 150 countries, 1,000 sites each by default).  Prints layer
+summaries, per-country profiles for the paper's anchor countries, and
+the paper-vs-measured comparison.
+
+Run:  python examples/country_dependence_report.py [sites_per_country]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.analysis import (
+    DependenceStudy,
+    country_report,
+    layer_summary,
+    provider_hq_matrix,
+    subregion_means,
+)
+from repro.core import pearson
+from repro.datasets.paper_scores import LAYERS, PAPER_SCORES
+from repro.worldgen import WorldConfig
+
+
+def main() -> None:
+    sites = int(sys.argv[1]) if len(sys.argv) > 1 else 1000
+    config = WorldConfig(sites_per_country=sites)
+    print(
+        f"building + measuring a {len(config.countries)}-country world "
+        f"({sites} sites each)..."
+    )
+    t0 = time.time()
+    study = DependenceStudy.run(config)
+    print(f"done in {time.time() - t0:.1f}s\n")
+
+    from repro.worldgen import summarize
+
+    print(summarize(study.world).render())
+    print()
+
+    for layer in LAYERS:
+        print(layer_summary(study, layer))
+
+    print("paper vs measured (Pearson correlation per layer):")
+    for layer in LAYERS:
+        rows = study.paper_comparison(layer)
+        result = pearson(
+            [m for _, m, _ in rows], [p for _, _, p in rows]
+        )
+        mean_err = sum(abs(m - p) for _, m, p in rows) / len(rows)
+        print(f"  {layer:8s} {result}  mean |error| = {mean_err:.4f}")
+    print()
+
+    for cc in ("TH", "IR", "US", "CZ"):
+        print(country_report(study, cc))
+
+    print("hosting centralization by subregion (Figure 9 row):")
+    for subregion, mean in sorted(
+        subregion_means(study.hosting.scores).items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {subregion:22s} {mean:.4f}")
+    print()
+
+    print("continent-to-continent hosting dependence (Figure 8a):")
+    matrix = provider_hq_matrix(study.dataset, "hosting")
+    header = "".join(f"{col:>9s}" for col in matrix.columns)
+    print(f"  {'':4s}{header}")
+    for row in matrix.rows:
+        cells = "".join(
+            f"{matrix.share(row, col):9.2f}" for col in matrix.columns
+        )
+        print(f"  {row:4s}{cells}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Quickstart: the dependence toolkit on your own measurement data.
+
+The core metrics need nothing but a mapping from websites to providers —
+exactly what you would extract from your own scans.  This example uses a
+hand-written toy dataset; see ``country_dependence_report.py`` for the
+full synthetic-world reproduction.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ProviderDistribution,
+    UsageCurve,
+    centralization_score,
+    endemicity_ratio,
+    insularity,
+    interpret_score,
+    pairwise_emd,
+    top_n_share,
+    usage,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Centralization: how concentrated is a country's hosting?
+    # ------------------------------------------------------------------
+    thailand = ProviderDistribution(
+        {"Cloudflare": 60, "Amazon": 9, "Google": 6, "Akamai": 5}
+        | {f"regional-{i}": 2 for i in range(10)}
+    )
+    iran = ProviderDistribution(
+        {"Cloudflare": 14, "Arvan Cloud": 10, "Iran Server": 9}
+        | {f"local-{i}": 4 for i in range(10)}
+        | {f"tail-{i}": 1 for i in range(27)}
+    )
+
+    for name, dist in (("Thailand-like", thailand), ("Iran-like", iran)):
+        score = centralization_score(dist)
+        band = interpret_score(score).value
+        print(
+            f"{name:14s} S = {score:.4f} ({band}); "
+            f"top provider {100 * top_n_share(dist, 1):.0f}%, "
+            f"{dist.n_providers} providers"
+        )
+
+    # The top-N heuristic can't tell some of these apart — S can:
+    az = ProviderDistribution(
+        {"big": 42, "b": 5, "c": 4, "d": 4, "e": 4} | {f"t{i}": 1 for i in range(41)}
+    )
+    hk = ProviderDistribution(
+        {"big": 33, "b": 12, "c": 5, "d": 5, "e": 4} | {f"t{i}": 1 for i in range(41)}
+    )
+    print(
+        f"\nAZ-like vs HK-like: identical top-5 share "
+        f"({top_n_share(az, 5):.2f} vs {top_n_share(hk, 5):.2f}) "
+        f"but S = {centralization_score(az):.4f} vs "
+        f"{centralization_score(hk):.4f}"
+    )
+
+    # ------------------------------------------------------------------
+    # 2. Regionalization: global reach of a provider.
+    # ------------------------------------------------------------------
+    cloudflare_like = UsageCurve.from_usage(
+        {f"country-{i:03d}": max(60 - 0.35 * i, 10.0) for i in range(150)}
+    )
+    beget_like = UsageCurve.from_usage(
+        {"RU": 20.0, "TM": 8.0, "KZ": 5.0}
+        | {f"country-{i:03d}": 0.0 for i in range(147)}
+    )
+    for name, curve in (
+        ("global provider", cloudflare_like),
+        ("regional provider", beget_like),
+    ):
+        print(
+            f"{name:18s} usage U = {usage(curve):7.1f}, "
+            f"endemicity ratio E_R = {endemicity_ratio(curve):.3f}"
+        )
+
+    # ------------------------------------------------------------------
+    # 3. Insularity: how self-sufficient is a country?
+    # ------------------------------------------------------------------
+    homes = {"Cloudflare": "US", "Arvan Cloud": "IR", "Iran Server": "IR"}
+    homes |= {f"local-{i}": "IR" for i in range(10)}
+    homes |= {f"tail-{i}": "IR" for i in range(27)}
+    site_providers = [
+        name for name, count in iran.as_dict().items() for _ in range(int(count))
+    ]
+    print(
+        f"\nIran-like insularity: "
+        f"{100 * insularity(site_providers, homes, 'IR'):.1f}% of sites "
+        f"hosted in-country"
+    )
+
+    # ------------------------------------------------------------------
+    # 4. Pairwise EMD: compare two countries' shapes directly.
+    # ------------------------------------------------------------------
+    result = pairwise_emd(thailand, iran)
+    print(f"pairwise EMD (Thailand-like vs Iran-like): {result.normalized:.4f}")
+
+
+if __name__ == "__main__":
+    main()

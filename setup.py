@@ -1,0 +1,10 @@
+"""Legacy shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` needs bdist_wheel, which is not
+available offline; `python setup.py develop` works with setuptools alone.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

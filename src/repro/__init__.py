@@ -1,0 +1,79 @@
+"""repro — Formalizing Dependence of Web Infrastructure (SIGCOMM 2025).
+
+An open-source reproduction of Habib, Ruth, Akiwate & Durumeric's
+statistical toolkit for quantifying web dependence:
+
+* **Centralization** — the Centralization Score ``S``, an Earth Mover's
+  Distance from an observed provider distribution to a fully
+  decentralized reference (:mod:`repro.core`).
+* **Regionalization** — usage, endemicity ratio, and insularity
+  metrics, plus provider classification into the paper's eight classes.
+* **A calibrated synthetic web** — because the paper's inputs (CrUX
+  toplists, active DNS/TLS scans, commercial geolocation) are not
+  available offline, :mod:`repro.worldgen` synthesizes a 150-country
+  web whose per-country, per-layer concentration is calibrated against
+  the paper's published score tables, and :mod:`repro.net` +
+  :mod:`repro.pipeline` re-measure it through a simulated
+  resolve→TLS→enrich pipeline exactly as the paper's scanners would.
+
+Quickstart::
+
+    from repro import ProviderDistribution, centralization_score
+    dist = ProviderDistribution({"cloudflare": 60, "amazon": 25, "ovh": 15})
+    s = centralization_score(dist)
+"""
+
+from .core import (
+    ConcentrationBand,
+    CorrelationResult,
+    CorrelationStrength,
+    ProviderClass,
+    ProviderDistribution,
+    UsageCurve,
+    centralization_score,
+    classify_providers,
+    emd,
+    emd_to_decentralized,
+    endemicity,
+    endemicity_ratio,
+    hhi,
+    insularity,
+    interpret_correlation,
+    interpret_score,
+    jaccard_index,
+    pairwise_emd,
+    pearson,
+    spearman,
+    top_n_share,
+    usage,
+)
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ProviderDistribution",
+    "centralization_score",
+    "hhi",
+    "top_n_share",
+    "interpret_score",
+    "ConcentrationBand",
+    "emd",
+    "emd_to_decentralized",
+    "pairwise_emd",
+    "usage",
+    "endemicity",
+    "endemicity_ratio",
+    "insularity",
+    "UsageCurve",
+    "ProviderClass",
+    "classify_providers",
+    "pearson",
+    "spearman",
+    "jaccard_index",
+    "interpret_correlation",
+    "CorrelationResult",
+    "CorrelationStrength",
+]

@@ -1,0 +1,71 @@
+"""Analysis: the paper's Sections 5–7 computations over measured data.
+
+:class:`DependenceStudy` orchestrates world → pipeline → per-layer
+analyses; :mod:`~repro.analysis.layers` computes scores, insularity,
+and provider classes per layer; :mod:`~repro.analysis.regional`
+aggregates by subregion/continent and builds the Figure 8 dependence
+matrices; :mod:`~repro.analysis.longitudinal` compares snapshots.
+"""
+
+from .crosslayer import (
+    BundlingReport,
+    ca_attribution,
+    hosting_dns_bundling,
+    layer_score_coupling,
+)
+from .layers import CountryBreakdown, LayerAnalysis
+from .pairwise import (
+    DistanceMatrix,
+    cluster_countries,
+    country_distance_matrix,
+)
+from .longitudinal import SnapshotComparison
+from .regional import (
+    DependenceMatrix,
+    anycast_share,
+    continent_means,
+    ip_geolocation_matrix,
+    layer_insularity_cdf,
+    ns_geolocation_matrix,
+    provider_hq_matrix,
+    subregion_means,
+)
+from .report import comparison_table, country_report, layer_summary
+from .study import DependenceStudy
+from .whatif import (
+    OutageImpact,
+    SchismImpact,
+    country_schism,
+    provider_outage,
+    single_points_of_failure,
+)
+
+__all__ = [
+    "BundlingReport",
+    "hosting_dns_bundling",
+    "ca_attribution",
+    "layer_score_coupling",
+    "OutageImpact",
+    "SchismImpact",
+    "provider_outage",
+    "country_schism",
+    "single_points_of_failure",
+    "DistanceMatrix",
+    "country_distance_matrix",
+    "cluster_countries",
+    "DependenceStudy",
+    "LayerAnalysis",
+    "CountryBreakdown",
+    "SnapshotComparison",
+    "subregion_means",
+    "continent_means",
+    "DependenceMatrix",
+    "provider_hq_matrix",
+    "ip_geolocation_matrix",
+    "ns_geolocation_matrix",
+    "anycast_share",
+    "layer_insularity_cdf",
+    "country_report",
+    "layer_summary",
+    "comparison_table",
+]

@@ -1,0 +1,126 @@
+"""Cross-layer coupling analysis (the paper's §8 discussion).
+
+The paper hypothesizes that "part of the centralization we see on the
+web is a result of provider, not operator, choice": hosting and DNS are
+bundled (Cloudflare's CDN requires its DNS), and hosting providers
+partner with specific CAs.  These couplings are measurable from the
+per-site records:
+
+* :func:`hosting_dns_bundling` — per-country fraction of sites whose
+  hosting and DNS organization coincide, and the bundling rate of
+  individual providers.
+* :func:`ca_attribution` — how much of each CA's usage flows through
+  hosting partnerships rather than operator choice.
+* :func:`layer_score_coupling` — correlation of per-country scores
+  between layer pairs (hosting↔DNS strong; hosting↔CA weak/negative,
+  the CZ/SK flip).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..core.correlation import CorrelationResult, pearson
+from ..datasets.providers import HOSTING_CA_PARTNERSHIPS
+from .study import DependenceStudy
+
+__all__ = [
+    "BundlingReport",
+    "hosting_dns_bundling",
+    "ca_attribution",
+    "layer_score_coupling",
+]
+
+
+@dataclass(frozen=True)
+class BundlingReport:
+    """Hosting/DNS bundling measurements."""
+
+    #: country -> fraction of sites with hosting org == DNS org.
+    per_country: dict[str, float]
+    #: provider -> fraction of its hosted sites also using it for DNS.
+    per_provider: dict[str, float]
+
+    @property
+    def overall(self) -> float:
+        """Mean of the per-country values."""
+        values = self.per_country.values()
+        return sum(values) / len(values) if values else 0.0
+
+
+def hosting_dns_bundling(study: DependenceStudy) -> BundlingReport:
+    """Measure how often sites reuse their host as DNS operator."""
+    per_country: dict[str, float] = {}
+    same_by_provider: Counter[str] = Counter()
+    total_by_provider: Counter[str] = Counter()
+    for cc in study.countries:
+        same = 0
+        total = 0
+        for record in study.dataset.records(cc):
+            if record.hosting_org is None or record.dns_org is None:
+                continue
+            total += 1
+            total_by_provider[record.hosting_org] += 1
+            if record.hosting_org == record.dns_org:
+                same += 1
+                same_by_provider[record.hosting_org] += 1
+        per_country[cc] = same / total if total else 0.0
+    per_provider = {
+        provider: same_by_provider.get(provider, 0) / count
+        for provider, count in total_by_provider.items()
+        if count >= 20
+    }
+    return BundlingReport(
+        per_country=per_country, per_provider=per_provider
+    )
+
+
+def ca_attribution(study: DependenceStudy) -> dict[str, dict[str, float]]:
+    """Split each CA's usage into partner-host vs independent flows.
+
+    Returns ``ca -> {"via_partner_host": share, "independent": share}``
+    where ``via_partner_host`` counts sites whose hosting provider
+    lists the CA as an issuance partner — the "provider choice"
+    component of CA centralization.
+    """
+    partner_of_host: dict[str, set[str]] = {
+        host: {ca for ca, _ in partnerships}
+        for host, partnerships in HOSTING_CA_PARTNERSHIPS.items()
+    }
+    via_partner: Counter[str] = Counter()
+    total: Counter[str] = Counter()
+    for cc in study.countries:
+        for record in study.dataset.records(cc):
+            if record.ca_owner is None or record.hosting_org is None:
+                continue
+            total[record.ca_owner] += 1
+            if record.ca_owner in partner_of_host.get(
+                record.hosting_org, ()
+            ):
+                via_partner[record.ca_owner] += 1
+    out: dict[str, dict[str, float]] = {}
+    for ca, count in total.items():
+        partner_share = via_partner.get(ca, 0) / count
+        out[ca] = {
+            "via_partner_host": partner_share,
+            "independent": 1.0 - partner_share,
+        }
+    return out
+
+
+def layer_score_coupling(
+    study: DependenceStudy,
+) -> dict[tuple[str, str], CorrelationResult]:
+    """Correlate per-country scores between every layer pair."""
+    layers = ("hosting", "dns", "ca", "tld")
+    countries = study.countries
+    scores = {
+        layer: [study.layer(layer).scores[cc] for cc in countries]
+        for layer in layers
+    }
+    out: dict[tuple[str, str], CorrelationResult] = {}
+    for i, a in enumerate(layers):
+        for b in layers[i + 1 :]:
+            out[(a, b)] = pearson(scores[a], scores[b])
+    return out

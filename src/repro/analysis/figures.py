@@ -1,0 +1,187 @@
+"""Terminal-friendly figure rendering.
+
+Every figure in the paper is regenerated as data by the benchmarks;
+this module renders those series as ASCII so the artifacts under
+``benchmarks/output`` read like the plots: horizontal bar charts,
+stacked bars, line/CDF panels, and shaded matrices.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from ..errors import InvalidDistributionError
+
+__all__ = [
+    "bar_chart",
+    "stacked_bars",
+    "line_panel",
+    "matrix_heatmap",
+    "histogram",
+]
+
+_SHADES = " .:-=+*#%@"
+
+
+def _check_width(width: int) -> None:
+    if width < 10:
+        raise InvalidDistributionError(
+            f"chart width must be at least 10 columns, got {width}"
+        )
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    *,
+    width: int = 50,
+    fmt: str = "{:.4f}",
+    sort: bool = True,
+    limit: int | None = None,
+) -> str:
+    """Horizontal bar chart of labeled values."""
+    _check_width(width)
+    if not values:
+        return "(empty)"
+    items = list(values.items())
+    if sort:
+        items.sort(key=lambda kv: (-kv[1], kv[0]))
+    if limit is not None:
+        items = items[:limit]
+    peak = max(v for _, v in items) or 1.0
+    label_width = max(len(str(k)) for k, _ in items)
+    lines = []
+    for label, value in items:
+        bar = "#" * max(int(round(width * value / peak)), 0)
+        lines.append(
+            f"{label:>{label_width}s} | {bar:<{width}s} {fmt.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def stacked_bars(
+    rows: Mapping[str, Mapping[str, float]],
+    segments: Sequence[str],
+    *,
+    width: int = 60,
+    symbols: str = "#@=+:*o.x-",
+) -> str:
+    """Stacked 100%-bars, one row per key (the Figure 7 shape).
+
+    Each row's segment shares should sum to ~1; the legend maps the
+    symbol alphabet to segment names.
+    """
+    _check_width(width)
+    if len(segments) > len(symbols):
+        raise InvalidDistributionError(
+            f"too many segments ({len(segments)}) for the symbol set"
+        )
+    label_width = max((len(str(k)) for k in rows), default=1)
+    lines = [
+        "legend: "
+        + "  ".join(
+            f"{symbols[i]}={segment}" for i, segment in enumerate(segments)
+        )
+    ]
+    for label, shares in rows.items():
+        cells: list[str] = []
+        for i, segment in enumerate(segments):
+            n = int(round(width * shares.get(segment, 0.0)))
+            cells.append(symbols[i] * n)
+        bar = "".join(cells)[:width]
+        lines.append(f"{label:>{label_width}s} |{bar:<{width}s}|")
+    return "\n".join(lines)
+
+
+def line_panel(
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 70,
+    height: int = 12,
+) -> str:
+    """Multi-series line panel (sorted-curve / CDF figures).
+
+    Each series is resampled to ``width`` columns; series are drawn
+    with distinct glyphs, higher values toward the top.
+    """
+    _check_width(width)
+    if height < 4:
+        raise InvalidDistributionError("panel height must be >= 4")
+    if not series:
+        return "(empty)"
+    glyphs = "*o+x#@%&"
+    peak = max(
+        (max(values) for values in series.values() if len(values)),
+        default=1.0,
+    )
+    peak = peak or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for s_index, (name, values) in enumerate(sorted(series.items())):
+        if not values:
+            continue
+        glyph = glyphs[s_index % len(glyphs)]
+        legend.append(f"{glyph}={name}")
+        n = len(values)
+        for col in range(width):
+            value = values[min(int(col * n / width), n - 1)]
+            row = height - 1 - min(
+                int(value / peak * (height - 1)), height - 1
+            )
+            grid[row][col] = glyph
+    lines = [f"peak={peak:.4f}   " + "  ".join(legend)]
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    return "\n".join(lines)
+
+
+def matrix_heatmap(
+    rows: Sequence[str],
+    columns: Sequence[str],
+    value: "callable",
+    *,
+    fmt: str = "{:4.2f}",
+) -> str:
+    """Shaded matrix (the Figure 8 dependence matrices)."""
+    header = "      " + " ".join(f"{c:>7s}" for c in columns)
+    lines = [header]
+    for row in rows:
+        cells = []
+        for col in columns:
+            v = value(row, col)
+            shade = _SHADES[
+                min(int(v * (len(_SHADES) - 1)), len(_SHADES) - 1)
+            ]
+            cells.append(f"{shade}{fmt.format(v):>6s}")
+        lines.append(f"{row:>5s} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def histogram(
+    edges: Sequence[float],
+    counts: Sequence[int],
+    *,
+    width: int = 40,
+    marker: float | None = None,
+    marker_label: str = "global",
+) -> str:
+    """Vertical-binned histogram drawn horizontally (Figure 12)."""
+    _check_width(width)
+    if len(edges) != len(counts):
+        raise InvalidDistributionError("edges and counts must align")
+    peak = max(counts) or 1
+    lines = []
+    marker_drawn = False
+    for edge, count in zip(edges, counts):
+        bar = "#" * int(round(width * count / peak))
+        tag = ""
+        if (
+            marker is not None
+            and not marker_drawn
+            and marker < edge + (edges[1] - edges[0] if len(edges) > 1 else 1)
+            and marker >= edge
+        ):
+            tag = f"  <-- {marker_label} ({marker:.4f})"
+            marker_drawn = True
+        lines.append(f"{edge:5.3f} | {bar:<{width}s} {count:3d}{tag}")
+    return "\n".join(lines)

@@ -1,0 +1,278 @@
+"""Per-layer analysis: the Sections 5–7 computations.
+
+:class:`LayerAnalysis` wraps one infrastructure layer of a measurement
+dataset and computes everything the paper reports per layer: country
+centralization scores, insularity, provider usage/endemicity features,
+affinity-propagation classification into the eight provider classes,
+and per-country class breakdowns (the Figure 7/14/15/16 stacked bars).
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from ..core.centralization import centralization_score, top_n_share
+from ..core.classification import (
+    ClassificationResult,
+    ClassThresholds,
+    ProviderClass,
+    ProviderFeatures,
+    classify_providers,
+)
+from ..core.distributions import ProviderDistribution
+from ..core.regionalization import UsageCurve, endemicity_ratio, usage
+from ..datasets.providers import AMAZON, CLOUDFLARE
+from ..errors import UnknownLayerError
+from ..pipeline.records import LAYER_FIELDS, MeasurementDataset
+
+__all__ = ["LayerAnalysis", "CountryBreakdown"]
+
+
+class CountryBreakdown(dict):
+    """Per-country share of each provider class (plus named XL-GPs).
+
+    A thin dict subclass mapping breakdown keys — ``"Cloudflare"``,
+    ``"Amazon"``, and each :class:`ProviderClass` value — to the
+    fraction of the country's measured sites they serve.
+    """
+
+    KEYS = (
+        CLOUDFLARE,
+        AMAZON,
+        ProviderClass.L_GP.value,
+        ProviderClass.L_GP_R.value,
+        ProviderClass.M_GP.value,
+        ProviderClass.S_GP.value,
+        ProviderClass.L_RP.value,
+        ProviderClass.S_RP.value,
+        ProviderClass.XS_RP.value,
+    )
+
+
+class LayerAnalysis:
+    """All per-layer statistics for one measured layer."""
+
+    def __init__(
+        self,
+        dataset: MeasurementDataset,
+        layer: str,
+        *,
+        thresholds: ClassThresholds | None = None,
+    ) -> None:
+        if layer not in LAYER_FIELDS:
+            raise UnknownLayerError(f"unknown layer {layer!r}")
+        self.dataset = dataset
+        self.layer = layer
+        self._thresholds = thresholds
+
+    # ------------------------------------------------------------------
+    # Distributions & scores
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def countries(self) -> list[str]:
+        """Country codes covered, sorted."""
+        return self.dataset.countries
+
+    def distribution(self, country: str) -> ProviderDistribution:
+        """Observed provider distribution for one country."""
+        return self.dataset.distribution(country, self.layer)
+
+    @cached_property
+    def scores(self) -> dict[str, float]:
+        """Centralization Score per country (the Tables 5–8 columns)."""
+        return {
+            cc: centralization_score(self.distribution(cc))
+            for cc in self.countries
+        }
+
+    @cached_property
+    def ranking(self) -> list[tuple[str, float]]:
+        """Countries most-centralized first."""
+        return sorted(self.scores.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    def rank_of(self, country: str) -> int:
+        """1-indexed centralization rank (1 = most centralized)."""
+        for rank, (cc, _) in enumerate(self.ranking, start=1):
+            if cc == country:
+                return rank
+        raise UnknownLayerError(f"country {country!r} not in ranking")
+
+    def top_n_share(self, country: str, n: int) -> float:
+        """Share of a country's sites on its top-N providers."""
+        return top_n_share(self.distribution(country), n)
+
+    def providers_covering(self, country: str, fraction: float) -> int:
+        """Providers needed to cover a site fraction."""
+        return self.distribution(country).providers_covering(fraction)
+
+    # ------------------------------------------------------------------
+    # Regionalization
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def provider_homes(self) -> dict[str, str]:
+        """Home country of every provider at this layer."""
+        return self.dataset.provider_countries(self.layer)
+
+    @cached_property
+    def insularity(self) -> dict[str, float]:
+        """Fraction of each country's sites served from in-country.
+
+        For the TLD layer (which has no provider home country in the
+        measurement records) the paper's convention applies: a site is
+        insular when it uses the local ccTLD — with .com counted as
+        local to the U.S. (Figure 22's note on the historical role of
+        the U.S. government in .com).
+        """
+        if self.layer == "tld":
+            from ..net.psl import CCTLD_OF_COUNTRY
+
+            out: dict[str, float] = {}
+            for cc in self.countries:
+                labels = [
+                    t
+                    for t in self.dataset.layer_labels(cc, "tld")
+                    if t is not None
+                ]
+                if not labels:
+                    out[cc] = 0.0
+                    continue
+                own = {CCTLD_OF_COUNTRY[cc]}
+                if cc == "US":
+                    own.add("com")
+                out[cc] = sum(1 for t in labels if t in own) / len(labels)
+            return out
+        homes = self.provider_homes
+        out = {}
+        for cc in self.countries:
+            labels = [
+                p
+                for p in self.dataset.layer_labels(cc, self.layer)
+                if p is not None
+            ]
+            out[cc] = (
+                sum(1 for p in labels if homes.get(p) == cc) / len(labels)
+                if labels
+                else 0.0
+            )
+        return out
+
+    def dependence_on(self, country: str, foreign: str) -> float:
+        """Share of ``country``'s sites served from ``foreign``."""
+        homes = self.provider_homes
+        labels = [
+            p
+            for p in self.dataset.layer_labels(country, self.layer)
+            if p is not None
+        ]
+        if not labels:
+            return 0.0
+        return sum(1 for p in labels if homes.get(p) == foreign) / len(labels)
+
+    def country_dependencies(self, country: str) -> dict[str, float]:
+        """Breakdown of a country's sites by serving provider's home."""
+        homes = self.provider_homes
+        labels = [
+            p
+            for p in self.dataset.layer_labels(country, self.layer)
+            if p is not None
+        ]
+        out: dict[str, float] = {}
+        for p in labels:
+            home = homes.get(p, "??")
+            out[home] = out.get(home, 0.0) + 1.0
+        total = sum(out.values())
+        return {home: share / total for home, share in out.items()}
+
+    # ------------------------------------------------------------------
+    # Usage / endemicity / classification
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def usage_matrix(self) -> dict[str, dict[str, float]]:
+        """provider -> country -> percent-of-sites matrix."""
+        return self.dataset.usage_matrix(self.layer)
+
+    def usage_curve(self, provider: str) -> UsageCurve:
+        """A provider's sorted per-country usage curve."""
+        return UsageCurve.from_usage(self.usage_matrix[provider])
+
+    @cached_property
+    def provider_features(self) -> dict[str, ProviderFeatures]:
+        """(usage U, endemicity ratio E_R) per provider (Section 3.3)."""
+        features: dict[str, ProviderFeatures] = {}
+        for provider, per_country in self.usage_matrix.items():
+            curve = UsageCurve.from_usage(per_country)
+            features[provider] = ProviderFeatures(
+                usage=usage(curve),
+                endemicity_ratio=endemicity_ratio(curve),
+            )
+        return features
+
+    @cached_property
+    def classification(self) -> ClassificationResult:
+        """Affinity-propagation provider classes (Tables 1–3).
+
+        Unless explicit thresholds were supplied, the class-size cuts
+        are scaled to this study's country count (usage sums over
+        countries, so a 16-country study has 16/150 of the usage range).
+        """
+        thresholds = self._thresholds
+        if thresholds is None:
+            thresholds = ClassThresholds.scaled_for(len(self.countries))
+        return classify_providers(
+            self.provider_features, thresholds=thresholds
+        )
+
+    def class_counts(self) -> dict[ProviderClass, int]:
+        """Number of providers per class."""
+        return self.classification.class_counts()
+
+    def class_share(self, country: str, cls: ProviderClass) -> float:
+        """Share of a country's sites served by one provider class."""
+        labels = self.classification.labels
+        dist = self.distribution(country)
+        return sum(
+            count
+            for name, count in dist.as_dict().items()
+            if labels.get(name) is cls
+        ) / dist.total
+
+    def breakdown(self, country: str) -> CountryBreakdown:
+        """Figure 7-style stacked breakdown for one country.
+
+        Cloudflare and Amazon are split out of their class; the
+        remaining classes cover everything else.
+        """
+        labels = self.classification.labels
+        dist = self.distribution(country)
+        shares = CountryBreakdown(
+            {key: 0.0 for key in CountryBreakdown.KEYS}
+        )
+        for name, count in dist.as_dict().items():
+            share = count / dist.total
+            if name == CLOUDFLARE and self.layer in ("hosting", "dns"):
+                shares[CLOUDFLARE] += share
+                continue
+            if name == AMAZON and self.layer in ("hosting", "dns"):
+                shares[AMAZON] += share
+                continue
+            cls = labels.get(name)
+            if cls is not None:
+                # Layers without the Cloudflare/Amazon split-out (CA,
+                # TLD) may legitimately produce XL-GP entries, which are
+                # not in the default key set.
+                shares[cls.value] = shares.get(cls.value, 0.0) + share
+        return shares
+
+    def regional_share(self, country: str) -> float:
+        """Share of a country's sites on regional-class providers."""
+        return sum(
+            self.class_share(country, cls)
+            for cls in (
+                ProviderClass.L_RP,
+                ProviderClass.S_RP,
+                ProviderClass.XS_RP,
+            )
+        )

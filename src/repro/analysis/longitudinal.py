@@ -1,0 +1,131 @@
+"""Longitudinal comparison of two measurement snapshots (Section 5.4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from ..core.correlation import CorrelationResult, jaccard_index, pearson
+from ..datasets.providers import CLOUDFLARE
+from .study import DependenceStudy
+
+__all__ = ["SnapshotComparison"]
+
+
+@dataclass(frozen=True)
+class SnapshotComparison:
+    """All Section 5.4 statistics between two study snapshots."""
+
+    old: DependenceStudy
+    new: DependenceStudy
+
+    @cached_property
+    def countries(self) -> list[str]:
+        """Country codes covered, sorted."""
+        old_set = set(self.old.countries)
+        return [cc for cc in self.new.countries if cc in old_set]
+
+    # ------------------------------------------------------------------
+    # Scores
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def score_correlation(self) -> CorrelationResult:
+        """Correlation of hosting S across snapshots (paper: 0.98)."""
+        old_scores = self.old.hosting.scores
+        new_scores = self.new.hosting.scores
+        return pearson(
+            [old_scores[cc] for cc in self.countries],
+            [new_scores[cc] for cc in self.countries],
+        )
+
+    def score_change(self, cc: str) -> tuple[float, float]:
+        """(old S, new S) for one country."""
+        return self.old.hosting.scores[cc], self.new.hosting.scores[cc]
+
+    @cached_property
+    def largest_increase(self) -> tuple[str, float]:
+        """Country with the largest score increase and its delta."""
+        deltas = {
+            cc: self.new.hosting.scores[cc] - self.old.hosting.scores[cc]
+            for cc in self.countries
+        }
+        cc = max(deltas, key=lambda c: (deltas[c], c))
+        return cc, deltas[cc]
+
+    @cached_property
+    def largest_decrease(self) -> tuple[str, float]:
+        """Country with the largest score decrease and its delta."""
+        deltas = {
+            cc: self.new.hosting.scores[cc] - self.old.hosting.scores[cc]
+            for cc in self.countries
+        }
+        cc = min(deltas, key=lambda c: (deltas[c], c))
+        return cc, deltas[cc]
+
+    # ------------------------------------------------------------------
+    # Cloudflare adoption
+    # ------------------------------------------------------------------
+
+    def cloudflare_share(self, study: DependenceStudy, cc: str) -> float:
+        """Cloudflare's hosting share in one snapshot."""
+        return study.hosting.distribution(cc).share_of(CLOUDFLARE)
+
+    def cloudflare_delta_points(self, cc: str) -> float:
+        """Change in Cloudflare share, in percentage points."""
+        return 100.0 * (
+            self.cloudflare_share(self.new, cc)
+            - self.cloudflare_share(self.old, cc)
+        )
+
+    @cached_property
+    def mean_cloudflare_delta_points(self) -> float:
+        """Average Cloudflare share change, in points."""
+        deltas = [self.cloudflare_delta_points(cc) for cc in self.countries]
+        return sum(deltas) / len(deltas)
+
+    @cached_property
+    def cloudflare_decreasing(self) -> list[str]:
+        """Countries whose Cloudflare usage materially dropped (paper:
+        RU, BY, UZ, MM — the only four).
+
+        "Materially" means by more than 0.4 share points: toplist churn
+        alone moves shares by a site or two, which should not read as a
+        provider losing ground.
+        """
+        return [
+            cc
+            for cc in self.countries
+            if self.cloudflare_delta_points(cc) < -0.4
+        ]
+
+    # ------------------------------------------------------------------
+    # Toplist churn and U.S. reliance
+    # ------------------------------------------------------------------
+
+    def toplist_jaccard(self, cc: str) -> float:
+        """Jaccard similarity of a country's two toplists."""
+        return jaccard_index(
+            self.old.world.toplists[cc].domains,
+            self.new.world.toplists[cc].domains,
+        )
+
+    @cached_property
+    def mean_jaccard(self) -> float:
+        """Mean toplist Jaccard across countries."""
+        values = [self.toplist_jaccard(cc) for cc in self.countries]
+        return sum(values) / len(values)
+
+    def us_reliance(self, study: DependenceStudy, cc: str) -> float:
+        """Share of a country's sites on U.S.-based providers."""
+        return study.hosting.dependence_on(cc, "US")
+
+    @cached_property
+    def countries_less_us_reliant(self) -> list[str]:
+        """Countries whose share of U.S.-based hosting decreased."""
+        return [
+            cc
+            for cc in self.countries
+            if self.us_reliance(self.new, cc)
+            < self.us_reliance(self.old, cc)
+        ]

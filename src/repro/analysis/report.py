@@ -1,0 +1,87 @@
+"""Human-readable text reports over a study (used by the examples)."""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from ..core.centralization import interpret_score
+from ..datasets.countries import COUNTRIES
+from ..datasets.paper_scores import LAYERS, PAPER_SCORES
+from .study import DependenceStudy
+
+__all__ = ["country_report", "layer_summary", "comparison_table"]
+
+
+def country_report(study: DependenceStudy, cc: str) -> str:
+    """A dependence profile of one country across all four layers."""
+    info = COUNTRIES[cc]
+    out = StringIO()
+    out.write(f"{info.name} ({cc}) — {info.subregion}, {info.continent}\n")
+    out.write("=" * 60 + "\n")
+    for layer in LAYERS:
+        analysis = study.layer(layer)
+        score = analysis.scores[cc]
+        band = interpret_score(score).value
+        dist = analysis.distribution(cc)
+        top_name, top_count = dist.ranked()[0]
+        out.write(
+            f"\n[{layer}] S = {score:.4f} ({band}); "
+            f"paper: {PAPER_SCORES[layer][cc]:.4f}\n"
+        )
+        out.write(
+            f"  providers: {dist.n_providers}; "
+            f"top: {top_name} ({100 * top_count / dist.total:.1f}%); "
+            f"top-5 share: {100 * dist.top_n_share(5):.1f}%\n"
+        )
+        out.write(
+            f"  insularity: {100 * analysis.insularity[cc]:.1f}%\n"
+        )
+        deps = sorted(
+            analysis.country_dependencies(cc).items(),
+            key=lambda kv: -kv[1],
+        )[:3]
+        if layer != "tld":
+            described = ", ".join(
+                f"{home}: {100 * share:.1f}%" for home, share in deps
+            )
+            out.write(f"  top serving countries: {described}\n")
+    return out.getvalue()
+
+
+def layer_summary(study: DependenceStudy, layer: str) -> str:
+    """Most/least centralized countries and layer-wide statistics."""
+    analysis = study.layer(layer)
+    ranking = analysis.ranking
+    scores = [s for _, s in ranking]
+    mean = sum(scores) / len(scores)
+    var = sum((s - mean) ** 2 for s in scores) / len(scores)
+    out = StringIO()
+    out.write(f"Layer: {layer}  (countries: {len(ranking)})\n")
+    out.write(f"mean S = {mean:.4f}, var = {var:.4f}\n")
+    out.write("most centralized:  ")
+    out.write(
+        ", ".join(f"{cc} ({s:.4f})" for cc, s in ranking[:5]) + "\n"
+    )
+    out.write("least centralized: ")
+    out.write(
+        ", ".join(f"{cc} ({s:.4f})" for cc, s in ranking[-5:]) + "\n"
+    )
+    return out.getvalue()
+
+
+def comparison_table(
+    study: DependenceStudy, layer: str, limit: int | None = None
+) -> str:
+    """Paper-vs-measured table for one layer (EXPERIMENTS.md rows)."""
+    rows = study.paper_comparison(layer)
+    rows.sort(key=lambda row: -row[2])
+    if limit is not None:
+        rows = rows[:limit]
+    out = StringIO()
+    out.write(f"{'country':8s} {'measured':>9s} {'paper':>9s} {'diff':>8s}\n")
+    for cc, measured, paper in rows:
+        out.write(
+            f"{cc:8s} {measured:9.4f} {paper:9.4f} "
+            f"{measured - paper:+8.4f}\n"
+        )
+    return out.getvalue()

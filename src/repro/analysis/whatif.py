@@ -1,0 +1,181 @@
+"""What-if resilience scenarios (the paper's Discussion section).
+
+Section 8 argues researchers should study how availability would be
+impacted "not only by a provider outage, but also by a geopolitical
+schism between two countries".  This module implements both scenarios
+over a measured dataset:
+
+* :func:`provider_outage` — a provider disappears (the Dyn/Cloudflare
+  incident class): per-country fraction of sites affected, and the
+  counterfactual centralization of the surviving web.
+* :func:`country_schism` — one country blocks/loses connectivity to
+  providers based in another (the sanctions class): per-country
+  exposure through any layer.
+
+Both are counterfactual re-aggregations of measurement records — no
+re-measurement is required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.centralization import centralization_score
+from ..core.distributions import ProviderDistribution
+from ..errors import EmptyDistributionError, UnknownLayerError
+from ..pipeline.records import LAYER_FIELDS, MeasurementDataset
+
+__all__ = [
+    "OutageImpact",
+    "SchismImpact",
+    "provider_outage",
+    "country_schism",
+    "single_points_of_failure",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class OutageImpact:
+    """Consequences of one provider's outage."""
+
+    provider: str
+    layer: str
+    #: country -> fraction of its measured sites that break.
+    affected_share: dict[str, float]
+    #: country -> S of the surviving distribution (None if everything
+    #: in the country depended on the provider).
+    surviving_score: dict[str, float | None]
+
+    @property
+    def worst_hit(self) -> tuple[str, float]:
+        """(country, affected share) of the hardest-hit country."""
+        cc = max(
+            self.affected_share,
+            key=lambda c: (self.affected_share[c], c),
+        )
+        return cc, self.affected_share[cc]
+
+    def global_affected_share(self) -> float:
+        """Mean affected share across countries."""
+        values = self.affected_share.values()
+        return sum(values) / len(values) if values else 0.0
+
+
+def provider_outage(
+    dataset: MeasurementDataset, provider: str, layer: str = "hosting"
+) -> OutageImpact:
+    """Simulate a provider disappearing at one layer."""
+    if layer not in LAYER_FIELDS:
+        raise UnknownLayerError(f"unknown layer {layer!r}")
+    affected: dict[str, float] = {}
+    surviving: dict[str, float | None] = {}
+    for cc in dataset.countries:
+        labels = [
+            label
+            for label in dataset.layer_labels(cc, layer)
+            if label is not None
+        ]
+        if not labels:
+            affected[cc] = 0.0
+            surviving[cc] = None
+            continue
+        hit = sum(1 for label in labels if label == provider)
+        affected[cc] = hit / len(labels)
+        rest = [label for label in labels if label != provider]
+        if rest:
+            surviving[cc] = centralization_score(
+                ProviderDistribution.from_assignments(rest)
+            )
+        else:
+            surviving[cc] = None
+    return OutageImpact(
+        provider=provider,
+        layer=layer,
+        affected_share=affected,
+        surviving_score=surviving,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class SchismImpact:
+    """Consequences of a country losing access to another's providers."""
+
+    blocked_country: str
+    #: layer -> country -> fraction of sites depending on the blocked
+    #: country's infrastructure at that layer.
+    exposure: dict[str, dict[str, float]]
+
+    def any_layer_exposure(self, cc: str) -> float:
+        """The worst single-layer exposure for one country."""
+        return max(
+            (layers.get(cc, 0.0) for layers in self.exposure.values()),
+            default=0.0,
+        )
+
+    def most_exposed(self, layer: str, top: int = 5) -> list[tuple[str, float]]:
+        """Most-exposed countries at one layer."""
+        table = self.exposure[layer]
+        return sorted(table.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+
+
+def country_schism(
+    dataset: MeasurementDataset,
+    blocked_country: str,
+    layers: tuple[str, ...] = ("hosting", "dns", "ca"),
+) -> SchismImpact:
+    """Fraction of every country's web that a schism would sever.
+
+    ``blocked_country`` is the home of the now-unreachable providers;
+    countries' own dependence on themselves is reported too (a schism
+    with yourself is an odd but well-defined query).
+    """
+    exposure: dict[str, dict[str, float]] = {}
+    for layer in layers:
+        if layer not in LAYER_FIELDS or layer == "tld":
+            raise UnknownLayerError(
+                f"schism analysis needs a provider layer, got {layer!r}"
+            )
+        field, country_field = LAYER_FIELDS[layer]
+        assert country_field is not None
+        per_country: dict[str, float] = {}
+        for cc in dataset.countries:
+            records = [r for r in dataset.records(cc) if r.ok]
+            if not records:
+                per_country[cc] = 0.0
+                continue
+            hit = sum(
+                1
+                for r in records
+                if getattr(r, country_field) == blocked_country
+            )
+            per_country[cc] = hit / len(records)
+        exposure[layer] = per_country
+    return SchismImpact(blocked_country=blocked_country, exposure=exposure)
+
+
+def single_points_of_failure(
+    dataset: MeasurementDataset,
+    layer: str = "hosting",
+    threshold: float = 0.25,
+) -> dict[str, list[tuple[str, float]]]:
+    """Providers whose outage would break > ``threshold`` of a country.
+
+    Returns ``country -> [(provider, share), ...]`` for every country
+    that has at least one such provider — the Kashaf-style single
+    point of failure inventory the related work measures.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise EmptyDistributionError(
+            f"threshold must be in (0, 1], got {threshold}"
+        )
+    out: dict[str, list[tuple[str, float]]] = {}
+    for cc in dataset.countries:
+        dist = dataset.distribution(cc, layer)
+        heavy = [
+            (name, count / dist.total)
+            for name, count in dist.ranked()
+            if count / dist.total > threshold
+        ]
+        if heavy:
+            out[cc] = heavy
+    return out

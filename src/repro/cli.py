@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``score``        compute S / HHI / top-N for provider counts
+``study``        run a full synthetic study and print layer summaries
+``country``      print one country's dependence profile
+``compare``      print measured-vs-published rows for one layer
+``longitudinal`` run the 2023→2025 churn study
+
+The CLI is a thin veneer over :mod:`repro.analysis`; anything it prints
+can be obtained programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .core import (
+    ProviderDistribution,
+    centralization_score,
+    hhi,
+    interpret_score,
+    top_n_share,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction toolkit for 'Formalizing Dependence of Web "
+            "Infrastructure' (SIGCOMM 2025)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    score = sub.add_parser(
+        "score", help="compute the Centralization Score for counts"
+    )
+    score.add_argument(
+        "counts",
+        nargs="+",
+        help="provider counts, either numbers ('60 25 15') or "
+        "name=count pairs ('cloudflare=60 amazon=25')",
+    )
+
+    study = sub.add_parser("study", help="run a synthetic study")
+    study.add_argument("--sites", type=int, default=1000)
+    study.add_argument(
+        "--countries", nargs="*", default=None, metavar="CC"
+    )
+
+    country = sub.add_parser("country", help="one country's profile")
+    country.add_argument("code", help="ISO country code, e.g. TH")
+    country.add_argument("--sites", type=int, default=1000)
+    country.add_argument("--countries", nargs="*", default=None)
+
+    compare = sub.add_parser(
+        "compare", help="measured vs published scores for a layer"
+    )
+    compare.add_argument(
+        "layer", choices=("hosting", "dns", "ca", "tld")
+    )
+    compare.add_argument("--sites", type=int, default=1000)
+    compare.add_argument("--limit", type=int, default=None)
+    compare.add_argument("--countries", nargs="*", default=None)
+
+    longitudinal = sub.add_parser(
+        "longitudinal", help="2023 vs 2025 churn study"
+    )
+    longitudinal.add_argument("--sites", type=int, default=1000)
+    longitudinal.add_argument("--countries", nargs="*", default=None)
+    return parser
+
+
+def _parse_counts(tokens: list[str]) -> ProviderDistribution:
+    if all("=" in token for token in tokens):
+        items = {}
+        for token in tokens:
+            name, _, value = token.partition("=")
+            items[name] = float(value)
+        return ProviderDistribution(items)
+    return ProviderDistribution.from_counts_array(
+        [float(t) for t in tokens]
+    )
+
+
+def _cmd_score(args: argparse.Namespace) -> int:
+    dist = _parse_counts(args.counts)
+    s = centralization_score(dist)
+    print(f"C (total sites):       {dist.total:g}")
+    print(f"providers:             {dist.n_providers}")
+    print(f"Centralization Score:  {s:.4f} ({interpret_score(s).value})")
+    print(f"HHI:                   {hhi(dist):.4f}")
+    print(f"top-1 / top-5 share:   {top_n_share(dist, 1):.3f} / "
+          f"{top_n_share(dist, 5):.3f}")
+    return 0
+
+
+def _study(args: argparse.Namespace):
+    from .analysis import DependenceStudy
+    from .worldgen import WorldConfig
+
+    kwargs = {"sites_per_country": args.sites}
+    if getattr(args, "countries", None):
+        countries = {c.upper() for c in args.countries}
+        if getattr(args, "code", None):
+            countries.add(args.code.upper())
+        kwargs["countries"] = tuple(sorted(countries))
+    return DependenceStudy.run(WorldConfig(**kwargs))
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from .analysis import layer_summary
+    from .datasets.paper_scores import LAYERS
+
+    study = _study(args)
+    for layer in LAYERS:
+        print(layer_summary(study, layer))
+    return 0
+
+
+def _cmd_country(args: argparse.Namespace) -> int:
+    from .analysis import country_report
+
+    study = _study(args)
+    print(country_report(study, args.code.upper()))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .analysis import comparison_table
+
+    study = _study(args)
+    print(comparison_table(study, args.layer, limit=args.limit))
+    return 0
+
+
+def _cmd_longitudinal(args: argparse.Namespace) -> int:
+    from .analysis import DependenceStudy, SnapshotComparison
+    from .pipeline import MeasurementPipeline
+    from .worldgen import evolve
+
+    old = _study(args)
+    new_world = evolve(old.world)
+    new = DependenceStudy(new_world, MeasurementPipeline(new_world).run())
+    cmp = SnapshotComparison(old, new)
+    print(f"score correlation: {cmp.score_correlation}")
+    print(f"largest increase:  {cmp.largest_increase}")
+    print(f"largest decrease:  {cmp.largest_decrease}")
+    print(
+        f"mean Cloudflare delta: {cmp.mean_cloudflare_delta_points:+.1f} pts"
+    )
+    print(f"mean toplist Jaccard:  {cmp.mean_jaccard:.3f}")
+    return 0
+
+
+_COMMANDS = {
+    "score": _cmd_score,
+    "study": _cmd_study,
+    "country": _cmd_country,
+    "compare": _cmd_compare,
+    "longitudinal": _cmd_longitudinal,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""Core statistical toolkit: the paper's primary contribution.
+
+This subpackage is self-contained (no dependence on the simulation
+substrates) so downstream users can apply the metrics to their own
+measurement data:
+
+* :mod:`repro.core.distributions` — observed provider distributions.
+* :mod:`repro.core.emd` — Earth Mover's Distance, generic and closed form.
+* :mod:`repro.core.centralization` — the Centralization Score ``S``.
+* :mod:`repro.core.divergences` — the rejected f-divergences and other IPMs.
+* :mod:`repro.core.regionalization` — usage, endemicity, insularity.
+* :mod:`repro.core.classification` — provider classes via affinity propagation.
+* :mod:`repro.core.correlation` — Pearson/Spearman/Jaccard helpers.
+* :mod:`repro.core.reference` — synthetic distribution families.
+"""
+
+from .centralization import (
+    ConcentrationBand,
+    centralization_score,
+    effective_providers,
+    gini,
+    hhi,
+    interpret_score,
+    lorenz_curve,
+    normalized_hhi,
+    score_upper_bound,
+    top_n_share,
+)
+from .classification import (
+    GLOBAL_CLASSES,
+    REGIONAL_CLASSES,
+    ClassificationResult,
+    ClassThresholds,
+    ProviderClass,
+    ProviderFeatures,
+    affinity_propagation,
+    classify_providers,
+    min_max_scale,
+)
+from .correlation import (
+    CorrelationResult,
+    CorrelationStrength,
+    interpret_correlation,
+    jaccard_index,
+    pearson,
+    spearman,
+)
+from .distributions import ProviderDistribution
+from .divergences import (
+    disjoint_support_saturation,
+    dudley_metric,
+    hellinger_distance,
+    js_divergence,
+    kl_divergence,
+    mmd,
+    total_variation,
+)
+from .emd import (
+    EmdResult,
+    decentralized_reference,
+    emd,
+    emd_to_decentralized,
+    pairwise_emd,
+    paper_ground_distance_matrix,
+    rank_share_distance_matrix,
+)
+from .reference import (
+    FIGURE3_SCORES,
+    allocate_counts,
+    distribution_with_score,
+    geometric_distribution,
+    single_provider_distribution,
+    uniform_distribution,
+    zipf_distribution,
+)
+from .regionalization import (
+    UsageCurve,
+    dependence_on,
+    endemicity,
+    endemicity_ratio,
+    insularity,
+    usage,
+)
+
+__all__ = [
+    # distributions
+    "ProviderDistribution",
+    # emd
+    "EmdResult",
+    "emd",
+    "emd_to_decentralized",
+    "decentralized_reference",
+    "paper_ground_distance_matrix",
+    "pairwise_emd",
+    "rank_share_distance_matrix",
+    # centralization
+    "centralization_score",
+    "hhi",
+    "normalized_hhi",
+    "effective_providers",
+    "gini",
+    "lorenz_curve",
+    "score_upper_bound",
+    "top_n_share",
+    "ConcentrationBand",
+    "interpret_score",
+    # divergences
+    "kl_divergence",
+    "js_divergence",
+    "hellinger_distance",
+    "total_variation",
+    "mmd",
+    "dudley_metric",
+    "disjoint_support_saturation",
+    # regionalization
+    "UsageCurve",
+    "usage",
+    "endemicity",
+    "endemicity_ratio",
+    "insularity",
+    "dependence_on",
+    # classification
+    "ProviderClass",
+    "ProviderFeatures",
+    "ClassThresholds",
+    "ClassificationResult",
+    "classify_providers",
+    "affinity_propagation",
+    "min_max_scale",
+    "GLOBAL_CLASSES",
+    "REGIONAL_CLASSES",
+    # correlation
+    "CorrelationResult",
+    "CorrelationStrength",
+    "pearson",
+    "spearman",
+    "interpret_correlation",
+    "jaccard_index",
+    # reference families
+    "FIGURE3_SCORES",
+    "allocate_counts",
+    "geometric_distribution",
+    "zipf_distribution",
+    "uniform_distribution",
+    "single_provider_distribution",
+    "distribution_with_score",
+]

@@ -1,0 +1,433 @@
+"""Provider classification: clustering providers by scale and reach.
+
+Section 5.2 of the paper classifies providers by computing each
+provider's usage ``U`` and endemicity ratio ``E_R``, min–max scaling the
+two features, clustering with affinity propagation, and manually mapping
+the resulting clusters onto 8 named classes (Table 1):
+
+======== =======================================
+XL-GP    Extra Large Global (Cloudflare, Amazon)
+L-GP     Large Global (Akamai, Google, ...)
+L-GP (R) Large Global with regional skew (OVH)
+M-GP     Medium Global
+S-GP     Small Global
+L-RP     Large Regional (Alibaba, Beget, ...)
+S-RP     Small Regional
+XS-RP    Extra Small Regional (long tail)
+======== =======================================
+
+scikit-learn is not a dependency, so affinity propagation (Frey & Dueck,
+*Science* 2007) is implemented here from scratch with numpy.  The manual
+cluster→class mapping step is codified as a rule table on cluster
+centroids (:class:`ClassThresholds`), which reproduces the paper's
+eight-way taxonomy deterministically.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+import numpy as np
+
+from ..errors import EmptyDistributionError, InvalidDistributionError
+
+__all__ = [
+    "ProviderClass",
+    "ProviderFeatures",
+    "ClassThresholds",
+    "ClassificationResult",
+    "min_max_scale",
+    "affinity_propagation",
+    "classify_providers",
+    "GLOBAL_CLASSES",
+    "REGIONAL_CLASSES",
+]
+
+
+class ProviderClass(enum.Enum):
+    """The paper's eight provider classes (Table 1)."""
+
+    XL_GP = "XL-GP"
+    L_GP = "L-GP"
+    L_GP_R = "L-GP (R)"
+    M_GP = "M-GP"
+    S_GP = "S-GP"
+    L_RP = "L-RP"
+    S_RP = "S-RP"
+    XS_RP = "XS-RP"
+
+    @property
+    def is_global(self) -> bool:
+        """True for the global provider classes."""
+        return self in GLOBAL_CLASSES
+
+    @property
+    def is_regional(self) -> bool:
+        """True for the regional provider classes."""
+        return self in REGIONAL_CLASSES
+
+
+GLOBAL_CLASSES = frozenset(
+    {
+        ProviderClass.XL_GP,
+        ProviderClass.L_GP,
+        ProviderClass.L_GP_R,
+        ProviderClass.M_GP,
+        ProviderClass.S_GP,
+    }
+)
+REGIONAL_CLASSES = frozenset(
+    {ProviderClass.L_RP, ProviderClass.S_RP, ProviderClass.XS_RP}
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ProviderFeatures:
+    """The two classification features for one provider."""
+
+    usage: float
+    endemicity_ratio: float
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.usage) or self.usage < 0:
+            raise InvalidDistributionError(
+                f"usage must be nonnegative, got {self.usage!r}"
+            )
+        if not 0.0 <= self.endemicity_ratio <= 1.0:
+            raise InvalidDistributionError(
+                f"endemicity ratio must be in [0, 1], "
+                f"got {self.endemicity_ratio!r}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class ClassThresholds:
+    """Rule table turning cluster centroids into provider classes.
+
+    The endemicity-ratio cuts separate global from regional providers
+    (a provider present in only one of 150 countries has
+    ``E_R = 1 - 1/150 ≈ 0.993``, so the regional cut sits just below
+    that plateau); the usage cuts set the size tiers.  Usage is measured
+    as the sum of per-country percentages, so its ceiling is
+    ``100 * n_countries``.
+    """
+
+    regional_er: float = 0.945
+    global_skewed_er: float = 0.82
+    xl_global_usage: float = 900.0
+    l_global_usage: float = 110.0
+    m_global_usage: float = 23.0
+    l_regional_usage: float = 6.0
+    s_regional_usage: float = 0.8
+
+    #: Country count the default thresholds were tuned for.
+    REFERENCE_COUNTRIES: ClassVar[int] = 150
+
+    @classmethod
+    def scaled_for(cls, n_countries: int) -> "ClassThresholds":
+        """Thresholds adapted to a study with fewer/more countries.
+
+        Usage is a sum of per-country percentages, so the size cuts
+        scale linearly with the country count.  The endemicity-ratio
+        cuts are scale-free for broadly present providers, but the
+        single-country plateau sits at ``1 - 1/n``, so the regional cut
+        is capped just below it for small studies.
+        """
+        if n_countries <= 0:
+            raise InvalidDistributionError(
+                f"n_countries must be positive, got {n_countries}"
+            )
+        base = cls()
+        factor = n_countries / cls.REFERENCE_COUNTRIES
+        regional_cap = 1.0 - 1.2 / n_countries
+        return cls(
+            regional_er=min(base.regional_er, regional_cap),
+            global_skewed_er=min(
+                base.global_skewed_er, regional_cap - 0.05
+            ),
+            xl_global_usage=base.xl_global_usage * factor,
+            l_global_usage=base.l_global_usage * factor,
+            m_global_usage=base.m_global_usage * factor,
+            l_regional_usage=base.l_regional_usage * factor,
+            s_regional_usage=base.s_regional_usage * factor,
+        )
+
+    def classify(self, features: ProviderFeatures) -> ProviderClass:
+        """Assign one provider class from (usage, endemicity ratio)."""
+        u, er = features.usage, features.endemicity_ratio
+        if er >= self.regional_er:
+            if u >= self.l_regional_usage:
+                return ProviderClass.L_RP
+            if u >= self.s_regional_usage:
+                return ProviderClass.S_RP
+            return ProviderClass.XS_RP
+        if u >= self.xl_global_usage:
+            return ProviderClass.XL_GP
+        if u >= self.l_global_usage:
+            if er >= self.global_skewed_er:
+                return ProviderClass.L_GP_R
+            return ProviderClass.L_GP
+        if u >= self.m_global_usage:
+            return ProviderClass.M_GP
+        return ProviderClass.S_GP
+
+
+@dataclass(frozen=True, slots=True)
+class ClassificationResult:
+    """Clustering + labeling outcome for a set of providers."""
+
+    labels: dict[str, ProviderClass]
+    cluster_of: dict[str, int]
+    n_clusters: int
+    exemplars: dict[int, str]
+    features: dict[str, ProviderFeatures] = field(repr=False)
+
+    def members(self, cls: ProviderClass) -> list[str]:
+        """Providers assigned to a class, largest usage first."""
+        named = [p for p, c in self.labels.items() if c is cls]
+        return sorted(named, key=lambda p: -self.features[p].usage)
+
+    def class_counts(self) -> dict[ProviderClass, int]:
+        """Number of providers per class (the Tables 1–3 counts)."""
+        counts = {cls: 0 for cls in ProviderClass}
+        for cls in self.labels.values():
+            counts[cls] += 1
+        return counts
+
+
+def min_max_scale(values: np.ndarray) -> np.ndarray:
+    """Column-wise min–max scaling to [0, 1] (constant columns -> 0)."""
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2:
+        raise InvalidDistributionError("expected a 2-D feature matrix")
+    lo = values.min(axis=0)
+    hi = values.max(axis=0)
+    span = hi - lo
+    scaled = np.zeros_like(values)
+    nonconstant = span > 0
+    scaled[:, nonconstant] = (
+        values[:, nonconstant] - lo[nonconstant]
+    ) / span[nonconstant]
+    return scaled
+
+
+def affinity_propagation(
+    points: np.ndarray,
+    *,
+    damping: float = 0.8,
+    max_iter: int = 400,
+    convergence_iter: int = 30,
+    preference: float | None = None,
+    random_state: int = 0,
+) -> np.ndarray:
+    """Affinity propagation clustering (Frey & Dueck 2007), from scratch.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` feature matrix.
+    damping:
+        Message damping factor in ``[0.5, 1)``.
+    preference:
+        Self-similarity; defaults to the median pairwise similarity
+        (the standard choice, yielding a moderate cluster count).
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer cluster labels of length ``n`` (labels are indices into
+        the exemplar list, 0-based and contiguous).
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise EmptyDistributionError("points must be a nonempty (n, d) array")
+    if not 0.5 <= damping < 1.0:
+        raise ValueError(f"damping must be in [0.5, 1), got {damping}")
+
+    # Duplicate points carry no clustering information but degrade the
+    # similarity statistics (the median self-preference explodes);
+    # cluster the unique rows and broadcast labels back.
+    unique_points, inverse = np.unique(points, axis=0, return_inverse=True)
+    if unique_points.shape[0] < points.shape[0]:
+        unique_labels = affinity_propagation(
+            unique_points,
+            damping=damping,
+            max_iter=max_iter,
+            convergence_iter=convergence_iter,
+            preference=preference,
+            random_state=random_state,
+        )
+        return unique_labels[inverse]
+
+    n = points.shape[0]
+    if n == 1:
+        return np.zeros(1, dtype=int)
+
+    # Negative squared Euclidean similarity.
+    sq = np.sum(points**2, axis=1)
+    similarity = -(sq[:, None] + sq[None, :] - 2.0 * points @ points.T)
+    if preference is None:
+        off_diag = similarity[~np.eye(n, dtype=bool)]
+        preference = float(np.median(off_diag))
+    np.fill_diagonal(similarity, preference)
+
+    # Tiny deterministic jitter breaks ties (degenerate duplicate points).
+    rng = np.random.default_rng(random_state)
+    scale = max(abs(similarity).max(), 1e-12)
+    similarity = similarity + 1e-9 * scale * rng.standard_normal((n, n))
+
+    responsibility = np.zeros((n, n))
+    availability = np.zeros((n, n))
+    stable_for = 0
+    last_exemplars: np.ndarray | None = None
+
+    for _ in range(max_iter):
+        # Responsibilities.
+        combined = availability + similarity
+        idx_max = np.argmax(combined, axis=1)
+        row_max = combined[np.arange(n), idx_max]
+        combined[np.arange(n), idx_max] = -np.inf
+        row_second = combined.max(axis=1)
+        new_resp = similarity - row_max[:, None]
+        new_resp[np.arange(n), idx_max] = (
+            similarity[np.arange(n), idx_max] - row_second
+        )
+        responsibility = (
+            damping * responsibility + (1.0 - damping) * new_resp
+        )
+
+        # Availabilities.
+        clipped = np.maximum(responsibility, 0.0)
+        np.fill_diagonal(clipped, np.diag(responsibility))
+        col_sums = clipped.sum(axis=0)
+        new_avail = np.minimum(0.0, col_sums[None, :] - clipped)
+        # a(k,k) = sum_{i' != k} max(0, r(i',k)); col_sums includes the
+        # unclipped r(k,k), which must come back out exactly once.
+        diag = col_sums - np.diag(responsibility)
+        np.fill_diagonal(new_avail, diag)
+        availability = damping * availability + (1.0 - damping) * new_avail
+
+        exemplars = np.flatnonzero(
+            np.diag(availability + responsibility) > 0
+        )
+        if last_exemplars is not None and np.array_equal(
+            exemplars, last_exemplars
+        ):
+            stable_for += 1
+            if stable_for >= convergence_iter and exemplars.size > 0:
+                break
+        else:
+            stable_for = 0
+        last_exemplars = exemplars
+
+    exemplars = np.flatnonzero(np.diag(availability + responsibility) > 0)
+    if exemplars.size == 0:
+        # Degenerate fall-back: everything in one cluster.
+        return np.zeros(n, dtype=int)
+    assignment = np.argmax(similarity[:, exemplars], axis=1)
+    assignment[exemplars] = np.arange(exemplars.size)
+    return assignment
+
+
+def classify_providers(
+    features: Mapping[str, ProviderFeatures],
+    *,
+    thresholds: ClassThresholds | None = None,
+    damping: float = 0.8,
+    max_cluster_points: int = 2500,
+    quantize_decimals: int = 3,
+    random_state: int = 0,
+) -> ClassificationResult:
+    """Cluster providers on (usage, endemicity ratio) and label classes.
+
+    Follows the paper's recipe: min–max scale the two features, cluster
+    with affinity propagation, then map each cluster to a provider class
+    by applying the :class:`ClassThresholds` rule table to the cluster's
+    usage-weighted centroid (codifying the paper's manual step).
+
+    Affinity propagation is O(n^2) memory, and the long tail of
+    extra-small regional providers is feature-degenerate (thousands of
+    providers share usage ≈ a few hundredths and ``E_R ≈ 0.993``), so
+    points are quantized to ``quantize_decimals`` in scaled space and
+    clustering runs on the unique quantized points.  If the unique count
+    still exceeds ``max_cluster_points`` the grid is coarsened.
+    """
+    if not features:
+        raise EmptyDistributionError("no providers to classify")
+    thresholds = thresholds or ClassThresholds()
+    providers = sorted(features)
+    raw = np.array(
+        [
+            [features[p].usage, features[p].endemicity_ratio]
+            for p in providers
+        ],
+        dtype=float,
+    )
+    scaled = min_max_scale(raw)
+
+    decimals = quantize_decimals
+    while True:
+        quantized = np.round(scaled, decimals)
+        unique_points, inverse = np.unique(
+            quantized, axis=0, return_inverse=True
+        )
+        if unique_points.shape[0] <= max_cluster_points or decimals <= 1:
+            break
+        decimals -= 1
+
+    unique_labels = affinity_propagation(
+        unique_points, damping=damping, random_state=random_state
+    )
+    labels = unique_labels[inverse]
+
+    # Relabel clusters contiguously.
+    unique_clusters, labels = np.unique(labels, return_inverse=True)
+    n_clusters = unique_clusters.size
+
+    cluster_of = {p: int(labels[i]) for i, p in enumerate(providers)}
+    classes: dict[str, ProviderClass] = {}
+    exemplars: dict[int, str] = {}
+    for cluster in range(n_clusters):
+        member_idx = np.flatnonzero(labels == cluster)
+        member_usage = raw[member_idx, 0]
+        weights = member_usage + 1e-12
+        centroid = ProviderFeatures(
+            usage=float(
+                np.average(raw[member_idx, 0], weights=weights)
+            ),
+            endemicity_ratio=float(
+                np.clip(
+                    np.average(raw[member_idx, 1], weights=weights),
+                    0.0,
+                    1.0,
+                )
+            ),
+        )
+        cluster_class = thresholds.classify(centroid)
+        biggest = member_idx[np.argmax(member_usage)]
+        exemplars[cluster] = providers[biggest]
+        for i in member_idx:
+            classes[providers[i]] = cluster_class
+
+    # Clusters group similar providers, but the named size tiers are
+    # defined on the provider's own features; re-split any cluster whose
+    # members straddle a threshold (this mirrors the paper's manual
+    # examination, which mapped 305 clusters onto 8 classes).
+    for i, provider in enumerate(providers):
+        own_class = thresholds.classify(
+            ProviderFeatures(usage=raw[i, 0], endemicity_ratio=raw[i, 1])
+        )
+        cluster_class = classes[provider]
+        if own_class is not cluster_class:
+            classes[provider] = own_class
+
+    return ClassificationResult(
+        labels=classes,
+        cluster_of=cluster_of,
+        n_clusters=n_clusters,
+        exemplars=exemplars,
+        features=dict(features),
+    )

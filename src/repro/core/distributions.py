@@ -1,0 +1,270 @@
+"""Provider distributions: the basic object every dependence metric consumes.
+
+A :class:`ProviderDistribution` records, for one slice of the web (for
+example "the hosting layer of Thailand's top 10K websites"), how many
+websites depend on each provider.  It is the observed distribution ``A``
+of Section 3.2 of the paper.  The class is deliberately small: it stores
+counts, exposes ranked/normalized views, and answers the market-share
+queries that prior work used as ad-hoc centralization measures (top-N
+share, providers needed to cover a fraction of sites).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable, Iterator, Mapping
+from typing import Any
+
+import numpy as np
+
+from ..errors import EmptyDistributionError, InvalidDistributionError
+
+__all__ = ["ProviderDistribution"]
+
+
+class ProviderDistribution:
+    """Counts of websites per provider for one country/layer slice.
+
+    Parameters
+    ----------
+    counts:
+        A mapping ``provider name -> number of websites`` or an iterable of
+        ``(provider, count)`` pairs.  Counts must be positive finite
+        numbers; fractional counts are allowed so that weighted variants
+        (Section 3.2's "assign a weighted mass to each website") work
+        unchanged.
+
+    Examples
+    --------
+    >>> d = ProviderDistribution({"cloudflare": 60, "amazon": 25, "local": 15})
+    >>> d.total
+    100.0
+    >>> d.top_n_share(1)
+    0.6
+    """
+
+    __slots__ = ("_counts", "_sorted", "_total")
+
+    def __init__(
+        self, counts: Mapping[str, float] | Iterable[tuple[str, float]]
+    ) -> None:
+        items = dict(counts)
+        for provider, count in items.items():
+            if not isinstance(provider, str):
+                raise InvalidDistributionError(
+                    f"provider keys must be strings, got {provider!r}"
+                )
+            if not math.isfinite(count) or count <= 0:
+                raise InvalidDistributionError(
+                    f"count for {provider!r} must be a positive finite "
+                    f"number, got {count!r}"
+                )
+        self._counts: dict[str, float] = items
+        self._sorted: list[tuple[str, float]] = sorted(
+            items.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        self._total: float = float(sum(items.values()))
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_assignments(
+        cls, assignments: Iterable[str | None]
+    ) -> "ProviderDistribution":
+        """Build a distribution from one provider label per website.
+
+        ``None`` entries (sites whose provider could not be determined,
+        e.g. failed resolutions) are skipped, mirroring how the paper's
+        pipeline drops unresolvable domains.
+        """
+        counter = Counter(a for a in assignments if a is not None)
+        if not counter:
+            raise EmptyDistributionError(
+                "no websites with a known provider in assignments"
+            )
+        return cls(counter)
+
+    @classmethod
+    def from_counts_array(
+        cls, counts: Iterable[float], prefix: str = "provider"
+    ) -> "ProviderDistribution":
+        """Build a distribution from bare counts with synthetic names.
+
+        Useful for the synthetic example curves of Figure 3 where the
+        identity of each provider is irrelevant.
+        """
+        items = {
+            f"{prefix}-{i}": float(c) for i, c in enumerate(counts) if c > 0
+        }
+        if not items:
+            raise EmptyDistributionError("counts array contained no mass")
+        return cls(items)
+
+    # ------------------------------------------------------------------
+    # Basic views
+    # ------------------------------------------------------------------
+
+    @property
+    def total(self) -> float:
+        """Total number of websites ``C`` in this slice."""
+        return self._total
+
+    @property
+    def n_providers(self) -> int:
+        """Number of distinct providers with at least one website."""
+        return len(self._counts)
+
+    @property
+    def providers(self) -> list[str]:
+        """Provider names in nonincreasing count order (ties by name)."""
+        return [name for name, _ in self._sorted]
+
+    def count_of(self, provider: str) -> float:
+        """Number of websites on ``provider`` (0.0 if absent)."""
+        return self._counts.get(provider, 0.0)
+
+    def share_of(self, provider: str) -> float:
+        """Fraction of websites on ``provider`` (``a_i / C``)."""
+        return self._counts.get(provider, 0.0) / self._total
+
+    def counts(self) -> np.ndarray:
+        """Counts as a nonincreasing float array (the ``a_i`` sequence)."""
+        return np.array([c for _, c in self._sorted], dtype=float)
+
+    def shares(self) -> np.ndarray:
+        """Market shares as a nonincreasing array summing to 1."""
+        return self.counts() / self._total
+
+    def ranked(self) -> list[tuple[str, float]]:
+        """(provider, count) pairs in nonincreasing count order."""
+        return list(self._sorted)
+
+    def as_dict(self) -> dict[str, float]:
+        """A copy of the raw provider -> count mapping."""
+        return dict(self._counts)
+
+    # ------------------------------------------------------------------
+    # Market-share queries (the prior-work descriptive statistics)
+    # ------------------------------------------------------------------
+
+    def top_n_share(self, n: int) -> float:
+        """Fraction of websites served by the ``n`` largest providers.
+
+        This is the "top-N" heuristic the paper critiques in Section 3.1;
+        it is provided both as a baseline for the benchmarks and because
+        it remains a useful descriptive statistic.
+        """
+        if n < 0:
+            raise ValueError(f"n must be nonnegative, got {n}")
+        return sum(c for _, c in self._sorted[:n]) / self._total
+
+    def top_n(self, n: int) -> list[tuple[str, float]]:
+        """The ``n`` largest providers with their counts."""
+        if n < 0:
+            raise ValueError(f"n must be nonnegative, got {n}")
+        return list(self._sorted[:n])
+
+    def providers_covering(self, fraction: float) -> int:
+        """Smallest number of providers covering ``fraction`` of websites.
+
+        Used for statements like "90% of websites are hosted by fewer
+        than 206 providers in every country" (Section 5.1).
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        target = fraction * self._total
+        running = 0.0
+        for i, (_, count) in enumerate(self._sorted, start=1):
+            running += count
+            if running >= target - 1e-9:
+                return i
+        return len(self._sorted)
+
+    def rank_curve(self, max_rank: int | None = None) -> np.ndarray:
+        """Percent of websites per provider rank (Figure 1's y-axis)."""
+        shares = self.shares() * 100.0
+        if max_rank is not None:
+            shares = shares[:max_rank]
+        return shares
+
+    def cumulative_curve(self) -> np.ndarray:
+        """Cumulative count of websites by provider rank (Figure 3 axes)."""
+        return np.cumsum(self.counts())
+
+    def tail_share(self, below: float) -> float:
+        """Fraction of sites on providers with fewer than ``below`` sites.
+
+        Supports Section 5.1's long-tail comparison ("providers with
+        fewer than 100 websites host 17% of Iran's top sites").
+        """
+        return (
+            sum(c for _, c in self._sorted if c < below) / self._total
+        )
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "ProviderDistribution") -> "ProviderDistribution":
+        """Combine two slices (e.g. to build a global aggregate)."""
+        merged = Counter(self._counts)
+        merged.update(other._counts)
+        return ProviderDistribution(merged)
+
+    def restrict(self, providers: Iterable[str]) -> "ProviderDistribution":
+        """Keep only the named providers (e.g. one class of providers)."""
+        keep = set(providers)
+        items = {p: c for p, c in self._counts.items() if p in keep}
+        if not items:
+            raise EmptyDistributionError(
+                "restriction removed every provider"
+            )
+        return ProviderDistribution(items)
+
+    def relabel(
+        self, mapping: Mapping[str, str]
+    ) -> "ProviderDistribution":
+        """Re-aggregate counts under new labels.
+
+        Providers missing from ``mapping`` keep their own name.  This is
+        how sibling brands collapse onto owners (e.g. certificate issuer
+        brands onto CA owners per CCADB).
+        """
+        merged: Counter[str] = Counter()
+        for provider, count in self._counts.items():
+            merged[mapping.get(provider, provider)] += count
+        return ProviderDistribution(merged)
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __iter__(self) -> Iterator[tuple[str, float]]:
+        return iter(self._sorted)
+
+    def __contains__(self, provider: object) -> bool:
+        return provider in self._counts
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, ProviderDistribution):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __hash__(self) -> int:  # pragma: no cover - dict-like, unhashable
+        raise TypeError("ProviderDistribution is mutable-adjacent; not hashable")
+
+    def __repr__(self) -> str:
+        head = ", ".join(
+            f"{name}={count:g}" for name, count in self._sorted[:3]
+        )
+        suffix = ", ..." if len(self._sorted) > 3 else ""
+        return (
+            f"ProviderDistribution({head}{suffix}; "
+            f"n={self.n_providers}, C={self._total:g})"
+        )

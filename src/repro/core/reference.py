@@ -1,0 +1,187 @@
+"""Synthetic reference distributions for intuition and calibration.
+
+Figure 3 of the paper aids interpretation of ``S`` with a family of
+synthetic cumulative curves (S = 0.818, 0.481, 0.25, 0.111, 0.026,
+0.005, 0.001 at C = 10,000).  A geometric share family reproduces those
+values exactly in the large-``C`` limit: if provider ``k`` holds share
+``p (1-p)^k`` then ``HHI = p / (2 - p)``, so a target score ``S`` maps
+to ``p = 2S / (1 + S)``.  This module provides those generators plus the
+Zipf/uniform/single-provider families used by tests and by the world
+generator's calibration.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..errors import EmptyDistributionError, InvalidDistributionError
+from .distributions import ProviderDistribution
+
+__all__ = [
+    "allocate_counts",
+    "geometric_distribution",
+    "zipf_distribution",
+    "uniform_distribution",
+    "single_provider_distribution",
+    "distribution_with_score",
+    "FIGURE3_SCORES",
+]
+
+#: The example S values plotted in Figure 3.
+FIGURE3_SCORES: tuple[float, ...] = (
+    0.818,
+    0.481,
+    0.25,
+    0.111,
+    0.026,
+    0.005,
+    0.001,
+)
+
+
+def allocate_counts(shares: Sequence[float] | np.ndarray, total: int) -> np.ndarray:
+    """Turn fractional shares into integer counts summing to ``total``.
+
+    Largest-remainder (Hamilton) apportionment: each share gets its
+    floor, and the leftover units go to the largest fractional parts.
+    Zero-count providers are dropped by callers as needed.
+    """
+    if total <= 0:
+        raise EmptyDistributionError("total must be positive")
+    shares = np.asarray(shares, dtype=float)
+    if shares.ndim != 1 or shares.size == 0:
+        raise EmptyDistributionError("shares must be nonempty and 1-D")
+    if np.any(shares < 0) or not np.all(np.isfinite(shares)):
+        raise InvalidDistributionError("shares must be nonnegative and finite")
+    mass = shares.sum()
+    if mass <= 0:
+        raise EmptyDistributionError("shares sum to zero")
+    exact = shares / mass * total
+    counts = np.floor(exact).astype(int)
+    remainder = total - int(counts.sum())
+    if remainder > 0:
+        order = np.argsort(-(exact - counts), kind="stable")
+        counts[order[:remainder]] += 1
+    return counts
+
+
+def geometric_distribution(
+    p: float, total: int = 10_000, prefix: str = "provider"
+) -> ProviderDistribution:
+    """Counts following the geometric share family ``p (1-p)^k``.
+
+    The tail is truncated once expected counts fall below one website;
+    any residual mass is swept into single-site providers so that the
+    total is exactly ``total`` (matching the decentralized long tail of
+    real toplists).
+    """
+    if not 0.0 < p <= 1.0:
+        raise InvalidDistributionError(f"p must be in (0, 1], got {p}")
+    shares: list[float] = []
+    share = p
+    while share * total >= 0.5 and len(shares) < total:
+        shares.append(share)
+        share *= 1.0 - p
+        if share <= 0.0:
+            break
+    head_mass = sum(shares)
+    head_total = int(round(head_mass * total))
+    head_total = min(head_total, total)
+    counts: dict[str, float] = {}
+    if head_total > 0 and shares:
+        allocated = allocate_counts(np.array(shares), head_total)
+        for i, count in enumerate(allocated):
+            if count > 0:
+                counts[f"{prefix}-{i}"] = float(count)
+    # Residual mass becomes the fully decentralized tail.
+    assigned = int(sum(counts.values()))
+    for j in range(total - assigned):
+        counts[f"{prefix}-tail-{j}"] = 1.0
+    return ProviderDistribution(counts)
+
+
+def zipf_distribution(
+    exponent: float,
+    n_providers: int,
+    total: int = 10_000,
+    prefix: str = "provider",
+) -> ProviderDistribution:
+    """Counts following a Zipf law ``share_k ∝ k^(-exponent)``."""
+    if n_providers <= 0:
+        raise EmptyDistributionError("need at least one provider")
+    if exponent < 0:
+        raise InvalidDistributionError(
+            f"exponent must be nonnegative, got {exponent}"
+        )
+    ranks = np.arange(1, n_providers + 1, dtype=float)
+    counts = allocate_counts(ranks**-exponent, total)
+    return ProviderDistribution(
+        {
+            f"{prefix}-{i}": float(c)
+            for i, c in enumerate(counts)
+            if c > 0
+        }
+    )
+
+
+def uniform_distribution(
+    n_providers: int, total: int = 10_000, prefix: str = "provider"
+) -> ProviderDistribution:
+    """``total`` websites spread as evenly as possible over providers."""
+    counts = allocate_counts(np.ones(n_providers), total)
+    return ProviderDistribution(
+        {
+            f"{prefix}-{i}": float(c)
+            for i, c in enumerate(counts)
+            if c > 0
+        }
+    )
+
+
+def single_provider_distribution(
+    total: int = 10_000, name: str = "monopoly"
+) -> ProviderDistribution:
+    """The maximally centralized case: one provider serves everything."""
+    if total <= 0:
+        raise EmptyDistributionError("total must be positive")
+    return ProviderDistribution({name: float(total)})
+
+
+def distribution_with_score(
+    target: float, total: int = 10_000, prefix: str = "provider"
+) -> ProviderDistribution:
+    """Generate a distribution whose ``S`` approximates ``target``.
+
+    Uses the geometric family's closed-form inverse ``p = 2S / (1 + S)``
+    (exact in the continuum limit; integer rounding introduces error on
+    the order of ``1/total``).  Raises if the target exceeds the
+    attainable bound ``1 - 1/total``.
+    """
+    if not 0.0 <= target < 1.0:
+        raise InvalidDistributionError(
+            f"target score must be in [0, 1), got {target}"
+        )
+    bound = 1.0 - 1.0 / total
+    if target > bound:
+        raise InvalidDistributionError(
+            f"target {target} exceeds the bound {bound} for C={total}"
+        )
+    if target == 0.0:
+        return uniform_distribution(total, total, prefix=prefix)
+    p = 2.0 * target / (1.0 + target)
+    return geometric_distribution(p, total, prefix=prefix)
+
+
+def _geometric_hhi(p: float) -> float:
+    """Closed-form HHI of the (untruncated) geometric family."""
+    return p / (2.0 - p)
+
+
+def score_of_geometric(p: float) -> float:
+    """Large-``C`` limit of ``S`` for the geometric family (== HHI)."""
+    if not 0.0 < p <= 1.0:
+        raise InvalidDistributionError(f"p must be in (0, 1], got {p}")
+    return _geometric_hhi(p)

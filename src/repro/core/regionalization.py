@@ -1,0 +1,199 @@
+"""Regionalization metrics: usage, endemicity, and insularity (Section 3.3).
+
+Centralization alone lacks geopolitical context.  These metrics describe
+the *global reach of providers* and the *entanglement of countries*:
+
+* A provider's **usage curve** lists the percentage of popular websites
+  in each country that use the provider, sorted nonincreasing.
+* **Usage** ``U`` is the area under the usage curve — sheer scale.
+* **Endemicity** ``E`` is the area between the curve and the horizontal
+  line at its maximum — deviation from globally consistent usage.
+* The **endemicity ratio** ``E_R = E / (U + E)`` normalizes by provider
+  size; 0 means perfectly global, values near 1 mean usage concentrated
+  in few countries.
+* A country's **insularity** at a layer is the fraction of its websites
+  whose layer is served by a provider based in that same country.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import EmptyDistributionError, InvalidDistributionError
+
+__all__ = [
+    "UsageCurve",
+    "usage",
+    "endemicity",
+    "endemicity_ratio",
+    "insularity",
+    "dependence_on",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class UsageCurve:
+    """A provider's per-country usage, sorted nonincreasing.
+
+    Values are *percentages* (0–100) of each country's popular websites
+    using the provider, matching Figure 4's axes.  ``countries`` records
+    the country order after sorting so reports can label the curve.
+    """
+
+    values: np.ndarray
+    countries: tuple[str, ...]
+
+    @classmethod
+    def from_usage(
+        cls, per_country_percent: Mapping[str, float]
+    ) -> "UsageCurve":
+        """Build a curve from a ``country -> percent`` mapping.
+
+        Countries where the provider is unused should be included with
+        value 0 so that curves from the same study share a domain.
+        """
+        if not per_country_percent:
+            raise EmptyDistributionError("usage mapping is empty")
+        for country, percent in per_country_percent.items():
+            if not np.isfinite(percent) or percent < 0 or percent > 100:
+                raise InvalidDistributionError(
+                    f"usage percent for {country!r} must be in [0, 100], "
+                    f"got {percent!r}"
+                )
+        ordered = sorted(
+            per_country_percent.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        return cls(
+            values=np.array([v for _, v in ordered], dtype=float),
+            countries=tuple(c for c, _ in ordered),
+        )
+
+    @property
+    def n_countries(self) -> int:
+        """Number of countries on the curve."""
+        return self.values.size
+
+    @property
+    def maximum(self) -> float:
+        """Peak usage ``u_1`` — the provider's strongest country."""
+        return float(self.values[0]) if self.values.size else 0.0
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=float)
+        if values.ndim != 1 or values.size == 0:
+            raise EmptyDistributionError("usage curve must be nonempty 1-D")
+        if np.any(np.diff(values) > 1e-9):
+            raise InvalidDistributionError(
+                "usage curve values must be nonincreasing"
+            )
+        if len(self.countries) != values.size:
+            raise InvalidDistributionError(
+                "countries labels must match values length"
+            )
+        object.__setattr__(self, "values", values)
+
+
+def _curve_values(
+    curve: UsageCurve | Sequence[float] | np.ndarray,
+) -> np.ndarray:
+    if isinstance(curve, UsageCurve):
+        return curve.values
+    values = np.sort(np.asarray(curve, dtype=float))[::-1]
+    if values.size == 0:
+        raise EmptyDistributionError("usage curve must be nonempty")
+    if not np.all(np.isfinite(values)) or np.any(values < 0):
+        raise InvalidDistributionError("usage values must be nonnegative")
+    return values
+
+
+def usage(curve: UsageCurve | Sequence[float] | np.ndarray) -> float:
+    """Usage ``U``: the area under the usage curve, ``sum_i u_i``.
+
+    Captures total usage across the countries of the dataset; the
+    "largeness" of the provider on the global stage.
+    """
+    return float(_curve_values(curve).sum())
+
+
+def endemicity(curve: UsageCurve | Sequence[float] | np.ndarray) -> float:
+    """Endemicity ``E``: area between the curve and the line at its max.
+
+    ``E = sum_i (u_1 - u_i)``.  Zero for a perfectly flat (globally
+    consistent) provider; grows when usage is concentrated in a few
+    countries.
+    """
+    values = _curve_values(curve)
+    return float(np.sum(values[0] - values))
+
+
+def endemicity_ratio(
+    curve: UsageCurve | Sequence[float] | np.ndarray,
+) -> float:
+    """Endemicity ratio ``E_R = E / (U + E)`` in ``[0, 1]``.
+
+    The paper's size-normalized regionality measure: small values mean
+    global reach, large values mean regional concentration.  Note that
+    ``U + E = n * u_1`` so ``E_R = 1 - mean(u) / max(u)``.
+
+    A provider used nowhere (all-zero curve) has no meaningful ratio;
+    we define it as 0.0 (trivially "global at zero scale") to keep
+    downstream clustering total.
+    """
+    values = _curve_values(curve)
+    u = float(values.sum())
+    e = float(np.sum(values[0] - values))
+    if u + e == 0.0:
+        return 0.0
+    return e / (u + e)
+
+
+def insularity(
+    site_providers: Iterable[str | None],
+    provider_country: Mapping[str, str],
+    country: str,
+) -> float:
+    """Fraction of a country's websites served from the same country.
+
+    Parameters
+    ----------
+    site_providers:
+        The provider serving each website of the country's toplist at
+        the layer under study (``None`` for unresolvable sites, which
+        are excluded from the denominator).
+    provider_country:
+        Home country of each provider (e.g. from AS WHOIS organization
+        data).  Providers missing from the mapping count as foreign.
+    country:
+        The ISO code of the country whose insularity is being measured.
+    """
+    total = 0
+    local = 0
+    for provider in site_providers:
+        if provider is None:
+            continue
+        total += 1
+        if provider_country.get(provider) == country:
+            local += 1
+    if total == 0:
+        raise EmptyDistributionError(
+            "no websites with a known provider; insularity undefined"
+        )
+    return local / total
+
+
+def dependence_on(
+    site_providers: Iterable[str | None],
+    provider_country: Mapping[str, str],
+    foreign_country: str,
+) -> float:
+    """Fraction of websites served by providers based in another country.
+
+    The cross-border companion to :func:`insularity`, used for the
+    Section 5.3.3 case studies (e.g. Turkmenistan's 33% dependence on
+    Russian providers).  ``dependence_on(x, pc, home) == insularity``
+    when ``foreign_country`` is the home country itself.
+    """
+    return insularity(site_providers, provider_country, foreign_country)

@@ -1,0 +1,77 @@
+"""Embedded reference datasets.
+
+Static data transcribed from the paper: the 150-country reference
+(Table 4 / Appendix E), the published per-country centralization scores
+(Tables 5–8), the prose anchor statistics, and the named provider / CA
+seed catalogs used by the world generator.
+"""
+
+from .countries import (
+    CIS_NON_RUSSIA_LEANING,
+    CIS_RUSSIA_LEANING,
+    CONTINENT_NAMES,
+    CONTINENTS,
+    COUNTRIES,
+    COUNTRY_CODES,
+    FRANCOPHONE_AFRICA,
+    FRENCH_ADMINISTRATIVE,
+    GERMANOPHONE,
+    SUBREGIONS,
+    Country,
+    by_continent,
+    by_subregion,
+    country,
+)
+from .paper_scores import (
+    LAYERS,
+    PAPER_LAYER_MEANS,
+    PAPER_SCORES,
+    paper_rank,
+    paper_scores,
+)
+from .providers import (
+    CA_CATALOG,
+    CLOUDFLARE,
+    AMAZON,
+    GLOBAL_DNS_SEEDS,
+    GLOBAL_HOSTING_SEEDS,
+    HOSTING_CA_PARTNERSHIPS,
+    LARGE_GLOBAL_CAS,
+    NAMED_REGIONAL_SEEDS,
+    CASeed,
+    ProviderSeed,
+)
+from . import paper_anchors
+
+__all__ = [
+    "Country",
+    "COUNTRIES",
+    "COUNTRY_CODES",
+    "CONTINENTS",
+    "CONTINENT_NAMES",
+    "SUBREGIONS",
+    "country",
+    "by_continent",
+    "by_subregion",
+    "CIS_RUSSIA_LEANING",
+    "CIS_NON_RUSSIA_LEANING",
+    "FRENCH_ADMINISTRATIVE",
+    "FRANCOPHONE_AFRICA",
+    "GERMANOPHONE",
+    "LAYERS",
+    "PAPER_SCORES",
+    "PAPER_LAYER_MEANS",
+    "paper_scores",
+    "paper_rank",
+    "paper_anchors",
+    "ProviderSeed",
+    "CASeed",
+    "GLOBAL_HOSTING_SEEDS",
+    "GLOBAL_DNS_SEEDS",
+    "NAMED_REGIONAL_SEEDS",
+    "CA_CATALOG",
+    "LARGE_GLOBAL_CAS",
+    "HOSTING_CA_PARTNERSHIPS",
+    "CLOUDFLARE",
+    "AMAZON",
+]

@@ -1,0 +1,277 @@
+"""The 150-country reference dataset (paper Appendix E, Table 4).
+
+Every country whose CrUX toplist had at least 10K websites, with its
+UN M49 subregion and continent.  Also encodes the geopolitical
+groupings the paper's case studies rely on (CIS, francophone Africa,
+French administrative regions, DACH).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import UnknownCountryError
+
+__all__ = [
+    "Country",
+    "COUNTRIES",
+    "COUNTRY_CODES",
+    "CONTINENTS",
+    "SUBREGIONS",
+    "country",
+    "by_continent",
+    "by_subregion",
+    "CIS_RUSSIA_LEANING",
+    "CIS_NON_RUSSIA_LEANING",
+    "FRENCH_ADMINISTRATIVE",
+    "FRANCOPHONE_AFRICA",
+    "GERMANOPHONE",
+    "CONTINENT_NAMES",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Country:
+    """One of the 150 countries in the study."""
+
+    code: str
+    name: str
+    subregion: str
+    continent: str
+
+
+# (code, name, subregion, continent) — transcribed from Table 4.
+_ROWS: tuple[tuple[str, str, str, str], ...] = (
+    ("AE", "United Arab Emirates", "Western Asia", "AS"),
+    ("AF", "Afghanistan", "Southern Asia", "AS"),
+    ("AL", "Albania", "Southern Europe", "EU"),
+    ("AM", "Armenia", "Western Asia", "AS"),
+    ("AO", "Angola", "Middle Africa", "AF"),
+    ("AR", "Argentina", "South America", "SA"),
+    ("AT", "Austria", "Western Europe", "EU"),
+    ("AU", "Australia", "Oceania", "OC"),
+    ("AZ", "Azerbaijan", "Western Asia", "AS"),
+    ("BA", "Bosnia and Herzegovina", "Southern Europe", "EU"),
+    ("BD", "Bangladesh", "Southern Asia", "AS"),
+    ("BE", "Belgium", "Western Europe", "EU"),
+    ("BF", "Burkina Faso", "Western Africa", "AF"),
+    ("BG", "Bulgaria", "Eastern Europe", "EU"),
+    ("BH", "Bahrain", "Western Asia", "AS"),
+    ("BJ", "Benin", "Western Africa", "AF"),
+    ("BN", "Brunei Darussalam", "South-eastern Asia", "AS"),
+    ("BO", "Bolivia", "South America", "SA"),
+    ("BR", "Brazil", "South America", "SA"),
+    ("BW", "Botswana", "Southern Africa", "AF"),
+    ("BY", "Belarus", "Eastern Europe", "EU"),
+    ("CA", "Canada", "Northern America", "NA"),
+    ("CD", "Congo", "Middle Africa", "AF"),
+    ("CH", "Switzerland", "Western Europe", "EU"),
+    ("CI", "Côte d'Ivoire", "Western Africa", "AF"),
+    ("CL", "Chile", "South America", "SA"),
+    ("CM", "Cameroon", "Middle Africa", "AF"),
+    ("CO", "Colombia", "South America", "SA"),
+    ("CR", "Costa Rica", "Central America", "NA"),
+    ("CU", "Cuba", "Caribbean", "NA"),
+    ("CY", "Cyprus", "Western Asia", "AS"),
+    ("CZ", "Czechia", "Eastern Europe", "EU"),
+    ("DE", "Germany", "Western Europe", "EU"),
+    ("DK", "Denmark", "Northern Europe", "EU"),
+    ("DO", "Dominican Republic", "Caribbean", "NA"),
+    ("DZ", "Algeria", "Northern Africa", "AF"),
+    ("EC", "Ecuador", "South America", "SA"),
+    ("EE", "Estonia", "Northern Europe", "EU"),
+    ("EG", "Egypt", "Northern Africa", "AF"),
+    ("ES", "Spain", "Southern Europe", "EU"),
+    ("ET", "Ethiopia", "Eastern Africa", "AF"),
+    ("FI", "Finland", "Northern Europe", "EU"),
+    ("FR", "France", "Western Europe", "EU"),
+    ("GA", "Gabon", "Middle Africa", "AF"),
+    ("GB", "United Kingdom", "Northern Europe", "EU"),
+    ("GE", "Georgia", "Western Asia", "AS"),
+    ("GH", "Ghana", "Western Africa", "AF"),
+    ("GP", "Guadeloupe", "Caribbean", "NA"),
+    ("GR", "Greece", "Southern Europe", "EU"),
+    ("GT", "Guatemala", "Central America", "NA"),
+    ("HK", "Hong Kong", "Eastern Asia", "AS"),
+    ("HN", "Honduras", "Central America", "NA"),
+    ("HR", "Croatia", "Southern Europe", "EU"),
+    ("HT", "Haiti", "Caribbean", "NA"),
+    ("HU", "Hungary", "Eastern Europe", "EU"),
+    ("ID", "Indonesia", "South-eastern Asia", "AS"),
+    ("IE", "Ireland", "Northern Europe", "EU"),
+    ("IL", "Israel", "Western Asia", "AS"),
+    ("IN", "India", "Southern Asia", "AS"),
+    ("IQ", "Iraq", "Western Asia", "AS"),
+    ("IR", "Iran", "Southern Asia", "AS"),
+    ("IS", "Iceland", "Northern Europe", "EU"),
+    ("IT", "Italy", "Southern Europe", "EU"),
+    ("JM", "Jamaica", "Caribbean", "NA"),
+    ("JO", "Jordan", "Western Asia", "AS"),
+    ("JP", "Japan", "Eastern Asia", "AS"),
+    ("KE", "Kenya", "Eastern Africa", "AF"),
+    ("KG", "Kyrgyzstan", "Central Asia", "AS"),
+    ("KH", "Cambodia", "South-eastern Asia", "AS"),
+    ("KR", "Korea", "Eastern Asia", "AS"),
+    ("KW", "Kuwait", "Western Asia", "AS"),
+    ("KZ", "Kazakhstan", "Central Asia", "AS"),
+    ("LA", "Laos", "South-eastern Asia", "AS"),
+    ("LB", "Lebanon", "Western Asia", "AS"),
+    ("LK", "Sri Lanka", "Southern Asia", "AS"),
+    ("LT", "Lithuania", "Northern Europe", "EU"),
+    ("LU", "Luxembourg", "Western Europe", "EU"),
+    ("LV", "Latvia", "Northern Europe", "EU"),
+    ("LY", "Libya", "Northern Africa", "AF"),
+    ("MA", "Morocco", "Northern Africa", "AF"),
+    ("MD", "Moldova", "Eastern Europe", "EU"),
+    ("ME", "Montenegro", "Southern Europe", "EU"),
+    ("MG", "Madagascar", "Eastern Africa", "AF"),
+    ("MK", "North Macedonia", "Southern Europe", "EU"),
+    ("ML", "Mali", "Western Africa", "AF"),
+    ("MM", "Myanmar", "South-eastern Asia", "AS"),
+    ("MN", "Mongolia", "Eastern Asia", "AS"),
+    ("MO", "Macao", "Eastern Asia", "AS"),
+    ("MQ", "Martinique", "Caribbean", "NA"),
+    ("MT", "Malta", "Southern Europe", "EU"),
+    ("MU", "Mauritius", "Eastern Africa", "AF"),
+    ("MV", "Maldives", "Southern Asia", "AS"),
+    ("MW", "Malawi", "Eastern Africa", "AF"),
+    ("MX", "Mexico", "Central America", "NA"),
+    ("MY", "Malaysia", "South-eastern Asia", "AS"),
+    ("MZ", "Mozambique", "Eastern Africa", "AF"),
+    ("NA", "Namibia", "Southern Africa", "AF"),
+    ("NG", "Nigeria", "Western Africa", "AF"),
+    ("NI", "Nicaragua", "Central America", "NA"),
+    ("NL", "Netherlands", "Western Europe", "EU"),
+    ("NO", "Norway", "Northern Europe", "EU"),
+    ("NP", "Nepal", "Southern Asia", "AS"),
+    ("NZ", "New Zealand", "Oceania", "OC"),
+    ("OM", "Oman", "Western Asia", "AS"),
+    ("PA", "Panama", "Central America", "NA"),
+    ("PE", "Peru", "South America", "SA"),
+    ("PG", "Papua New Guinea", "Oceania", "OC"),
+    ("PH", "Philippines", "South-eastern Asia", "AS"),
+    ("PK", "Pakistan", "Southern Asia", "AS"),
+    ("PL", "Poland", "Eastern Europe", "EU"),
+    ("PR", "Puerto Rico", "Caribbean", "NA"),
+    ("PS", "Palestine", "Western Asia", "AS"),
+    ("PT", "Portugal", "Southern Europe", "EU"),
+    ("PY", "Paraguay", "South America", "SA"),
+    ("QA", "Qatar", "Western Asia", "AS"),
+    ("RE", "Réunion", "Eastern Africa", "AF"),
+    ("RO", "Romania", "Eastern Europe", "EU"),
+    ("RS", "Serbia", "Southern Europe", "EU"),
+    ("RU", "Russia", "Eastern Europe", "EU"),
+    ("RW", "Rwanda", "Eastern Africa", "AF"),
+    ("SA", "Saudi Arabia", "Western Asia", "AS"),
+    ("SD", "Sudan", "Northern Africa", "AF"),
+    ("SE", "Sweden", "Northern Europe", "EU"),
+    ("SG", "Singapore", "South-eastern Asia", "AS"),
+    ("SI", "Slovenia", "Southern Europe", "EU"),
+    ("SK", "Slovakia", "Eastern Europe", "EU"),
+    ("SN", "Senegal", "Western Africa", "AF"),
+    ("SO", "Somalia", "Eastern Africa", "AF"),
+    ("SV", "El Salvador", "Central America", "NA"),
+    ("SY", "Syria", "Western Asia", "AS"),
+    ("TG", "Togo", "Western Africa", "AF"),
+    ("TH", "Thailand", "South-eastern Asia", "AS"),
+    ("TJ", "Tajikistan", "Central Asia", "AS"),
+    ("TM", "Turkmenistan", "Central Asia", "AS"),
+    ("TN", "Tunisia", "Northern Africa", "AF"),
+    ("TR", "Turkey", "Western Asia", "AS"),
+    ("TT", "Trinidad and Tobago", "Caribbean", "NA"),
+    ("TW", "Taiwan", "Eastern Asia", "AS"),
+    ("TZ", "Tanzania", "Eastern Africa", "AF"),
+    ("UA", "Ukraine", "Eastern Europe", "EU"),
+    ("UG", "Uganda", "Eastern Africa", "AF"),
+    ("US", "United States", "Northern America", "NA"),
+    ("UY", "Uruguay", "South America", "SA"),
+    ("UZ", "Uzbekistan", "Central Asia", "AS"),
+    ("VE", "Venezuela", "South America", "SA"),
+    ("VN", "Viet Nam", "South-eastern Asia", "AS"),
+    ("YE", "Yemen", "Western Asia", "AS"),
+    ("ZA", "South Africa", "Southern Africa", "AF"),
+    ("ZM", "Zambia", "Eastern Africa", "AF"),
+    ("ZW", "Zimbabwe", "Eastern Africa", "AF"),
+)
+
+COUNTRIES: dict[str, Country] = {
+    code: Country(code, name, subregion, continent)
+    for code, name, subregion, continent in _ROWS
+}
+
+#: All 150 ISO codes in alphabetical order.
+COUNTRY_CODES: tuple[str, ...] = tuple(sorted(COUNTRIES))
+
+CONTINENTS: tuple[str, ...] = ("AF", "AS", "EU", "NA", "OC", "SA")
+
+CONTINENT_NAMES: dict[str, str] = {
+    "AF": "Africa",
+    "AS": "Asia",
+    "EU": "Europe",
+    "NA": "North America",
+    "OC": "Oceania",
+    "SA": "South America",
+}
+
+SUBREGIONS: tuple[str, ...] = tuple(
+    sorted({c.subregion for c in COUNTRIES.values()})
+)
+
+
+def country(code: str) -> Country:
+    """Look up a country by ISO code, raising a library error if absent."""
+    try:
+        return COUNTRIES[code.upper()]
+    except KeyError:
+        raise UnknownCountryError(
+            f"{code!r} is not one of the 150 countries in the dataset"
+        ) from None
+
+
+def by_continent(continent: str) -> list[Country]:
+    """All countries on a continent, alphabetical by code."""
+    selected = [
+        COUNTRIES[code]
+        for code in COUNTRY_CODES
+        if COUNTRIES[code].continent == continent
+    ]
+    if not selected:
+        raise UnknownCountryError(f"unknown continent {continent!r}")
+    return selected
+
+
+def by_subregion(subregion: str) -> list[Country]:
+    """All countries in a UN subregion, alphabetical by code."""
+    selected = [
+        COUNTRIES[code]
+        for code in COUNTRY_CODES
+        if COUNTRIES[code].subregion == subregion
+    ]
+    if not selected:
+        raise UnknownCountryError(f"unknown subregion {subregion!r}")
+    return selected
+
+
+# ---------------------------------------------------------------------------
+# Geopolitical groupings used by the Section 5.3.3 case studies.
+# ---------------------------------------------------------------------------
+
+#: CIS countries with heavy reliance on Russian providers (Section 5.3.3,
+#: listed with the paper's measured dependence shares in paper_anchors).
+CIS_RUSSIA_LEANING: frozenset[str] = frozenset(
+    {"TM", "TJ", "KG", "KZ", "BY", "UZ", "AM", "AZ", "MD"}
+)
+
+#: Post-Soviet states that do *not* heavily use Russian providers.
+CIS_NON_RUSSIA_LEANING: frozenset[str] = frozenset({"UA", "LT", "EE", "LV", "GE"})
+
+#: French administrative regions, dominated by French regional providers.
+FRENCH_ADMINISTRATIVE: frozenset[str] = frozenset({"RE", "GP", "MQ"})
+
+#: Former French colonies in Africa that rely on French hosting / .fr.
+FRANCOPHONE_AFRICA: frozenset[str] = frozenset(
+    {"BF", "CI", "ML", "BJ", "CD", "CM", "DZ", "MG", "SN", "TG", "HT"}
+)
+
+#: Countries where German is dominant (DE providers / .de spillover).
+GERMANOPHONE: frozenset[str] = frozenset({"DE", "AT", "CH", "LU"})

@@ -1,0 +1,295 @@
+"""Headline statistics reported in the paper's prose (Sections 3–7).
+
+Beyond the score tables, the paper reports dozens of point statistics —
+top-provider shares, insularity percentages, correlation coefficients,
+class counts, longitudinal deltas.  They are collected here so that
+
+1. the world generator can use them as calibration constraints, and
+2. the benchmark harness can print "paper vs. measured" rows for every
+   experiment.
+
+All shares are fractions in [0, 1] unless the name says otherwise.
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+
+__all__ = [
+    "HOSTING",
+    "DNS",
+    "CA",
+    "TLD",
+    "CORRELATIONS",
+    "CLASS_COUNTS",
+    "LONGITUDINAL",
+    "CASE_STUDIES",
+]
+
+
+def _freeze(d: dict) -> MappingProxyType:
+    return MappingProxyType(d)
+
+
+# ---------------------------------------------------------------------------
+# Hosting layer (Section 5)
+# ---------------------------------------------------------------------------
+
+HOSTING = _freeze(
+    {
+        # Top-provider share of selected countries (Section 5.1).
+        "top_provider_share": _freeze(
+            {"TH": 0.60, "US": 0.29, "IR": 0.14}
+        ),
+        # Figure 1: AZ and HK both have 59% on their top five hosts.
+        "top5_share": _freeze({"AZ": 0.59, "HK": 0.59}),
+        "az_top2_shares": (0.42, 0.05),
+        "hk_top2_shares": (0.33, 0.12),
+        # 90% of websites are hosted by fewer than this many providers
+        # in every country.
+        "p90_provider_bound": 206,
+        # Iran: 90% of websites across 80 providers.
+        "ir_p90_providers": 80,
+        # Total provider counts for anchor countries (TH 2nd fewest=328,
+        # IR 6th fewest=444, US 4th most=834).
+        "n_providers": _freeze({"TH": 328, "IR": 444, "US": 834}),
+        # Long-tail shares: providers with <100 sites in the dataset.
+        "tail_share_under_100": _freeze({"IR": 0.17, "TH": 0.08}),
+        # Regional-provider usage span across countries (Section 5.2).
+        "regional_share_range": (0.12, 0.68),  # TT ... IR
+        # Single dominant regional providers (Section 5.2).
+        "dominant_regional": _freeze(
+            {"BG": ("SuperHosting.BG", 0.22), "LT": ("UAB", 0.22)}
+        ),
+        # Hosting insularity (Section 5.3.1).
+        "insularity": _freeze(
+            {"US": 0.921, "IR": 0.648, "CZ": 0.545, "RU": 0.511, "TM": 0.04}
+        ),
+        "africa_mean_insularity": 0.03,
+        # Countries where the top foreign host is not the U.S.
+        "non_us_topped": ("IR", "CZ", "RU", "HU", "BY"),
+        # Hetzner's global share (Section 5.3.3, Germany case study).
+        "hetzner_global_share": 0.02,
+    }
+)
+
+# ---------------------------------------------------------------------------
+# DNS layer (Section 6)
+# ---------------------------------------------------------------------------
+
+DNS = _freeze(
+    {
+        "top_provider_share": _freeze({"ID": 0.65, "TH": 0.62, "CZ": 0.17}),
+        # Cloudflare hosting shares for the same countries, for the
+        # "up from hosting" deltas: ID 57%, TH 60%, CZ 17%.
+        "hosting_cloudflare_share": _freeze(
+            {"ID": 0.57, "TH": 0.60, "CZ": 0.17}
+        ),
+        # Czechia: large regional DNS share 47%, up from 39% in hosting.
+        "cz_large_regional_share": _freeze({"hosting": 0.39, "dns": 0.47}),
+        # Managed-DNS providers present in the top-10 of >100 countries.
+        "managed_dns_providers": ("NSONE", "Neustar UltraDNS"),
+    }
+)
+
+# ---------------------------------------------------------------------------
+# CA layer (Section 7)
+# ---------------------------------------------------------------------------
+
+CA = _freeze(
+    {
+        "n_cas": 45,
+        # The seven large global CAs (Section 7.1).
+        "large_global_cas": (
+            "Let's Encrypt",
+            "DigiCert",
+            "Sectigo",
+            "Google",
+            "Amazon",
+            "GlobalSign",
+            "GoDaddy",
+        ),
+        # The L-GP class accounts for 80% (IR) to 99.7% (RU) of sites,
+        # ~98% on average.
+        "l_gp_share_overall": 0.98,
+        "l_gp_share_range": _freeze({"IR": 0.80, "RU": 0.997}),
+        "l_gp_share_least_centralized": _freeze({"TW": 0.82, "JP": 0.85}),
+        # DigiCert + Let's Encrypt account for 57% of sites overall,
+        # 40–75% per country.
+        "top2_overall_share": 0.57,
+        "top2_country_range": (0.40, 0.75),
+        # Slovakia, the most centralized: LE 55%, top-3 97%, top-7 98%.
+        "sk_lets_encrypt_share": 0.55,
+        "sk_top3_share": 0.97,
+        "sk_top7_share": 0.98,
+        # Asseco (Polish regional CA) usage.
+        "asseco_share": _freeze({"PL": 0.19, "IR": 0.19, "AF": 0.05}),
+        # CA insularity: only 24 countries use any in-country CA; the
+        # most insular after the US.
+        "n_insular_countries": 24,
+        "insularity": _freeze({"PL": 0.19, "TW": 0.17, "JP": 0.14}),
+        "eu_mean_score": 0.2220,
+    }
+)
+
+# ---------------------------------------------------------------------------
+# TLD layer (Appendix B)
+# ---------------------------------------------------------------------------
+
+TLD = _freeze(
+    {
+        "com_share": _freeze({"US": 0.77, "KG": 0.29}),
+        "kg_shares": _freeze({".com": 0.29, ".ru": 0.22, ".kg": 0.12}),
+        "de_usage": _freeze({"DE": 0.44, "AT": 0.14, "LU": 0.08, "CH": 0.07}),
+        # Countries where .fr is popular (14 total, incl. France itself
+        # is excluded in the paper's phrasing: these are external users).
+        "fr_external_users": (
+            "BF",
+            "BJ",
+            "CD",
+            "CI",
+            "CM",
+            "DZ",
+            "GP",
+            "HT",
+            "MG",
+            "ML",
+            "MQ",
+            "RE",
+            "SN",
+            "TG",
+        ),
+    }
+)
+
+# ---------------------------------------------------------------------------
+# Correlations (throughout)
+# ---------------------------------------------------------------------------
+
+CORRELATIONS = _freeze(
+    {
+        # Section 5.2: country S vs. XL-GP share.
+        "xl_gp_share_vs_s": 0.90,
+        # Section 5.2: country S vs. L-GP (non-XL) share.
+        "l_gp_share_vs_s": 0.19,
+        # Section 5.2: country S vs. large regional share (negative).
+        "l_rp_share_vs_s": -0.72,
+        # Section 5.3.1: hosting insularity vs. S (negative).
+        "insularity_vs_s": -0.61,
+        # Appendix B: hosting insularity vs. TLD insularity.
+        "hosting_vs_tld_insularity": 0.70,
+        # Section 3.4: Stanford vs. RIPE vantage points.
+        "vantage_points": 0.96,
+        # Section 5.4: 2023 vs. 2025 hosting S.
+        "longitudinal": 0.98,
+    }
+)
+
+# ---------------------------------------------------------------------------
+# Class counts (Tables 1–3)
+# ---------------------------------------------------------------------------
+
+CLASS_COUNTS = _freeze(
+    {
+        "hosting": _freeze(
+            {
+                "XL-GP": 2,
+                "L-GP": 6,
+                "L-GP (R)": 2,
+                "M-GP": 22,
+                "S-GP": 73,
+                "L-RP": 174,
+                "S-RP": 587,
+                "XS-RP": 11548,
+            }
+        ),
+        "dns": _freeze(
+            {
+                "XL-GP": 2,
+                "L-GP": 10,
+                "L-GP (R)": 2,
+                "M-GP": 17,
+                "S-GP": 78,
+                "L-RP": 273,
+                "S-RP": 578,
+                "XS-RP": 9049,
+            }
+        ),
+        "ca": _freeze(
+            {
+                "L-GP": 7,
+                "M-GP": 2,
+                "L-RP": 11,
+                "S-RP": 10,
+                "XS-RP": 15,
+            }
+        ),
+    }
+)
+
+# ---------------------------------------------------------------------------
+# Longitudinal change (Section 5.4)
+# ---------------------------------------------------------------------------
+
+LONGITUDINAL = _freeze(
+    {
+        "old_snapshot": "2023-05",
+        "new_snapshot": "2025-05",
+        "score_correlation": 0.98,
+        "br_scores": (0.1446, 0.2354),
+        "br_cloudflare_shares": (0.36, 0.46),
+        "ru_scores": (0.0554, 0.0499),
+        "ru_us_share": (0.30, 0.29),
+        "ru_local_share": (0.50, 0.56),
+        "mean_cloudflare_delta_pts": 3.8,
+        "tm_cloudflare_delta_pts": 11.3,
+        "ru_cloudflare_delta_pts": -2.0,
+        "cloudflare_decreasing": ("RU", "BY", "UZ", "MM"),
+        "ru_jaccard": 0.4,
+        "mean_jaccard": 0.37,
+        "n_countries_less_us": 56,
+    }
+)
+
+# ---------------------------------------------------------------------------
+# Regional case studies (Section 5.3.3)
+# ---------------------------------------------------------------------------
+
+CASE_STUDIES = _freeze(
+    {
+        # Share of the country's sites hosted by Russian providers.
+        "russia_dependence": _freeze(
+            {
+                "TM": 0.33,
+                "TJ": 0.23,
+                "KG": 0.22,
+                "KZ": 0.21,
+                "BY": 0.18,
+                "UA": 0.02,
+                "LT": 0.03,
+                "EE": 0.05,
+            }
+        ),
+        # Share of sites hosted by French providers.
+        "france_dependence": _freeze(
+            {
+                "RE": 0.36,
+                "GP": 0.34,
+                "MQ": 0.35,
+                "BF": 0.21,
+                "CI": 0.18,
+                "ML": 0.18,
+            }
+        ),
+        # Slovakia's reliance on Czech hosting.
+        "czechia_dependence": _freeze({"SK": 0.257}),
+        # Austria's use of German large regional providers.
+        "germany_dependence": _freeze({"AT": 0.03}),
+        # Afghanistan's reliance on Iranian hosting (>20%).
+        "iran_dependence": _freeze({"AF": 0.20}),
+        # Language analysis: 31.4% of AF toplist is Persian; 60.8% of
+        # those sites are hosted in Iran.
+        "af_persian_share": 0.314,
+        "af_persian_hosted_in_iran": 0.608,
+    }
+)

@@ -1,0 +1,196 @@
+"""Named provider and CA seed catalogs.
+
+The world generator creates thousands of synthetic regional providers,
+but the providers the paper names — the hyperscalers, the managed DNS
+operators, the 45 certificate authorities, the regionally dominant
+hosts — are seeded here with their real home countries so the
+regionalization analyses (insularity, cross-border dependence, provider
+classes) reproduce the paper's named findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ProviderSeed",
+    "CASeed",
+    "GLOBAL_HOSTING_SEEDS",
+    "GLOBAL_DNS_SEEDS",
+    "NAMED_REGIONAL_SEEDS",
+    "CA_CATALOG",
+    "LARGE_GLOBAL_CAS",
+    "HOSTING_CA_PARTNERSHIPS",
+    "CLOUDFLARE",
+    "AMAZON",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ProviderSeed:
+    """A named hosting/DNS provider with its headquarters country.
+
+    ``tier`` is the class the paper assigns (or implies) for the
+    provider; the classifier must *recover* these labels from usage
+    data, so the tier is a test expectation, not an input to analysis.
+    """
+
+    name: str
+    home_country: str
+    tier: str
+    anycast: bool = False
+    offers_dns: bool = True
+
+
+CLOUDFLARE = "Cloudflare"
+AMAZON = "Amazon"
+
+#: The global hosting providers named in Section 5 (Table 1 examples).
+GLOBAL_HOSTING_SEEDS: tuple[ProviderSeed, ...] = (
+    ProviderSeed(CLOUDFLARE, "US", "XL-GP", anycast=True),
+    ProviderSeed(AMAZON, "US", "XL-GP", anycast=True),
+    ProviderSeed("Google", "US", "L-GP", anycast=True),
+    ProviderSeed("Akamai", "US", "L-GP", anycast=True),
+    ProviderSeed("Microsoft", "US", "L-GP", anycast=True),
+    ProviderSeed("Fastly", "US", "L-GP", anycast=True),
+    ProviderSeed("DigitalOcean", "US", "L-GP"),
+    ProviderSeed("GoDaddy Hosting", "US", "L-GP"),
+    # The two "large global with regional skew" providers.
+    ProviderSeed("OVH", "FR", "L-GP (R)"),
+    ProviderSeed("Hetzner", "DE", "L-GP (R)"),
+    # Medium global examples.
+    ProviderSeed("Incapsula", "US", "M-GP", anycast=True),
+    ProviderSeed("Linode", "US", "M-GP"),
+    ProviderSeed("Vultr", "US", "M-GP"),
+    ProviderSeed("Leaseweb", "NL", "M-GP"),
+    # Small global examples.
+    ProviderSeed("Wix", "IL", "S-GP"),
+    ProviderSeed("Squarespace", "US", "S-GP"),
+    ProviderSeed("Netlify", "US", "S-GP"),
+)
+
+#: Managed DNS operators that only appear at the DNS layer (Section 6.2).
+GLOBAL_DNS_SEEDS: tuple[ProviderSeed, ...] = (
+    ProviderSeed("NSONE", "US", "L-GP", anycast=True),
+    ProviderSeed("Neustar UltraDNS", "US", "L-GP", anycast=True),
+    ProviderSeed("DNSimple", "US", "M-GP"),
+    ProviderSeed("Sucuri", "US", "S-GP"),
+)
+
+#: Regionally dominant providers the paper names (Sections 5.2–5.3.3).
+NAMED_REGIONAL_SEEDS: tuple[ProviderSeed, ...] = (
+    ProviderSeed("Beget LLC", "RU", "L-RP"),
+    ProviderSeed("Timeweb", "RU", "L-RP"),
+    ProviderSeed("Selectel", "RU", "L-RP"),
+    ProviderSeed("REG.RU", "RU", "L-RP"),
+    ProviderSeed("SuperHosting.BG", "BG", "L-RP"),
+    ProviderSeed("UAB Interneto vizija", "LT", "L-RP"),
+    ProviderSeed("Alibaba", "CN", "L-RP"),
+    ProviderSeed("Tencent", "CN", "L-RP"),
+    ProviderSeed("Sakura Internet", "JP", "L-RP"),
+    ProviderSeed("GMO Internet", "JP", "L-RP"),
+    ProviderSeed("Kakao", "KR", "L-RP"),
+    ProviderSeed("Naver Cloud", "KR", "L-RP"),
+    ProviderSeed("Online S.A.S", "FR", "L-RP"),
+    ProviderSeed("Gandi", "FR", "L-RP"),
+    ProviderSeed("WEDOS", "CZ", "L-RP"),
+    ProviderSeed("Forpsi", "CZ", "L-RP"),
+    ProviderSeed("Seznam.cz", "CZ", "L-RP"),
+    ProviderSeed("Arvan Cloud", "IR", "L-RP"),
+    ProviderSeed("Iran Server", "IR", "L-RP"),
+    ProviderSeed("Pars Online", "IR", "L-RP"),
+    ProviderSeed("Loopia", "SE", "S-RP"),
+    ProviderSeed("Forthnet", "GR", "XS-RP"),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class CASeed:
+    """A certificate authority with its owner's home country."""
+
+    name: str
+    home_country: str
+    tier: str
+
+
+#: The seven dominant CAs (Section 7.1).
+LARGE_GLOBAL_CAS: tuple[str, ...] = (
+    "Let's Encrypt",
+    "DigiCert",
+    "Sectigo",
+    "Google",
+    "Amazon",
+    "GlobalSign",
+    "GoDaddy",
+)
+
+#: All 45 CAs observed in the dataset (Table 3: 7 + 2 + 11 + 10 + 15).
+CA_CATALOG: tuple[CASeed, ...] = (
+    # Large global (7).
+    CASeed("Let's Encrypt", "US", "L-GP"),
+    CASeed("DigiCert", "US", "L-GP"),
+    CASeed("Sectigo", "US", "L-GP"),
+    CASeed("Google", "US", "L-GP"),
+    CASeed("Amazon", "US", "L-GP"),
+    CASeed("GlobalSign", "BE", "L-GP"),
+    CASeed("GoDaddy", "US", "L-GP"),
+    # Medium global (2).
+    CASeed("Entrust", "US", "M-GP"),
+    CASeed("IdenTrust", "US", "M-GP"),
+    # Large regional (11).
+    CASeed("Asseco", "PL", "L-RP"),
+    CASeed("SECOM", "JP", "L-RP"),
+    CASeed("Cybertrust Japan", "JP", "L-RP"),
+    CASeed("TWCA", "TW", "L-RP"),
+    CASeed("Chunghwa Telecom", "TW", "L-RP"),
+    CASeed("Actalis", "IT", "L-RP"),
+    CASeed("Buypass", "NO", "L-RP"),
+    CASeed("SwissSign", "CH", "L-RP"),
+    CASeed("Certigna", "FR", "L-RP"),
+    CASeed("ACCV", "ES", "L-RP"),
+    CASeed("Telia", "FI", "L-RP"),
+    # Small regional (10).
+    CASeed("SSL.com", "US", "S-RP"),
+    CASeed("Izenpe", "ES", "S-RP"),
+    CASeed("Disig", "SK", "S-RP"),
+    CASeed("e-Tugra", "TR", "S-RP"),
+    CASeed("TurkTrust", "TR", "S-RP"),
+    CASeed("Firmaprofesional", "ES", "S-RP"),
+    CASeed("Microsec", "HU", "S-RP"),
+    CASeed("NetLock", "HU", "S-RP"),
+    CASeed("Certinomis", "FR", "S-RP"),
+    CASeed("KamuSM", "TR", "S-RP"),
+    # Extra small regional (15).
+    CASeed("TrustCor", "PA", "XS-RP"),
+    CASeed("E-Sign", "CL", "XS-RP"),
+    CASeed("Serasa", "BR", "XS-RP"),
+    CASeed("Certisign", "BR", "XS-RP"),
+    CASeed("ANF", "ES", "XS-RP"),
+    CASeed("Camerfirma", "ES", "XS-RP"),
+    CASeed("Halcom", "SI", "XS-RP"),
+    CASeed("Pos Digicert", "MY", "XS-RP"),
+    CASeed("MSC Trustgate", "MY", "XS-RP"),
+    CASeed("Certicamara", "CO", "XS-RP"),
+    CASeed("Echoworx", "CA", "XS-RP"),
+    CASeed("LuxTrust", "LU", "XS-RP"),
+    CASeed("Sonera", "FI", "XS-RP"),
+    CASeed("Thai Digital ID", "TH", "XS-RP"),
+    CASeed("Indian CCA", "IN", "XS-RP"),
+)
+
+#: Hosting providers that provision certificates for hosted sites
+#: (Section 7.1), mapping host -> the CAs it issues from, in preference
+#: order with weights.
+HOSTING_CA_PARTNERSHIPS: dict[str, tuple[tuple[str, float], ...]] = {
+    CLOUDFLARE: (
+        ("Let's Encrypt", 0.45),
+        ("DigiCert", 0.25),
+        ("Google", 0.20),
+        ("Sectigo", 0.10),
+    ),
+    AMAZON: (("Amazon", 0.85), ("DigiCert", 0.15)),
+    "Google": (("Google", 0.8), ("DigiCert", 0.2)),
+    "Microsoft": (("DigiCert", 0.7), ("Sectigo", 0.3)),
+    "Incapsula": (("GlobalSign", 1.0),),
+    "GoDaddy Hosting": (("GoDaddy", 0.9), ("Sectigo", 0.1)),
+}

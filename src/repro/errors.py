@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` and
+friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class EmptyDistributionError(ReproError, ValueError):
+    """Raised when a metric is asked to operate on an empty distribution."""
+
+
+class InvalidDistributionError(ReproError, ValueError):
+    """Raised when counts are negative, non-finite, or otherwise malformed."""
+
+
+class CalibrationError(ReproError, RuntimeError):
+    """Raised when the world generator cannot hit a calibration target."""
+
+
+class ResolutionError(ReproError):
+    """Raised when the simulated DNS resolver cannot resolve a name."""
+
+
+class NXDomainError(ResolutionError):
+    """The queried name does not exist in the simulated namespace."""
+
+
+class ServFailError(ResolutionError):
+    """The simulated authoritative infrastructure failed to answer."""
+
+
+class TLSError(ReproError):
+    """Raised when a simulated TLS handshake cannot be completed."""
+
+
+class UnknownCountryError(ReproError, KeyError):
+    """Raised when a country code is not part of the 150-country dataset."""
+
+
+class UnknownLayerError(ReproError, KeyError):
+    """Raised when an infrastructure layer name is not recognized."""
+
+
+class PipelineError(ReproError, RuntimeError):
+    """Raised when the measurement pipeline is misconfigured."""

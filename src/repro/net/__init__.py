@@ -1,0 +1,71 @@
+"""Network substrate: the simulated infrastructure beneath the pipeline.
+
+Offline stand-ins for every external system the paper's measurement
+relies upon: IPv4 addressing and routing tables
+(:mod:`~repro.net.addressing`), the AS/organization registry and pfx2as
+(:mod:`~repro.net.asdb`), authoritative DNS with an iterative resolver
+(:mod:`~repro.net.dns`), TLS endpoints with synthetic leaf certificates
+(:mod:`~repro.net.tls`), CCADB-style CA ownership
+(:mod:`~repro.net.ccadb`), prefix geolocation with NetAcuity-like noise
+(:mod:`~repro.net.geo`), anycast prefixes (:mod:`~repro.net.anycast`),
+and public-suffix TLD extraction (:mod:`~repro.net.psl`).
+"""
+
+from .addressing import (
+    AddressSpaceExhausted,
+    Prefix,
+    PrefixAllocator,
+    PrefixTrie,
+    int_to_ip,
+    ip_to_int,
+)
+from .anycast import AnycastRegistry
+from .asdb import ASDatabase, ASRecord, UnknownASNError
+from .ccadb import CCADB, CAOwner, default_ccadb
+from .dns import Namespace, ResolutionResult, Resolver, ResourceRecord, Zone
+from .geo import NETACUITY_COUNTRY_ACCURACY, GeoDatabase, GeoEntry
+from .http import (
+    HttpFabric,
+    HttpResponse,
+    HttpStatus,
+    RedirectPolicy,
+    TooManyRedirectsError,
+)
+from .psl import GLOBAL_TLDS, DomainName, PublicSuffixList, default_psl
+from .tls import Certificate, TLSEndpoint, TLSFabric
+
+__all__ = [
+    "Prefix",
+    "PrefixTrie",
+    "PrefixAllocator",
+    "AddressSpaceExhausted",
+    "ip_to_int",
+    "int_to_ip",
+    "ASDatabase",
+    "ASRecord",
+    "UnknownASNError",
+    "Namespace",
+    "Zone",
+    "Resolver",
+    "ResolutionResult",
+    "ResourceRecord",
+    "TLSFabric",
+    "TLSEndpoint",
+    "Certificate",
+    "CCADB",
+    "CAOwner",
+    "default_ccadb",
+    "GeoDatabase",
+    "GeoEntry",
+    "NETACUITY_COUNTRY_ACCURACY",
+    "HttpFabric",
+    "HttpResponse",
+    "HttpStatus",
+    "RedirectPolicy",
+    "TooManyRedirectsError",
+    "AnycastRegistry",
+    "PublicSuffixList",
+    "DomainName",
+    "default_psl",
+    "GLOBAL_TLDS",
+]

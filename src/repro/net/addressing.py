@@ -1,0 +1,259 @@
+"""IPv4 addressing: prefixes, allocation, and longest-prefix matching.
+
+The substrate beneath pfx2as, geolocation, and anycast labeling.
+Addresses are plain integers internally (fast for millions of lookups);
+:class:`Prefix` handles parsing/formatting, :class:`PrefixTrie` is a
+binary trie supporting longest-prefix match, and
+:class:`PrefixAllocator` hands out non-overlapping blocks the way an
+RIR would.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+from typing import Generic, TypeVar
+
+from ..errors import ReproError
+
+__all__ = [
+    "Prefix",
+    "PrefixTrie",
+    "PrefixAllocator",
+    "AddressSpaceExhausted",
+    "ip_to_int",
+    "int_to_ip",
+]
+
+_MAX = (1 << 32) - 1
+
+V = TypeVar("V")
+
+
+class AddressSpaceExhausted(ReproError, RuntimeError):
+    """Raised when the allocator runs out of IPv4 space."""
+
+
+def ip_to_int(text: str) -> int:
+    """Parse dotted-quad IPv4 text into an integer."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit() or (len(part) > 1 and part[0] == "0"):
+            raise ValueError(f"invalid IPv4 address {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise ValueError(f"invalid IPv4 address {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Format an integer as dotted-quad IPv4 text."""
+    if not 0 <= value <= _MAX:
+        raise ValueError(f"IPv4 integer out of range: {value}")
+    return ".".join(
+        str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class Prefix:
+    """An IPv4 CIDR prefix (network integer + mask length)."""
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise ValueError(f"prefix length must be 0..32, got {self.length}")
+        if not 0 <= self.network <= _MAX:
+            raise ValueError(f"network out of range: {self.network}")
+        if self.network & (self.hostmask) != 0:
+            raise ValueError(
+                f"{int_to_ip(self.network)}/{self.length} has host bits set"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``a.b.c.d/len`` CIDR notation."""
+        if "/" not in text:
+            raise ValueError(f"missing prefix length in {text!r}")
+        addr, _, length_text = text.partition("/")
+        length = int(length_text)
+        return cls(network=ip_to_int(addr), length=length)
+
+    @property
+    def hostmask(self) -> int:
+        """Host-bits mask of the prefix."""
+        return (1 << (32 - self.length)) - 1
+
+    @property
+    def netmask(self) -> int:
+        """Network-bits mask of the prefix."""
+        return _MAX ^ self.hostmask
+
+    @property
+    def size(self) -> int:
+        """Number of addresses covered."""
+        return 1 << (32 - self.length)
+
+    @property
+    def first(self) -> int:
+        """First (network) address."""
+        return self.network
+
+    @property
+    def last(self) -> int:
+        """Last (broadcast) address."""
+        return self.network | self.hostmask
+
+    def contains(self, address: int) -> bool:
+        """True when the address falls inside this prefix."""
+        return (address & self.netmask) == self.network
+
+    def contains_prefix(self, other: "Prefix") -> bool:
+        """True when the other prefix nests inside this one."""
+        return self.length <= other.length and self.contains(other.network)
+
+    def address(self, offset: int) -> int:
+        """The ``offset``-th address in the prefix."""
+        if not 0 <= offset < self.size:
+            raise ValueError(
+                f"offset {offset} outside /{self.length} prefix"
+            )
+        return self.network + offset
+
+    def addresses(self) -> Iterator[int]:
+        """Iterate every address in the prefix."""
+        return iter(range(self.first, self.last + 1))
+
+    def __str__(self) -> str:
+        return f"{int_to_ip(self.network)}/{self.length}"
+
+
+class _TrieNode(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: list[_TrieNode[V] | None] = [None, None]
+        self.value: V | None = None
+        self.has_value = False
+
+
+class PrefixTrie(Generic[V]):
+    """Binary trie keyed by IPv4 prefixes with longest-prefix match.
+
+    The canonical structure behind pfx2as and prefix-based geolocation.
+    """
+
+    def __init__(self) -> None:
+        self._root: _TrieNode[V] = _TrieNode()
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert or overwrite the value at ``prefix``."""
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.network >> (31 - depth)) & 1
+            nxt = node.children[bit]
+            if nxt is None:
+                nxt = _TrieNode()
+                node.children[bit] = nxt
+            node = nxt
+        if not node.has_value:
+            self._count += 1
+        node.value = value
+        node.has_value = True
+
+    def lookup(self, address: int) -> V | None:
+        """Longest-prefix match for an address; None when uncovered."""
+        node = self._root
+        best: V | None = node.value if node.has_value else None
+        for depth in range(32):
+            bit = (address >> (31 - depth)) & 1
+            nxt = node.children[bit]
+            if nxt is None:
+                break
+            node = nxt
+            if node.has_value:
+                best = node.value
+        return best
+
+    def lookup_prefix(self, address: int) -> tuple[Prefix, V] | None:
+        """Longest matching (prefix, value) pair; None when uncovered."""
+        node = self._root
+        best: tuple[Prefix, V] | None = None
+        if node.has_value:
+            best = (Prefix(0, 0), node.value)  # type: ignore[arg-type]
+        bits = 0
+        for depth in range(32):
+            bit = (address >> (31 - depth)) & 1
+            nxt = node.children[bit]
+            if nxt is None:
+                break
+            node = nxt
+            bits = depth + 1
+            if node.has_value:
+                network = address & ((_MAX << (32 - bits)) & _MAX)
+                best = (Prefix(network, bits), node.value)  # type: ignore[arg-type]
+        return best
+
+    def items(self) -> Iterator[tuple[Prefix, V]]:
+        """All (prefix, value) pairs in depth-first order."""
+
+        def walk(
+            node: _TrieNode[V], network: int, depth: int
+        ) -> Iterator[tuple[Prefix, V]]:
+            if node.has_value:
+                yield Prefix(network, depth), node.value  # type: ignore[misc]
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    yield from walk(
+                        child, network | (bit << (31 - depth)), depth + 1
+                    )
+
+        yield from walk(self._root, 0, 0)
+
+
+class PrefixAllocator:
+    """Sequential, non-overlapping prefix allocation from a pool.
+
+    Mimics an RIR handing providers address blocks.  Allocations are
+    deterministic: the same request sequence yields the same prefixes.
+    """
+
+    def __init__(self, pool: Prefix | str = "10.0.0.0/8") -> None:
+        self._pool = Prefix.parse(pool) if isinstance(pool, str) else pool
+        self._cursor = self._pool.first
+
+    @property
+    def pool(self) -> Prefix:
+        """The prefix pool being allocated from."""
+        return self._pool
+
+    @property
+    def remaining(self) -> int:
+        """Addresses still available in the pool."""
+        return self._pool.last - self._cursor + 1
+
+    def allocate(self, length: int) -> Prefix:
+        """Allocate the next aligned /``length`` block."""
+        if not self._pool.length <= length <= 32:
+            raise ValueError(
+                f"requested /{length} outside pool /{self._pool.length}"
+            )
+        size = 1 << (32 - length)
+        aligned = (self._cursor + size - 1) & ~(size - 1)
+        if aligned + size - 1 > self._pool.last:
+            raise AddressSpaceExhausted(
+                f"pool {self._pool} exhausted allocating /{length}"
+            )
+        self._cursor = aligned + size
+        return Prefix(aligned, length)

@@ -1,0 +1,37 @@
+"""Anycast prefix registry (stands in for the bgp.tools dataset).
+
+The paper annotates IPs with anycast configuration to reason about
+where content is actually served (Figure 8).  This registry records
+which prefixes are announced from multiple locations and answers
+point lookups.
+"""
+
+from __future__ import annotations
+
+from .addressing import Prefix, PrefixTrie
+
+__all__ = ["AnycastRegistry"]
+
+
+class AnycastRegistry:
+    """Set of anycast prefixes with longest-prefix membership tests."""
+
+    def __init__(self) -> None:
+        self._trie: PrefixTrie[bool] = PrefixTrie()
+        self._prefixes: list[Prefix] = []
+
+    def add(self, prefix: Prefix) -> None:
+        """Mark a prefix as anycast."""
+        self._trie.insert(prefix, True)
+        self._prefixes.append(prefix)
+
+    def is_anycast(self, address: int) -> bool:
+        """True when the address falls inside any anycast prefix."""
+        return bool(self._trie.lookup(address))
+
+    def prefixes(self) -> tuple[Prefix, ...]:
+        """All registered anycast prefixes."""
+        return tuple(self._prefixes)
+
+    def __len__(self) -> int:
+        return len(self._prefixes)

@@ -1,0 +1,133 @@
+"""Autonomous-system database: ASN registry, AS→Org, and pfx2as.
+
+Reproduces the two third-party datasets the paper uses to label
+providers:
+
+* **pfx2as** (CAIDA Routeviews): longest-prefix match from an IP to the
+  origin ASN, backed by :class:`repro.net.addressing.PrefixTrie`.
+* **AS→Organization** (CAIDA WHOIS): ASN to organization name and
+  registration country.
+
+Providers in the synthetic world own one or more ASes; the measurement
+pipeline labels each website with the AS organization of the serving
+IP, exactly as Section 3.4 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+from .addressing import Prefix, PrefixTrie
+
+__all__ = ["ASRecord", "ASDatabase", "UnknownASNError"]
+
+
+class UnknownASNError(ReproError, KeyError):
+    """Raised when an ASN has no registry entry."""
+
+
+@dataclass(frozen=True, slots=True)
+class ASRecord:
+    """One autonomous system's registry data."""
+
+    asn: int
+    org_name: str
+    country: str
+    prefixes: tuple[Prefix, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise ValueError(f"ASN must be positive, got {self.asn}")
+        if not self.org_name:
+            raise ValueError("organization name must be nonempty")
+
+
+class ASDatabase:
+    """Registry of ASes plus the prefix→origin-AS routing table."""
+
+    def __init__(self) -> None:
+        self._records: dict[int, ASRecord] = {}
+        self._pfx2as: PrefixTrie[int] = PrefixTrie()
+        self._org_asns: dict[str, list[int]] = {}
+        self._next_asn = 64512  # private-use range, like a test RIR
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        org_name: str,
+        country: str,
+        prefixes: tuple[Prefix, ...] = (),
+        asn: int | None = None,
+    ) -> ASRecord:
+        """Register a new AS for an organization, announcing prefixes."""
+        if asn is None:
+            asn = self._next_asn
+            self._next_asn += 1
+        if asn in self._records:
+            raise ValueError(f"ASN {asn} already registered")
+        record = ASRecord(
+            asn=asn, org_name=org_name, country=country, prefixes=prefixes
+        )
+        self._records[asn] = record
+        self._org_asns.setdefault(org_name, []).append(asn)
+        for prefix in prefixes:
+            self._pfx2as.insert(prefix, asn)
+        return record
+
+    def announce(self, asn: int, prefix: Prefix) -> None:
+        """Announce an additional prefix from an existing AS."""
+        record = self.record(asn)
+        self._records[asn] = ASRecord(
+            asn=record.asn,
+            org_name=record.org_name,
+            country=record.country,
+            prefixes=record.prefixes + (prefix,),
+        )
+        self._pfx2as.insert(prefix, asn)
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def record(self, asn: int) -> ASRecord:
+        """Registry entry for an ASN (raises if unknown)."""
+        try:
+            return self._records[asn]
+        except KeyError:
+            raise UnknownASNError(f"ASN {asn} is not registered") from None
+
+    def origin_asn(self, address: int) -> int | None:
+        """pfx2as: origin AS of an IP by longest-prefix match."""
+        return self._pfx2as.lookup(address)
+
+    def org_of_ip(self, address: int) -> str | None:
+        """The AS organization serving an IP (the provider label)."""
+        asn = self._pfx2as.lookup(address)
+        if asn is None:
+            return None
+        return self._records[asn].org_name
+
+    def country_of_ip(self, address: int) -> str | None:
+        """Registration country of the AS serving an IP."""
+        asn = self._pfx2as.lookup(address)
+        if asn is None:
+            return None
+        return self._records[asn].country
+
+    def asns_of_org(self, org_name: str) -> tuple[int, ...]:
+        """All ASNs registered to an organization."""
+        return tuple(self._org_asns.get(org_name, ()))
+
+    def organizations(self) -> list[str]:
+        """All registered organization names, sorted."""
+        return sorted(self._org_asns)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, asn: object) -> bool:
+        return asn in self._records

@@ -1,0 +1,120 @@
+"""CCADB-like certificate authority ownership database.
+
+Certificate issuers are *brands*; ownership consolidates brands onto CA
+owners (per Ma et al., as the paper does with the Common CA Database).
+For example "R3" and "E1" both map to the Let's Encrypt owner; a CA
+acquisition remaps all of the acquiree's brands at once.  Each owner
+also carries a home country so the CA layer's insularity can be
+computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datasets.providers import CA_CATALOG, CASeed
+from ..errors import ReproError
+
+__all__ = ["CAOwner", "CCADB", "default_ccadb"]
+
+
+class UnknownIssuerError(ReproError, KeyError):
+    """Raised when an issuer brand has no ownership entry."""
+
+
+@dataclass(frozen=True, slots=True)
+class CAOwner:
+    """One certificate authority owner."""
+
+    name: str
+    country: str
+
+
+class CCADB:
+    """Issuer brand → CA owner mapping."""
+
+    def __init__(self) -> None:
+        self._owners: dict[str, CAOwner] = {}
+        self._brand_owner: dict[str, str] = {}
+
+    def register_owner(self, name: str, country: str) -> CAOwner:
+        """Register a new CA owner."""
+        if name in self._owners:
+            raise ValueError(f"CA owner {name!r} already registered")
+        owner = CAOwner(name=name, country=country)
+        self._owners[name] = owner
+        # An owner's primary brand is its own name.
+        self._brand_owner.setdefault(name.lower(), name)
+        return owner
+
+    def register_brand(self, brand: str, owner_name: str) -> None:
+        """Attach an issuer brand (issuer CN/org) to an owner."""
+        if owner_name not in self._owners:
+            raise UnknownIssuerError(f"unknown CA owner {owner_name!r}")
+        self._brand_owner[brand.lower()] = owner_name
+
+    def transfer_brands(self, from_owner: str, to_owner: str) -> int:
+        """Reassign every brand of one owner to another (acquisition).
+
+        Returns the number of brands moved.  The acquired owner remains
+        registered (its history does not vanish), but no brand maps to
+        it afterwards.
+        """
+        if from_owner not in self._owners:
+            raise UnknownIssuerError(f"unknown CA owner {from_owner!r}")
+        if to_owner not in self._owners:
+            raise UnknownIssuerError(f"unknown CA owner {to_owner!r}")
+        moved = 0
+        for brand, owner in list(self._brand_owner.items()):
+            if owner == from_owner:
+                self._brand_owner[brand] = to_owner
+                moved += 1
+        return moved
+
+    def owner_of(self, issuer: str) -> CAOwner:
+        """Resolve an issuer brand to its owner."""
+        owner_name = self._brand_owner.get(issuer.lower())
+        if owner_name is None:
+            raise UnknownIssuerError(
+                f"issuer {issuer!r} not present in CCADB"
+            )
+        return self._owners[owner_name]
+
+    def owner(self, name: str) -> CAOwner:
+        """Look up a CA owner by name."""
+        try:
+            return self._owners[name]
+        except KeyError:
+            raise UnknownIssuerError(f"unknown CA owner {name!r}") from None
+
+    def owners(self) -> list[CAOwner]:
+        """All registered CA owners, sorted by name."""
+        return sorted(self._owners.values(), key=lambda o: o.name)
+
+    def __len__(self) -> int:
+        return len(self._owners)
+
+    def __contains__(self, owner_name: object) -> bool:
+        return owner_name in self._owners
+
+
+#: Well-known sub-brands for the large CAs (issuer CNs seen on leaves).
+_KNOWN_BRANDS: dict[str, tuple[str, ...]] = {
+    "Let's Encrypt": ("R3", "R10", "R11", "E1", "E5", "ISRG"),
+    "DigiCert": ("DigiCert SHA2", "Thawte", "GeoTrust", "RapidSSL"),
+    "Sectigo": ("Comodo", "USERTrust", "InstantSSL"),
+    "Google": ("GTS CA 1C3", "GTS CA 1D4", "WR2"),
+    "Amazon": ("Amazon RSA 2048 M02", "Amazon ECDSA 256 M03"),
+    "GlobalSign": ("AlphaSSL", "GlobalSign RSA OV"),
+    "GoDaddy": ("Starfield", "GoDaddy Secure CA G2"),
+}
+
+
+def default_ccadb(catalog: tuple[CASeed, ...] = CA_CATALOG) -> CCADB:
+    """Build the CCADB for the paper's 45-CA catalog with sub-brands."""
+    db = CCADB()
+    for seed in catalog:
+        db.register_owner(seed.name, seed.home_country)
+        for brand in _KNOWN_BRANDS.get(seed.name, ()):
+            db.register_brand(brand, seed.name)
+    return db

@@ -1,0 +1,345 @@
+"""An authoritative DNS namespace and iterative resolver.
+
+Plays the role of both the real DNS hierarchy and the ZDNS scanner the
+paper uses: a root zone delegates TLD zones, TLD zones delegate
+registrable domains, and domain zones carry NS / A / CNAME records.
+:class:`Resolver` walks the delegation chain like an iterative resolver
+with a positive/negative TTL cache, returning the answer addresses
+*and* the authoritative nameserver set (which the pipeline maps to the
+DNS infrastructure provider).
+
+Geo-aware answers: an A record's value may be a mapping from continent
+to address, modeling CDN front-end selection; the resolver picks the
+entry matching the querying vantage's continent (falling back to the
+record's ``"default"`` entry).  This is what makes the Section 3.4
+vantage-point experiment meaningful.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from ..errors import NXDomainError, ResolutionError, ServFailError
+from .psl import PublicSuffixList, default_psl
+
+__all__ = [
+    "ResourceRecord",
+    "Zone",
+    "ResolutionResult",
+    "Resolver",
+    "Namespace",
+]
+
+_GEO_DEFAULT = "default"
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceRecord:
+    """A single DNS resource record.
+
+    ``value`` is the record data: a hostname for NS/CNAME, an address
+    integer for A, or a continent→address mapping for geo-routed A
+    records.
+    """
+
+    name: str
+    rtype: str
+    value: int | str | Mapping[str, int]
+    ttl: int = 300
+
+    def __post_init__(self) -> None:
+        if self.rtype not in {"A", "NS", "CNAME", "SOA"}:
+            raise ValueError(f"unsupported record type {self.rtype!r}")
+        if self.ttl < 0:
+            raise ValueError(f"negative TTL: {self.ttl}")
+
+    def resolve_address(
+        self, continent: str | None, country: str | None = None
+    ) -> int:
+        """Pick the A-record address for a querying vantage.
+
+        Country-specific entries (``"cc:TH"`` keys — in-country CDN
+        cache nodes) take precedence over continent entries, which take
+        precedence over the ``"default"`` entry.
+        """
+        if self.rtype != "A":
+            raise ValueError(f"not an A record: {self.rtype}")
+        if isinstance(self.value, int):
+            return self.value
+        if isinstance(self.value, Mapping):
+            if country is not None:
+                specific = self.value.get(f"cc:{country}")
+                if specific is not None:
+                    return specific
+            if continent is not None and continent in self.value:
+                return self.value[continent]
+            if _GEO_DEFAULT in self.value:
+                return self.value[_GEO_DEFAULT]
+            # Deterministic fallback: smallest key.
+            return self.value[min(self.value)]
+        raise ValueError(f"invalid A record value {self.value!r}")
+
+
+class Zone:
+    """One authoritative zone: an origin plus its records."""
+
+    def __init__(self, origin: str) -> None:
+        self.origin = origin.lower().rstrip(".")
+        self._records: dict[tuple[str, str], list[ResourceRecord]] = {}
+        self.broken = False  # failure injection: SERVFAIL every query
+
+    def add(
+        self,
+        name: str,
+        rtype: str,
+        value: int | str | Mapping[str, int],
+        ttl: int = 300,
+    ) -> ResourceRecord:
+        """Add a record (name may be relative to the origin or absolute)."""
+        fqdn = self.qualify(name)
+        record = ResourceRecord(name=fqdn, rtype=rtype, value=value, ttl=ttl)
+        self._records.setdefault((fqdn, rtype), []).append(record)
+        return record
+
+    def qualify(self, name: str) -> str:
+        """Fully qualify a name relative to the zone origin."""
+        name = name.lower().rstrip(".")
+        if name == "@" or name == "":
+            return self.origin
+        if name == self.origin or name.endswith("." + self.origin):
+            return name
+        return f"{name}.{self.origin}"
+
+    def lookup(self, name: str, rtype: str) -> list[ResourceRecord]:
+        """Records matching (name, rtype) in this zone."""
+        return list(self._records.get((name.lower().rstrip("."), rtype), ()))
+
+    def has_name(self, name: str) -> bool:
+        """True when any record exists under the name."""
+        name = name.lower().rstrip(".")
+        return any(key[0] == name for key in self._records)
+
+    def record_count(self) -> int:
+        """Total records in the zone."""
+        return sum(len(v) for v in self._records.values())
+
+
+@dataclass(frozen=True, slots=True)
+class ResolutionResult:
+    """Outcome of resolving one name."""
+
+    name: str
+    addresses: tuple[int, ...]
+    cname_chain: tuple[str, ...]
+    authoritative_ns: tuple[str, ...]
+    from_cache: bool = False
+
+
+@dataclass(slots=True)
+class _CacheEntry:
+    result: ResolutionResult
+    expires_at: float
+
+
+class Namespace:
+    """The collection of zones making up the synthetic DNS hierarchy.
+
+    Zones are indexed by origin; delegation is implicit in the
+    public-suffix structure: resolving ``www.example.co.uk`` consults
+    the zone for the registrable domain ``example.co.uk`` whose
+    existence the TLD registry (``zones_under``) tracks.
+    """
+
+    def __init__(self, psl: PublicSuffixList | None = None) -> None:
+        self._zones: dict[str, Zone] = {}
+        self._psl = psl or default_psl()
+
+    @property
+    def psl(self) -> PublicSuffixList:
+        """The public suffix list behind this namespace."""
+        return self._psl
+
+    def create_zone(self, origin: str) -> Zone:
+        """Create a new authoritative zone (must not exist)."""
+        origin = origin.lower().rstrip(".")
+        if origin in self._zones:
+            raise ValueError(f"zone {origin!r} already exists")
+        zone = Zone(origin)
+        self._zones[origin] = zone
+        return zone
+
+    def zone(self, origin: str) -> Zone | None:
+        """Zone by exact origin (None if absent)."""
+        return self._zones.get(origin.lower().rstrip("."))
+
+    def zone_for(self, hostname: str) -> Zone | None:
+        """The zone authoritative for a hostname (registrable domain)."""
+        try:
+            split = self._psl.split(hostname)
+        except Exception:
+            return None
+        return self._zones.get(split.registrable)
+
+    def __len__(self) -> int:
+        return len(self._zones)
+
+    def zones(self) -> list[Zone]:
+        """All zones in the namespace."""
+        return list(self._zones.values())
+
+
+class Resolver:
+    """An iterative resolver over a :class:`Namespace` with caching.
+
+    ``vantage_continent`` influences geo-routed A records (CDN mapping).
+    The cache key includes the continent so distinct vantages do not
+    poison each other.  Time is a logical clock advanced by the caller,
+    which keeps resolution deterministic.
+    """
+
+    #: TTL for cached negative answers (RFC 2308-style, in seconds of
+    #: the logical clock).
+    NEGATIVE_TTL = 300.0
+
+    def __init__(
+        self,
+        namespace: Namespace,
+        vantage_continent: str | None = None,
+        vantage_country: str | None = None,
+        cache_enabled: bool = True,
+        max_cname_depth: int = 8,
+    ) -> None:
+        self._ns = namespace
+        self._continent = vantage_continent
+        self._country = vantage_country
+        self._cache: dict[str, _CacheEntry] = {}
+        self._negative_cache: dict[str, float] = {}
+        self._cache_enabled = cache_enabled
+        self._max_cname_depth = max_cname_depth
+        self._clock = 0.0
+        self.queries = 0
+        self.cache_hits = 0
+        self.negative_cache_hits = 0
+
+    @property
+    def vantage_continent(self) -> str | None:
+        """Continent of the querying vantage (geo answers)."""
+        return self._continent
+
+    @property
+    def vantage_country(self) -> str | None:
+        """Country of the querying vantage (cache nodes)."""
+        return self._country
+
+    def advance_clock(self, seconds: float) -> None:
+        """Advance the logical clock (expires cache entries)."""
+        if seconds < 0:
+            raise ValueError("clock cannot go backwards")
+        self._clock += seconds
+
+    def flush_cache(self) -> None:
+        """Drop all cached answers, positive and negative."""
+        self._cache.clear()
+        self._negative_cache.clear()
+
+    def resolve(self, hostname: str) -> ResolutionResult:
+        """Resolve a hostname to A-record addresses.
+
+        Raises :class:`NXDomainError` for names outside the namespace,
+        :class:`ServFailError` when the authoritative zone is broken,
+        and :class:`ResolutionError` for CNAME loops or dangling chains.
+        """
+        name = hostname.lower().rstrip(".")
+        self.queries += 1
+        if self._cache_enabled:
+            entry = self._cache.get(name)
+            if entry is not None and entry.expires_at > self._clock:
+                self.cache_hits += 1
+                cached = entry.result
+                return ResolutionResult(
+                    name=cached.name,
+                    addresses=cached.addresses,
+                    cname_chain=cached.cname_chain,
+                    authoritative_ns=cached.authoritative_ns,
+                    from_cache=True,
+                )
+            # Negative caching (RFC 2308): a recent NXDOMAIN answers
+            # repeated queries without bothering the authorities.
+            negative_until = self._negative_cache.get(name)
+            if negative_until is not None and negative_until > self._clock:
+                self.negative_cache_hits += 1
+                raise NXDomainError(
+                    f"{name!r} does not exist (negative cache)"
+                )
+
+        try:
+            result = self._resolve_uncached(name)
+        except NXDomainError:
+            if self._cache_enabled:
+                self._negative_cache[name] = (
+                    self._clock + self.NEGATIVE_TTL
+                )
+            raise
+        if self._cache_enabled:
+            self._cache[name] = _CacheEntry(
+                result=result, expires_at=self._clock + 300.0
+            )
+        return result
+
+    def authoritative_nameservers(self, hostname: str) -> tuple[str, ...]:
+        """The NS set for a hostname's registrable domain."""
+        zone = self._ns.zone_for(hostname)
+        if zone is None:
+            raise NXDomainError(f"no zone is authoritative for {hostname!r}")
+        if zone.broken:
+            raise ServFailError(f"zone {zone.origin} failed to answer")
+        ns_records = zone.lookup(zone.origin, "NS")
+        return tuple(str(r.value) for r in ns_records)
+
+    def _resolve_uncached(self, name: str) -> ResolutionResult:
+        cname_chain: list[str] = []
+        current = name
+        min_ttl = float("inf")
+        for _ in range(self._max_cname_depth):
+            zone = self._ns.zone_for(current)
+            if zone is None:
+                raise NXDomainError(f"{current!r} does not exist")
+            if zone.broken:
+                raise ServFailError(f"zone {zone.origin} failed to answer")
+            a_records = zone.lookup(current, "A")
+            if a_records:
+                addresses = tuple(
+                    r.resolve_address(self._continent, self._country)
+                    for r in a_records
+                )
+                min_ttl = min(
+                    [min_ttl] + [float(r.ttl) for r in a_records]
+                )
+                ns = tuple(
+                    str(r.value) for r in zone.lookup(zone.origin, "NS")
+                )
+                return ResolutionResult(
+                    name=name,
+                    addresses=addresses,
+                    cname_chain=tuple(cname_chain),
+                    authoritative_ns=ns,
+                )
+            cnames = zone.lookup(current, "CNAME")
+            if cnames:
+                target = str(cnames[0].value)
+                if target in cname_chain or target == current:
+                    raise ResolutionError(
+                        f"CNAME loop resolving {name!r} at {target!r}"
+                    )
+                cname_chain.append(target)
+                current = target
+                continue
+            if zone.has_name(current):
+                # Name exists but has no A/CNAME: NODATA, treated as a
+                # resolution failure for the pipeline's purposes.
+                raise ResolutionError(f"{current!r} has no address records")
+            raise NXDomainError(f"{current!r} does not exist")
+        raise ResolutionError(
+            f"CNAME chain longer than {self._max_cname_depth} for {name!r}"
+        )

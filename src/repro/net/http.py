@@ -1,0 +1,162 @@
+"""A miniature HTTP layer: fetching the root page of a website.
+
+The paper's pipeline measures "the root page of each site"; real root
+pages frequently answer with redirects (apex → ``www.``, HTTP → HTTPS)
+before serving content.  This module models that surface: per-site
+redirect policies, status codes, and a fetch loop with a redirect
+budget, so the measurement pipeline exercises the same follow-the-
+redirect logic a real scanner needs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ReproError
+
+__all__ = [
+    "HttpStatus",
+    "HttpResponse",
+    "RedirectPolicy",
+    "HttpFabric",
+    "TooManyRedirectsError",
+]
+
+
+class TooManyRedirectsError(ReproError):
+    """Raised when a fetch exceeds its redirect budget."""
+
+
+class HttpStatus(enum.IntEnum):
+    """The status codes the synthetic web serves."""
+
+    OK = 200
+    MOVED_PERMANENTLY = 301
+    FOUND = 302
+    NOT_FOUND = 404
+    SERVICE_UNAVAILABLE = 503
+
+
+class RedirectPolicy(enum.Enum):
+    """How a site's apex answers a root-page request."""
+
+    DIRECT = "direct"  # 200 at the apex
+    TO_WWW = "to-www"  # 301 to https://www.<domain>/
+    TO_APEX = "to-apex"  # www redirects down to the apex
+    BROKEN = "broken"  # 503 everywhere
+
+
+@dataclass(frozen=True, slots=True)
+class HttpResponse:
+    """One hop of an HTTP conversation."""
+
+    url: str
+    status: HttpStatus
+    location: str | None = None
+    body: str = ""
+
+    @property
+    def is_redirect(self) -> bool:
+        """True for 301/302 responses."""
+        return self.status in (
+            HttpStatus.MOVED_PERMANENTLY,
+            HttpStatus.FOUND,
+        )
+
+
+def _split_url(url: str) -> tuple[str, str]:
+    """(hostname, path) from a URL; scheme is cosmetic here."""
+    rest = url.split("://", 1)[-1]
+    host, _, path = rest.partition("/")
+    return host.lower().rstrip("."), "/" + path
+
+
+class HttpFabric:
+    """Per-site redirect policies plus the fetch loop.
+
+    The fabric does not resolve names or carry addresses — transport is
+    the resolver/TLS substrate's job.  It answers the question "what
+    does this hostname say when you ask it for ``/``", which is enough
+    to model the redirect chains scanners must follow before the page
+    they measure is the page they got.
+    """
+
+    def __init__(self, default_policy: RedirectPolicy = RedirectPolicy.DIRECT) -> None:
+        self._policies: dict[str, RedirectPolicy] = {}
+        self._bodies: dict[str, str] = {}
+        self._default = default_policy
+
+    def set_policy(self, domain: str, policy: RedirectPolicy) -> None:
+        """Set how a domain's apex answers root requests."""
+        self._policies[domain.lower().rstrip(".")] = policy
+
+    def policy_of(self, domain: str) -> RedirectPolicy:
+        """Redirect policy of a domain (default: direct)."""
+        return self._policies.get(
+            domain.lower().rstrip("."), self._default
+        )
+
+    def set_body(self, domain: str, body: str) -> None:
+        """Attach page content served once the chain terminates."""
+        self._bodies[domain.lower().rstrip(".")] = body
+
+    # ------------------------------------------------------------------
+
+    def respond(self, url: str) -> HttpResponse:
+        """One request/response exchange."""
+        host, path = _split_url(url)
+        www = host.startswith("www.")
+        apex = host[4:] if www else host
+        policy = self.policy_of(apex)
+
+        if policy is RedirectPolicy.BROKEN:
+            return HttpResponse(url=url, status=HttpStatus.SERVICE_UNAVAILABLE)
+        if policy is RedirectPolicy.TO_WWW and not www:
+            return HttpResponse(
+                url=url,
+                status=HttpStatus.MOVED_PERMANENTLY,
+                location=f"https://www.{apex}{path}",
+            )
+        if policy is RedirectPolicy.TO_APEX and www:
+            return HttpResponse(
+                url=url,
+                status=HttpStatus.MOVED_PERMANENTLY,
+                location=f"https://{apex}{path}",
+            )
+        body = self._bodies.get(apex, "")
+        return HttpResponse(url=url, status=HttpStatus.OK, body=body)
+
+    def fetch(
+        self, url: str, max_redirects: int = 5
+    ) -> tuple[HttpResponse, tuple[str, ...]]:
+        """Follow redirects to the final response.
+
+        Returns the terminal response and the chain of intermediate
+        URLs (excluding the final one).  Raises
+        :class:`TooManyRedirectsError` on loops or long chains.
+        """
+        chain: list[str] = []
+        current = url
+        for _ in range(max_redirects + 1):
+            response = self.respond(current)
+            if not response.is_redirect:
+                return response, tuple(chain)
+            assert response.location is not None
+            chain.append(current)
+            if response.location in chain:
+                raise TooManyRedirectsError(
+                    f"redirect loop fetching {url!r}"
+                )
+            current = response.location
+        raise TooManyRedirectsError(
+            f"more than {max_redirects} redirects fetching {url!r}"
+        )
+
+    def final_host(self, domain: str, max_redirects: int = 5) -> str:
+        """The hostname that ultimately serves a site's root page."""
+        response, _ = self.fetch(
+            f"https://{domain}/", max_redirects=max_redirects
+        )
+        host, _ = _split_url(response.url)
+        return host

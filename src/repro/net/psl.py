@@ -1,0 +1,168 @@
+"""Public-suffix handling: TLD extraction for the TLD dependence layer.
+
+A miniature public suffix list in the spirit of publicsuffix.org: enough
+rules to split any hostname in the synthetic web into (subdomain,
+registrable domain, public suffix) and to answer "which TLD does this
+site depend on" for Appendix B.  Supports multi-label suffixes
+(``co.uk``-style second-level registries) and wildcard-free exact rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import InvalidDistributionError
+from ..datasets.countries import COUNTRY_CODES
+
+__all__ = [
+    "DomainName",
+    "PublicSuffixList",
+    "default_psl",
+    "GLOBAL_TLDS",
+]
+
+#: Global (non-country) TLDs present in the synthetic web.
+GLOBAL_TLDS: tuple[str, ...] = (
+    "com",
+    "net",
+    "org",
+    "info",
+    "io",
+    "co",
+    "biz",
+    "online",
+    "xyz",
+    "site",
+    "app",
+    "dev",
+    "edu",
+    "gov",
+    "mil",
+    "int",
+)
+
+#: Countries whose registries use second-level structure for commercial
+#: registrations (a representative subset).
+_SECOND_LEVEL_CCTLDS: dict[str, tuple[str, ...]] = {
+    "gb": ("co", "org", "ac", "gov"),  # .uk is handled as alias below
+    "uk": ("co", "org", "ac", "gov"),
+    "br": ("com", "org", "net", "gov"),
+    "au": ("com", "org", "net", "edu"),
+    "nz": ("co", "org", "net"),
+    "za": ("co", "org", "web"),
+    "jp": ("co", "or", "ne", "ac"),
+    "kr": ("co", "or", "ne"),
+    "il": ("co", "org", "ac"),
+    "tr": ("com", "org", "net"),
+    "in": ("co", "org", "net"),
+    "th": ("co", "or", "ac"),
+    "id": ("co", "or", "web"),
+    "mx": ("com", "org", "net"),
+    "ar": ("com", "org", "net"),
+}
+
+#: ISO country code -> ccTLD label (almost always the lowercase code;
+#: the United Kingdom is GB with ccTLD .uk).
+CCTLD_OF_COUNTRY: dict[str, str] = {
+    code: ("uk" if code == "GB" else code.lower()) for code in COUNTRY_CODES
+}
+
+
+@dataclass(frozen=True, slots=True)
+class DomainName:
+    """A hostname split against the public suffix list."""
+
+    hostname: str
+    subdomain: str
+    registrable: str
+    suffix: str
+
+    @property
+    def tld(self) -> str:
+        """The top-level label (last label of the suffix)."""
+        return self.suffix.rsplit(".", 1)[-1]
+
+    @property
+    def is_cc_tld(self) -> bool:
+        """True when the TLD is a two-letter country-code TLD."""
+        return len(self.tld) == 2
+
+
+class PublicSuffixList:
+    """Longest-match public suffix rules over dotted labels."""
+
+    def __init__(self, suffixes: set[str] | None = None) -> None:
+        if suffixes is None:
+            suffixes = set(GLOBAL_TLDS)
+            for cc in COUNTRY_CODES:
+                label = CCTLD_OF_COUNTRY[cc]
+                suffixes.add(label)
+                for second in _SECOND_LEVEL_CCTLDS.get(label, ()):
+                    suffixes.add(f"{second}.{label}")
+            # ccTLDs outside the 150-country dataset still appear as
+            # provider home registries (.cn, .ru already in dataset).
+            suffixes.update({"cn", "eu", "su"})
+        self._suffixes = frozenset(s.lower() for s in suffixes)
+
+    @property
+    def suffixes(self) -> frozenset[str]:
+        """Every known public suffix."""
+        return self._suffixes
+
+    def is_public_suffix(self, value: str) -> bool:
+        """True when the value is a public suffix itself."""
+        return value.lower().rstrip(".") in self._suffixes
+
+    def split(self, hostname: str) -> DomainName:
+        """Split a hostname into subdomain / registrable / suffix.
+
+        Raises if the hostname is empty, has empty labels, or consists
+        entirely of a public suffix (nothing registrable).
+        """
+        name = hostname.lower().rstrip(".")
+        if not name:
+            raise InvalidDistributionError("empty hostname")
+        labels = name.split(".")
+        if any(not label for label in labels):
+            raise InvalidDistributionError(
+                f"hostname {hostname!r} has an empty label"
+            )
+        # Longest suffix match (including the whole name, so that a
+        # bare public suffix like "co.uk" is detected and rejected).
+        suffix_labels = 0
+        for take in range(1, len(labels) + 1):
+            candidate = ".".join(labels[-take:])
+            if candidate in self._suffixes:
+                suffix_labels = take
+        if suffix_labels == 0:
+            # Unknown TLD: treat the last label as the suffix, which is
+            # what real PSL consumers do via the implicit "*" rule.
+            suffix_labels = 1
+        if suffix_labels >= len(labels):
+            raise InvalidDistributionError(
+                f"hostname {hostname!r} is a bare public suffix"
+            )
+        suffix = ".".join(labels[-suffix_labels:])
+        registrable = ".".join(labels[-suffix_labels - 1 :])
+        subdomain = ".".join(labels[: -suffix_labels - 1])
+        return DomainName(
+            hostname=name,
+            subdomain=subdomain,
+            registrable=registrable,
+            suffix=suffix,
+        )
+
+    def tld_of(self, hostname: str) -> str:
+        """The top-level label a site depends on (Appendix B unit)."""
+        return self.split(hostname).tld
+
+
+_DEFAULT: PublicSuffixList | None = None
+
+
+def default_psl() -> PublicSuffixList:
+    """The process-wide default public suffix list (built once)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = PublicSuffixList()
+    return _DEFAULT

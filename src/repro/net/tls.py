@@ -1,0 +1,138 @@
+"""Simulated TLS endpoints and leaf certificates.
+
+Stands in for the ZGrab2 TLS scans: every hosting IP can terminate TLS
+for the sites it serves, presenting a synthetic leaf certificate whose
+issuer distinguished name identifies the certificate authority brand.
+The pipeline completes a "handshake" per (IP, SNI) pair and parses the
+leaf, then maps issuer → CA owner through :mod:`repro.net.ccadb`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TLSError
+
+__all__ = ["Certificate", "TLSEndpoint", "TLSFabric"]
+
+
+@dataclass(frozen=True, slots=True)
+class Certificate:
+    """A parsed leaf certificate (the fields the paper's pipeline uses)."""
+
+    subject_cn: str
+    issuer_cn: str
+    issuer_org: str
+    san: tuple[str, ...]
+    not_before: int
+    not_after: int
+    serial: int
+
+    def __post_init__(self) -> None:
+        if self.not_after <= self.not_before:
+            raise ValueError("certificate validity window is empty")
+
+    def valid_at(self, timestamp: int) -> bool:
+        """True when the timestamp is inside the validity window."""
+        return self.not_before <= timestamp < self.not_after
+
+    def covers(self, hostname: str) -> bool:
+        """Hostname validation against the SAN list (with wildcards)."""
+        name = hostname.lower().rstrip(".")
+        for entry in self.san:
+            entry = entry.lower()
+            if entry == name:
+                return True
+            if entry.startswith("*."):
+                suffix = entry[1:]  # ".example.com"
+                if name.endswith(suffix) and "." not in name[: -len(suffix)]:
+                    return True
+        return False
+
+
+@dataclass(slots=True)
+class TLSEndpoint:
+    """A TLS terminator at one address serving certs by SNI."""
+
+    address: int
+    certificates: dict[str, Certificate]
+    default_certificate: Certificate | None = None
+    broken: bool = False
+
+    def handshake(self, sni: str | None) -> Certificate:
+        """Complete a handshake, returning the presented leaf."""
+        if self.broken:
+            raise TLSError(
+                f"handshake with {self.address} failed: connection reset"
+            )
+        if sni is not None:
+            cert = self.certificates.get(sni.lower().rstrip("."))
+            if cert is not None:
+                return cert
+        if self.default_certificate is not None:
+            return self.default_certificate
+        raise TLSError(
+            f"no certificate for SNI {sni!r} at address {self.address}"
+        )
+
+
+class TLSFabric:
+    """All TLS endpoints in the synthetic web, keyed by address."""
+
+    def __init__(self) -> None:
+        self._endpoints: dict[int, TLSEndpoint] = {}
+        self._serial = 0
+
+    def next_serial(self) -> int:
+        """Allocate the next certificate serial number."""
+        self._serial += 1
+        return self._serial
+
+    def install(
+        self, address: int, hostname: str, certificate: Certificate
+    ) -> None:
+        """Install a certificate for a hostname at an address."""
+        endpoint = self._endpoints.get(address)
+        if endpoint is None:
+            endpoint = TLSEndpoint(address=address, certificates={})
+            self._endpoints[address] = endpoint
+        endpoint.certificates[hostname.lower().rstrip(".")] = certificate
+        if endpoint.default_certificate is None:
+            endpoint.default_certificate = certificate
+
+    def endpoint(self, address: int) -> TLSEndpoint | None:
+        """TLS endpoint listening at an address (None if none)."""
+        return self._endpoints.get(address)
+
+    def handshake(self, address: int, sni: str | None) -> Certificate:
+        """Handshake with an address (the ZGrab2 step)."""
+        endpoint = self._endpoints.get(address)
+        if endpoint is None:
+            raise TLSError(f"nothing listening on {address}")
+        return endpoint.handshake(sni)
+
+    def issue(
+        self,
+        hostname: str,
+        issuer_cn: str,
+        issuer_org: str,
+        not_before: int = 0,
+        not_after: int = 7776000,
+        wildcard: bool = False,
+    ) -> Certificate:
+        """Mint a leaf certificate for a hostname from an issuer brand."""
+        san = [hostname]
+        if wildcard:
+            san.append(f"*.{hostname}")
+        return Certificate(
+            subject_cn=hostname,
+            issuer_cn=issuer_cn,
+            issuer_org=issuer_org,
+            san=tuple(san),
+            not_before=not_before,
+            not_after=not_after,
+            serial=self.next_serial(),
+        )
+
+    def __len__(self) -> int:
+        return len(self._endpoints)

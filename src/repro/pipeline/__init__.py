@@ -1,0 +1,28 @@
+"""Measurement pipeline: scanning the synthetic web like the paper did.
+
+:mod:`~repro.pipeline.measure` resolves, geolocates, TLS-scans, and
+enriches every toplist website into :class:`WebsiteMeasurement`
+records; :mod:`~repro.pipeline.records` holds the resulting dataset;
+:mod:`~repro.pipeline.vantage` replays the RIPE-Atlas vantage-point
+validation.
+"""
+
+from .export import CSV_FIELDS, export_csv, export_summary_json, load_csv
+from .measure import STANFORD_VANTAGE_CONTINENT, MeasurementPipeline
+from .records import LAYER_FIELDS, MeasurementDataset, WebsiteMeasurement
+from .vantage import VantageComparison, ripe_style_dataset, validate_vantage
+
+__all__ = [
+    "MeasurementPipeline",
+    "STANFORD_VANTAGE_CONTINENT",
+    "MeasurementDataset",
+    "WebsiteMeasurement",
+    "LAYER_FIELDS",
+    "VantageComparison",
+    "ripe_style_dataset",
+    "validate_vantage",
+    "export_csv",
+    "load_csv",
+    "export_summary_json",
+    "CSV_FIELDS",
+]

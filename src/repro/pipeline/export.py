@@ -1,0 +1,168 @@
+"""Dataset export/import: the study's data release.
+
+The paper releases its per-site dependence data; this module provides
+the equivalent for a measured dataset — a documented CSV schema for the
+per-site records, a compact JSON summary of per-country scores, and
+lossless round-trip loading so downstream users can analyze a release
+without rebuilding the world.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from ..core.centralization import centralization_score
+from ..datasets.paper_scores import LAYERS
+from ..errors import PipelineError
+from ..net.addressing import int_to_ip, ip_to_int
+from .records import MeasurementDataset, WebsiteMeasurement
+
+__all__ = [
+    "CSV_FIELDS",
+    "export_csv",
+    "load_csv",
+    "export_summary_json",
+]
+
+#: The released per-site schema, in column order.
+CSV_FIELDS: tuple[str, ...] = (
+    "country",
+    "rank",
+    "domain",
+    "ip",
+    "hosting_org",
+    "hosting_org_country",
+    "ip_country",
+    "ip_continent",
+    "ip_anycast",
+    "dns_org",
+    "dns_org_country",
+    "ns_continent",
+    "ns_anycast",
+    "ca_owner",
+    "ca_country",
+    "tld",
+    "language",
+    "error",
+)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    return str(value)
+
+
+def export_csv(dataset: MeasurementDataset, path: str | Path) -> int:
+    """Write the per-site records to CSV; returns the row count."""
+    path = Path(path)
+    rows = 0
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_FIELDS)
+        for record in dataset:
+            writer.writerow(
+                [
+                    record.country,
+                    record.rank,
+                    record.domain,
+                    int_to_ip(record.ip) if record.ip is not None else "",
+                    _cell(record.hosting_org),
+                    _cell(record.hosting_org_country),
+                    _cell(record.ip_country),
+                    _cell(record.ip_continent),
+                    _cell(record.ip_anycast),
+                    _cell(record.dns_org),
+                    _cell(record.dns_org_country),
+                    _cell(record.ns_continent),
+                    _cell(record.ns_anycast),
+                    _cell(record.ca_owner),
+                    _cell(record.ca_country),
+                    _cell(record.tld),
+                    _cell(record.language),
+                    _cell(record.error),
+                ]
+            )
+            rows += 1
+    return rows
+
+
+def _parse(value: str) -> str | None:
+    return value if value else None
+
+
+def load_csv(path: str | Path) -> MeasurementDataset:
+    """Load a released CSV back into a dataset (inverse of export)."""
+    path = Path(path)
+    dataset = MeasurementDataset()
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or tuple(header) != CSV_FIELDS:
+            raise PipelineError(
+                f"{path} does not match the release schema; expected "
+                f"header {CSV_FIELDS}"
+            )
+        for row in reader:
+            if len(row) != len(CSV_FIELDS):
+                raise PipelineError(
+                    f"{path}: malformed row with {len(row)} cells"
+                )
+            values = dict(zip(CSV_FIELDS, row))
+            dataset.add(
+                WebsiteMeasurement(
+                    domain=values["domain"],
+                    country=values["country"],
+                    rank=int(values["rank"]),
+                    ip=(
+                        ip_to_int(values["ip"]) if values["ip"] else None
+                    ),
+                    hosting_org=_parse(values["hosting_org"]),
+                    hosting_org_country=_parse(
+                        values["hosting_org_country"]
+                    ),
+                    ip_country=_parse(values["ip_country"]),
+                    ip_continent=_parse(values["ip_continent"]),
+                    ip_anycast=values["ip_anycast"] == "1",
+                    dns_org=_parse(values["dns_org"]),
+                    dns_org_country=_parse(values["dns_org_country"]),
+                    ns_continent=_parse(values["ns_continent"]),
+                    ns_anycast=values["ns_anycast"] == "1",
+                    ca_owner=_parse(values["ca_owner"]),
+                    ca_country=_parse(values["ca_country"]),
+                    tld=_parse(values["tld"]),
+                    language=_parse(values["language"]),
+                    error=_parse(values["error"]),
+                )
+            )
+    return dataset
+
+
+def export_summary_json(
+    dataset: MeasurementDataset, path: str | Path
+) -> dict:
+    """Write per-country, per-layer scores and insularity to JSON.
+
+    Returns the summary object that was written.
+    """
+    from ..analysis.layers import LayerAnalysis
+
+    summary: dict = {"countries": {}, "layers": list(LAYERS)}
+    analyses = {layer: LayerAnalysis(dataset, layer) for layer in LAYERS}
+    for cc in dataset.countries:
+        entry: dict = {}
+        for layer, analysis in analyses.items():
+            entry[layer] = {
+                "centralization": centralization_score(
+                    analysis.distribution(cc)
+                ),
+                "insularity": analysis.insularity[cc],
+                "providers": analysis.distribution(cc).n_providers,
+            }
+        summary["countries"][cc] = entry
+    Path(path).write_text(json.dumps(summary, indent=2, sort_keys=True))
+    return summary

@@ -1,0 +1,217 @@
+"""The active-measurement pipeline (Section 3.4, in simulation).
+
+For every website of every country toplist:
+
+1. resolve the domain with the iterative resolver (ZDNS step);
+2. label the serving IP with its AS organization (pfx2as + AS→Org),
+   geolocation (NetAcuity step), and anycast flag (bgp.tools step);
+3. find the authoritative nameservers, resolve them, and label the DNS
+   infrastructure organization the same way;
+4. complete a TLS handshake, parse the leaf, and map the issuer to its
+   CA owner through CCADB (ZGrab2 + Ma et al. step);
+5. extract the TLD from the public suffix split.
+
+Resolution failures, TLS failures, and unannounced address space are
+recorded per-site; the dataset keeps failed rows for failure-rate
+accounting while layer distributions skip them, exactly as dropping
+unresolvable domains from the paper's analysis.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..errors import PipelineError, ReproError
+from ..net.dns import Resolver
+from ..worldgen.world import World
+from .records import MeasurementDataset, WebsiteMeasurement
+
+__all__ = ["MeasurementPipeline", "STANFORD_VANTAGE_CONTINENT"]
+
+#: The paper measures from Stanford University — a North American
+#: vantage point.
+STANFORD_VANTAGE_CONTINENT = "NA"
+
+
+class MeasurementPipeline:
+    """Scans a :class:`~repro.worldgen.world.World` from one vantage."""
+
+    def __init__(
+        self,
+        world: World,
+        vantage_continent: str = STANFORD_VANTAGE_CONTINENT,
+        *,
+        vantage_country: str | None = None,
+        measure_tls: bool = True,
+        detect_language: bool = False,
+        inter_site_seconds: float = 0.0,
+    ) -> None:
+        self.world = world
+        self.vantage_continent = vantage_continent
+        self.vantage_country = vantage_country
+        self.measure_tls = measure_tls
+        self.detect_language = detect_language
+        self._inter_site_seconds = inter_site_seconds
+        self.resolver = Resolver(
+            world.namespace,
+            vantage_continent=vantage_continent,
+            vantage_country=vantage_country,
+        )
+        self._ns_org_cache: dict[str, tuple[str | None, str | None, str | None, bool]] = {}
+
+    # ------------------------------------------------------------------
+
+    def measure_site(
+        self, domain: str, country: str, rank: int
+    ) -> WebsiteMeasurement:
+        """Measure and enrich a single website.
+
+        The root-page fetch follows HTTP redirects first (about a third
+        of the web answers its apex with a 301 to ``www.``), then
+        resolves and scans whatever host ultimately serves the page.
+        """
+        if self._inter_site_seconds:
+            self.resolver.advance_clock(self._inter_site_seconds)
+        try:
+            serving_host = self.world.http.final_host(domain)
+        except ReproError as exc:
+            return WebsiteMeasurement(
+                domain=domain,
+                country=country,
+                rank=rank,
+                error=f"http: {exc}",
+            )
+        try:
+            resolution = self.resolver.resolve(serving_host)
+        except ReproError as exc:
+            return WebsiteMeasurement(
+                domain=domain,
+                country=country,
+                rank=rank,
+                error=f"resolve: {exc}",
+            )
+        if not resolution.addresses:
+            return WebsiteMeasurement(
+                domain=domain, country=country, rank=rank,
+                error="resolve: empty answer",
+            )
+        ip = resolution.addresses[0]
+
+        world = self.world
+        hosting_org = world.asdb.org_of_ip(ip)
+        hosting_org_country = world.asdb.country_of_ip(ip)
+        ip_country = world.geo.country_of(ip)
+        ip_continent = world.geo.continent_of(ip)
+        ip_anycast = world.anycast.is_anycast(ip)
+
+        dns_org, dns_org_country, ns_continent, ns_anycast = (
+            self._dns_infrastructure(resolution.authoritative_ns)
+        )
+
+        ca_owner = ca_country = None
+        tls_error: str | None = None
+        if self.measure_tls:
+            try:
+                certificate = world.tls_handshake(ip, serving_host)
+                if not certificate.covers(serving_host):
+                    tls_error = "tls: certificate does not cover hostname"
+                else:
+                    owner = world.ccadb.owner_of(certificate.issuer_cn)
+                    ca_owner, ca_country = owner.name, owner.country
+            except ReproError as exc:
+                tls_error = f"tls: {exc}"
+
+        try:
+            tld = world.psl.tld_of(domain)
+        except ReproError:
+            tld = None
+
+        language: str | None = None
+        if self.detect_language:
+            # The LangDetect step (Section 5.3.3): fetch the page and
+            # classify its text; expensive, so opt-in per pipeline.
+            from ..text import default_detector
+
+            try:
+                language = default_detector().detect(
+                    world.page_content(domain)
+                )
+            except ReproError:
+                language = None
+
+        return WebsiteMeasurement(
+            domain=domain,
+            country=country,
+            rank=rank,
+            ip=ip,
+            hosting_org=hosting_org,
+            hosting_org_country=hosting_org_country,
+            ip_country=ip_country,
+            ip_continent=ip_continent,
+            ip_anycast=ip_anycast,
+            dns_org=dns_org,
+            dns_org_country=dns_org_country,
+            ns_continent=ns_continent,
+            ns_anycast=ns_anycast,
+            ca_owner=ca_owner,
+            ca_country=ca_country,
+            tld=tld,
+            language=language,
+            error=tls_error,
+        )
+
+    def _dns_infrastructure(
+        self, authoritative_ns: tuple[str, ...]
+    ) -> tuple[str | None, str | None, str | None, bool]:
+        """Label the DNS provider from the first resolvable NS host."""
+        for ns_host in authoritative_ns:
+            cached = self._ns_org_cache.get(ns_host)
+            if cached is not None:
+                return cached
+            try:
+                ns_resolution = self.resolver.resolve(ns_host)
+            except ReproError:
+                continue
+            if not ns_resolution.addresses:
+                continue
+            ns_ip = ns_resolution.addresses[0]
+            result = (
+                self.world.asdb.org_of_ip(ns_ip),
+                self.world.asdb.country_of_ip(ns_ip),
+                self.world.geo.continent_of(ns_ip),
+                self.world.anycast.is_anycast(ns_ip),
+            )
+            self._ns_org_cache[ns_host] = result
+            return result
+        return None, None, None, False
+
+    # ------------------------------------------------------------------
+
+    def measure_country(self, country: str) -> list[WebsiteMeasurement]:
+        """Measure every site of one country's toplist, in rank order."""
+        toplist = self.world.toplists.get(country)
+        if toplist is None:
+            raise PipelineError(
+                f"world has no toplist for {country!r}; is it in the "
+                f"config's country set?"
+            )
+        return [
+            self.measure_site(domain, country, rank)
+            for rank, domain in enumerate(toplist.domains, start=1)
+        ]
+
+    def run(
+        self, countries: Sequence[str] | None = None
+    ) -> MeasurementDataset:
+        """Measure all (or selected) countries into a dataset."""
+        dataset = MeasurementDataset(
+            vantage_continent=self.vantage_continent
+        )
+        targets = (
+            list(countries)
+            if countries is not None
+            else sorted(self.world.toplists)
+        )
+        for country in targets:
+            dataset.extend(self.measure_country(country))
+        return dataset

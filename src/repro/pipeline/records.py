@@ -1,0 +1,190 @@
+"""Measurement records: what one scan of one website yields.
+
+A :class:`WebsiteMeasurement` is the enriched per-site row the paper's
+pipeline produces — DNS resolution, serving IP with AS organization /
+geolocation / anycast annotations, authoritative DNS organization, CA
+ownership of the served leaf certificate, and the TLD.  Failures are
+recorded rather than raised so that datasets stay rectangular.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from ..core.distributions import ProviderDistribution
+from ..errors import UnknownCountryError, UnknownLayerError
+
+__all__ = ["WebsiteMeasurement", "MeasurementDataset", "LAYER_FIELDS"]
+
+
+@dataclass(frozen=True, slots=True)
+class WebsiteMeasurement:
+    """One fully enriched website measurement."""
+
+    domain: str
+    country: str
+    rank: int
+    ip: int | None = None
+    hosting_org: str | None = None
+    hosting_org_country: str | None = None
+    ip_country: str | None = None
+    ip_continent: str | None = None
+    ip_anycast: bool = False
+    dns_org: str | None = None
+    dns_org_country: str | None = None
+    ns_continent: str | None = None
+    ns_anycast: bool = False
+    ca_owner: str | None = None
+    ca_country: str | None = None
+    tld: str | None = None
+    language: str | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the measurement completed without error."""
+        return self.error is None
+
+
+#: layer name -> (label field, label-country field).
+LAYER_FIELDS: dict[str, tuple[str, str | None]] = {
+    "hosting": ("hosting_org", "hosting_org_country"),
+    "dns": ("dns_org", "dns_org_country"),
+    "ca": ("ca_owner", "ca_country"),
+    "tld": ("tld", None),
+}
+
+
+class MeasurementDataset:
+    """All measurements of one study run, indexed by country.
+
+    Provides the raw-material queries every analysis consumes: the
+    per-layer :class:`ProviderDistribution` of a country, provider home
+    countries, and per-provider per-country usage (the regionalization
+    inputs).
+    """
+
+    def __init__(self, vantage_continent: str | None = None) -> None:
+        self._by_country: dict[str, list[WebsiteMeasurement]] = {}
+        self.vantage_continent = vantage_continent
+
+    def add(self, measurement: WebsiteMeasurement) -> None:
+        """Append one measurement."""
+        self._by_country.setdefault(measurement.country, []).append(
+            measurement
+        )
+
+    def extend(self, measurements: Iterable[WebsiteMeasurement]) -> None:
+        """Append many measurements."""
+        for m in measurements:
+            self.add(m)
+
+    @property
+    def countries(self) -> list[str]:
+        """Country codes covered, sorted."""
+        return sorted(self._by_country)
+
+    def records(self, country: str) -> list[WebsiteMeasurement]:
+        """All measurements for one country."""
+        try:
+            return list(self._by_country[country])
+        except KeyError:
+            raise UnknownCountryError(
+                f"no measurements for country {country!r}"
+            ) from None
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_country.values())
+
+    def __iter__(self) -> Iterator[WebsiteMeasurement]:
+        for country in self.countries:
+            yield from self._by_country[country]
+
+    def failure_rate(self, country: str) -> float:
+        """Fraction of a country's measurements that failed."""
+        records = self.records(country)
+        if not records:
+            return 0.0
+        return sum(1 for r in records if not r.ok) / len(records)
+
+    # ------------------------------------------------------------------
+    # Layer views
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _layer_fields(layer: str) -> tuple[str, str | None]:
+        try:
+            return LAYER_FIELDS[layer]
+        except KeyError:
+            raise UnknownLayerError(
+                f"unknown layer {layer!r}; expected one of "
+                f"{sorted(LAYER_FIELDS)}"
+            ) from None
+
+    def layer_labels(self, country: str, layer: str) -> list[str | None]:
+        """The per-site provider/CA/TLD labels of a country's toplist."""
+        field, _ = self._layer_fields(layer)
+        return [getattr(r, field) for r in self._by_country.get(country, [])]
+
+    def distribution(self, country: str, layer: str) -> ProviderDistribution:
+        """Observed provider distribution for a (country, layer)."""
+        field, _ = self._layer_fields(layer)
+        records = self.records(country)
+        return ProviderDistribution.from_assignments(
+            getattr(r, field) for r in records
+        )
+
+    def provider_countries(self, layer: str) -> dict[str, str]:
+        """Home country of every provider seen at a layer."""
+        field, country_field = self._layer_fields(layer)
+        if country_field is None:
+            return {}
+        homes: dict[str, str] = {}
+        for records in self._by_country.values():
+            for r in records:
+                label = getattr(r, field)
+                home = getattr(r, country_field)
+                if label is not None and home is not None:
+                    homes[label] = home
+        return homes
+
+    def usage_matrix(self, layer: str) -> dict[str, dict[str, float]]:
+        """provider -> country -> percent of the country's sites.
+
+        The raw input to usage curves, endemicity, and classification
+        (Section 3.3).  Countries where a provider is unused are
+        included with 0 so all curves share the same domain.
+        """
+        field, _ = self._layer_fields(layer)
+        counts: dict[str, Counter[str]] = {}
+        totals: dict[str, int] = {}
+        for country, records in self._by_country.items():
+            ok = [r for r in records if getattr(r, field) is not None]
+            totals[country] = len(ok)
+            for r in ok:
+                counts.setdefault(getattr(r, field), Counter())[
+                    country
+                ] += 1
+        matrix: dict[str, dict[str, float]] = {}
+        all_countries = self.countries
+        for provider, per_country in counts.items():
+            matrix[provider] = {
+                cc: (
+                    100.0 * per_country.get(cc, 0) / totals[cc]
+                    if totals[cc]
+                    else 0.0
+                )
+                for cc in all_countries
+            }
+        return matrix
+
+    def merged_distribution(self, layer: str) -> ProviderDistribution:
+        """Aggregate distribution across every measured country."""
+        field, _ = self._layer_fields(layer)
+        return ProviderDistribution.from_assignments(
+            getattr(r, field)
+            for records in self._by_country.values()
+            for r in records
+        )

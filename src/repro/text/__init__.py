@@ -1,0 +1,22 @@
+"""Text substrate: content generation and language identification.
+
+Stands in for the LangDetect dependency of Section 5.3.3 — every site
+serves a deterministic text snippet in its language, and
+:class:`LanguageDetector` recovers the language from the text alone.
+"""
+
+from .langid import (
+    SUPPORTED_LANGUAGES,
+    LanguageDetector,
+    LanguageModel,
+    default_detector,
+    generate_text,
+)
+
+__all__ = [
+    "LanguageModel",
+    "LanguageDetector",
+    "default_detector",
+    "generate_text",
+    "SUPPORTED_LANGUAGES",
+]

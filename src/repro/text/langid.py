@@ -1,0 +1,282 @@
+"""Language identification: the LangDetect step of Section 5.3.3.
+
+The paper detects website language with LangDetect to analyze the
+Afghanistan/Iran Persian-language dependence.  This module provides the
+offline equivalent: per-language token inventories, a deterministic
+content generator (used by the world to give each site a text snippet),
+and a naive-Bayes-style detector over token likelihoods — the same
+add-one-smoothed unigram scheme language detectors are built on.
+
+Languages carry ISO 639-1 codes; the inventory covers every primary
+language appearing in :data:`repro.worldgen.toplist.LANGUAGE_OF_COUNTRY`.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from collections.abc import Iterable
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = [
+    "LanguageModel",
+    "LanguageDetector",
+    "generate_text",
+    "default_detector",
+    "SUPPORTED_LANGUAGES",
+]
+
+
+class UnknownLanguageError(ReproError, KeyError):
+    """Raised when asked to generate text for an unknown language."""
+
+
+# Characteristic high-frequency tokens per language.  Real detectors
+# use character n-grams; a curated token inventory plays the same role
+# at this scale and keeps generation/detection exactly inverse.
+_WORDS: dict[str, tuple[str, ...]] = {
+    "en": ("the", "and", "for", "with", "news", "home", "about", "from",
+           "this", "more", "service", "contact", "world", "daily"),
+    "es": ("el", "la", "los", "para", "con", "noticias", "inicio",
+           "sobre", "desde", "más", "servicio", "contacto", "mundo"),
+    "pt": ("o", "a", "os", "para", "com", "notícias", "início", "sobre",
+           "desde", "mais", "serviço", "contato", "mundo", "página"),
+    "fr": ("le", "la", "les", "pour", "avec", "nouvelles", "accueil",
+           "sur", "depuis", "plus", "service", "contact", "monde"),
+    "de": ("der", "die", "das", "für", "mit", "nachrichten", "startseite",
+           "über", "von", "mehr", "dienst", "kontakt", "welt"),
+    "ru": ("и", "в", "на", "для", "с", "новости", "главная", "о",
+           "из", "ещё", "сервис", "контакты", "мир"),
+    "uk": ("і", "в", "на", "для", "з", "новини", "головна", "про",
+           "із", "ще", "сервіс", "контакти", "світ"),
+    "fa": ("و", "در", "به", "برای", "با", "اخبار", "خانه", "درباره",
+           "از", "بیشتر", "خدمات", "تماس", "جهان"),
+    "ps": ("او", "په", "ته", "لپاره", "سره", "خبرونه", "کور", "اړه",
+           "له", "نور", "خدمتونه", "اړیکه", "نړۍ"),
+    "ar": ("و", "في", "على", "من", "مع", "أخبار", "الرئيسية", "حول",
+           "إلى", "المزيد", "خدمة", "اتصال", "العالم"),
+    "zh": ("的", "在", "和", "为", "与", "新闻", "首页", "关于",
+           "从", "更多", "服务", "联系", "世界"),
+    "ja": ("の", "に", "と", "ため", "より", "ニュース", "ホーム",
+           "について", "から", "もっと", "サービス", "連絡", "世界"),
+    "ko": ("의", "에", "와", "위해", "보다", "뉴스", "홈", "소개",
+           "에서", "더", "서비스", "연락", "세계"),
+    "th": ("และ", "ใน", "ที่", "สำหรับ", "กับ", "ข่าว", "หน้าแรก",
+           "เกี่ยวกับ", "จาก", "เพิ่มเติม", "บริการ", "ติดต่อ", "โลก"),
+    "vi": ("và", "trong", "cho", "với", "từ", "tin", "trang", "về",
+           "hơn", "dịch", "vụ", "liên", "hệ"),
+    "id": ("dan", "di", "untuk", "dengan", "dari", "berita", "beranda",
+           "tentang", "lebih", "layanan", "kontak", "dunia", "halaman"),
+    "ms": ("dan", "di", "untuk", "dengan", "daripada", "berita", "laman",
+           "tentang", "lagi", "perkhidmatan", "hubungi", "dunia", "utama"),
+    "hi": ("और", "में", "के", "लिए", "साथ", "समाचार", "होम", "बारे",
+           "से", "अधिक", "सेवा", "संपर्क", "दुनिया"),
+    "ur": ("اور", "میں", "کے", "لیے", "ساتھ", "خبریں", "ہوم", "بارے",
+           "سے", "مزید", "سروس", "رابطہ", "دنیا"),
+    "bn": ("এবং", "মধ্যে", "জন্য", "সাথে", "থেকে", "খবর", "হোম",
+           "সম্পর্কে", "আরও", "সেবা", "যোগাযোগ", "বিশ্ব", "পাতা"),
+    "tr": ("ve", "için", "ile", "bu", "daha", "haberler", "anasayfa",
+           "hakkında", "den", "fazla", "hizmet", "iletişim", "dünya"),
+    "el": ("και", "στο", "για", "με", "από", "ειδήσεις", "αρχική",
+           "σχετικά", "περισσότερα", "υπηρεσία", "επικοινωνία", "κόσμος",
+           "σελίδα"),
+    "he": ("ו", "ב", "ל", "עבור", "עם", "חדשות", "בית", "אודות",
+           "מ", "עוד", "שירות", "קשר", "עולם"),
+    "it": ("il", "la", "per", "con", "da", "notizie", "home", "chi",
+           "più", "servizio", "contatto", "mondo", "pagina"),
+    "pl": ("i", "w", "dla", "z", "od", "wiadomości", "strona", "o",
+           "więcej", "usługa", "kontakt", "świat", "główna"),
+    "cs": ("a", "v", "pro", "s", "od", "zprávy", "domů", "o",
+           "více", "služba", "kontakt", "svět", "stránka"),
+    "sk": ("a", "v", "pre", "s", "od", "správy", "domov", "o",
+           "viac", "služba", "kontakt", "svet", "stránka"),
+    "hu": ("és", "a", "az", "számára", "val", "hírek", "kezdőlap",
+           "rólunk", "tól", "több", "szolgáltatás", "kapcsolat", "világ"),
+    "ro": ("și", "în", "pentru", "cu", "din", "știri", "acasă",
+           "despre", "mai", "serviciu", "contact", "lume", "pagina"),
+    "bg": ("и", "в", "за", "с", "от", "новини", "начало", "относно",
+           "още", "услуга", "контакт", "свят", "страница"),
+    "sr": ("и", "у", "за", "са", "од", "вести", "почетна", "о",
+           "више", "услуга", "контакт", "свет", "страна"),
+    "hr": ("i", "u", "za", "s", "od", "vijesti", "početna", "o",
+           "više", "usluga", "kontakt", "svijet", "stranica"),
+    "bs": ("i", "u", "za", "sa", "od", "vijesti", "početna", "o",
+           "više", "usluga", "kontakt", "svijet", "strana"),
+    "sl": ("in", "v", "za", "z", "od", "novice", "domov", "o",
+           "več", "storitev", "kontakt", "svet", "stran"),
+    "mk": ("и", "во", "за", "со", "од", "вести", "почетна", "нас",
+           "повеќе", "услуга", "контакт", "свет", "страница"),
+    "sq": ("dhe", "në", "për", "me", "nga", "lajme", "kryefaqja",
+           "rreth", "më", "shërbim", "kontakt", "bota", "faqja"),
+    "nl": ("de", "het", "voor", "met", "van", "nieuws", "thuis",
+           "over", "meer", "dienst", "contact", "wereld", "pagina"),
+    "sv": ("och", "i", "för", "med", "från", "nyheter", "hem", "om",
+           "mer", "tjänst", "kontakt", "värld", "sida"),
+    "no": ("og", "i", "for", "med", "fra", "nyheter", "hjem", "om",
+           "mer", "tjeneste", "kontakt", "verden", "side"),
+    "da": ("og", "i", "til", "med", "fra", "nyheder", "hjem", "om",
+           "mere", "tjeneste", "kontakt", "verden", "side"),
+    "fi": ("ja", "on", "varten", "kanssa", "alkaen", "uutiset", "koti",
+           "tietoa", "lisää", "palvelu", "yhteys", "maailma", "sivu"),
+    "is": ("og", "í", "fyrir", "með", "frá", "fréttir", "heim", "um",
+           "meira", "þjónusta", "samband", "heimur", "síða"),
+    "et": ("ja", "on", "jaoks", "koos", "alates", "uudised", "kodu",
+           "meist", "rohkem", "teenus", "kontakt", "maailm", "leht"),
+    "lv": ("un", "ir", "priekš", "ar", "no", "ziņas", "mājas", "par",
+           "vairāk", "pakalpojums", "kontakti", "pasaule", "lapa"),
+    "lt": ("ir", "yra", "skirta", "su", "nuo", "naujienos", "namai",
+           "apie", "daugiau", "paslauga", "kontaktai", "pasaulis",
+           "puslapis"),
+    "ka": ("და", "ში", "თვის", "ერთად", "დან", "სიახლეები", "მთავარი",
+           "შესახებ", "მეტი", "სერვისი", "კონტაქტი", "მსოფლიო",
+           "გვერდი"),
+    "hy": ("և", "մեջ", "համար", "հետ", "ից", "նորություններ", "գլխավոր",
+           "մասին", "ավելին", "ծառայություն", "կապ", "աշխարհ", "էջ"),
+    "az": ("və", "də", "üçün", "ilə", "dan", "xəbərlər", "ana",
+           "haqqında", "daha", "xidmət", "əlaqə", "dünya", "səhifə"),
+    "am": ("እና", "ውስጥ", "ለ", "ጋር", "ከ", "ዜና", "መነሻ", "ስለ",
+           "ተጨማሪ", "አገልግሎት", "አድራሻ", "ዓለም", "ገጽ"),
+    "so": ("iyo", "gudaha", "loogu", "la", "ka", "wararka", "guriga",
+           "saabsan", "dheeraad", "adeeg", "xiriir", "adduunka",
+           "bogga"),
+    "sw": ("na", "katika", "kwa", "pamoja", "kutoka", "habari",
+           "nyumbani", "kuhusu", "zaidi", "huduma", "mawasiliano",
+           "dunia", "ukurasa"),
+    "mn": ("ба", "дотор", "төлөө", "хамт", "аас", "мэдээ", "нүүр",
+           "тухай", "илүү", "үйлчилгээ", "холбоо", "дэлхий", "хуудас"),
+    "my": ("နှင့်", "တွင်", "အတွက်", "ဖြင့်", "မှ", "သတင်း",
+           "ပင်မ", "အကြောင်း", "နောက်ထပ်", "ဝန်ဆောင်မှု",
+           "ဆက်သွယ်ရန်", "ကမ္ဘာ", "စာမျက်နှာ"),
+    "km": ("និង", "ក្នុង", "សម្រាប់", "ជាមួយ", "ពី", "ព័ត៌មាន",
+           "ទំព័រដើម", "អំពី", "បន្ថែម", "សេវាកម្ម", "ទំនាក់ទំនង",
+           "ពិភពលោក", "ទំព័រ"),
+    "lo": ("ແລະ", "ໃນ", "ສໍາລັບ", "ກັບ", "ຈາກ", "ຂ່າວ", "ໜ້າຫຼັກ",
+           "ກ່ຽວກັບ", "ເພີ່ມເຕີມ", "ບໍລິການ", "ຕິດຕໍ່", "ໂລກ",
+           "ໜ້າ"),
+    "ne": ("र", "मा", "लागि", "साथ", "बाट", "समाचार", "गृहपृष्ठ",
+           "बारेमा", "थप", "सेवा", "सम्पर्क", "संसार", "पृष्ठ"),
+    "si": ("සහ", "තුළ", "සඳහා", "සමඟ", "සිට", "පුවත්", "මුල්",
+           "ගැන", "තවත්", "සේවාව", "සම්බන්ධ", "ලෝකය", "පිටුව"),
+}
+
+SUPPORTED_LANGUAGES: tuple[str, ...] = tuple(sorted(_WORDS))
+
+
+class LanguageModel:
+    """Unigram model for one language (generation + scoring)."""
+
+    def __init__(self, code: str, words: tuple[str, ...]) -> None:
+        if not words:
+            raise UnknownLanguageError(f"no vocabulary for {code!r}")
+        self.code = code
+        self.words = words
+        self._word_set = frozenset(words)
+
+    def generate(self, seed: int, length: int = 24) -> str:
+        """Deterministic snippet of ``length`` tokens.
+
+        Snippets at least as long as the vocabulary contain every
+        vocabulary token at least once — closely related languages
+        (Croatian/Bosnian) differ in only a couple of function words,
+        and a page long enough always surfaces them, which keeps
+        generation/detection exact inverses.
+        """
+        rng = np.random.default_rng(seed)
+        # Zipf-ish weights so common tokens dominate, as in real text.
+        weights = 1.0 / np.arange(1, len(self.words) + 1)
+        weights = weights / weights.sum()
+        tokens: list[str] = []
+        remaining = length
+        if length >= len(self.words):
+            tokens.extend(self.words)
+            remaining -= len(self.words)
+        picks = rng.choice(len(self.words), size=remaining, p=weights)
+        tokens.extend(self.words[int(i)] for i in picks)
+        order = rng.permutation(len(tokens))
+        return " ".join(tokens[int(i)] for i in order)
+
+    def log_likelihood(self, tokens: Iterable[str]) -> float:
+        """Add-one-smoothed unigram log-likelihood."""
+        vocabulary = len(self.words)
+        total = 0.0
+        for token in tokens:
+            if token in self._word_set:
+                # All in-vocabulary tokens share mass approximately.
+                total += math.log(2.0 / (vocabulary + 1))
+            else:
+                total += math.log(1.0 / (10 * (vocabulary + 1)))
+        return total
+
+
+class LanguageDetector:
+    """Pick the most likely language for a text snippet."""
+
+    def __init__(self, models: dict[str, LanguageModel]) -> None:
+        if not models:
+            raise UnknownLanguageError("detector needs at least one model")
+        self._models = models
+
+    @property
+    def languages(self) -> tuple[str, ...]:
+        """Language codes the detector can identify."""
+        return tuple(sorted(self._models))
+
+    def detect(self, text: str) -> str:
+        """Most likely language code (ties broken alphabetically)."""
+        tokens = [t for t in text.split() if t]
+        if not tokens:
+            raise UnknownLanguageError("cannot detect language of empty text")
+        best_code = None
+        best_score = -math.inf
+        for code in sorted(self._models):
+            score = self._models[code].log_likelihood(tokens)
+            if score > best_score:
+                best_code, best_score = code, score
+        assert best_code is not None
+        return best_code
+
+    def detect_ranked(self, text: str, top: int = 3) -> list[tuple[str, float]]:
+        """The ``top`` most likely languages with log-likelihoods."""
+        tokens = [t for t in text.split() if t]
+        if not tokens:
+            raise UnknownLanguageError("cannot detect language of empty text")
+        scored = [
+            (code, model.log_likelihood(tokens))
+            for code, model in sorted(self._models.items())
+        ]
+        scored.sort(key=lambda cs: (-cs[1], cs[0]))
+        return scored[:top]
+
+
+_DETECTOR: LanguageDetector | None = None
+
+
+def default_detector() -> LanguageDetector:
+    """The process-wide detector over all supported languages."""
+    global _DETECTOR
+    if _DETECTOR is None:
+        _DETECTOR = LanguageDetector(
+            {
+                code: LanguageModel(code, words)
+                for code, words in _WORDS.items()
+            }
+        )
+    return _DETECTOR
+
+
+def generate_text(language: str, seed_key: str, length: int = 24) -> str:
+    """Deterministic page snippet for a site in a given language.
+
+    ``seed_key`` (typically the site's domain) pins the snippet so the
+    same site always serves the same content.
+    """
+    words = _WORDS.get(language)
+    if words is None:
+        raise UnknownLanguageError(
+            f"unsupported language {language!r}; see SUPPORTED_LANGUAGES"
+        )
+    model = LanguageModel(language, words)
+    return model.generate(zlib.crc32(seed_key.encode()), length)

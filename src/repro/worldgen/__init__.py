@@ -1,0 +1,78 @@
+"""Synthetic web generator calibrated against the paper's published data.
+
+The real study measures the live Internet; offline, this subpackage
+synthesizes a 150-country web whose per-country concentration at each
+infrastructure layer is calibrated to the paper's published score
+tables, whose named anchors (Cloudflare shares, CIS→Russia dependence,
+CA partnerships, ccTLD mixes) hold by construction, and which is then
+*re-measured* through the full simulated pipeline.
+"""
+
+from .churn import ChurnConfig, derive_overrides, evolve
+from .stats import WorldSummary, summarize
+from .validate import validate_world
+from .calibration import (
+    CalibrationOutcome,
+    calibrate_shares,
+    geometric_tail,
+    power_transform,
+    score_of_shares,
+    solve_theta,
+)
+from .config import BENCH_SCALE, PAPER_SCALE, SMALL_SCALE, WorldConfig
+from .market import Provider, ProviderMarket
+from .profiles import (
+    LayerTemplate,
+    ProfileBuilder,
+    cloudflare_share_default,
+    hosting_insularity_target,
+)
+from .toplist import (
+    LANGUAGE_OF_COUNTRY,
+    DomainFactory,
+    Site,
+    Toplist,
+    rank_bucket,
+)
+from .world import (
+    LAYER_NAMES,
+    EvolutionPlan,
+    ProviderInfra,
+    SiteRecord,
+    World,
+)
+
+__all__ = [
+    "ChurnConfig",
+    "evolve",
+    "derive_overrides",
+    "EvolutionPlan",
+    "WorldSummary",
+    "summarize",
+    "validate_world",
+    "WorldConfig",
+    "SMALL_SCALE",
+    "BENCH_SCALE",
+    "PAPER_SCALE",
+    "World",
+    "SiteRecord",
+    "ProviderInfra",
+    "LAYER_NAMES",
+    "Provider",
+    "ProviderMarket",
+    "ProfileBuilder",
+    "LayerTemplate",
+    "hosting_insularity_target",
+    "cloudflare_share_default",
+    "calibrate_shares",
+    "solve_theta",
+    "power_transform",
+    "score_of_shares",
+    "geometric_tail",
+    "CalibrationOutcome",
+    "Site",
+    "Toplist",
+    "DomainFactory",
+    "rank_bucket",
+    "LANGUAGE_OF_COUNTRY",
+]

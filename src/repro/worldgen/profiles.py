@@ -1,0 +1,993 @@
+"""Per-country, per-layer template share vectors.
+
+A template is a list of ``(entity, share)`` pairs — providers for the
+hosting/DNS layers, CA owners for the CA layer, TLD labels for the TLD
+layer — whose *composition* encodes everything the paper reports about
+who serves each country (anchored shares, geopolitical affinities,
+insularity) and whose *shape* lands near the country's published
+Centralization Score.  The :mod:`~repro.worldgen.calibration` power
+solver then nails the score exactly.
+
+The tables in this module are the quantitative reading of Sections 5–7
+and Appendix B: pinned top-provider shares, insularity targets,
+cross-border dependence (CIS→Russia, francophone→France, SK→CZ, AF→IR),
+hosting/CA partnerships, and TLD mixes.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets import paper_anchors
+from ..datasets.countries import (
+    COUNTRIES,
+    FRANCOPHONE_AFRICA,
+    FRENCH_ADMINISTRATIVE,
+)
+from ..datasets.paper_scores import PAPER_SCORES
+from ..datasets.providers import AMAZON, CLOUDFLARE
+from ..errors import CalibrationError
+from .calibration import geometric_tail
+from .config import WorldConfig
+from .market import Provider, ProviderMarket
+
+__all__ = [
+    "LayerTemplate",
+    "ProfileBuilder",
+    "ProfileOverrides",
+    "hosting_insularity_target",
+    "hosting_affinities",
+    "cloudflare_share_default",
+]
+
+
+# ---------------------------------------------------------------------------
+# Insularity targets (Section 5.3.1 anchors + subregion defaults)
+# ---------------------------------------------------------------------------
+
+_INSULARITY_SPECIAL: dict[str, float] = {
+    "US": 0.921,
+    "IR": 0.648,
+    "CZ": 0.545,
+    "RU": 0.511,
+    "TM": 0.04,
+    "SK": 0.12,  # relies on Czechia instead of itself
+    "HU": 0.40,
+    "BY": 0.38,
+    "JP": 0.45,
+    "KR": 0.42,
+    "TW": 0.28,
+    "DE": 0.34,
+    "FR": 0.34,
+    "BR": 0.26,
+    "TR": 0.25,
+    "IL": 0.24,
+    "IN": 0.16,
+    "ZA": 0.10,
+    "AU": 0.20,
+    "NZ": 0.12,
+    "CA": 0.12,
+    "PL": 0.30,
+    "UA": 0.26,
+    "GB": 0.14,
+    "SE": 0.16,
+}
+
+_INSULARITY_SUBREGION: dict[str, float] = {
+    "Northern America": 0.20,
+    "Central America": 0.03,
+    "Caribbean": 0.02,
+    "South America": 0.08,
+    "Northern Europe": 0.15,
+    "Western Europe": 0.26,
+    "Eastern Europe": 0.28,
+    "Southern Europe": 0.20,
+    "Northern Africa": 0.03,
+    "Western Africa": 0.02,
+    "Middle Africa": 0.02,
+    "Eastern Africa": 0.03,
+    "Southern Africa": 0.05,
+    "Western Asia": 0.06,
+    "Central Asia": 0.04,
+    "Southern Asia": 0.06,
+    "South-eastern Asia": 0.08,
+    "Eastern Asia": 0.25,
+    "Oceania": 0.10,
+}
+
+
+def hosting_insularity_target(cc: str) -> float:
+    """The fraction of a country's sites its own providers should serve."""
+    special = _INSULARITY_SPECIAL.get(cc)
+    if special is not None:
+        return special
+    return _INSULARITY_SUBREGION[COUNTRIES[cc].subregion]
+
+
+# ---------------------------------------------------------------------------
+# Cross-border hosting affinities (Section 5.3.3)
+# ---------------------------------------------------------------------------
+
+_HOSTING_AFFINITY: dict[str, tuple[tuple[str, float], ...]] = {
+    # CIS reliance on Russia.
+    "TM": (("RU", 0.33),),
+    "TJ": (("RU", 0.23),),
+    "KG": (("RU", 0.22),),
+    "KZ": (("RU", 0.21),),
+    "BY": (("RU", 0.18),),
+    "UZ": (("RU", 0.15),),
+    "AM": (("RU", 0.12),),
+    "AZ": (("RU", 0.10),),
+    "MD": (("RU", 0.10), ("RO", 0.04)),
+    "GE": (("RU", 0.06),),
+    # Post-Soviet states that moved away from Russia.
+    "UA": (("RU", 0.02),),
+    "LT": (("RU", 0.03),),
+    "EE": (("RU", 0.05),),
+    "LV": (("RU", 0.06),),
+    # French administrative regions and francophone Africa.  These pin
+    # the *regional-provider* part of the French dependence; OVH's
+    # French-skewed share (+~0.10 in DOM regions, +~0.05 in francophone
+    # Africa) tops the measured dependence up to the paper's totals
+    # (RE 36%, GP 34%, MQ 35%, BF 21%, CI 18%, ML 18%).
+    "RE": (("FR", 0.25),),
+    "GP": (("FR", 0.23),),
+    "MQ": (("FR", 0.24),),
+    "BF": (("FR", 0.15),),
+    "CI": (("FR", 0.12),),
+    "ML": (("FR", 0.12),),
+    "SN": (("FR", 0.09),),
+    "TG": (("FR", 0.08),),
+    "BJ": (("FR", 0.08),),
+    "CM": (("FR", 0.06),),
+    "MG": (("FR", 0.06),),
+    "CD": (("FR", 0.05),),
+    "DZ": (("FR", 0.05),),
+    "TN": (("FR", 0.06),),
+    "MA": (("FR", 0.05),),
+    "HT": (("FR", 0.04),),
+    # Slovakia on Czechia; Austria on Germany; Afghanistan on Iran.
+    "SK": (("CZ", 0.257),),
+    "AT": (("DE", 0.03),),
+    "AF": (("IR", 0.20),),
+    # Smaller linguistic spillovers.
+    "LU": (("DE", 0.05), ("FR", 0.05)),
+    "CH": (("DE", 0.04),),
+    "BE": (("FR", 0.04), ("NL", 0.03)),
+    "CY": (("GR", 0.06),),
+    "PT": (("ES", 0.03),),
+    "IE": (("GB", 0.05),),
+    "MO": (("HK", 0.08),),
+    "HK": (("SG", 0.04),),
+    "MN": (("RU", 0.05),),
+    "NZ": (("AU", 0.06),),
+    "PY": (("BR", 0.04), ("AR", 0.04)),
+    "UY": (("BR", 0.04), ("AR", 0.05)),
+    "BO": (("BR", 0.03), ("AR", 0.03)),
+}
+
+# Dominant single regional providers (Section 5.2).
+_DOMINANT_REGIONAL: dict[str, tuple[str, float]] = {
+    "BG": ("SuperHosting.BG", 0.22),
+    "LT": ("UAB Interneto vizija", 0.22),
+}
+
+# Pinned Cloudflare hosting shares (Sections 5.1, 5.4, 6.1; AZ/HK from
+# the Figure 1 example).
+_CF_HOSTING_PINNED: dict[str, float] = {
+    "TH": 0.60,
+    "ID": 0.57,
+    "US": 0.29,
+    "IR": 0.14,
+    "BR": 0.36,
+    "CZ": 0.17,
+    "AZ": 0.42,
+    "HK": 0.33,
+}
+
+# Pinned second-provider (Amazon) hosting shares — Figure 1's AZ/HK
+# contrast: same top-5 mass, different internal distribution.
+_AMAZON_HOSTING_PINNED: dict[str, float] = {
+    "AZ": 0.05,
+    "HK": 0.12,
+}
+
+# Pinned Cloudflare DNS shares (Section 6.1).
+_CF_DNS_PINNED: dict[str, float] = {
+    "ID": 0.65,
+    "TH": 0.62,
+    "CZ": 0.17,
+}
+
+# Foreign tail composition: where a country's anonymous long-tail
+# foreign providers are headquartered (weights, renormalized after
+# affinity countries are added).
+_FOREIGN_TAIL_BASE: tuple[tuple[str, float], ...] = (
+    ("US", 0.45),
+    ("DE", 0.13),
+    ("NL", 0.09),
+    ("FR", 0.08),
+    ("GB", 0.07),
+    ("SG", 0.05),
+    ("CA", 0.04),
+    ("JP", 0.03),
+    ("IN", 0.03),
+    ("BR", 0.03),
+)
+
+
+def hosting_affinities(cc: str) -> tuple[tuple[str, float], ...]:
+    """The pinned cross-border hosting dependences of a country
+    (Section 5.3.3's case-study table)."""
+    return _HOSTING_AFFINITY.get(cc, ())
+
+
+def cloudflare_share_default(score: float) -> float:
+    """Default Cloudflare share from the country score.
+
+    A linear fit through the paper's anchored (S, share) pairs —
+    Thailand (0.355, 0.60), the U.S. (0.136, 0.29), Czechia (0.056,
+    0.17), Iran (0.041, 0.14) — reproducing the strong XL-GP/S coupling
+    of Section 5.2 (rho = 0.90).
+    """
+    return min(max(1.44 * score + 0.089, 0.05), 0.66)
+
+
+@dataclass(frozen=True)
+class ProfileOverrides:
+    """Adjustments applied on top of the paper-anchored profiles.
+
+    Used by the longitudinal churn model (Section 5.4): the 2025
+    snapshot shifts Cloudflare shares, insularity, and score targets
+    away from their 2023 values.
+    """
+
+    score_targets: dict[tuple[str, str], float] | None = None
+    cf_hosting: dict[str, float] | None = None
+    cf_dns: dict[str, float] | None = None
+    insularity: dict[str, float] | None = None
+
+    def target(self, cc: str, layer: str, default: float) -> float:
+        """Score target for (country, layer), with override."""
+        if self.score_targets is not None:
+            return self.score_targets.get((cc, layer), default)
+        return default
+
+    def cloudflare(self, cc: str, layer: str) -> float | None:
+        """Overridden Cloudflare share for a country, if any."""
+        table = self.cf_hosting if layer == "hosting" else self.cf_dns
+        return table.get(cc) if table is not None else None
+
+    def insularity_of(self, cc: str, default: float) -> float:
+        """Insularity target for a country, with override."""
+        if self.insularity is not None:
+            return self.insularity.get(cc, default)
+        return default
+
+
+_NO_OVERRIDES = ProfileOverrides()
+
+
+@dataclass(frozen=True, slots=True)
+class LayerTemplate:
+    """A template share vector for one (country, layer)."""
+
+    country: str
+    layer: str
+    entries: tuple[tuple[str, float], ...]
+    target_score: float
+
+    def shares(self) -> np.ndarray:
+        """Template shares as an array (normalized)."""
+        return np.array([share for _, share in self.entries], dtype=float)
+
+    def names(self) -> tuple[str, ...]:
+        """Entity names in template order."""
+        return tuple(name for name, _ in self.entries)
+
+    def share_of(self, name: str) -> float:
+        """Total template share of one entity."""
+        return sum(share for n, share in self.entries if n == name)
+
+
+class ProfileBuilder:
+    """Builds layer templates for every country in a world config."""
+
+    def __init__(
+        self,
+        market: ProviderMarket,
+        config: WorldConfig,
+        overrides: ProfileOverrides | None = None,
+    ) -> None:
+        self._market = market
+        self._config = config
+        self._overrides = overrides or _NO_OVERRIDES
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    def _rng(self, cc: str, layer: str) -> np.random.Generator:
+        # zlib.crc32 is stable across processes (unlike str hash).
+        return np.random.default_rng(
+            (
+                self._config.effective_template_seed,
+                zlib.crc32(cc.encode()),
+                zlib.crc32(layer.encode()),
+            )
+        )
+
+    def _unit(self) -> float:
+        return 1.0 / self._config.sites_per_country
+
+    @staticmethod
+    def _add(entries: dict[str, float], name: str, share: float) -> None:
+        if share <= 0:
+            return
+        entries[name] = entries.get(name, 0.0) + share
+
+    def _foreign_tail_countries(
+        self, cc: str, rng: np.random.Generator
+    ) -> tuple[list[str], np.ndarray]:
+        """Weighted home countries for a country's foreign tail."""
+        weights: dict[str, float] = {}
+        for home, w in _FOREIGN_TAIL_BASE:
+            if home != cc:
+                weights[home] = w
+        # Affinity countries appear in the tail too, but gently: their
+        # headline dependence share is already pinned in the head.
+        for home, share in _HOSTING_AFFINITY.get(cc, ()):
+            weights[home] = weights.get(home, 0.0) + 0.7 * share
+        homes = sorted(weights)
+        w = np.array([weights[h] for h in homes])
+        return homes, w / w.sum()
+
+    def _assign_tail_identities(
+        self,
+        cc: str,
+        tail_shares: list[float],
+        local_fraction: float,
+        rng: np.random.Generator,
+        entries: dict[str, float],
+        start_local_index: int = 0,
+    ) -> None:
+        """Attach provider identities to anonymous tail shares.
+
+        Local slots become this country's XS providers; foreign slots
+        draw from other countries' tail pools with small indices reused
+        across countries (those providers accumulate multi-country
+        usage and surface as S-GP/M-GP in classification).
+        """
+        homes, weights = self._foreign_tail_countries(cc, rng)
+        local_idx = start_local_index
+        n = len(tail_shares)
+        if n == 0:
+            return
+        local_flags = rng.random(n) < local_fraction
+        home_choices = rng.choice(len(homes), size=n, p=weights)
+        # Small foreign tail entries reuse low indices across countries
+        # (hosting resellers with thin multi-country presence — the
+        # S-GP texture); sizable entries get effectively unique
+        # identities so each stays a single-market regional provider.
+        exponential = rng.exponential(120.0, size=n)
+        unique = rng.integers(3000, 10_000, size=n)
+        for i, share in enumerate(tail_shares):
+            if local_flags[i]:
+                provider = self._market.tail_provider(cc, local_idx)
+                local_idx += 1
+            else:
+                home = homes[int(home_choices[i])]
+                index = (
+                    int(unique[i]) if share >= 0.012 else int(exponential[i])
+                )
+                provider = self._market.tail_provider(home, index)
+                attempts = 0
+                while provider.name in entries and attempts < 50:
+                    index += 7
+                    provider = self._market.tail_provider(home, index)
+                    attempts += 1
+                if provider.name in entries:
+                    provider = self._market.tail_provider(cc, local_idx)
+                    local_idx += 1
+            self._add(entries, provider.name, share)
+
+    def _finish(
+        self,
+        cc: str,
+        layer: str,
+        entries: dict[str, float],
+        target: float,
+    ) -> LayerTemplate:
+        total = sum(entries.values())
+        if total <= 0:
+            raise CalibrationError(f"empty template for {cc}/{layer}")
+        normalized = tuple(
+            (name, share / total)
+            for name, share in sorted(
+                entries.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        )
+        return LayerTemplate(
+            country=cc, layer=layer, entries=normalized, target_score=target
+        )
+
+    # ------------------------------------------------------------------
+    # Hosting
+    # ------------------------------------------------------------------
+
+    def hosting_template(self, cc: str) -> LayerTemplate:
+        """Hosting-layer template for one country (Section 5)."""
+        target = self._overrides.target(
+            cc, "hosting", PAPER_SCORES["hosting"][cc]
+        )
+        unit = self._unit()
+        rng = self._rng(cc, "hosting")
+        insular_target = self._overrides.insularity_of(
+            cc, hosting_insularity_target(cc)
+        )
+        entries: dict[str, float] = {}
+
+        hhi_cap = target + unit
+        cf_cap = math.sqrt(0.94 * hhi_cap)
+
+        if cc == "JP":
+            # Japan is the one country where Amazon outranks Cloudflare.
+            amazon = min(0.23, cf_cap)
+            cloudflare = min(0.10, 0.9 * amazon)
+        else:
+            pinned = self._overrides.cloudflare(cc, "hosting")
+            if pinned is None:
+                pinned = _CF_HOSTING_PINNED.get(
+                    cc, cloudflare_share_default(target)
+                )
+            cloudflare = min(pinned, cf_cap)
+            amazon = _AMAZON_HOSTING_PINNED.get(cc)
+            if amazon is None:
+                amazon = min(
+                    max(0.30 * cloudflare, 0.015), 0.10, 0.9 * cloudflare
+                )
+        self._add(entries, CLOUDFLARE, cloudflare)
+        self._add(entries, AMAZON, amazon)
+
+        # Other large global providers: weak correlation with S
+        # (Section 5.2), suppressed in insular countries.
+        lgp_total = (0.11 + 0.07 * rng.random()) * (
+            1.0 - 0.75 * insular_target
+        )
+        lgp_weights = {
+            "Google": 0.28,
+            "Akamai": 0.22,
+            "Microsoft": 0.18,
+            "Fastly": 0.12,
+            "DigitalOcean": 0.10,
+            "GoDaddy Hosting": 0.10,
+        }
+        for name, weight in lgp_weights.items():
+            self._add(entries, name, lgp_total * weight)
+
+        # OVH and Hetzner: global with a European/francophone skew
+        # (the Table 1 "L-GP (R)" profile: sizable usage, endemicity
+        # ratio between the global and regional plateaus).
+        ovh = 0.004
+        continent = COUNTRIES[cc].continent
+        if cc == "FR":
+            ovh = 0.06
+        elif cc in FRENCH_ADMINISTRATIVE:
+            ovh = 0.10
+        elif cc in FRANCOPHONE_AFRICA:
+            ovh = 0.05
+        elif continent == "EU":
+            ovh = 0.018
+        self._add(entries, "OVH", ovh)
+        hetzner = paper_anchors.HOSTING["hetzner_global_share"]
+        if cc == "DE":
+            hetzner = 0.05
+        elif cc == "AT":
+            hetzner = 0.032
+        elif continent == "EU":
+            hetzner = 0.028
+        self._add(entries, "Hetzner", hetzner)
+
+        # Medium/small global providers.
+        small_globals = self._market.small_global()
+        mgp_names = ["Incapsula", "Linode", "Vultr", "Leaseweb"] + [
+            p.name
+            for p in small_globals[
+                int(rng.integers(0, 40)) : int(rng.integers(0, 40)) + 10
+            ]
+        ]
+        mgp_total = 0.03 + 0.015 * rng.random()
+        mgp_weights = np.array([0.85**i for i in range(len(mgp_names))])
+        mgp_weights /= mgp_weights.sum()
+        for name, w in zip(mgp_names, mgp_weights):
+            self._add(entries, name, mgp_total * float(w))
+        sgp_names = ["Wix", "Squarespace", "Netlify"] + [
+            p.name
+            for p in small_globals[60 + (zlib.crc32(cc.encode()) % 20) :][:12]
+        ]
+        sgp_total = 0.02 + 0.012 * rng.random()
+        sgp_weights = np.array([0.88**i for i in range(len(sgp_names))])
+        sgp_weights /= sgp_weights.sum()
+        for name, w in zip(sgp_names, sgp_weights):
+            self._add(entries, name, sgp_total * float(w))
+
+        # Cross-border affinity providers (split over the foreign
+        # country's large regional pool).
+        for foreign_cc, share in _HOSTING_AFFINITY.get(cc, ()):
+            pool = self._market.local_large(foreign_cc)
+            weights = np.array([0.45, 0.27, 0.17, 0.11][: len(pool)])
+            weights = weights / weights.sum()
+            for provider, w in zip(pool, weights):
+                self._add(entries, provider.name, share * float(w))
+
+        # Dominant single regional provider, where the paper names one.
+        dominant = _DOMINANT_REGIONAL.get(cc)
+        if dominant is not None:
+            self._add(entries, dominant[0], dominant[1])
+
+        # Local head: enough local-provider mass to satisfy the
+        # insularity target, spread over enough providers to respect
+        # the country's score budget.
+        local_mass_so_far = sum(
+            share
+            for name, share in entries.items()
+            if self._market.home_country_of(name) == cc
+        )
+        head_budget = hhi_cap - sum(s * s for s in entries.values())
+        local_head = max(
+            0.0, min(0.62 * (insular_target - local_mass_so_far), 0.55)
+        )
+        if local_head > 0:
+            pool = self._market.local_large(cc) + self._market.local_small(cc)
+            pool = [p for p in pool if p.name not in entries]
+            if head_budget > 1e-6:
+                n_needed = max(
+                    2,
+                    int(math.ceil(local_head**2 / (0.55 * head_budget))),
+                )
+            else:
+                n_needed = len(pool)
+            n_used = min(max(n_needed, 2), len(pool)) if pool else 0
+            if n_used:
+                ranks = np.arange(1, n_used + 1, dtype=float)
+                zipf = ranks**-0.7
+                zipf /= zipf.sum()
+                for provider, w in zip(pool[:n_used], zipf):
+                    self._add(entries, provider.name, local_head * float(w))
+
+        # Long tail: the remaining mass, with its sum-of-squares chosen
+        # so that the template's score matches the target before the
+        # power solver even runs.
+        head_total = sum(entries.values())
+        if head_total >= 0.98:
+            scale = 0.9 / head_total
+            for name in list(entries):
+                entries[name] *= scale
+            head_total = sum(entries.values())
+        tail_mass = 1.0 - head_total
+        head_sq = sum(s * s for s in entries.values())
+        tail_sq_budget = max(hhi_cap - head_sq, 0.0)
+        tail_shares = geometric_tail(tail_mass, tail_sq_budget, unit)
+
+        local_mass = sum(
+            share
+            for name, share in entries.items()
+            if self._market.home_country_of(name) == cc
+        )
+        local_tail_fraction = 0.0
+        if tail_mass > 0:
+            local_tail_fraction = min(
+                max((insular_target - local_mass) / tail_mass, 0.04), 1.0
+            )
+        self._assign_tail_identities(
+            cc, tail_shares, local_tail_fraction, rng, entries
+        )
+        return self._finish(cc, "hosting", entries, target)
+
+    # ------------------------------------------------------------------
+    # DNS
+    # ------------------------------------------------------------------
+
+    def dns_template(self, cc: str) -> LayerTemplate:
+        """DNS-layer template (Section 6): like hosting, with managed
+        DNS providers and a shift toward larger regional operators."""
+        target = self._overrides.target(cc, "dns", PAPER_SCORES["dns"][cc])
+        unit = self._unit()
+        rng = self._rng(cc, "dns")
+        insular_target = self._overrides.insularity_of(
+            cc, hosting_insularity_target(cc)
+        )
+        entries: dict[str, float] = {}
+
+        hhi_cap = target + unit
+        cf_cap = math.sqrt(0.94 * hhi_cap)
+        if cc == "JP":
+            amazon = min(0.22, cf_cap)
+            cloudflare = min(0.11, 0.9 * amazon)
+        else:
+            pinned = self._overrides.cloudflare(cc, "dns")
+            if pinned is None:
+                pinned = _CF_DNS_PINNED.get(
+                    cc, min(max(1.50 * target + 0.10, 0.05), 0.68)
+                )
+            cloudflare = min(pinned, cf_cap)
+            amazon = min(max(0.28 * cloudflare, 0.015), 0.10, 0.9 * cloudflare)
+        self._add(entries, CLOUDFLARE, cloudflare)
+        self._add(entries, AMAZON, amazon)
+
+        # Managed DNS (NSONE, UltraDNS): in the top ten of more than a
+        # hundred countries (Section 6.2), so their shares must clear
+        # the typical tenth-provider share.
+        self._add(entries, "NSONE", 0.028 + 0.008 * rng.random())
+        self._add(entries, "Neustar UltraDNS", 0.026 + 0.007 * rng.random())
+        self._add(entries, "DNSimple", 0.005)
+        self._add(entries, "Sucuri", 0.004)
+
+        lgp_total = (0.10 + 0.06 * rng.random()) * (
+            1.0 - 0.75 * insular_target
+        )
+        for name, weight in {
+            "Google": 0.30,
+            "Akamai": 0.22,
+            "Microsoft": 0.17,
+            "GoDaddy Hosting": 0.16,
+            "DigitalOcean": 0.15,
+        }.items():
+            self._add(entries, name, lgp_total * weight)
+        continent = COUNTRIES[cc].continent
+        self._add(entries, "OVH", 0.035 if cc == "FR" else 0.02 if continent == "EU" else 0.005)
+        self._add(entries, "Hetzner", 0.03 if cc == "DE" else 0.018 if continent == "EU" else 0.004)
+
+        for foreign_cc, share in _HOSTING_AFFINITY.get(cc, ()):
+            pool = self._market.local_large(foreign_cc)[:3]
+            weights = np.array([0.45, 0.33, 0.22][: len(pool)])
+            weights /= weights.sum()
+            for provider, w in zip(pool, weights):
+                # Cloudflare tops the DNS layer in every country but
+                # Japan (Figure 14); cap affinity providers below it.
+                self._add(
+                    entries,
+                    provider.name,
+                    min(share * 0.9 * float(w), 0.9 * cloudflare),
+                )
+
+        dominant = _DOMINANT_REGIONAL.get(cc)
+        if dominant is not None:
+            self._add(entries, dominant[0], dominant[1] * 0.9)
+
+        # Local head, shifted to *larger* regional operators than
+        # hosting (Section 6.2): fewer providers, bigger shares.
+        local_mass_so_far = sum(
+            share
+            for name, share in entries.items()
+            if self._market.home_country_of(name) == cc
+        )
+        head_budget = hhi_cap - sum(s * s for s in entries.values())
+        boost = 1.2 if cc != "US" else 1.0
+        local_head = max(
+            0.0,
+            min(0.62 * boost * (insular_target - local_mass_so_far), 0.6),
+        )
+        if local_head > 0:
+            pool = (
+                self._market.local_large(cc)
+                + self._market.local_dns(cc)
+                + self._market.local_small(cc)
+            )
+            pool = [p for p in pool if p.name not in entries and p.offers_dns]
+            if head_budget > 1e-6:
+                n_needed = max(
+                    2, int(math.ceil(local_head**2 / (0.5 * head_budget)))
+                )
+            else:
+                n_needed = len(pool)
+            n_used = min(max(n_needed, 2), len(pool)) if pool else 0
+            if n_used:
+                ranks = np.arange(1, n_used + 1, dtype=float)
+                zipf = ranks**-0.85
+                zipf /= zipf.sum()
+                for provider, w in zip(pool[:n_used], zipf):
+                    self._add(entries, provider.name, local_head * float(w))
+
+        head_total = sum(entries.values())
+        if head_total >= 0.98:
+            scale = 0.9 / head_total
+            for name in list(entries):
+                entries[name] *= scale
+            head_total = sum(entries.values())
+        tail_mass = 1.0 - head_total
+        head_sq = sum(s * s for s in entries.values())
+        tail_shares = geometric_tail(
+            tail_mass, max(hhi_cap - head_sq, 0.0), unit
+        )
+        local_mass = sum(
+            share
+            for name, share in entries.items()
+            if self._market.home_country_of(name) == cc
+        )
+        local_tail_fraction = 0.0
+        if tail_mass > 0:
+            local_tail_fraction = min(
+                max((insular_target - local_mass) / tail_mass, 0.03), 1.0
+            )
+        self._assign_tail_identities(
+            cc, tail_shares, local_tail_fraction, rng, entries,
+            start_local_index=5000,
+        )
+        return self._finish(cc, "dns", entries, target)
+
+    # ------------------------------------------------------------------
+    # Certificate authorities
+    # ------------------------------------------------------------------
+
+    _CA_LGP_TOTAL_SPECIAL = {"IR": 0.80, "RU": 0.997, "TW": 0.82, "JP": 0.85}
+
+    _CA_REGIONAL_PINNED: dict[str, tuple[tuple[str, float], ...]] = {
+        "PL": (("Asseco", 0.19),),
+        "IR": (("Asseco", 0.19),),
+        "AF": (("Asseco", 0.05),),
+        "TW": (("TWCA", 0.10), ("Chunghwa Telecom", 0.07)),
+        "JP": (("SECOM", 0.08), ("Cybertrust Japan", 0.06)),
+        "SK": (("Disig", 0.012),),
+        "HU": (("Microsec", 0.008), ("NetLock", 0.005)),
+        "TR": (("e-Tugra", 0.010), ("TurkTrust", 0.008), ("KamuSM", 0.004)),
+        "ES": (
+            ("ACCV", 0.006),
+            ("Izenpe", 0.005),
+            ("Firmaprofesional", 0.004),
+            ("ANF", 0.002),
+            ("Camerfirma", 0.002),
+        ),
+        "IT": (("Actalis", 0.012),),
+        "NO": (("Buypass", 0.012),),
+        "CH": (("SwissSign", 0.012),),
+        "FR": (("Certigna", 0.008), ("Certinomis", 0.004)),
+        "FI": (("Telia", 0.008), ("Sonera", 0.003)),
+        "CL": (("E-Sign", 0.005),),
+        "PA": (("TrustCor", 0.008),),
+        "MY": (("Pos Digicert", 0.006), ("MSC Trustgate", 0.008)),
+        "CO": (("Certicamara", 0.005),),
+        "CA": (("Echoworx", 0.003),),
+        "LU": (("LuxTrust", 0.004),),
+        "SI": (("Halcom", 0.008),),
+        "TH": (("Thai Digital ID", 0.006),),
+        "IN": (("Indian CCA", 0.006),),
+        "US": (("SSL.com", 0.009),),
+        "BR": (("Serasa", 0.006), ("Certisign", 0.008)),
+    }
+
+    #: Foreign XS CAs sprinkled into countries with no local CA so that
+    #: every catalog CA appears somewhere beyond its home market.
+    _CA_SPILL = (
+        "SSL.com",
+        "TrustCor",
+        "Certisign",
+        "MSC Trustgate",
+        "Halcom",
+    )
+
+    def ca_template(self, cc: str) -> LayerTemplate:
+        """CA-layer template (Section 7): seven global CAs dominate."""
+        target = self._overrides.target(cc, "ca", PAPER_SCORES["ca"][cc])
+        rng = self._rng(cc, "ca")
+        entries: dict[str, float] = {}
+
+        lgp_total = self._CA_LGP_TOTAL_SPECIAL.get(cc, 0.975)
+        continent = COUNTRIES[cc].continent
+        if continent == "EU":
+            weights = {
+                "Let's Encrypt": 0.45,
+                "DigiCert": 0.17,
+                "Sectigo": 0.11,
+                "Amazon": 0.08,
+                "Google": 0.07,
+                "GlobalSign": 0.06,
+                "GoDaddy": 0.06,
+            }
+        else:
+            weights = {
+                "Let's Encrypt": 0.34,
+                "DigiCert": 0.23,
+                "Sectigo": 0.12,
+                "Amazon": 0.10,
+                "Google": 0.08,
+                "GoDaddy": 0.07,
+                "GlobalSign": 0.06,
+            }
+        if cc == "RU":
+            # DigiCert pulled out of Russia; LE/GlobalSign picked up.
+            weights = {
+                "Let's Encrypt": 0.47,
+                "GlobalSign": 0.16,
+                "DigiCert": 0.08,
+                "Sectigo": 0.09,
+                "Amazon": 0.07,
+                "Google": 0.07,
+                "GoDaddy": 0.06,
+            }
+        for name, w in weights.items():
+            self._add(entries, name, lgp_total * w)
+
+        self._add(entries, "Entrust", 0.004 + 0.003 * rng.random())
+        self._add(entries, "IdenTrust", 0.003 + 0.002 * rng.random())
+
+        for name, share in self._CA_REGIONAL_PINNED.get(cc, ()):
+            self._add(entries, name, share)
+
+        # Tiny spill so residual mass exists everywhere.  The spill
+        # share stays far below each spill CA's home-market share so
+        # the endemicity ratio keeps them in the regional classes.
+        spill_start = int(rng.integers(0, len(self._CA_SPILL)))
+        for k in range(2):
+            name = self._CA_SPILL[(spill_start + k) % len(self._CA_SPILL)]
+            self._add(entries, name, 0.0008)
+        return self._finish(cc, "ca", entries, target)
+
+    # ------------------------------------------------------------------
+    # TLDs
+    # ------------------------------------------------------------------
+
+    _COM_PINNED = {
+        "US": 0.77,
+        "KG": 0.29,
+        "PR": 0.70,
+        "TT": 0.64,
+        "JM": 0.63,
+        "CA": 0.55,
+    }
+
+    _CCTLD_PINNED = {
+        "CZ": 0.60,
+        "HU": 0.58,
+        "PL": 0.56,
+        "DE": 0.44,
+        "RU": 0.50,
+        "BR": 0.50,
+        "JP": 0.42,
+        "KG": 0.12,
+        "US": 0.004,
+        "PR": 0.004,
+    }
+
+    #: External ccTLD usage (Appendix B): .ru in the CIS, .fr across
+    #: francophone countries, .de in the German-speaking world.
+    _EXTERNAL_CCTLD: dict[str, tuple[tuple[str, float], ...]] = {
+        "KG": (("ru", 0.22),),
+        "TJ": (("ru", 0.20),),
+        "KZ": (("ru", 0.18),),
+        "BY": (("ru", 0.20),),
+        "UZ": (("ru", 0.15),),
+        "TM": (("ru", 0.15),),
+        "AM": (("ru", 0.10),),
+        "AZ": (("ru", 0.10),),
+        "MD": (("ru", 0.08), ("ro", 0.03)),
+        "GE": (("ru", 0.06),),
+        "UA": (("ru", 0.03),),
+        "MN": (("ru", 0.04),),
+        "AT": (("de", 0.14),),
+        "LU": (("de", 0.08),),
+        "CH": (("de", 0.07),),
+        "SK": (("cz", 0.06),),
+        "AF": (("ir", 0.06),),
+        "IE": (("uk", 0.04),),
+        "NZ": (("au", 0.03),),
+        # Francophone .fr usage (more popular than local ccTLDs there).
+        "BF": (("fr", 0.10),),
+        "BJ": (("fr", 0.09),),
+        "CD": (("fr", 0.08),),
+        "CI": (("fr", 0.09),),
+        "CM": (("fr", 0.08),),
+        "DZ": (("fr", 0.08),),
+        "GP": (("fr", 0.26),),
+        "HT": (("fr", 0.07),),
+        "MG": (("fr", 0.08),),
+        "ML": (("fr", 0.09),),
+        "MQ": (("fr", 0.26),),
+        "RE": (("fr", 0.25),),
+        "SN": (("fr", 0.08),),
+        "TG": (("fr", 0.08),),
+    }
+
+    _CCTLD_SUBREGION_DEFAULT = {
+        "Northern America": 0.30,
+        "Central America": 0.12,
+        "Caribbean": 0.05,
+        "South America": 0.28,
+        "Northern Europe": 0.35,
+        "Western Europe": 0.36,
+        "Eastern Europe": 0.42,
+        "Southern Europe": 0.30,
+        "Northern Africa": 0.10,
+        "Western Africa": 0.06,
+        "Middle Africa": 0.06,
+        "Eastern Africa": 0.10,
+        "Southern Africa": 0.16,
+        "Western Asia": 0.12,
+        "Central Asia": 0.16,
+        "Southern Asia": 0.10,
+        "South-eastern Asia": 0.16,
+        "Eastern Asia": 0.32,
+        "Oceania": 0.30,
+    }
+
+    def tld_template(self, cc: str) -> LayerTemplate:
+        """TLD-layer template (Appendix B)."""
+        from ..net.psl import CCTLD_OF_COUNTRY
+
+        target = self._overrides.target(cc, "tld", PAPER_SCORES["tld"][cc])
+        rng = self._rng(cc, "tld")
+        unit = self._unit()
+        entries: dict[str, float] = {}
+        subregion = COUNTRIES[cc].subregion
+
+        hhi_cap = target + unit
+        com_cap = math.sqrt(0.97 * hhi_cap)
+        external = dict(self._EXTERNAL_CCTLD.get(cc, ()))
+        own = CCTLD_OF_COUNTRY[cc]
+        cctld = self._CCTLD_PINNED.get(
+            cc, self._CCTLD_SUBREGION_DEFAULT[subregion]
+        )
+        # Where an external ccTLD dominates (French DOM regions), the
+        # local ccTLD stays small — unless the paper pins it.
+        if cc not in self._CCTLD_PINNED and sum(external.values()) > 0.2:
+            cctld = min(cctld, 0.06)
+        com = self._COM_PINNED.get(cc)
+        if com is None:
+            # Whatever centralization the ccTLD does not explain is
+            # mostly .com's.
+            residual = max(hhi_cap - cctld**2 - sum(v * v for v in external.values()), 0.02)
+            com = min(math.sqrt(residual * 0.82), 0.70)
+        com = min(com, com_cap)
+        self._add(entries, "com", com)
+        self._add(entries, own, cctld)
+        for tld, share in external.items():
+            self._add(entries, tld, share)
+
+        # Global TLD block.
+        for tld, share in (
+            ("net", 0.042),
+            ("org", 0.050),
+            ("io", 0.018),
+            ("co", 0.012),
+            ("info", 0.010),
+            ("xyz", 0.007),
+            ("online", 0.005),
+            ("site", 0.004),
+            ("app", 0.004),
+            ("dev", 0.003),
+            ("biz", 0.003),
+            ("edu", 0.004),
+            ("gov", 0.003),
+        ):
+            self._add(entries, tld, share * (0.8 + 0.4 * rng.random()))
+
+        # Tail: other countries' ccTLDs with tiny shares.
+        head_total = sum(entries.values())
+        if head_total >= 0.99:
+            scale = 0.95 / head_total
+            for name in list(entries):
+                entries[name] *= scale
+            head_total = sum(entries.values())
+        tail_mass = 1.0 - head_total
+        head_sq = sum(s * s for s in entries.values())
+        tail_sq = max(hhi_cap - head_sq, 0.0)
+        tail_shares = geometric_tail(tail_mass, tail_sq, unit)
+        other_ccs = [
+            CCTLD_OF_COUNTRY[c]
+            for c in sorted(COUNTRIES)
+            if CCTLD_OF_COUNTRY[c] not in entries
+        ]
+        extra = ["cn", "eu", "su", "me", "tv", "cc"]
+        pool = [t for t in other_ccs + extra if t not in entries]
+        order = rng.permutation(len(pool))
+        for i, share in enumerate(tail_shares):
+            if i < len(pool):
+                self._add(entries, pool[int(order[i])], share)
+            else:
+                # More tail entries than TLDs exist: fold into 'org'.
+                self._add(entries, "org", share)
+        return self._finish(cc, "tld", entries, target)

@@ -1,0 +1,155 @@
+"""Residual count reconciliation.
+
+When a country's toplist is assembled, some sites arrive with their
+assignments fixed (globally shared sites, sites kept across a
+longitudinal snapshot).  The remaining *local slots* must be filled so
+that the final per-entity counts land on the calibrated target — both
+in composition (anchored head shares) and in Centralization Score.
+
+:func:`residual_counts` computes the plain reconciliation — target
+minus used, trimmed/padded to the slot budget with the smallest-target
+entities sacrificed first so the anchored head stays exact.
+:func:`residual_counts_calibrated` adds a score-repair pass: when fixed
+sites displace enough mid-mass target entities that the plain residual
+undershoots the target score (acute for the TLD layer, whose
+distributions have few entities), the target is re-concentrated with
+the same power-transform family used for template calibration.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Mapping
+
+import numpy as np
+
+from ..core.reference import allocate_counts
+from .calibration import power_transform
+
+__all__ = [
+    "residual_counts",
+    "residual_counts_calibrated",
+    "score_of_counts",
+]
+
+
+def score_of_counts(
+    used: Mapping[str, int], residual: Mapping[str, int]
+) -> float:
+    """Centralization Score of the union of fixed and residual counts."""
+    merged = Counter(used)
+    merged.update(residual)
+    total = 0
+    sum_sq = 0
+    for count in merged.values():
+        total += count
+        sum_sq += count * count
+    return sum_sq / (total * total) - 1.0 / total
+
+
+def residual_counts(
+    target: Mapping[str, int],
+    used: Mapping[str, int],
+    slots: int,
+) -> dict[str, int]:
+    """Counts for locally created sites after fixed sites are debited.
+
+    Invariants (property-tested): every count is positive, the total is
+    exactly ``slots`` (when ``slots > 0``), and no entity exceeds its
+    outstanding target need.
+    """
+    residual = {
+        name: max(count - used.get(name, 0), 0)
+        for name, count in target.items()
+    }
+    residual = {n: c for n, c in residual.items() if c > 0}
+    total = sum(residual.values())
+    if total == 0:
+        # Degenerate: everything covered by fixed sites; spread slots
+        # across the target proportionally.
+        names = sorted(target)
+        counts = allocate_counts(
+            np.array([target[n] for n in names], dtype=float), slots
+        )
+        return {n: int(c) for n, c in zip(names, counts) if c > 0}
+    if total == slots:
+        return residual
+    if total > slots:
+        # Fixed sites brought entities outside the target, so the
+        # residual overshoots the local slots.  Trim entries with the
+        # *smallest target* first: the head (which carries both the
+        # score and the anchored shares — Cloudflare above all) is cut
+        # last, and only after everything smaller is exhausted.
+        excess = total - slots
+        for name in sorted(
+            residual, key=lambda n: (target.get(n, 0), n)
+        ):
+            take = min(residual[name], excess)
+            residual[name] -= take
+            excess -= take
+            if excess == 0:
+                break
+        return {n: c for n, c in residual.items() if c > 0}
+    # total < slots (rare rounding case): pad the smallest targets.
+    deficit = slots - total
+    for name in sorted(residual, key=lambda n: (target.get(n, 0), n)):
+        residual[name] += 1
+        deficit -= 1
+        if deficit == 0:
+            break
+    if deficit > 0:
+        first = sorted(residual)[0]
+        residual[first] += deficit
+    return residual
+
+
+def residual_counts_calibrated(
+    target: Mapping[str, int],
+    used: Mapping[str, int],
+    slots: int,
+    target_score: float,
+    tolerance: float = 0.0035,
+) -> dict[str, int]:
+    """Residual counts whose *final* score hits the target.
+
+    Overshoot from trimming singletons is bounded by ~excess/C², always
+    inside the tolerance; only undershoot (fixed sites displacing
+    mid-mass target entities) needs repair — and repair always means
+    concentrating, so the exponent stays ≥ 1 and anchored head shares
+    never shrink.
+    """
+    naive = residual_counts(target, used, slots)
+    if slots <= 0:
+        return naive
+    achieved = score_of_counts(used, naive)
+    if achieved >= target_score - tolerance:
+        return naive
+
+    c = sum(target.values())
+    names = sorted(target)
+    shares = np.array([target[n] for n in names], dtype=float)
+    shares = shares / shares.sum()
+    if np.allclose(shares, shares[0]):
+        return naive
+
+    def residual_for(theta: float) -> dict[str, int]:
+        transformed = power_transform(shares, theta)
+        counts = allocate_counts(transformed, c)
+        scaled = {
+            names[i]: int(n) for i, n in enumerate(counts) if n > 0
+        }
+        return residual_counts(scaled, used, slots)
+
+    lo, hi = 1.0, 6.0
+    for _ in range(36):
+        mid = 0.5 * (lo + hi)
+        if score_of_counts(used, residual_for(mid)) < target_score:
+            lo = mid
+        else:
+            hi = mid
+    best = residual_for(0.5 * (lo + hi))
+    if abs(score_of_counts(used, best) - target_score) < abs(
+        achieved - target_score
+    ):
+        return best
+    return naive

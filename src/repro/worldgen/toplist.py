@@ -1,0 +1,171 @@
+"""CrUX-like toplists: popular-website lists per country.
+
+Mirrors the structure of the Chrome User Experience Report data the
+paper builds on: every country gets a ranked list of websites grouped
+into rank-magnitude buckets; lists overlap through a globally shared
+pool of popular sites (google.com-style) and diverge through
+country-local sites.  Each site carries an origin country and a content
+language (used by the Afghanistan/Iran Persian-language case study).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.countries import COUNTRIES
+from ..errors import InvalidDistributionError
+
+__all__ = [
+    "Site",
+    "Toplist",
+    "rank_bucket",
+    "DomainFactory",
+    "LANGUAGE_OF_COUNTRY",
+]
+
+#: Rough primary content language per country (ISO 639-1).
+_LANGUAGE_SPECIAL: dict[str, str] = {
+    "AF": "fa", "IR": "fa", "TJ": "fa",
+    "BR": "pt", "PT": "pt", "AO": "pt", "MZ": "pt",
+    "RU": "ru", "BY": "ru", "KZ": "ru", "KG": "ru", "TM": "ru", "UZ": "ru",
+    "UA": "uk", "DE": "de", "AT": "de", "CH": "de", "LU": "de",
+    "FR": "fr", "RE": "fr", "GP": "fr", "MQ": "fr", "HT": "fr",
+    "BF": "fr", "CI": "fr", "ML": "fr", "SN": "fr", "TG": "fr",
+    "BJ": "fr", "CM": "fr", "MG": "fr", "CD": "fr", "GA": "fr",
+    "CN": "zh", "TW": "zh", "HK": "zh", "MO": "zh", "SG": "en",
+    "JP": "ja", "KR": "ko", "TH": "th", "VN": "vi", "ID": "id",
+    "MY": "ms", "BN": "ms", "PH": "en", "IN": "hi", "PK": "ur",
+    "BD": "bn", "LK": "si", "NP": "ne", "MM": "my", "KH": "km",
+    "LA": "lo", "MN": "mn", "TR": "tr", "GR": "el", "CY": "el",
+    "IL": "he", "SA": "ar", "AE": "ar", "EG": "ar", "IQ": "ar",
+    "SY": "ar", "JO": "ar", "LB": "ar", "KW": "ar", "QA": "ar",
+    "BH": "ar", "OM": "ar", "YE": "ar", "PS": "ar", "LY": "ar",
+    "DZ": "ar", "MA": "ar", "TN": "ar", "SD": "ar", "ES": "es",
+    "MX": "es", "AR": "es", "CO": "es", "CL": "es", "PE": "es",
+    "VE": "es", "EC": "es", "BO": "es", "PY": "es", "UY": "es",
+    "GT": "es", "HN": "es", "NI": "es", "CR": "es", "PA": "es",
+    "SV": "es", "DO": "es", "CU": "es", "PR": "es", "IT": "it",
+    "PL": "pl", "CZ": "cs", "SK": "sk", "HU": "hu", "RO": "ro",
+    "MD": "ro", "BG": "bg", "RS": "sr", "HR": "hr", "BA": "bs",
+    "SI": "sl", "MK": "mk", "ME": "sr", "AL": "sq", "NL": "nl",
+    "BE": "nl", "SE": "sv", "NO": "no", "DK": "da", "FI": "fi",
+    "IS": "is", "EE": "et", "LV": "lv", "LT": "lt", "GE": "ka",
+    "AM": "hy", "AZ": "az", "ET": "am", "SO": "so", "KE": "sw",
+    "TZ": "sw",
+}
+
+LANGUAGE_OF_COUNTRY: dict[str, str] = {
+    cc: _LANGUAGE_SPECIAL.get(cc, "en") for cc in COUNTRIES
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Site:
+    """One website in the synthetic web."""
+
+    domain: str
+    origin_country: str | None
+    language: str
+    is_global: bool
+
+    def __post_init__(self) -> None:
+        if not self.domain or "." not in self.domain:
+            raise InvalidDistributionError(
+                f"invalid site domain {self.domain!r}"
+            )
+
+
+#: CrUX groups ranks into magnitude buckets (top 1K, 5K, 10K, ...).
+_BUCKETS = (1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000)
+
+
+def rank_bucket(rank: int) -> int:
+    """CrUX-style rank-magnitude bucket for a 1-indexed rank."""
+    if rank < 1:
+        raise ValueError(f"rank must be >= 1, got {rank}")
+    for bucket in _BUCKETS:
+        if rank <= bucket:
+            return bucket
+    return _BUCKETS[-1]
+
+
+@dataclass(frozen=True, slots=True)
+class Toplist:
+    """The ranked list of popular websites for one country."""
+
+    country: str
+    domains: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.domains)) != len(self.domains):
+            raise InvalidDistributionError(
+                f"toplist for {self.country} contains duplicate domains"
+            )
+
+    def __len__(self) -> int:
+        return len(self.domains)
+
+    def rank_of(self, domain: str) -> int:
+        """1-indexed rank of a domain (ValueError if absent)."""
+        return self.domains.index(domain) + 1
+
+    def bucket_of(self, domain: str) -> int:
+        """CrUX rank bucket of a domain in this toplist."""
+        return rank_bucket(self.rank_of(domain))
+
+    def top(self, n: int) -> tuple[str, ...]:
+        """The first n domains of the toplist."""
+        return self.domains[:n]
+
+
+_WORDS_A = (
+    "news", "shop", "play", "tech", "media", "cloud", "daily", "smart",
+    "home", "star", "blue", "open", "fast", "prime", "metro", "vista",
+    "alpha", "terra", "luna", "nova",
+)
+_WORDS_B = (
+    "portal", "market", "online", "hub", "press", "world", "zone",
+    "space", "base", "point", "link", "spot", "center", "express",
+    "direct", "live", "plus", "go", "now", "box",
+)
+
+
+class DomainFactory:
+    """Deterministic, collision-free domain name generation."""
+
+    def __init__(self, seed: int) -> None:
+        self._rng = np.random.default_rng(seed)
+        self._used: set[str] = set()
+        self._counter = 0
+
+    def reserve(self, domains: set[str] | frozenset[str]) -> None:
+        """Mark domains as taken (e.g. carried over from an old world)."""
+        self._used.update(domains)
+
+    def make(self, suffix: str, hint: str = "") -> str:
+        """Mint a fresh registrable domain under ``suffix``.
+
+        ``hint`` (e.g. the origin country) flavors the label without
+        affecting uniqueness.
+        """
+        suffix = suffix.lower().strip(".")
+        if not suffix:
+            raise InvalidDistributionError("empty TLD suffix")
+        for _ in range(20):
+            a = _WORDS_A[int(self._rng.integers(0, len(_WORDS_A)))]
+            b = _WORDS_B[int(self._rng.integers(0, len(_WORDS_B)))]
+            self._counter += 1
+            tag = np.base_repr(self._counter, 36).lower()
+            label = f"{a}{b}-{hint.lower()}{tag}" if hint else f"{a}{b}-{tag}"
+            domain = f"{label}.{suffix}"
+            if domain not in self._used:
+                self._used.add(domain)
+                return domain
+        raise InvalidDistributionError(
+            f"could not mint a unique domain under {suffix!r}"
+        )
+
+    def __len__(self) -> int:
+        return len(self._used)

@@ -1,0 +1,113 @@
+"""World self-validation: invariant checks over a built world.
+
+A generated world is a web of cross-references — toplists into site
+records, site records into zones, zones into provider nameservers,
+providers into ASes and prefixes.  :func:`validate_world` walks all of
+them and returns human-readable violations (empty list = sound world).
+Used by the test suite and available to users who customize the
+generator.
+"""
+
+from __future__ import annotations
+
+from .world import LAYER_NAMES, World
+
+__all__ = ["validate_world"]
+
+
+def _check_toplists(world: World, problems: list[str]) -> None:
+    c = world.config.sites_per_country
+    for cc in world.config.countries:
+        toplist = world.toplists.get(cc)
+        if toplist is None:
+            problems.append(f"{cc}: missing toplist")
+            continue
+        if len(toplist) != c:
+            problems.append(
+                f"{cc}: toplist has {len(toplist)} entries, expected {c}"
+            )
+        for domain in toplist.domains:
+            if domain not in world.sites:
+                problems.append(f"{cc}: {domain} has no site record")
+
+
+def _check_sites(world: World, problems: list[str], sample: int) -> None:
+    for i, (domain, record) in enumerate(world.sites.items()):
+        if i >= sample:
+            break
+        zone = world.namespace.zone(domain)
+        if zone is None:
+            problems.append(f"{domain}: no authoritative zone")
+            continue
+        if not zone.lookup(domain, "NS"):
+            problems.append(f"{domain}: zone has no NS records")
+        if not zone.lookup(domain, "A"):
+            problems.append(f"{domain}: zone has no A records")
+        for provider_name in (record.hosting, record.dns):
+            if provider_name not in world.provider_infra:
+                problems.append(
+                    f"{domain}: provider {provider_name!r} has no "
+                    f"materialized infrastructure"
+                )
+        if record.ca not in world.ccadb:
+            problems.append(f"{domain}: CA {record.ca!r} not in CCADB")
+
+
+def _check_providers(world: World, problems: list[str]) -> None:
+    for name, infra in world.provider_infra.items():
+        record = world.asdb.record(infra.asn)
+        if record.org_name != name:
+            problems.append(
+                f"{name}: ASN {infra.asn} registered to "
+                f"{record.org_name!r}"
+            )
+        ns_zone = world.namespace.zone(infra.ns_domain)
+        if ns_zone is None:
+            problems.append(f"{name}: nameserver zone missing")
+            continue
+        for ns_host in infra.ns_hosts:
+            if not ns_zone.lookup(ns_host, "A"):
+                problems.append(f"{name}: {ns_host} has no address")
+        for table in infra.address_variants:
+            if "default" not in table:
+                problems.append(f"{name}: address table lacks default")
+                break
+            for address in table.values():
+                if world.asdb.org_of_ip(address) != name:
+                    # In-country cache nodes are *deliberately*
+                    # announced by the local telecom.
+                    continue
+
+
+def _check_targets(world: World, problems: list[str]) -> None:
+    c = world.config.sites_per_country
+    for cc in world.config.countries:
+        for layer in LAYER_NAMES:
+            target = world.targets[cc][layer]
+            total = sum(target.values())
+            if total != c:
+                problems.append(
+                    f"{cc}/{layer}: target counts sum to {total}, "
+                    f"expected {c}"
+                )
+            report = world.calibration_report[(cc, layer)]
+            if abs(report["allocated_score"] - report["target_score"]) > 0.01:
+                problems.append(
+                    f"{cc}/{layer}: calibration error "
+                    f"{abs(report['allocated_score'] - report['target_score']):.4f}"
+                )
+
+
+def validate_world(world: World, site_sample: int = 2_000) -> list[str]:
+    """Run every invariant check; returns violations (empty = sound).
+
+    ``site_sample`` caps how many site records get the per-site deep
+    checks (zones, providers, CA membership); toplists, providers, and
+    calibration targets are always checked in full.
+    """
+    problems: list[str] = []
+    _check_toplists(world, problems)
+    _check_sites(world, problems, site_sample)
+    _check_providers(world, problems)
+    _check_targets(world, problems)
+    return problems

@@ -1,0 +1,244 @@
+"""Tests for the analysis layer: scores, classes, regional views."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    DependenceStudy,
+    anycast_share,
+    continent_means,
+    country_report,
+    comparison_table,
+    ip_geolocation_matrix,
+    layer_insularity_cdf,
+    layer_summary,
+    ns_geolocation_matrix,
+    provider_hq_matrix,
+    subregion_means,
+)
+from repro.core import ProviderClass
+from repro.datasets.paper_scores import PAPER_SCORES
+from repro.errors import UnknownLayerError
+from tests.conftest import TEST_COUNTRIES
+
+
+class TestLayerAnalysis:
+    def test_scores_match_paper(self, small_study: DependenceStudy) -> None:
+        for layer in ("hosting", "dns", "ca", "tld"):
+            analysis = small_study.layer(layer)
+            for cc in TEST_COUNTRIES:
+                assert analysis.scores[cc] == pytest.approx(
+                    PAPER_SCORES[layer][cc], abs=0.02
+                ), (layer, cc)
+
+    def test_ranking_sorted(self, small_study: DependenceStudy) -> None:
+        ranking = small_study.hosting.ranking
+        scores = [s for _, s in ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_rank_of(self, small_study: DependenceStudy) -> None:
+        ranking = small_study.hosting.ranking
+        assert small_study.hosting.rank_of(ranking[0][0]) == 1
+
+    def test_th_most_ir_least_centralized(
+        self, small_study: DependenceStudy
+    ) -> None:
+        hosting = small_study.hosting
+        assert hosting.rank_of("TH") == 1
+        assert hosting.rank_of("IR") == len(TEST_COUNTRIES)
+
+    def test_insularity_anchors(self, small_study: DependenceStudy) -> None:
+        ins = small_study.hosting.insularity
+        assert ins["US"] == pytest.approx(0.921, abs=0.06)
+        assert ins["IR"] == pytest.approx(0.648, abs=0.06)
+        assert ins["CZ"] == pytest.approx(0.545, abs=0.06)
+        assert ins["RU"] == pytest.approx(0.511, abs=0.06)
+
+    def test_tld_insularity_us_com_convention(
+        self, small_study: DependenceStudy
+    ) -> None:
+        """.com counts as insular for the U.S. (Figure 22's note)."""
+        tld_ins = small_study.tld.insularity
+        assert tld_ins["US"] > 0.7
+
+    def test_dependence_on_case_studies(
+        self, small_study: DependenceStudy
+    ) -> None:
+        hosting = small_study.hosting
+        assert hosting.dependence_on("TM", "RU") == pytest.approx(
+            0.33, abs=0.08
+        )
+        assert hosting.dependence_on("SK", "CZ") == pytest.approx(
+            0.257, abs=0.08
+        )
+        assert hosting.dependence_on("AF", "IR") == pytest.approx(
+            0.20, abs=0.08
+        )
+
+    def test_country_dependencies_sum_to_one(
+        self, small_study: DependenceStudy
+    ) -> None:
+        deps = small_study.hosting.country_dependencies("FR")
+        assert sum(deps.values()) == pytest.approx(1.0)
+
+    def test_classification_recovers_xl_gp(
+        self, small_study: DependenceStudy
+    ) -> None:
+        labels = small_study.hosting.classification.labels
+        assert labels["Cloudflare"] is ProviderClass.XL_GP
+
+    def test_breakdown_sums_to_one(
+        self, small_study: DependenceStudy
+    ) -> None:
+        breakdown = small_study.hosting.breakdown("TH")
+        assert sum(breakdown.values()) == pytest.approx(1.0, abs=1e-6)
+        assert breakdown["Cloudflare"] > 0.5
+
+    def test_regional_share_higher_in_iran(
+        self, small_study: DependenceStudy
+    ) -> None:
+        hosting = small_study.hosting
+        assert hosting.regional_share("IR") > hosting.regional_share("TH")
+
+    def test_usage_curve_for_cloudflare(
+        self, small_study: DependenceStudy
+    ) -> None:
+        curve = small_study.hosting.usage_curve("Cloudflare")
+        assert curve.n_countries == len(TEST_COUNTRIES)
+        assert curve.maximum > 30.0
+
+    def test_provider_features_bounds(
+        self, small_study: DependenceStudy
+    ) -> None:
+        for features in small_study.hosting.provider_features.values():
+            assert features.usage >= 0.0
+            assert 0.0 <= features.endemicity_ratio <= 1.0
+
+    def test_top_n_and_coverage(self, small_study: DependenceStudy) -> None:
+        hosting = small_study.hosting
+        assert 0.0 < hosting.top_n_share("US", 5) <= 1.0
+        assert hosting.providers_covering("US", 0.9) >= 1
+
+    def test_unknown_layer_rejected(
+        self, small_study: DependenceStudy
+    ) -> None:
+        with pytest.raises(UnknownLayerError):
+            small_study.layer("email")
+
+
+class TestStudy:
+    def test_run_caches(self, small_config) -> None:
+        a = DependenceStudy.run(small_config)
+        b = DependenceStudy.run(small_config)
+        assert a is b
+
+    def test_paper_comparison_rows(self, small_study: DependenceStudy) -> None:
+        rows = small_study.paper_comparison("hosting")
+        assert len(rows) == len(TEST_COUNTRIES)
+        for cc, measured, paper in rows:
+            assert paper == PAPER_SCORES["hosting"][cc]
+
+    def test_global_top_distribution(
+        self, small_study: DependenceStudy
+    ) -> None:
+        dist = small_study.global_top_distribution["hosting"]
+        assert dist.total == small_study.world.config.sites_per_country
+        score = small_study.global_top_score("hosting")
+        assert 0.0 < score < 0.6
+
+    def test_score_histogram(self, small_study: DependenceStudy) -> None:
+        edges, counts = small_study.score_histogram("hosting")
+        assert sum(counts) == len(TEST_COUNTRIES)
+        assert len(edges) == len(counts)
+
+
+class TestRegional:
+    def test_subregion_means(self, small_study: DependenceStudy) -> None:
+        means = subregion_means(small_study.hosting.scores)
+        assert "South-eastern Asia" in means
+        # SEA (TH) should beat Eastern Europe here.
+        assert means["South-eastern Asia"] > means["Eastern Europe"]
+
+    def test_continent_means(self, small_study: DependenceStudy) -> None:
+        means = continent_means(small_study.hosting.scores)
+        assert set(means) <= {"AF", "AS", "EU", "NA", "OC", "SA"}
+
+    def test_provider_hq_matrix_rows_sum_to_one(
+        self, small_study: DependenceStudy
+    ) -> None:
+        matrix = provider_hq_matrix(small_study.dataset, "hosting")
+        for row in matrix.rows:
+            assert sum(matrix.row(row).values()) == pytest.approx(1.0)
+
+    def test_hq_matrix_na_dominates_af(
+        self, small_study: DependenceStudy
+    ) -> None:
+        """Figure 8a: Africa depends on North American providers."""
+        matrix = provider_hq_matrix(small_study.dataset, "hosting")
+        assert matrix.share("AF", "NA") > matrix.share("AF", "AF")
+
+    def test_hq_matrix_rejects_tld(self, small_study: DependenceStudy) -> None:
+        with pytest.raises(UnknownLayerError):
+            provider_hq_matrix(small_study.dataset, "tld")
+
+    def test_ip_geo_matrix_serves_locally_for_eu(
+        self, small_study: DependenceStudy
+    ) -> None:
+        """Figure 8b: European sites are mostly served from Europe (or
+        anycast), African sites from NA/EU."""
+        matrix = ip_geolocation_matrix(small_study.dataset)
+        eu_row = matrix.row("EU")
+        assert eu_row.get("EU", 0) > 0.3
+        af_row = matrix.row("AF")
+        assert af_row.get("AF", 0.0) < 0.2
+
+    def test_ns_geo_matrix_has_anycast_column(
+        self, small_study: DependenceStudy
+    ) -> None:
+        matrix = ns_geolocation_matrix(small_study.dataset)
+        assert "anycast" in matrix.columns
+
+    def test_ns_anycast_exceeds_ip_anycast(
+        self, small_study: DependenceStudy
+    ) -> None:
+        """Section 6.2: anycast is more common for nameservers."""
+        assert anycast_share(small_study.dataset, "ns") > anycast_share(
+            small_study.dataset, "ip"
+        )
+
+    def test_anycast_share_validation(
+        self, small_study: DependenceStudy
+    ) -> None:
+        with pytest.raises(ValueError):
+            anycast_share(small_study.dataset, "bgp")
+
+    def test_insularity_cdf_monotone(
+        self, small_study: DependenceStudy
+    ) -> None:
+        xs, ys = layer_insularity_cdf(small_study.hosting)
+        assert ys[0] >= 0.0 and ys[-1] == pytest.approx(1.0)
+        assert all(b >= a for a, b in zip(ys, ys[1:]))
+
+    def test_dominant(self, small_study: DependenceStudy) -> None:
+        matrix = provider_hq_matrix(small_study.dataset, "hosting")
+        assert matrix.dominant("NA") == "NA"
+
+
+class TestReports:
+    def test_country_report_mentions_layers(
+        self, small_study: DependenceStudy
+    ) -> None:
+        text = country_report(small_study, "TH")
+        assert "Thailand" in text
+        for layer in ("hosting", "dns", "ca", "tld"):
+            assert f"[{layer}]" in text
+
+    def test_layer_summary(self, small_study: DependenceStudy) -> None:
+        text = layer_summary(small_study, "hosting")
+        assert "most centralized" in text
+        assert "TH" in text
+
+    def test_comparison_table(self, small_study: DependenceStudy) -> None:
+        text = comparison_table(small_study, "ca", limit=5)
+        assert len(text.strip().splitlines()) == 6

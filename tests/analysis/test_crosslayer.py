@@ -1,0 +1,85 @@
+"""Tests for the cross-layer coupling analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import DependenceStudy
+from repro.analysis.crosslayer import (
+    ca_attribution,
+    hosting_dns_bundling,
+    layer_score_coupling,
+)
+
+
+class TestBundling:
+    def test_majority_bundled(self, small_study: DependenceStudy) -> None:
+        report = hosting_dns_bundling(small_study)
+        assert report.overall > 0.5
+
+    def test_cloudflare_bundles_dns(
+        self, small_study: DependenceStudy
+    ) -> None:
+        """Cloudflare's CDN is predicated on its DNS (Section 6.1)."""
+        report = hosting_dns_bundling(small_study)
+        assert report.per_provider["Cloudflare"] > 0.6
+
+    def test_dns_only_providers_never_bundle(
+        self, small_study: DependenceStudy
+    ) -> None:
+        report = hosting_dns_bundling(small_study)
+        assert "NSONE" not in report.per_provider  # hosts nothing
+
+    def test_per_country_bounds(self, small_study: DependenceStudy) -> None:
+        report = hosting_dns_bundling(small_study)
+        assert all(0.0 <= v <= 1.0 for v in report.per_country.values())
+        assert set(report.per_country) == set(small_study.countries)
+
+
+class TestCaAttribution:
+    def test_partition(self, small_study: DependenceStudy) -> None:
+        attribution = ca_attribution(small_study)
+        for ca, split in attribution.items():
+            assert split["via_partner_host"] + split[
+                "independent"
+            ] == pytest.approx(1.0)
+
+    def test_partner_cas_have_partner_flow(
+        self, small_study: DependenceStudy
+    ) -> None:
+        """Most Let's Encrypt / Google usage arrives through partner
+        hosts (Cloudflare et al.) — the provider-choice component."""
+        attribution = ca_attribution(small_study)
+        assert attribution["Let's Encrypt"]["via_partner_host"] > 0.3
+        assert attribution["Google"]["via_partner_host"] > 0.3
+
+    def test_regional_cas_are_operator_choice(
+        self, small_study: DependenceStudy
+    ) -> None:
+        attribution = ca_attribution(small_study)
+        if "Asseco" in attribution:
+            assert attribution["Asseco"]["independent"] > 0.9
+
+
+class TestLayerCoupling:
+    def test_hosting_dns_strongest(
+        self, small_study: DependenceStudy
+    ) -> None:
+        coupling = layer_score_coupling(small_study)
+        hosting_dns = coupling[("hosting", "dns")].rho
+        assert hosting_dns > 0.85
+        for pair, result in coupling.items():
+            if pair != ("hosting", "dns"):
+                assert result.rho <= hosting_dns + 1e-9
+
+    def test_hosting_ca_decoupled_or_negative(
+        self, small_study: DependenceStudy
+    ) -> None:
+        """The CZ/SK flip: countries least centralized at hosting are
+        most centralized at the CA layer."""
+        coupling = layer_score_coupling(small_study)
+        assert coupling[("hosting", "ca")].rho < 0.3
+
+    def test_all_pairs_present(self, small_study: DependenceStudy) -> None:
+        coupling = layer_score_coupling(small_study)
+        assert len(coupling) == 6

@@ -1,0 +1,103 @@
+"""Tests for the ASCII figure renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import (
+    bar_chart,
+    histogram,
+    line_panel,
+    matrix_heatmap,
+    stacked_bars,
+)
+from repro.errors import InvalidDistributionError
+
+
+class TestBarChart:
+    def test_renders_all_rows(self) -> None:
+        chart = bar_chart({"TH": 0.35, "IR": 0.04, "US": 0.14})
+        lines = chart.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("TH")  # sorted descending
+
+    def test_limit(self) -> None:
+        chart = bar_chart({"a": 3.0, "b": 2.0, "c": 1.0}, limit=2)
+        assert len(chart.splitlines()) == 2
+
+    def test_longest_bar_for_peak(self) -> None:
+        chart = bar_chart({"big": 1.0, "small": 0.5}, width=20)
+        big, small = chart.splitlines()
+        assert big.count("#") == 20
+        assert small.count("#") == 10
+
+    def test_empty(self) -> None:
+        assert bar_chart({}) == "(empty)"
+
+    def test_width_validation(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            bar_chart({"a": 1.0}, width=3)
+
+
+class TestStackedBars:
+    def test_legend_and_rows(self) -> None:
+        art = stacked_bars(
+            {"TH": {"cf": 0.6, "rest": 0.4}, "IR": {"cf": 0.1, "rest": 0.9}},
+            segments=("cf", "rest"),
+            width=20,
+        )
+        lines = art.splitlines()
+        assert lines[0].startswith("legend:")
+        assert len(lines) == 3
+        # Thailand's first segment is longer than Iran's.
+        assert lines[1].count("#") > lines[2].count("#")
+
+    def test_too_many_segments(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            stacked_bars(
+                {"x": {}}, segments=tuple("abcdefghijklmnop"), width=20
+            )
+
+
+class TestLinePanel:
+    def test_shape(self) -> None:
+        art = line_panel(
+            {"a": [1.0, 0.5, 0.25], "b": [0.2, 0.2, 0.2]},
+            width=30,
+            height=6,
+        )
+        lines = art.splitlines()
+        assert len(lines) == 8  # legend + 6 rows + axis
+        assert lines[-1].startswith("+")
+
+    def test_empty(self) -> None:
+        assert line_panel({}) == "(empty)"
+
+    def test_height_validation(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            line_panel({"a": [1.0]}, height=2)
+
+
+class TestMatrixHeatmap:
+    def test_contents(self) -> None:
+        art = matrix_heatmap(
+            ["AF", "EU"],
+            ["NA", "EU"],
+            lambda r, c: 0.9 if (r, c) == ("AF", "NA") else 0.1,
+        )
+        lines = art.splitlines()
+        assert "NA" in lines[0] and "EU" in lines[0]
+        assert "0.90" in lines[1]
+
+
+class TestHistogram:
+    def test_marker_annotation(self) -> None:
+        art = histogram(
+            [0.0, 0.1, 0.2], [5, 10, 2], marker=0.14, marker_label="global"
+        )
+        assert "<-- global" in art
+        assert art.count("<--") == 1
+
+    def test_alignment_required(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            histogram([0.0, 0.1], [1])

@@ -1,0 +1,78 @@
+"""Edge-case coverage for per-layer analysis conventions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import DependenceStudy, LayerAnalysis
+from repro.pipeline import MeasurementDataset, WebsiteMeasurement
+
+
+def _record(cc: str, domain: str, tld: str, rank: int) -> WebsiteMeasurement:
+    return WebsiteMeasurement(
+        domain=domain,
+        country=cc,
+        rank=rank,
+        ip=1,
+        hosting_org="SomeHost",
+        hosting_org_country="US",
+        dns_org="SomeHost",
+        dns_org_country="US",
+        ca_owner="Let's Encrypt",
+        ca_country="US",
+        tld=tld,
+    )
+
+
+class TestTldInsularityConventions:
+    def test_gb_uses_uk(self) -> None:
+        """The United Kingdom's ccTLD is .uk, not .gb."""
+        dataset = MeasurementDataset()
+        dataset.add(_record("GB", "a.co.uk", "uk", 1))
+        dataset.add(_record("GB", "b.com", "com", 2))
+        analysis = LayerAnalysis(dataset, "tld")
+        assert analysis.insularity["GB"] == pytest.approx(0.5)
+
+    def test_com_is_us_insular_only(self) -> None:
+        dataset = MeasurementDataset()
+        dataset.add(_record("US", "a.com", "com", 1))
+        dataset.add(_record("FR", "b.com", "com", 1))
+        analysis = LayerAnalysis(dataset, "tld")
+        assert analysis.insularity["US"] == 1.0
+        assert analysis.insularity["FR"] == 0.0
+
+    def test_failed_records_excluded(self) -> None:
+        dataset = MeasurementDataset()
+        dataset.add(_record("US", "a.com", "com", 1))
+        dataset.add(
+            WebsiteMeasurement(
+                domain="broken.com", country="US", rank=2, error="boom"
+            )
+        )
+        analysis = LayerAnalysis(dataset, "tld")
+        assert analysis.insularity["US"] == 1.0
+
+
+class TestRankingEdges:
+    def test_rank_of_unknown_country(
+        self, small_study: DependenceStudy
+    ) -> None:
+        from repro.errors import UnknownLayerError
+
+        with pytest.raises(UnknownLayerError):
+            small_study.hosting.rank_of("ZW")  # measured set lacks ZW
+
+    def test_ca_breakdown_keeps_cf_out(
+        self, small_study: DependenceStudy
+    ) -> None:
+        """Cloudflare/Amazon split-out applies to hosting/DNS only; at
+        the CA layer the Amazon CA is just a class member."""
+        breakdown = small_study.ca.breakdown("US")
+        assert breakdown["Cloudflare"] == 0.0
+        assert breakdown["Amazon"] == 0.0
+        assert sum(breakdown.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_dependence_on_unknown_country_zero(
+        self, small_study: DependenceStudy
+    ) -> None:
+        assert small_study.hosting.dependence_on("US", "ZZ") == 0.0

@@ -1,0 +1,88 @@
+"""Tests for pairwise country EMD and shape clustering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import DependenceStudy
+from repro.analysis.pairwise import (
+    cluster_countries,
+    country_distance_matrix,
+)
+from repro.errors import InvalidDistributionError, UnknownLayerError
+
+SUBSET = ["TH", "IR", "US", "CZ", "RU", "NG"]
+
+
+@pytest.fixture(scope="module")
+def matrix(small_study: DependenceStudy):
+    return country_distance_matrix(
+        small_study, "hosting", countries=SUBSET, max_rank=25
+    )
+
+
+class TestDistanceMatrix:
+    def test_symmetric_zero_diagonal(self, matrix) -> None:
+        assert np.allclose(matrix.values, matrix.values.T)
+        assert np.allclose(np.diag(matrix.values), 0.0)
+
+    def test_nonnegative(self, matrix) -> None:
+        assert np.all(matrix.values >= -1e-12)
+
+    def test_shape_similarity_ordering(self, matrix) -> None:
+        """Decentralized countries (IR, CZ, RU) are mutually closer
+        than any of them is to hyper-centralized Thailand."""
+        for a in ("IR", "CZ", "RU"):
+            for b in ("IR", "CZ", "RU"):
+                if a != b:
+                    assert matrix.distance(a, b) < matrix.distance(a, "TH")
+
+    def test_nearest(self, matrix) -> None:
+        nearest = matrix.nearest("CZ", top=2)
+        assert len(nearest) == 2
+        assert nearest[0][1] <= nearest[1][1]
+        assert nearest[0][0] == "RU"
+
+    def test_distance_lookup(self, matrix) -> None:
+        assert matrix.distance("TH", "TH") == 0.0
+
+    def test_unknown_layer(self, small_study: DependenceStudy) -> None:
+        with pytest.raises(UnknownLayerError):
+            country_distance_matrix(small_study, "email", countries=SUBSET)
+
+    def test_bad_max_rank(self, small_study: DependenceStudy) -> None:
+        with pytest.raises(InvalidDistributionError):
+            country_distance_matrix(
+                small_study, "hosting", countries=SUBSET, max_rank=1
+            )
+
+
+class TestClustering:
+    def test_partition(self, matrix) -> None:
+        groups = cluster_countries(matrix, n_clusters=2)
+        members = [cc for group in groups.values() for cc in group]
+        assert sorted(members) == sorted(SUBSET)
+        assert len(groups) == 2
+
+    def test_centralized_and_decentralized_split(self, matrix) -> None:
+        groups = cluster_countries(matrix, n_clusters=2)
+        clusters_of = {
+            cc: cid for cid, group in groups.items() for cc in group
+        }
+        # Czechia and Russia share almost the same shape (distance
+        # ~0.004 on this world) and must land together, away from
+        # hyper-centralized Thailand.  Iran's enormous singleton tail
+        # gives it a shape of its own, so it is not pinned to either.
+        assert clusters_of["CZ"] == clusters_of["RU"]
+        assert clusters_of["TH"] != clusters_of["CZ"]
+
+    def test_single_cluster(self, matrix) -> None:
+        groups = cluster_countries(matrix, n_clusters=1)
+        assert len(groups) == 1
+
+    def test_validation(self, matrix) -> None:
+        with pytest.raises(InvalidDistributionError):
+            cluster_countries(matrix, n_clusters=0)
+        with pytest.raises(InvalidDistributionError):
+            cluster_countries(matrix, n_clusters=99)

@@ -1,0 +1,124 @@
+"""Tests for the what-if resilience scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import DependenceStudy
+from repro.analysis.whatif import (
+    country_schism,
+    provider_outage,
+    single_points_of_failure,
+)
+from repro.errors import EmptyDistributionError, UnknownLayerError
+
+
+class TestProviderOutage:
+    def test_cloudflare_outage_severity(
+        self, small_study: DependenceStudy
+    ) -> None:
+        impact = provider_outage(small_study.dataset, "Cloudflare")
+        # Every country is hit; Thailand hardest (its 58% reliance).
+        assert all(v > 0 for v in impact.affected_share.values())
+        cc, share = impact.worst_hit
+        assert cc == "TH"
+        assert share > 0.5
+
+    def test_outage_matches_distribution_share(
+        self, small_study: DependenceStudy
+    ) -> None:
+        impact = provider_outage(small_study.dataset, "Cloudflare")
+        dist = small_study.hosting.distribution("US")
+        assert impact.affected_share["US"] == pytest.approx(
+            dist.share_of("Cloudflare")
+        )
+
+    def test_surviving_score_drops(
+        self, small_study: DependenceStudy
+    ) -> None:
+        """Removing the dominant provider decentralizes the rest."""
+        impact = provider_outage(small_study.dataset, "Cloudflare")
+        before = small_study.hosting.scores["TH"]
+        after = impact.surviving_score["TH"]
+        assert after is not None
+        assert after < before
+
+    def test_unknown_provider_no_impact(
+        self, small_study: DependenceStudy
+    ) -> None:
+        impact = provider_outage(small_study.dataset, "No Such Provider")
+        assert impact.global_affected_share() == 0.0
+
+    def test_ca_layer_outage(self, small_study: DependenceStudy) -> None:
+        impact = provider_outage(
+            small_study.dataset, "Let's Encrypt", layer="ca"
+        )
+        assert impact.global_affected_share() > 0.2
+
+    def test_unknown_layer(self, small_study: DependenceStudy) -> None:
+        with pytest.raises(UnknownLayerError):
+            provider_outage(small_study.dataset, "Cloudflare", layer="bgp")
+
+
+class TestCountrySchism:
+    def test_us_schism_hits_everyone(
+        self, small_study: DependenceStudy
+    ) -> None:
+        impact = country_schism(small_study.dataset, "US")
+        hosting = impact.exposure["hosting"]
+        # Most countries lose over a third of their web without U.S.
+        # providers (Section 5.3.1's dependence claim).
+        exposed = sum(1 for v in hosting.values() if v > 0.33)
+        assert exposed >= len(hosting) * 0.6
+
+    def test_ru_schism_hits_cis_hardest(
+        self, small_study: DependenceStudy
+    ) -> None:
+        impact = country_schism(small_study.dataset, "RU")
+        top = impact.most_exposed("hosting", top=3)
+        assert {cc for cc, _ in top} <= {"RU", "TM", "BY", "KZ", "TJ", "KG"}
+        # Turkmenistan's exposure matches its measured dependence.
+        assert impact.exposure["hosting"]["TM"] == pytest.approx(
+            small_study.hosting.dependence_on("TM", "RU"), abs=1e-9
+        )
+
+    def test_ca_layer_schism_is_us_dominated(
+        self, small_study: DependenceStudy
+    ) -> None:
+        impact = country_schism(small_study.dataset, "US")
+        ca_exposure = impact.exposure["ca"]
+        assert min(ca_exposure.values()) > 0.5  # everyone needs US CAs
+
+    def test_any_layer_exposure(self, small_study: DependenceStudy) -> None:
+        impact = country_schism(small_study.dataset, "US")
+        assert impact.any_layer_exposure("NG") >= (
+            impact.exposure["hosting"]["NG"]
+        )
+
+    def test_tld_layer_rejected(self, small_study: DependenceStudy) -> None:
+        with pytest.raises(UnknownLayerError):
+            country_schism(small_study.dataset, "US", layers=("tld",))
+
+
+class TestSinglePointsOfFailure:
+    def test_thailand_has_spof(self, small_study: DependenceStudy) -> None:
+        spofs = single_points_of_failure(small_study.dataset, threshold=0.4)
+        assert "TH" in spofs
+        assert spofs["TH"][0][0] == "Cloudflare"
+
+    def test_iran_has_none_at_high_threshold(
+        self, small_study: DependenceStudy
+    ) -> None:
+        spofs = single_points_of_failure(small_study.dataset, threshold=0.4)
+        assert "IR" not in spofs
+
+    def test_threshold_validation(self, small_study: DependenceStudy) -> None:
+        with pytest.raises(EmptyDistributionError):
+            single_points_of_failure(small_study.dataset, threshold=0.0)
+
+    def test_lower_threshold_more_spofs(
+        self, small_study: DependenceStudy
+    ) -> None:
+        strict = single_points_of_failure(small_study.dataset, threshold=0.5)
+        loose = single_points_of_failure(small_study.dataset, threshold=0.1)
+        assert set(strict) <= set(loose)

@@ -1,0 +1,145 @@
+"""Tests for the Centralization Score and baseline measures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ConcentrationBand,
+    ProviderDistribution,
+    centralization_score,
+    effective_providers,
+    hhi,
+    interpret_score,
+    normalized_hhi,
+    score_upper_bound,
+    top_n_share,
+)
+from repro.errors import EmptyDistributionError, InvalidDistributionError
+
+
+class TestScore:
+    def test_decentralized_zero(self) -> None:
+        assert centralization_score([1] * 10) == pytest.approx(0.0)
+
+    def test_monopoly_upper_bound(self) -> None:
+        assert centralization_score([100]) == pytest.approx(0.99)
+
+    def test_matches_hhi_minus_unit(self) -> None:
+        counts = [50, 30, 20]
+        assert centralization_score(counts) == pytest.approx(
+            hhi(counts) - 1 / 100
+        )
+
+    def test_scale_invariance_of_hhi_part(self) -> None:
+        # Multiplying all counts by k keeps HHI fixed but changes 1/C.
+        assert hhi([5, 3, 2]) == pytest.approx(hhi([50, 30, 20]))
+
+    def test_merging_providers_increases_score(self) -> None:
+        # Pigou-Dalton style: consolidating two providers concentrates.
+        before = centralization_score([4, 3, 3])
+        after = centralization_score([7, 3])
+        assert after > before
+
+    def test_paper_az_hk_example(self) -> None:
+        """Figure 1: AZ (42/5/4/4/4) beats HK (33/12/5/5/4) despite the
+        same top-5 share."""
+        az = [42, 5, 4, 4, 4] + [1] * 41
+        hk = [33, 12, 5, 5, 4] + [1] * 41
+        assert sum(az) == sum(hk)
+        assert top_n_share(az, 5) == pytest.approx(top_n_share(hk, 5))
+        assert centralization_score(az) > centralization_score(hk)
+
+    def test_empty_rejected(self) -> None:
+        with pytest.raises(EmptyDistributionError):
+            centralization_score([])
+
+    def test_zero_mass_rejected(self) -> None:
+        with pytest.raises(EmptyDistributionError):
+            centralization_score([0.0, 0.0])
+
+    def test_negative_rejected(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            centralization_score([5, -1])
+
+    def test_accepts_distribution_object(self) -> None:
+        d = ProviderDistribution({"a": 6, "b": 4})
+        assert centralization_score(d) == pytest.approx(
+            0.6**2 + 0.4**2 - 0.1
+        )
+
+
+class TestUpperBound:
+    def test_value(self) -> None:
+        assert score_upper_bound(10_000) == pytest.approx(0.9999)
+
+    def test_attained_by_monopoly(self) -> None:
+        assert centralization_score([42]) == pytest.approx(
+            score_upper_bound(42)
+        )
+
+    def test_rejects_nonpositive(self) -> None:
+        with pytest.raises(EmptyDistributionError):
+            score_upper_bound(0)
+
+
+class TestInterpretation:
+    @pytest.mark.parametrize(
+        "value,band",
+        [
+            (0.0, ConcentrationBand.COMPETITIVE),
+            (0.099, ConcentrationBand.COMPETITIVE),
+            (0.10, ConcentrationBand.MODERATELY_CONCENTRATED),
+            (0.18, ConcentrationBand.MODERATELY_CONCENTRATED),
+            (0.181, ConcentrationBand.HIGHLY_CONCENTRATED),
+            (0.9, ConcentrationBand.HIGHLY_CONCENTRATED),
+        ],
+    )
+    def test_bands(self, value: float, band: ConcentrationBand) -> None:
+        assert interpret_score(value) is band
+
+    def test_rejects_negative(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            interpret_score(-0.1)
+
+    def test_rejects_nan(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            interpret_score(float("nan"))
+
+    def test_paper_extremes(self) -> None:
+        # Thailand hosting (0.3548) is highly concentrated; Iran
+        # (0.0411) is competitive.
+        assert (
+            interpret_score(0.3548) is ConcentrationBand.HIGHLY_CONCENTRATED
+        )
+        assert interpret_score(0.0411) is ConcentrationBand.COMPETITIVE
+
+
+class TestBaselines:
+    def test_top_n_share_list_input(self) -> None:
+        assert top_n_share([5, 3, 2], 1) == pytest.approx(0.5)
+
+    def test_top_n_sorts_internally(self) -> None:
+        assert top_n_share([2, 5, 3], 1) == pytest.approx(0.5)
+
+    def test_normalized_hhi_range(self) -> None:
+        assert normalized_hhi([1, 1, 1, 1]) == pytest.approx(0.0)
+        assert normalized_hhi([10]) == pytest.approx(1.0)
+
+    def test_normalized_hhi_depends_on_provider_count(self) -> None:
+        """The classical normalization violates requirement (3): the
+        same shape scores differently as the provider count changes —
+        unlike S, which only depends on shares at fixed C."""
+        few = normalized_hhi([5, 5])
+        many = normalized_hhi([5, 5, 1e-9, 1e-9])
+        assert few == pytest.approx(0.0)
+        assert many > 0.3
+
+    def test_effective_providers(self) -> None:
+        assert effective_providers([1, 1, 1, 1]) == pytest.approx(4.0)
+        assert effective_providers([10]) == pytest.approx(1.0)
+
+    def test_effective_providers_weighted(self) -> None:
+        # 60/25/15 behaves like ~2.3 equal providers.
+        value = effective_providers([60, 25, 15])
+        assert 2.0 < value < 3.0

@@ -1,0 +1,188 @@
+"""Tests for affinity propagation and provider classification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GLOBAL_CLASSES,
+    REGIONAL_CLASSES,
+    ClassThresholds,
+    ProviderClass,
+    ProviderFeatures,
+    affinity_propagation,
+    classify_providers,
+    min_max_scale,
+)
+from repro.errors import EmptyDistributionError, InvalidDistributionError
+
+
+class TestMinMaxScale:
+    def test_scales_to_unit_interval(self) -> None:
+        data = np.array([[0.0, 10.0], [5.0, 20.0], [10.0, 30.0]])
+        scaled = min_max_scale(data)
+        assert scaled.min() == pytest.approx(0.0)
+        assert scaled.max() == pytest.approx(1.0)
+        assert scaled[1, 0] == pytest.approx(0.5)
+
+    def test_constant_column_zero(self) -> None:
+        data = np.array([[3.0, 1.0], [3.0, 2.0]])
+        scaled = min_max_scale(data)
+        assert np.all(scaled[:, 0] == 0.0)
+
+    def test_rejects_1d(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            min_max_scale(np.array([1.0, 2.0]))
+
+
+class TestAffinityPropagation:
+    def test_two_obvious_clusters(self) -> None:
+        rng = np.random.default_rng(7)
+        a = rng.normal((0, 0), 0.05, size=(20, 2))
+        b = rng.normal((5, 5), 0.05, size=(20, 2))
+        labels = affinity_propagation(np.vstack([a, b]))
+        assert len(set(labels[:20])) == 1
+        assert len(set(labels[20:])) == 1
+        assert labels[0] != labels[25]
+
+    def test_single_point(self) -> None:
+        labels = affinity_propagation(np.array([[1.0, 2.0]]))
+        assert labels.tolist() == [0]
+
+    def test_identical_points_one_cluster(self) -> None:
+        points = np.ones((10, 2))
+        labels = affinity_propagation(points)
+        assert len(set(labels.tolist())) == 1
+
+    def test_labels_contiguous(self) -> None:
+        rng = np.random.default_rng(3)
+        points = rng.uniform(size=(40, 2))
+        labels = affinity_propagation(points)
+        assert set(labels.tolist()) == set(range(labels.max() + 1))
+
+    def test_deterministic(self) -> None:
+        rng = np.random.default_rng(11)
+        points = rng.uniform(size=(30, 2))
+        first = affinity_propagation(points)
+        second = affinity_propagation(points)
+        assert np.array_equal(first, second)
+
+    def test_rejects_empty(self) -> None:
+        with pytest.raises(EmptyDistributionError):
+            affinity_propagation(np.zeros((0, 2)))
+
+    def test_rejects_bad_damping(self) -> None:
+        with pytest.raises(ValueError):
+            affinity_propagation(np.ones((3, 2)), damping=0.3)
+
+    def test_preference_controls_granularity(self) -> None:
+        rng = np.random.default_rng(5)
+        points = rng.uniform(size=(30, 2))
+        coarse = affinity_propagation(points, preference=-50.0)
+        fine = affinity_propagation(points, preference=-0.001)
+        assert coarse.max() <= fine.max()
+
+
+class TestThresholds:
+    T = ClassThresholds()
+
+    @pytest.mark.parametrize(
+        "usage,er,expected",
+        [
+            # Cloudflare-like: enormous, globally flat.
+            (4500.0, 0.55, ProviderClass.XL_GP),
+            # Akamai-like.
+            (400.0, 0.6, ProviderClass.L_GP),
+            # OVH-like: large but skewed toward Europe.
+            (300.0, 0.88, ProviderClass.L_GP_R),
+            # Medium global.
+            (40.0, 0.7, ProviderClass.M_GP),
+            # Small global.
+            (5.0, 0.8, ProviderClass.S_GP),
+            # Beget-like: big in a few CIS countries only.
+            (30.0, 0.985, ProviderClass.L_RP),
+            # Small regional.
+            (2.0, 0.993, ProviderClass.S_RP),
+            # One-site tail provider.
+            (0.02, 0.9933, ProviderClass.XS_RP),
+        ],
+    )
+    def test_archetypes(
+        self, usage: float, er: float, expected: ProviderClass
+    ) -> None:
+        got = self.T.classify(
+            ProviderFeatures(usage=usage, endemicity_ratio=er)
+        )
+        assert got is expected
+
+    def test_global_regional_partition(self) -> None:
+        assert GLOBAL_CLASSES | REGIONAL_CLASSES == frozenset(ProviderClass)
+        assert not GLOBAL_CLASSES & REGIONAL_CLASSES
+
+    def test_class_property_flags(self) -> None:
+        assert ProviderClass.XL_GP.is_global
+        assert ProviderClass.XS_RP.is_regional
+        assert not ProviderClass.XS_RP.is_global
+
+    def test_features_validation(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            ProviderFeatures(usage=-1.0, endemicity_ratio=0.5)
+        with pytest.raises(InvalidDistributionError):
+            ProviderFeatures(usage=1.0, endemicity_ratio=1.5)
+
+
+class TestClassifyProviders:
+    def _features(self) -> dict[str, ProviderFeatures]:
+        features = {
+            "Cloudflare": ProviderFeatures(4500.0, 0.55),
+            "Amazon": ProviderFeatures(1200.0, 0.6),
+            "Akamai": ProviderFeatures(400.0, 0.62),
+            "OVH": ProviderFeatures(250.0, 0.88),
+            "Incapsula": ProviderFeatures(45.0, 0.7),
+            "Wix": ProviderFeatures(8.0, 0.78),
+            "Beget": ProviderFeatures(40.0, 0.985),
+            "Loopia": ProviderFeatures(1.5, 0.993),
+        }
+        for i in range(60):
+            features[f"tail-{i:02d}"] = ProviderFeatures(
+                0.01 + 0.005 * (i % 3), 0.9933
+            )
+        return features
+
+    def test_recovers_expected_classes(self) -> None:
+        result = classify_providers(self._features())
+        assert result.labels["Cloudflare"] is ProviderClass.XL_GP
+        assert result.labels["Akamai"] is ProviderClass.L_GP
+        assert result.labels["OVH"] is ProviderClass.L_GP_R
+        assert result.labels["Incapsula"] is ProviderClass.M_GP
+        assert result.labels["Wix"] is ProviderClass.S_GP
+        assert result.labels["Beget"] is ProviderClass.L_RP
+        assert result.labels["Loopia"] is ProviderClass.S_RP
+        assert result.labels["tail-00"] is ProviderClass.XS_RP
+
+    def test_class_counts(self) -> None:
+        result = classify_providers(self._features())
+        counts = result.class_counts()
+        assert counts[ProviderClass.XS_RP] == 60
+        assert sum(counts.values()) == len(self._features())
+
+    def test_members_sorted_by_usage(self) -> None:
+        result = classify_providers(self._features())
+        xl = result.members(ProviderClass.XL_GP)
+        assert xl == ["Cloudflare", "Amazon"]
+
+    def test_exemplars_exist(self) -> None:
+        result = classify_providers(self._features())
+        assert result.n_clusters >= 2
+        for cluster, exemplar in result.exemplars.items():
+            assert result.cluster_of[exemplar] == cluster
+
+    def test_rejects_empty(self) -> None:
+        with pytest.raises(EmptyDistributionError):
+            classify_providers({})
+
+    def test_deterministic(self) -> None:
+        a = classify_providers(self._features())
+        b = classify_providers(self._features())
+        assert a.labels == b.labels

@@ -1,0 +1,112 @@
+"""Tests for correlation statistics and the Jaccard index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    CorrelationStrength,
+    interpret_correlation,
+    jaccard_index,
+    pearson,
+    spearman,
+)
+from repro.errors import InvalidDistributionError
+
+
+class TestPearson:
+    def test_perfect_positive(self) -> None:
+        result = pearson([1, 2, 3, 4], [2, 4, 6, 8])
+        assert result.rho == pytest.approx(1.0)
+        assert result.strength is CorrelationStrength.STRONG
+
+    def test_perfect_negative(self) -> None:
+        result = pearson([1, 2, 3, 4], [8, 6, 4, 2])
+        assert result.rho == pytest.approx(-1.0)
+        assert result.strength is CorrelationStrength.STRONG
+
+    def test_significance_flag(self) -> None:
+        x = list(range(50))
+        y = [v * 2.0 + 1 for v in x]
+        assert pearson(x, y).significant
+
+    def test_insignificant_small_noise(self) -> None:
+        result = pearson([1, 2, 3], [2, 1, 2.5])
+        assert result.p_value > 0.05
+        assert not result.significant
+
+    def test_str_formatting(self) -> None:
+        text = str(pearson([1, 2, 3, 4], [2, 4, 6, 8]))
+        assert "rho=1.00" in text
+        assert "strong" in text
+
+    def test_rejects_short(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            pearson([1, 2], [3, 4])
+
+    def test_rejects_length_mismatch(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            pearson([1, 2, 3], [1, 2])
+
+    def test_rejects_constant(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            pearson([1, 1, 1], [1, 2, 3])
+
+    def test_rejects_nonfinite(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            pearson([1, 2, float("inf")], [1, 2, 3])
+
+
+class TestSpearman:
+    def test_monotone_nonlinear_is_perfect(self) -> None:
+        x = [1, 2, 3, 4, 5]
+        y = [v**3 for v in x]
+        assert spearman(x, y).rho == pytest.approx(1.0)
+
+    def test_pearson_spearman_differ_on_nonlinear(self) -> None:
+        x = [1.0, 2, 3, 4, 20]
+        y = [v**4 for v in x]
+        assert spearman(x, y).rho > pearson(x, y).rho - 1e-12
+        assert spearman(x, y).rho == pytest.approx(1.0)
+
+
+class TestInterpretation:
+    @pytest.mark.parametrize(
+        "rho,strength",
+        [
+            (0.1, CorrelationStrength.POOR),
+            (0.19, CorrelationStrength.POOR),  # L-GP vs S (paper)
+            (0.45, CorrelationStrength.FAIR),
+            (-0.61, CorrelationStrength.MODERATE),  # insularity vs S
+            (-0.72, CorrelationStrength.MODERATE),  # L-RP vs S
+            (0.90, CorrelationStrength.STRONG),  # XL-GP vs S
+            (0.96, CorrelationStrength.STRONG),  # vantage points
+        ],
+    )
+    def test_bands(self, rho: float, strength: CorrelationStrength) -> None:
+        assert interpret_correlation(rho) is strength
+
+    def test_rejects_out_of_range(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            interpret_correlation(1.5)
+
+
+class TestJaccard:
+    def test_identical(self) -> None:
+        assert jaccard_index({"a", "b"}, {"b", "a"}) == pytest.approx(1.0)
+
+    def test_disjoint(self) -> None:
+        assert jaccard_index({"a"}, {"b"}) == pytest.approx(0.0)
+
+    def test_partial(self) -> None:
+        assert jaccard_index({"a", "b", "c"}, {"b", "c", "d"}) == (
+            pytest.approx(0.5)
+        )
+
+    def test_both_empty(self) -> None:
+        assert jaccard_index([], []) == 1.0
+
+    def test_accepts_iterables_with_duplicates(self) -> None:
+        assert jaccard_index(["a", "a", "b"], ["b", "b"]) == pytest.approx(
+            0.5
+        )

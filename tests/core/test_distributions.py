@@ -1,0 +1,180 @@
+"""Unit tests for ProviderDistribution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ProviderDistribution
+from repro.errors import EmptyDistributionError, InvalidDistributionError
+
+
+@pytest.fixture
+def dist() -> ProviderDistribution:
+    return ProviderDistribution(
+        {"cloudflare": 60, "amazon": 25, "ovh": 10, "local": 5}
+    )
+
+
+class TestConstruction:
+    def test_total(self, dist: ProviderDistribution) -> None:
+        assert dist.total == 100.0
+
+    def test_n_providers(self, dist: ProviderDistribution) -> None:
+        assert dist.n_providers == 4
+
+    def test_from_pairs(self) -> None:
+        d = ProviderDistribution([("a", 1.0), ("b", 2.0)])
+        assert d.count_of("b") == 2.0
+
+    def test_rejects_empty(self) -> None:
+        with pytest.raises(EmptyDistributionError):
+            ProviderDistribution.from_assignments([])
+
+    def test_rejects_zero_count(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            ProviderDistribution({"a": 0})
+
+    def test_rejects_negative_count(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            ProviderDistribution({"a": -3})
+
+    def test_rejects_nan(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            ProviderDistribution({"a": float("nan")})
+
+    def test_rejects_non_string_keys(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            ProviderDistribution({1: 5})  # type: ignore[dict-item]
+
+    def test_fractional_counts_allowed(self) -> None:
+        d = ProviderDistribution({"a": 0.5, "b": 1.5})
+        assert d.total == 2.0
+
+    def test_from_assignments_skips_none(self) -> None:
+        d = ProviderDistribution.from_assignments(["a", None, "a", "b"])
+        assert d.count_of("a") == 2
+        assert d.total == 3
+
+    def test_from_counts_array(self) -> None:
+        d = ProviderDistribution.from_counts_array([5, 3, 0, 1])
+        assert d.n_providers == 3
+        assert d.total == 9
+
+
+class TestViews:
+    def test_counts_nonincreasing(self, dist: ProviderDistribution) -> None:
+        counts = dist.counts()
+        assert np.all(np.diff(counts) <= 0)
+
+    def test_shares_sum_to_one(self, dist: ProviderDistribution) -> None:
+        assert dist.shares().sum() == pytest.approx(1.0)
+
+    def test_ranked_order(self, dist: ProviderDistribution) -> None:
+        assert [name for name, _ in dist.ranked()] == [
+            "cloudflare",
+            "amazon",
+            "ovh",
+            "local",
+        ]
+
+    def test_tie_break_by_name(self) -> None:
+        d = ProviderDistribution({"zeta": 5, "alpha": 5})
+        assert d.providers == ["alpha", "zeta"]
+
+    def test_share_of_absent(self, dist: ProviderDistribution) -> None:
+        assert dist.share_of("nonexistent") == 0.0
+
+    def test_contains(self, dist: ProviderDistribution) -> None:
+        assert "ovh" in dist
+        assert "zzz" not in dist
+
+    def test_iteration(self, dist: ProviderDistribution) -> None:
+        pairs = list(dist)
+        assert pairs[0] == ("cloudflare", 60.0)
+        assert len(pairs) == 4
+
+    def test_repr_mentions_top(self, dist: ProviderDistribution) -> None:
+        assert "cloudflare" in repr(dist)
+
+    def test_equality(self) -> None:
+        a = ProviderDistribution({"x": 1, "y": 2})
+        b = ProviderDistribution({"y": 2, "x": 1})
+        assert a == b
+
+    def test_unhashable(self, dist: ProviderDistribution) -> None:
+        with pytest.raises(TypeError):
+            hash(dist)
+
+
+class TestMarketQueries:
+    def test_top_n_share(self, dist: ProviderDistribution) -> None:
+        assert dist.top_n_share(1) == pytest.approx(0.60)
+        assert dist.top_n_share(2) == pytest.approx(0.85)
+        assert dist.top_n_share(10) == pytest.approx(1.0)
+
+    def test_top_n_share_zero(self, dist: ProviderDistribution) -> None:
+        assert dist.top_n_share(0) == 0.0
+
+    def test_top_n_share_negative(self, dist: ProviderDistribution) -> None:
+        with pytest.raises(ValueError):
+            dist.top_n_share(-1)
+
+    def test_providers_covering(self, dist: ProviderDistribution) -> None:
+        assert dist.providers_covering(0.5) == 1
+        assert dist.providers_covering(0.85) == 2
+        assert dist.providers_covering(1.0) == 4
+
+    def test_providers_covering_zero(self, dist: ProviderDistribution) -> None:
+        assert dist.providers_covering(0.0) == 1
+
+    def test_providers_covering_rejects_out_of_range(
+        self, dist: ProviderDistribution
+    ) -> None:
+        with pytest.raises(ValueError):
+            dist.providers_covering(1.2)
+
+    def test_rank_curve_percent(self, dist: ProviderDistribution) -> None:
+        curve = dist.rank_curve()
+        assert curve[0] == pytest.approx(60.0)
+        assert curve.sum() == pytest.approx(100.0)
+
+    def test_rank_curve_truncation(self, dist: ProviderDistribution) -> None:
+        assert len(dist.rank_curve(max_rank=2)) == 2
+
+    def test_cumulative_curve(self, dist: ProviderDistribution) -> None:
+        cum = dist.cumulative_curve()
+        assert cum[-1] == pytest.approx(100.0)
+        assert np.all(np.diff(cum) >= 0)
+
+    def test_tail_share(self, dist: ProviderDistribution) -> None:
+        # Providers with fewer than 11 sites: just "local" (5).
+        assert dist.tail_share(11) == pytest.approx(0.15)
+
+
+class TestCombinators:
+    def test_merge(self) -> None:
+        a = ProviderDistribution({"x": 1, "y": 2})
+        b = ProviderDistribution({"y": 3, "z": 4})
+        merged = a.merge(b)
+        assert merged.count_of("y") == 5
+        assert merged.total == 10
+
+    def test_restrict(self, dist: ProviderDistribution) -> None:
+        r = dist.restrict(["cloudflare", "amazon"])
+        assert r.n_providers == 2
+        assert r.total == 85
+
+    def test_restrict_to_nothing(self, dist: ProviderDistribution) -> None:
+        with pytest.raises(EmptyDistributionError):
+            dist.restrict(["nope"])
+
+    def test_relabel_aggregates(self) -> None:
+        d = ProviderDistribution({"r3": 5, "e1": 3, "digi": 2})
+        owners = d.relabel({"r3": "LE", "e1": "LE"})
+        assert owners.count_of("LE") == 8
+        assert owners.count_of("digi") == 2
+
+    def test_relabel_keeps_unmapped(self, dist: ProviderDistribution) -> None:
+        out = dist.relabel({})
+        assert out == dist

@@ -1,0 +1,125 @@
+"""Tests for the Section 3.1 distance design-space implementations."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    disjoint_support_saturation,
+    dudley_metric,
+    hellinger_distance,
+    js_divergence,
+    kl_divergence,
+    mmd,
+    total_variation,
+)
+from repro.errors import EmptyDistributionError, InvalidDistributionError
+
+
+UNIFORM4 = [0.25] * 4
+SKEWED4 = [0.7, 0.2, 0.05, 0.05]
+
+
+class TestKL:
+    def test_self_zero(self) -> None:
+        assert kl_divergence(UNIFORM4, UNIFORM4) == pytest.approx(0.0)
+
+    def test_positive(self) -> None:
+        assert kl_divergence(SKEWED4, UNIFORM4) > 0
+
+    def test_asymmetric(self) -> None:
+        assert kl_divergence(SKEWED4, UNIFORM4) != pytest.approx(
+            kl_divergence(UNIFORM4, SKEWED4)
+        )
+
+    def test_infinite_on_support_mismatch(self) -> None:
+        assert kl_divergence([1.0, 0.0], [0.0, 1.0]) == math.inf
+
+    def test_normalizes_inputs(self) -> None:
+        assert kl_divergence([2, 2], [5, 5]) == pytest.approx(0.0)
+
+    def test_size_mismatch_rejected(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            kl_divergence([1, 1], [1, 1, 1])
+
+    def test_empty_rejected(self) -> None:
+        with pytest.raises(EmptyDistributionError):
+            kl_divergence([], [])
+
+
+class TestJS:
+    def test_symmetric(self) -> None:
+        assert js_divergence(SKEWED4, UNIFORM4) == pytest.approx(
+            js_divergence(UNIFORM4, SKEWED4)
+        )
+
+    def test_bounded_by_ln2(self) -> None:
+        assert js_divergence([1, 0], [0, 1]) == pytest.approx(math.log(2))
+
+    def test_self_zero(self) -> None:
+        assert js_divergence(SKEWED4, SKEWED4) == pytest.approx(0.0)
+
+
+class TestHellingerTV:
+    def test_hellinger_bounds(self) -> None:
+        assert hellinger_distance([1, 0], [0, 1]) == pytest.approx(1.0)
+        assert hellinger_distance(UNIFORM4, UNIFORM4) == pytest.approx(0.0)
+
+    def test_tv_bounds(self) -> None:
+        assert total_variation([1, 0], [0, 1]) == pytest.approx(1.0)
+        assert total_variation(UNIFORM4, UNIFORM4) == pytest.approx(0.0)
+
+    def test_tv_half_l1(self) -> None:
+        assert total_variation([0.5, 0.5], [1.0, 0.0]) == pytest.approx(0.5)
+
+
+class TestIPMs:
+    def test_mmd_self_zero(self) -> None:
+        assert mmd(SKEWED4, SKEWED4) == pytest.approx(0.0, abs=1e-9)
+
+    def test_mmd_positive(self) -> None:
+        assert mmd(SKEWED4, UNIFORM4) > 0
+
+    def test_mmd_distinguishes_disjoint_separations(self) -> None:
+        """Unlike f-divergences, MMD grows with how *far apart* two
+        disjoint distributions sit."""
+        p = [1.0, 0.0, 0.0, 0.0]
+        near = [0.0, 1.0, 0.0, 0.0]
+        far = [0.0, 0.0, 0.0, 1.0]
+        support = np.arange(4.0)
+        assert mmd(p, far, support, support) > mmd(p, near, support, support)
+
+    def test_mmd_rejects_bad_bandwidth(self) -> None:
+        with pytest.raises(ValueError):
+            mmd(UNIFORM4, UNIFORM4, bandwidth=0.0)
+
+    def test_dudley_self_zero(self) -> None:
+        assert dudley_metric(SKEWED4, SKEWED4) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_dudley_bounded_by_two(self) -> None:
+        assert dudley_metric([1, 0], [0, 1]) <= 2.0 + 1e-9
+
+    def test_dudley_positive_on_difference(self) -> None:
+        assert dudley_metric(SKEWED4, UNIFORM4) > 0
+
+
+class TestSaturation:
+    def test_f_divergences_saturate_ipms_do_not(self) -> None:
+        """The executable version of the paper's motivation: on
+        disjoint supports every f-divergence is constant in n while
+        the IPMs keep discriminating."""
+        table = disjoint_support_saturation(sizes=(2, 16))
+        small, large = table[2], table[16]
+        assert small["js"] == pytest.approx(large["js"])
+        assert small["hellinger"] == pytest.approx(large["hellinger"])
+        assert small["total_variation"] == pytest.approx(
+            large["total_variation"]
+        )
+        assert small["kl"] == math.inf and large["kl"] == math.inf
+        # The IPMs see different geometry at different sizes.
+        assert small["dudley"] != pytest.approx(large["dudley"], abs=1e-3)

@@ -1,0 +1,16 @@
+"""Run the executable examples embedded in core docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+from repro.core import centralization, distributions
+
+
+@pytest.mark.parametrize("module", [distributions, centralization])
+def test_module_doctests(module) -> None:
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"
+    assert results.failed == 0

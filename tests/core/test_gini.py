@@ -1,0 +1,86 @@
+"""Tests for the Gini/Lorenz concentration baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ProviderDistribution, gini, lorenz_curve
+from repro.errors import InvalidDistributionError
+
+
+class TestGini:
+    def test_uniform_zero(self) -> None:
+        assert gini([5, 5, 5, 5]) == pytest.approx(0.0)
+
+    def test_single_provider_zero(self) -> None:
+        # A single provider has no inequality *among providers*.
+        assert gini([100]) == 0.0
+
+    def test_extreme_inequality(self) -> None:
+        # One provider holding half the mass among 999 singletons:
+        # the closed-form Gini is ~0.4995.
+        counts = [1000] + [1] * 999
+        assert gini(counts) == pytest.approx(0.4995, abs=0.005)
+        # Pushing nearly all mass into the giant approaches (n-1)/n
+        # only as the singletons' mass share vanishes.
+        assert gini([10_000_000] + [1] * 99) > 0.97
+
+    def test_bounds(self) -> None:
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            counts = rng.integers(1, 100, size=rng.integers(2, 40))
+            value = gini(counts.tolist())
+            assert 0.0 <= value < 1.0
+
+    def test_known_value(self) -> None:
+        # Two providers 3:1 -> G = |3-1| * 2 pairs... closed form:
+        # mean abs diff = (0+2+2+0)/4 = 1; G = 1 / (2 * mean=2) = 0.25.
+        assert gini([3, 1]) == pytest.approx(0.25)
+
+    def test_accepts_distribution(self) -> None:
+        dist = ProviderDistribution({"a": 3, "b": 1})
+        assert gini(dist) == pytest.approx(0.25)
+
+    def test_fails_requirement_one(self) -> None:
+        """The documented failure: Gini cannot see provider count,
+        while S can."""
+        from repro.core import centralization_score
+
+        two_giants = [500, 500]
+        many_boutiques = [1] * 1000
+        assert gini(two_giants) == gini(many_boutiques) == 0.0
+        assert centralization_score(two_giants) > centralization_score(
+            many_boutiques
+        )
+
+
+class TestLorenz:
+    def test_endpoints(self) -> None:
+        x, y = lorenz_curve([5, 3, 2])
+        assert x[0] == 0.0 and x[-1] == 1.0
+        assert y[0] == pytest.approx(0.0)
+        assert y[-1] == pytest.approx(1.0)
+
+    def test_below_diagonal(self) -> None:
+        x, y = lorenz_curve([50, 30, 15, 5])
+        assert np.all(y <= x + 1e-9)
+
+    def test_uniform_is_diagonal(self) -> None:
+        x, y = lorenz_curve([4, 4, 4, 4])
+        assert y == pytest.approx(x, abs=1e-9)
+
+    def test_monotone(self) -> None:
+        _, y = lorenz_curve([10, 5, 2, 1, 1])
+        assert np.all(np.diff(y) >= -1e-12)
+
+    def test_point_validation(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            lorenz_curve([1, 2], points=1)
+
+    def test_gini_matches_lorenz_area(self) -> None:
+        """G == 1 - 2 * area under the Lorenz curve."""
+        counts = [40, 25, 15, 10, 5, 3, 1, 1]
+        x, y = lorenz_curve(counts, points=20_001)
+        area = float(np.trapezoid(y, x))
+        assert gini(counts) == pytest.approx(1 - 2 * area, abs=1e-3)

@@ -1,0 +1,127 @@
+"""Tests for the synthetic distribution families (Figure 3 et al.)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FIGURE3_SCORES,
+    allocate_counts,
+    centralization_score,
+    distribution_with_score,
+    geometric_distribution,
+    single_provider_distribution,
+    uniform_distribution,
+    zipf_distribution,
+)
+from repro.core.reference import score_of_geometric
+from repro.errors import EmptyDistributionError, InvalidDistributionError
+
+
+class TestAllocateCounts:
+    def test_sums_to_total(self) -> None:
+        counts = allocate_counts([0.5, 0.3, 0.2], 10)
+        assert counts.sum() == 10
+
+    def test_exact_shares(self) -> None:
+        counts = allocate_counts([0.5, 0.3, 0.2], 10)
+        assert counts.tolist() == [5, 3, 2]
+
+    def test_largest_remainder(self) -> None:
+        # 1/3 each of 10: remainders go to the first entries.
+        counts = allocate_counts([1, 1, 1], 10)
+        assert counts.sum() == 10
+        assert counts.max() - counts.min() <= 1
+
+    def test_unnormalized_input(self) -> None:
+        counts = allocate_counts([5.0, 3.0, 2.0], 100)
+        assert counts.tolist() == [50, 30, 20]
+
+    def test_rejects_zero_total(self) -> None:
+        with pytest.raises(EmptyDistributionError):
+            allocate_counts([0.5, 0.5], 0)
+
+    def test_rejects_negative_shares(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            allocate_counts([0.5, -0.5], 10)
+
+    def test_rejects_all_zero_shares(self) -> None:
+        with pytest.raises(EmptyDistributionError):
+            allocate_counts([0.0, 0.0], 10)
+
+
+class TestFamilies:
+    def test_geometric_total(self) -> None:
+        dist = geometric_distribution(0.4, total=1000)
+        assert dist.total == 1000
+
+    def test_geometric_rejects_bad_p(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            geometric_distribution(0.0)
+        with pytest.raises(InvalidDistributionError):
+            geometric_distribution(1.5)
+
+    def test_geometric_monopoly_limit(self) -> None:
+        dist = geometric_distribution(1.0, total=100)
+        assert dist.top_n_share(1) == pytest.approx(1.0)
+
+    def test_zipf_shape(self) -> None:
+        dist = zipf_distribution(1.0, 10, total=1000)
+        counts = dist.counts()
+        assert counts[0] > counts[-1]
+        assert dist.total == 1000
+
+    def test_zipf_zero_exponent_uniform(self) -> None:
+        dist = zipf_distribution(0.0, 10, total=1000)
+        assert dist.counts().max() - dist.counts().min() <= 1
+
+    def test_zipf_rejects_negative_exponent(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            zipf_distribution(-1.0, 10)
+
+    def test_uniform_score_zero_when_singletons(self) -> None:
+        dist = uniform_distribution(100, total=100)
+        assert centralization_score(dist) == pytest.approx(0.0)
+
+    def test_single_provider_hits_bound(self) -> None:
+        dist = single_provider_distribution(total=500)
+        assert centralization_score(dist) == pytest.approx(1 - 1 / 500)
+
+
+class TestFigure3:
+    @pytest.mark.parametrize("target", FIGURE3_SCORES)
+    def test_reproduces_published_scores(self, target: float) -> None:
+        """The Figure 3 example curves regenerate within ~1/C."""
+        dist = distribution_with_score(target, total=10_000)
+        assert centralization_score(dist) == pytest.approx(
+            target, abs=0.002
+        )
+
+    def test_zero_target(self) -> None:
+        dist = distribution_with_score(0.0, total=200)
+        assert centralization_score(dist) == pytest.approx(0.0)
+
+    def test_rejects_unreachable_target(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            distribution_with_score(0.999, total=100)
+
+    def test_rejects_out_of_range(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            distribution_with_score(1.0)
+
+    def test_inverse_formula(self) -> None:
+        """p = 2S/(1+S) inverts S = p/(2-p)."""
+        for p in (0.9, 0.65, 0.4, 0.2, 0.05):
+            s = score_of_geometric(p)
+            assert 2 * s / (1 + s) == pytest.approx(p)
+
+    def test_cumulative_curves_ordered(self) -> None:
+        """Higher-S curves rise faster (the Figure 3 visual)."""
+        prev = None
+        for target in sorted(FIGURE3_SCORES, reverse=True):
+            dist = distribution_with_score(target, total=10_000)
+            head = float(np.cumsum(dist.counts())[:10][-1])
+            if prev is not None:
+                assert head <= prev
+            prev = head

@@ -1,0 +1,130 @@
+"""Tests for usage, endemicity, endemicity ratio, and insularity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    UsageCurve,
+    dependence_on,
+    endemicity,
+    endemicity_ratio,
+    insularity,
+    usage,
+)
+from repro.errors import EmptyDistributionError, InvalidDistributionError
+
+
+class TestUsageCurve:
+    def test_from_usage_sorts(self) -> None:
+        curve = UsageCurve.from_usage({"a": 5.0, "b": 20.0, "c": 10.0})
+        assert curve.values.tolist() == [20.0, 10.0, 5.0]
+        assert curve.countries == ("b", "c", "a")
+
+    def test_rejects_empty(self) -> None:
+        with pytest.raises(EmptyDistributionError):
+            UsageCurve.from_usage({})
+
+    def test_rejects_out_of_range(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            UsageCurve.from_usage({"a": 120.0})
+        with pytest.raises(InvalidDistributionError):
+            UsageCurve.from_usage({"a": -1.0})
+
+    def test_rejects_increasing_values(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            UsageCurve(values=np.array([1.0, 5.0]), countries=("a", "b"))
+
+    def test_maximum(self) -> None:
+        curve = UsageCurve.from_usage({"a": 5.0, "b": 20.0})
+        assert curve.maximum == 20.0
+
+    def test_tie_break_by_country(self) -> None:
+        curve = UsageCurve.from_usage({"z": 4.0, "a": 4.0})
+        assert curve.countries == ("a", "z")
+
+
+class TestUsageAndEndemicity:
+    def test_usage_is_area(self) -> None:
+        assert usage([10.0, 5.0, 0.0]) == pytest.approx(15.0)
+
+    def test_endemicity_flat_curve_zero(self) -> None:
+        assert endemicity([7.0] * 10) == pytest.approx(0.0)
+
+    def test_endemicity_formula(self) -> None:
+        # E = sum(u1 - ui) = (10-10) + (10-4) + (10-1) = 15.
+        assert endemicity([10.0, 4.0, 1.0]) == pytest.approx(15.0)
+
+    def test_accepts_unsorted_sequence(self) -> None:
+        assert endemicity([1.0, 10.0, 4.0]) == pytest.approx(15.0)
+
+    def test_ratio_range(self) -> None:
+        flat = endemicity_ratio([5.0] * 150)
+        single = endemicity_ratio([50.0] + [0.0] * 149)
+        assert flat == pytest.approx(0.0)
+        assert single == pytest.approx(1 - 1 / 150)
+        assert 0.0 <= flat <= single <= 1.0
+
+    def test_ratio_identity(self) -> None:
+        """E_R == 1 - mean/max."""
+        values = [30.0, 12.0, 4.0, 0.0, 0.0]
+        expected = 1 - (np.mean(values) / np.max(values))
+        assert endemicity_ratio(values) == pytest.approx(expected)
+
+    def test_ratio_zero_curve(self) -> None:
+        assert endemicity_ratio([0.0, 0.0]) == 0.0
+
+    def test_regional_more_endemic_than_global(self) -> None:
+        """Figure 4: Beget-like curve beats Cloudflare-like curve."""
+        global_curve = [60.0] + [40.0] * 100 + [25.0] * 49
+        regional_curve = [20.0, 8.0, 5.0] + [0.0] * 147
+        assert endemicity_ratio(regional_curve) > endemicity_ratio(
+            global_curve
+        )
+
+    def test_usage_ranks_global_above_regional(self) -> None:
+        global_curve = [60.0] + [40.0] * 100 + [25.0] * 49
+        regional_curve = [20.0, 8.0, 5.0] + [0.0] * 147
+        assert usage(global_curve) > usage(regional_curve)
+
+    def test_works_with_usage_curve_object(self) -> None:
+        curve = UsageCurve.from_usage({"a": 10.0, "b": 2.0})
+        assert usage(curve) == pytest.approx(12.0)
+        assert endemicity(curve) == pytest.approx(8.0)
+
+
+class TestInsularity:
+    HOMES = {"local-1": "TH", "local-2": "TH", "us-1": "US", "fr-1": "FR"}
+
+    def test_basic(self) -> None:
+        sites = ["local-1", "us-1", "local-2", "fr-1"]
+        assert insularity(sites, self.HOMES, "TH") == pytest.approx(0.5)
+
+    def test_none_sites_excluded(self) -> None:
+        sites = ["local-1", None, "us-1", None]
+        assert insularity(sites, self.HOMES, "TH") == pytest.approx(0.5)
+
+    def test_unknown_provider_counts_foreign(self) -> None:
+        sites = ["local-1", "mystery"]
+        assert insularity(sites, self.HOMES, "TH") == pytest.approx(0.5)
+
+    def test_all_none_rejected(self) -> None:
+        with pytest.raises(EmptyDistributionError):
+            insularity([None, None], self.HOMES, "TH")
+
+    def test_full_insularity(self) -> None:
+        assert insularity(
+            ["local-1", "local-2"], self.HOMES, "TH"
+        ) == pytest.approx(1.0)
+
+    def test_dependence_on_foreign(self) -> None:
+        sites = ["local-1", "us-1", "us-1", "fr-1"]
+        assert dependence_on(sites, self.HOMES, "US") == pytest.approx(0.5)
+        assert dependence_on(sites, self.HOMES, "FR") == pytest.approx(0.25)
+
+    def test_dependence_on_home_equals_insularity(self) -> None:
+        sites = ["local-1", "us-1"]
+        assert dependence_on(sites, self.HOMES, "TH") == insularity(
+            sites, self.HOMES, "TH"
+        )

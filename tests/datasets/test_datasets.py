@@ -1,0 +1,197 @@
+"""Tests for the embedded reference datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CA_CATALOG,
+    CIS_RUSSIA_LEANING,
+    CONTINENTS,
+    COUNTRIES,
+    COUNTRY_CODES,
+    GLOBAL_HOSTING_SEEDS,
+    LARGE_GLOBAL_CAS,
+    LAYERS,
+    PAPER_LAYER_MEANS,
+    PAPER_SCORES,
+    SUBREGIONS,
+    by_continent,
+    by_subregion,
+    country,
+    paper_anchors,
+    paper_rank,
+    paper_scores,
+)
+from repro.errors import UnknownCountryError, UnknownLayerError
+
+
+class TestCountries:
+    def test_150_countries(self) -> None:
+        assert len(COUNTRIES) == 150
+        assert len(COUNTRY_CODES) == 150
+
+    def test_codes_are_upper_two_letter(self) -> None:
+        assert all(len(c) == 2 and c.isupper() for c in COUNTRY_CODES)
+
+    def test_continents(self) -> None:
+        assert set(c.continent for c in COUNTRIES.values()) == set(
+            CONTINENTS
+        )
+
+    def test_lookup(self) -> None:
+        th = country("TH")
+        assert th.name == "Thailand"
+        assert th.subregion == "South-eastern Asia"
+        assert th.continent == "AS"
+
+    def test_lookup_case_insensitive(self) -> None:
+        assert country("th").code == "TH"
+
+    def test_unknown_country(self) -> None:
+        with pytest.raises(UnknownCountryError):
+            country("XX")
+
+    def test_by_continent(self) -> None:
+        eu = by_continent("EU")
+        assert {"CZ", "FR", "DE", "RU"} <= {c.code for c in eu}
+        assert all(c.continent == "EU" for c in eu)
+
+    def test_by_continent_unknown(self) -> None:
+        with pytest.raises(UnknownCountryError):
+            by_continent("ZZ")
+
+    def test_by_subregion(self) -> None:
+        sea = by_subregion("South-eastern Asia")
+        assert {"TH", "ID", "MM", "LA"} <= {c.code for c in sea}
+
+    def test_subregions_cover_everything(self) -> None:
+        assert sum(len(by_subregion(s)) for s in SUBREGIONS) == 150
+
+    def test_cis_grouping(self) -> None:
+        assert {"TM", "TJ", "KG", "KZ", "BY"} <= CIS_RUSSIA_LEANING
+
+    def test_paper_specific_facts(self) -> None:
+        # GB is Northern Europe in the paper's Table 4.
+        assert country("GB").subregion == "Northern Europe"
+        # Puerto Rico counts as Caribbean/NA.
+        assert country("PR").continent == "NA"
+
+
+class TestPaperScores:
+    def test_all_layers_present(self) -> None:
+        assert set(PAPER_SCORES) == set(LAYERS) == {
+            "hosting",
+            "dns",
+            "ca",
+            "tld",
+        }
+
+    def test_each_layer_covers_150(self) -> None:
+        for layer in LAYERS:
+            assert len(PAPER_SCORES[layer]) == 150
+
+    def test_published_extremes(self) -> None:
+        assert PAPER_SCORES["hosting"]["TH"] == 0.3548
+        assert PAPER_SCORES["hosting"]["IR"] == 0.0411
+        assert PAPER_SCORES["dns"]["ID"] == 0.3757
+        assert PAPER_SCORES["dns"]["CZ"] == 0.0391
+        assert PAPER_SCORES["ca"]["SK"] == 0.3304
+        assert PAPER_SCORES["ca"]["TW"] == 0.1308
+        assert PAPER_SCORES["tld"]["US"] == 0.5853
+        assert PAPER_SCORES["tld"]["KG"] == 0.1468
+
+    def test_layer_means_match_paper(self) -> None:
+        """The paper reports these means in Sections 5-7 and Appendix B."""
+        assert PAPER_LAYER_MEANS["hosting"] == pytest.approx(0.1429, abs=5e-5)
+        assert PAPER_LAYER_MEANS["dns"] == pytest.approx(0.1379, abs=5e-5)
+        assert PAPER_LAYER_MEANS["ca"] == pytest.approx(0.2007, abs=5e-5)
+        assert PAPER_LAYER_MEANS["tld"] == pytest.approx(0.3262, abs=5e-5)
+
+    def test_ca_variance_matches_paper(self) -> None:
+        values = list(PAPER_SCORES["ca"].values())
+        assert float(np.var(values)) == pytest.approx(0.0007, abs=2e-4)
+
+    def test_us_is_hosting_median(self) -> None:
+        assert paper_rank("hosting", "US") == 75
+
+    def test_ranks(self) -> None:
+        assert paper_rank("hosting", "TH") == 1
+        assert paper_rank("hosting", "IR") == 150
+        assert paper_rank("tld", "US") == 1
+
+    def test_paper_scores_copy(self) -> None:
+        scores = paper_scores("hosting")
+        scores["TH"] = 0.0
+        assert PAPER_SCORES["hosting"]["TH"] == 0.3548
+
+    def test_unknown_layer(self) -> None:
+        with pytest.raises(UnknownLayerError):
+            paper_scores("email")
+        with pytest.raises(UnknownLayerError):
+            paper_rank("email", "US")
+
+    def test_unknown_country_rank(self) -> None:
+        with pytest.raises(UnknownCountryError):
+            paper_rank("hosting", "XX")
+
+
+class TestProviderCatalogs:
+    def test_45_cas(self) -> None:
+        assert len(CA_CATALOG) == 45
+
+    def test_ca_tier_counts_match_table3(self) -> None:
+        from collections import Counter
+
+        tiers = Counter(seed.tier for seed in CA_CATALOG)
+        assert tiers["L-GP"] == 7
+        assert tiers["M-GP"] == 2
+        assert tiers["L-RP"] == 11
+        assert tiers["S-RP"] == 10
+        assert tiers["XS-RP"] == 15
+
+    def test_seven_large_global_cas(self) -> None:
+        assert len(LARGE_GLOBAL_CAS) == 7
+        assert "Let's Encrypt" in LARGE_GLOBAL_CAS
+        assert "DigiCert" in LARGE_GLOBAL_CAS
+
+    def test_ca_names_unique(self) -> None:
+        names = [seed.name for seed in CA_CATALOG]
+        assert len(set(names)) == len(names)
+
+    def test_cloudflare_and_amazon_are_xl(self) -> None:
+        tiers = {s.name: s.tier for s in GLOBAL_HOSTING_SEEDS}
+        assert tiers["Cloudflare"] == "XL-GP"
+        assert tiers["Amazon"] == "XL-GP"
+
+    def test_seed_homes_exist_or_are_known_external(self) -> None:
+        known_external = {"CN"}
+        for seed in GLOBAL_HOSTING_SEEDS:
+            assert seed.home_country in COUNTRIES or (
+                seed.home_country in known_external
+            )
+
+
+class TestAnchors:
+    def test_correlation_anchors(self) -> None:
+        assert paper_anchors.CORRELATIONS["xl_gp_share_vs_s"] == 0.90
+        assert paper_anchors.CORRELATIONS["l_rp_share_vs_s"] == -0.72
+        assert paper_anchors.CORRELATIONS["vantage_points"] == 0.96
+
+    def test_insularity_anchors(self) -> None:
+        ins = paper_anchors.HOSTING["insularity"]
+        assert ins["US"] == 0.921
+        assert ins["IR"] == 0.648
+
+    def test_class_count_totals(self) -> None:
+        hosting = paper_anchors.CLASS_COUNTS["hosting"]
+        assert sum(hosting.values()) == 12414
+        dns = paper_anchors.CLASS_COUNTS["dns"]
+        assert sum(dns.values()) == 10009
+        ca = paper_anchors.CLASS_COUNTS["ca"]
+        assert sum(ca.values()) == 45
+
+    def test_anchors_frozen(self) -> None:
+        with pytest.raises(TypeError):
+            paper_anchors.CORRELATIONS["vantage_points"] = 0.0  # type: ignore[index]

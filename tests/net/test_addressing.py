@@ -1,0 +1,177 @@
+"""Tests for IPv4 addressing, prefixes, tries, and allocation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import (
+    AddressSpaceExhausted,
+    Prefix,
+    PrefixAllocator,
+    PrefixTrie,
+    int_to_ip,
+    ip_to_int,
+)
+
+
+class TestIpConversion:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("0.0.0.0", 0),
+            ("10.0.0.1", (10 << 24) + 1),
+            ("255.255.255.255", (1 << 32) - 1),
+            ("192.168.1.1", 0xC0A80101),
+        ],
+    )
+    def test_roundtrip(self, text: str, value: int) -> None:
+        assert ip_to_int(text) == value
+        assert int_to_ip(value) == text
+
+    @pytest.mark.parametrize(
+        "bad", ["1.2.3", "1.2.3.4.5", "256.0.0.1", "01.2.3.4", "a.b.c.d", ""]
+    )
+    def test_rejects_malformed(self, bad: str) -> None:
+        with pytest.raises(ValueError):
+            ip_to_int(bad)
+
+    def test_int_out_of_range(self) -> None:
+        with pytest.raises(ValueError):
+            int_to_ip(1 << 32)
+        with pytest.raises(ValueError):
+            int_to_ip(-1)
+
+
+class TestPrefix:
+    def test_parse(self) -> None:
+        p = Prefix.parse("10.1.0.0/16")
+        assert p.length == 16
+        assert str(p) == "10.1.0.0/16"
+        assert p.size == 65536
+
+    def test_contains(self) -> None:
+        p = Prefix.parse("10.1.0.0/16")
+        assert p.contains(ip_to_int("10.1.255.255"))
+        assert not p.contains(ip_to_int("10.2.0.0"))
+
+    def test_contains_prefix(self) -> None:
+        outer = Prefix.parse("10.0.0.0/8")
+        inner = Prefix.parse("10.5.0.0/16")
+        assert outer.contains_prefix(inner)
+        assert not inner.contains_prefix(outer)
+
+    def test_host_bits_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            Prefix(ip_to_int("10.0.0.1"), 24)
+
+    def test_bad_length_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            Prefix(0, 33)
+
+    def test_parse_requires_slash(self) -> None:
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.0")
+
+    def test_address_offset(self) -> None:
+        p = Prefix.parse("10.0.0.0/30")
+        assert int_to_ip(p.address(3)) == "10.0.0.3"
+        with pytest.raises(ValueError):
+            p.address(4)
+
+    def test_first_last(self) -> None:
+        p = Prefix.parse("10.0.0.0/24")
+        assert int_to_ip(p.first) == "10.0.0.0"
+        assert int_to_ip(p.last) == "10.0.0.255"
+
+    def test_addresses_iter(self) -> None:
+        p = Prefix.parse("10.0.0.0/30")
+        assert len(list(p.addresses())) == 4
+
+
+class TestPrefixTrie:
+    def test_longest_prefix_match(self) -> None:
+        trie: PrefixTrie[str] = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "coarse")
+        trie.insert(Prefix.parse("10.1.0.0/16"), "fine")
+        assert trie.lookup(ip_to_int("10.1.2.3")) == "fine"
+        assert trie.lookup(ip_to_int("10.2.2.3")) == "coarse"
+        assert trie.lookup(ip_to_int("11.0.0.0")) is None
+
+    def test_exact_host_route(self) -> None:
+        trie: PrefixTrie[int] = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.5/32"), 42)
+        assert trie.lookup(ip_to_int("10.0.0.5")) == 42
+        assert trie.lookup(ip_to_int("10.0.0.6")) is None
+
+    def test_default_route(self) -> None:
+        trie: PrefixTrie[str] = PrefixTrie()
+        trie.insert(Prefix(0, 0), "default")
+        assert trie.lookup(ip_to_int("203.0.113.7")) == "default"
+
+    def test_overwrite_keeps_count(self) -> None:
+        trie: PrefixTrie[str] = PrefixTrie()
+        p = Prefix.parse("10.0.0.0/24")
+        trie.insert(p, "a")
+        trie.insert(p, "b")
+        assert len(trie) == 1
+        assert trie.lookup(p.first) == "b"
+
+    def test_lookup_prefix_returns_match(self) -> None:
+        trie: PrefixTrie[str] = PrefixTrie()
+        trie.insert(Prefix.parse("10.1.0.0/16"), "x")
+        match = trie.lookup_prefix(ip_to_int("10.1.200.3"))
+        assert match is not None
+        prefix, value = match
+        assert str(prefix) == "10.1.0.0/16"
+        assert value == "x"
+
+    def test_items_roundtrip(self) -> None:
+        trie: PrefixTrie[int] = PrefixTrie()
+        inserted = {
+            "10.0.0.0/8": 1,
+            "10.1.0.0/16": 2,
+            "192.168.0.0/24": 3,
+        }
+        for text, value in inserted.items():
+            trie.insert(Prefix.parse(text), value)
+        got = {str(p): v for p, v in trie.items()}
+        assert got == inserted
+
+
+class TestAllocator:
+    def test_sequential_non_overlapping(self) -> None:
+        alloc = PrefixAllocator("10.0.0.0/8")
+        a = alloc.allocate(16)
+        b = alloc.allocate(16)
+        assert a.last < b.first
+
+    def test_alignment(self) -> None:
+        alloc = PrefixAllocator("10.0.0.0/8")
+        alloc.allocate(24)
+        big = alloc.allocate(16)
+        assert big.network % big.size == 0
+
+    def test_exhaustion(self) -> None:
+        alloc = PrefixAllocator("10.0.0.0/30")
+        alloc.allocate(31)
+        alloc.allocate(31)
+        with pytest.raises(AddressSpaceExhausted):
+            alloc.allocate(31)
+
+    def test_rejects_out_of_pool_length(self) -> None:
+        alloc = PrefixAllocator("10.0.0.0/16")
+        with pytest.raises(ValueError):
+            alloc.allocate(8)
+
+    def test_deterministic(self) -> None:
+        a1 = PrefixAllocator("10.0.0.0/8")
+        a2 = PrefixAllocator("10.0.0.0/8")
+        seq1 = [str(a1.allocate(length)) for length in (16, 24, 20)]
+        seq2 = [str(a2.allocate(length)) for length in (16, 24, 20)]
+        assert seq1 == seq2
+
+    def test_remaining_decreases(self) -> None:
+        alloc = PrefixAllocator("10.0.0.0/16")
+        before = alloc.remaining
+        alloc.allocate(24)
+        assert alloc.remaining == before - 256

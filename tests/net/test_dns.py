@@ -1,0 +1,238 @@
+"""Tests for the authoritative DNS namespace and iterative resolver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NXDomainError, ResolutionError, ServFailError
+from repro.net import Namespace, Resolver, ResourceRecord
+
+
+@pytest.fixture
+def namespace() -> Namespace:
+    ns = Namespace()
+    zone = ns.create_zone("example.com")
+    zone.add("@", "NS", "ns1.dns-co.com")
+    zone.add("@", "NS", "ns2.dns-co.com")
+    zone.add("@", "A", 1000)
+    zone.add("www", "A", {"EU": 2000, "NA": 3000, "default": 1000})
+    zone.add("cdn", "CNAME", "edge.cdn-co.com")
+    zone.add("mail", "CNAME", "mail2.example.com")
+    zone.add("mail2", "A", 4000)
+
+    dns_zone = ns.create_zone("dns-co.com")
+    dns_zone.add("@", "NS", "ns1.dns-co.com")
+    dns_zone.add("ns1", "A", 5001)
+    dns_zone.add("ns2", "A", 5002)
+
+    cdn_zone = ns.create_zone("cdn-co.com")
+    cdn_zone.add("@", "NS", "ns1.dns-co.com")
+    cdn_zone.add("edge", "A", 6000)
+    return ns
+
+
+class TestRecords:
+    def test_rejects_unknown_rtype(self) -> None:
+        with pytest.raises(ValueError):
+            ResourceRecord(name="x.com", rtype="TXT", value="hi")
+
+    def test_rejects_negative_ttl(self) -> None:
+        with pytest.raises(ValueError):
+            ResourceRecord(name="x.com", rtype="A", value=1, ttl=-1)
+
+    def test_geo_resolution_order(self) -> None:
+        record = ResourceRecord(
+            name="x.com",
+            rtype="A",
+            value={"EU": 1, "cc:DE": 2, "default": 3},
+        )
+        assert record.resolve_address("EU", "DE") == 2
+        assert record.resolve_address("EU", "FR") == 1
+        assert record.resolve_address("SA", None) == 3
+
+    def test_geo_fallback_without_default(self) -> None:
+        record = ResourceRecord(
+            name="x.com", rtype="A", value={"EU": 1, "NA": 2}
+        )
+        assert record.resolve_address("AF", None) == 1  # smallest key
+
+    def test_resolve_address_requires_a(self) -> None:
+        record = ResourceRecord(name="x.com", rtype="NS", value="ns1")
+        with pytest.raises(ValueError):
+            record.resolve_address("EU")
+
+
+class TestZone:
+    def test_qualify_relative_and_absolute(self, namespace: Namespace) -> None:
+        zone = namespace.zone("example.com")
+        assert zone is not None
+        assert zone.qualify("www") == "www.example.com"
+        assert zone.qualify("www.example.com") == "www.example.com"
+        assert zone.qualify("@") == "example.com"
+
+    def test_duplicate_zone_rejected(self, namespace: Namespace) -> None:
+        with pytest.raises(ValueError):
+            namespace.create_zone("example.com")
+
+    def test_zone_for_uses_registrable_domain(
+        self, namespace: Namespace
+    ) -> None:
+        zone = namespace.zone_for("deep.sub.www.example.com")
+        assert zone is not None and zone.origin == "example.com"
+
+    def test_zone_for_unknown(self, namespace: Namespace) -> None:
+        assert namespace.zone_for("nothing.net") is None
+
+
+class TestResolver:
+    def test_apex_a(self, namespace: Namespace) -> None:
+        resolver = Resolver(namespace)
+        result = resolver.resolve("example.com")
+        assert result.addresses == (1000,)
+        assert result.authoritative_ns == (
+            "ns1.dns-co.com",
+            "ns2.dns-co.com",
+        )
+
+    def test_geo_answers_by_vantage(self, namespace: Namespace) -> None:
+        eu = Resolver(namespace, vantage_continent="EU")
+        na = Resolver(namespace, vantage_continent="NA")
+        sa = Resolver(namespace, vantage_continent="SA")
+        assert eu.resolve("www.example.com").addresses == (2000,)
+        assert na.resolve("www.example.com").addresses == (3000,)
+        assert sa.resolve("www.example.com").addresses == (1000,)
+
+    def test_cname_chain(self, namespace: Namespace) -> None:
+        resolver = Resolver(namespace)
+        result = resolver.resolve("cdn.example.com")
+        assert result.addresses == (6000,)
+        assert result.cname_chain == ("edge.cdn-co.com",)
+
+    def test_intra_zone_cname(self, namespace: Namespace) -> None:
+        resolver = Resolver(namespace)
+        assert resolver.resolve("mail.example.com").addresses == (4000,)
+
+    def test_nxdomain(self, namespace: Namespace) -> None:
+        resolver = Resolver(namespace)
+        with pytest.raises(NXDomainError):
+            resolver.resolve("missing.example.com")
+        with pytest.raises(NXDomainError):
+            resolver.resolve("unknown-zone.net")
+
+    def test_cname_loop_detected(self, namespace: Namespace) -> None:
+        zone = namespace.zone("example.com")
+        assert zone is not None
+        zone.add("loop-a", "CNAME", "loop-b.example.com")
+        zone.add("loop-b", "CNAME", "loop-a.example.com")
+        resolver = Resolver(namespace)
+        with pytest.raises(ResolutionError):
+            resolver.resolve("loop-a.example.com")
+
+    def test_nodata_name(self, namespace: Namespace) -> None:
+        zone = namespace.zone("example.com")
+        assert zone is not None
+        zone.add("nsonly", "NS", "ns1.dns-co.com")
+        resolver = Resolver(namespace)
+        with pytest.raises(ResolutionError):
+            resolver.resolve("nsonly.example.com")
+
+    def test_servfail_on_broken_zone(self, namespace: Namespace) -> None:
+        zone = namespace.zone("example.com")
+        assert zone is not None
+        zone.broken = True
+        resolver = Resolver(namespace)
+        with pytest.raises(ServFailError):
+            resolver.resolve("example.com")
+        with pytest.raises(ServFailError):
+            resolver.authoritative_nameservers("example.com")
+
+    def test_authoritative_nameservers(self, namespace: Namespace) -> None:
+        resolver = Resolver(namespace)
+        assert resolver.authoritative_nameservers("www.example.com") == (
+            "ns1.dns-co.com",
+            "ns2.dns-co.com",
+        )
+
+    def test_authoritative_nameservers_nxdomain(
+        self, namespace: Namespace
+    ) -> None:
+        resolver = Resolver(namespace)
+        with pytest.raises(NXDomainError):
+            resolver.authoritative_nameservers("nope.invalid-zone.org")
+
+
+class TestResolverCache:
+    def test_cache_hit(self, namespace: Namespace) -> None:
+        resolver = Resolver(namespace)
+        first = resolver.resolve("example.com")
+        second = resolver.resolve("example.com")
+        assert not first.from_cache
+        assert second.from_cache
+        assert resolver.cache_hits == 1
+
+    def test_cache_expiry(self, namespace: Namespace) -> None:
+        resolver = Resolver(namespace)
+        resolver.resolve("example.com")
+        resolver.advance_clock(301.0)
+        result = resolver.resolve("example.com")
+        assert not result.from_cache
+
+    def test_cache_within_ttl(self, namespace: Namespace) -> None:
+        resolver = Resolver(namespace)
+        resolver.resolve("example.com")
+        resolver.advance_clock(299.0)
+        assert resolver.resolve("example.com").from_cache
+
+    def test_flush(self, namespace: Namespace) -> None:
+        resolver = Resolver(namespace)
+        resolver.resolve("example.com")
+        resolver.flush_cache()
+        assert not resolver.resolve("example.com").from_cache
+
+    def test_cache_disabled(self, namespace: Namespace) -> None:
+        resolver = Resolver(namespace, cache_enabled=False)
+        resolver.resolve("example.com")
+        assert not resolver.resolve("example.com").from_cache
+
+    def test_clock_cannot_reverse(self, namespace: Namespace) -> None:
+        resolver = Resolver(namespace)
+        with pytest.raises(ValueError):
+            resolver.advance_clock(-1.0)
+
+    def test_query_counter(self, namespace: Namespace) -> None:
+        resolver = Resolver(namespace)
+        resolver.resolve("example.com")
+        resolver.resolve("www.example.com")
+        assert resolver.queries == 2
+
+    def test_negative_cache_hit(self, namespace: Namespace) -> None:
+        resolver = Resolver(namespace)
+        with pytest.raises(NXDomainError):
+            resolver.resolve("missing.example.com")
+        with pytest.raises(NXDomainError) as excinfo:
+            resolver.resolve("missing.example.com")
+        assert "negative cache" in str(excinfo.value)
+        assert resolver.negative_cache_hits == 1
+
+    def test_negative_cache_expires(self, namespace: Namespace) -> None:
+        resolver = Resolver(namespace)
+        with pytest.raises(NXDomainError):
+            resolver.resolve("ghost.example.com")
+        # The name appears later (new registration); after the negative
+        # TTL passes, resolution succeeds.
+        zone = namespace.zone("example.com")
+        assert zone is not None
+        zone.add("ghost", "A", 7777)
+        with pytest.raises(NXDomainError):
+            resolver.resolve("ghost.example.com")  # still cached
+        resolver.advance_clock(Resolver.NEGATIVE_TTL + 1)
+        assert resolver.resolve("ghost.example.com").addresses == (7777,)
+
+    def test_negative_cache_disabled_with_cache(
+        self, namespace: Namespace
+    ) -> None:
+        resolver = Resolver(namespace, cache_enabled=False)
+        for _ in range(2):
+            with pytest.raises(NXDomainError):
+                resolver.resolve("missing.example.com")
+        assert resolver.negative_cache_hits == 0

@@ -1,0 +1,192 @@
+"""Tests for geolocation, the AS database, anycast, and PSL splitting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidDistributionError
+from repro.net import (
+    AnycastRegistry,
+    ASDatabase,
+    GeoDatabase,
+    Prefix,
+    PublicSuffixList,
+    UnknownASNError,
+    default_psl,
+    ip_to_int,
+)
+
+
+class TestASDatabase:
+    def test_register_and_lookup(self) -> None:
+        db = ASDatabase()
+        prefix = Prefix.parse("10.0.0.0/16")
+        record = db.register("Cloudflare", "US", (prefix,))
+        assert db.org_of_ip(prefix.address(7)) == "Cloudflare"
+        assert db.country_of_ip(prefix.address(7)) == "US"
+        assert db.origin_asn(prefix.address(7)) == record.asn
+
+    def test_unannounced_space(self) -> None:
+        db = ASDatabase()
+        assert db.org_of_ip(ip_to_int("203.0.113.1")) is None
+
+    def test_asn_autoincrement(self) -> None:
+        db = ASDatabase()
+        a = db.register("A", "US")
+        b = db.register("B", "DE")
+        assert b.asn == a.asn + 1
+
+    def test_explicit_asn_conflict(self) -> None:
+        db = ASDatabase()
+        db.register("A", "US", asn=65000)
+        with pytest.raises(ValueError):
+            db.register("B", "US", asn=65000)
+
+    def test_announce_additional_prefix(self) -> None:
+        db = ASDatabase()
+        record = db.register("A", "US", (Prefix.parse("10.0.0.0/24"),))
+        db.announce(record.asn, Prefix.parse("10.1.0.0/24"))
+        assert db.org_of_ip(ip_to_int("10.1.0.5")) == "A"
+        assert len(db.record(record.asn).prefixes) == 2
+
+    def test_announce_unknown_asn(self) -> None:
+        db = ASDatabase()
+        with pytest.raises(UnknownASNError):
+            db.announce(12345, Prefix.parse("10.0.0.0/24"))
+
+    def test_multiple_asns_per_org(self) -> None:
+        db = ASDatabase()
+        db.register("Org", "US")
+        db.register("Org", "US")
+        assert len(db.asns_of_org("Org")) == 2
+
+    def test_organizations_sorted(self) -> None:
+        db = ASDatabase()
+        db.register("Zeta", "US")
+        db.register("Alpha", "US")
+        assert db.organizations() == ["Alpha", "Zeta"]
+
+    def test_longest_prefix_wins_across_orgs(self) -> None:
+        db = ASDatabase()
+        db.register("Coarse", "US", (Prefix.parse("10.0.0.0/8"),))
+        db.register("Fine", "DE", (Prefix.parse("10.9.0.0/16"),))
+        assert db.org_of_ip(ip_to_int("10.9.1.1")) == "Fine"
+        assert db.org_of_ip(ip_to_int("10.8.1.1")) == "Coarse"
+
+
+class TestGeoDatabase:
+    def test_lookup(self) -> None:
+        geo = GeoDatabase()
+        geo.register(Prefix.parse("10.0.0.0/16"), "TH", "AS")
+        assert geo.country_of(ip_to_int("10.0.5.5")) == "TH"
+        assert geo.continent_of(ip_to_int("10.0.5.5")) == "AS"
+
+    def test_uncovered_space(self) -> None:
+        geo = GeoDatabase()
+        assert geo.country_of(ip_to_int("10.0.0.1")) is None
+
+    def test_noise_rate_roughly_honored(self) -> None:
+        geo = GeoDatabase(error_rate=0.106, seed=42)
+        prefix = Prefix.parse("10.0.0.0/16")
+        geo.register(prefix, "TH", "AS")
+        wrong = sum(
+            1
+            for offset in range(5000)
+            if geo.country_of(prefix.address(offset)) != "TH"
+        )
+        assert 0.07 < wrong / 5000 < 0.15
+
+    def test_noise_deterministic(self) -> None:
+        a = GeoDatabase(error_rate=0.3, seed=7)
+        b = GeoDatabase(error_rate=0.3, seed=7)
+        prefix = Prefix.parse("10.0.0.0/24")
+        a.register(prefix, "TH", "AS")
+        b.register(prefix, "TH", "AS")
+        for offset in range(100):
+            assert a.country_of(prefix.address(offset)) == b.country_of(
+                prefix.address(offset)
+            )
+
+    def test_true_entry_bypasses_noise(self) -> None:
+        geo = GeoDatabase(error_rate=0.9, seed=1)
+        prefix = Prefix.parse("10.0.0.0/24")
+        geo.register(prefix, "TH", "AS")
+        entry = geo.true_entry(prefix.address(3))
+        assert entry is not None and entry.country == "TH"
+
+    def test_rejects_bad_rate(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            GeoDatabase(error_rate=1.0)
+
+
+class TestAnycast:
+    def test_membership(self) -> None:
+        registry = AnycastRegistry()
+        registry.add(Prefix.parse("172.16.0.0/24"))
+        assert registry.is_anycast(ip_to_int("172.16.0.9"))
+        assert not registry.is_anycast(ip_to_int("172.17.0.9"))
+        assert len(registry) == 1
+
+
+class TestPSL:
+    def test_simple_split(self) -> None:
+        psl = default_psl()
+        d = psl.split("www.example.com")
+        assert d.subdomain == "www"
+        assert d.registrable == "example.com"
+        assert d.suffix == "com"
+        assert d.tld == "com"
+
+    def test_second_level_cctld(self) -> None:
+        psl = default_psl()
+        d = psl.split("shop.example.co.uk")
+        assert d.registrable == "example.co.uk"
+        assert d.suffix == "co.uk"
+        assert d.tld == "uk"
+        assert d.is_cc_tld
+
+    def test_plain_cctld(self) -> None:
+        psl = default_psl()
+        d = psl.split("example.cz")
+        assert d.registrable == "example.cz"
+        assert d.tld == "cz"
+
+    def test_unknown_tld_implicit_rule(self) -> None:
+        psl = default_psl()
+        d = psl.split("example.unknowntld")
+        assert d.suffix == "unknowntld"
+        assert d.registrable == "example.unknowntld"
+
+    def test_bare_suffix_rejected(self) -> None:
+        psl = default_psl()
+        with pytest.raises(InvalidDistributionError):
+            psl.split("com")
+        with pytest.raises(InvalidDistributionError):
+            psl.split("co.uk")
+
+    def test_empty_label_rejected(self) -> None:
+        psl = default_psl()
+        with pytest.raises(InvalidDistributionError):
+            psl.split("bad..example.com")
+        with pytest.raises(InvalidDistributionError):
+            psl.split("")
+
+    def test_case_and_trailing_dot(self) -> None:
+        psl = default_psl()
+        assert psl.tld_of("WWW.Example.COM.") == "com"
+
+    def test_is_public_suffix(self) -> None:
+        psl = default_psl()
+        assert psl.is_public_suffix("com")
+        assert psl.is_public_suffix("co.uk")
+        assert not psl.is_public_suffix("example.com")
+
+    def test_custom_suffix_set(self) -> None:
+        psl = PublicSuffixList({"test"})
+        assert psl.split("x.test").suffix == "test"
+
+    def test_gb_maps_to_uk(self) -> None:
+        from repro.net.psl import CCTLD_OF_COUNTRY
+
+        assert CCTLD_OF_COUNTRY["GB"] == "uk"
+        assert CCTLD_OF_COUNTRY["TH"] == "th"

@@ -1,0 +1,161 @@
+"""Tests for the HTTP redirect layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.http import (
+    HttpFabric,
+    HttpStatus,
+    RedirectPolicy,
+    TooManyRedirectsError,
+)
+
+
+@pytest.fixture
+def fabric() -> HttpFabric:
+    fabric = HttpFabric()
+    fabric.set_policy("www-site.com", RedirectPolicy.TO_WWW)
+    fabric.set_policy("apex-site.com", RedirectPolicy.TO_APEX)
+    fabric.set_policy("down.com", RedirectPolicy.BROKEN)
+    fabric.set_body("plain.com", "hello world")
+    return fabric
+
+
+class TestRespond:
+    def test_direct_default(self, fabric: HttpFabric) -> None:
+        response = fabric.respond("https://plain.com/")
+        assert response.status == HttpStatus.OK
+        assert response.body == "hello world"
+        assert not response.is_redirect
+
+    def test_to_www_redirect(self, fabric: HttpFabric) -> None:
+        response = fabric.respond("https://www-site.com/")
+        assert response.status == HttpStatus.MOVED_PERMANENTLY
+        assert response.location == "https://www.www-site.com/"
+        assert response.is_redirect
+
+    def test_www_host_of_to_www_site_serves(self, fabric: HttpFabric) -> None:
+        response = fabric.respond("https://www.www-site.com/")
+        assert response.status == HttpStatus.OK
+
+    def test_to_apex_redirect(self, fabric: HttpFabric) -> None:
+        response = fabric.respond("https://www.apex-site.com/")
+        assert response.location == "https://apex-site.com/"
+        assert fabric.respond("https://apex-site.com/").status == (
+            HttpStatus.OK
+        )
+
+    def test_broken_site(self, fabric: HttpFabric) -> None:
+        assert fabric.respond("https://down.com/").status == (
+            HttpStatus.SERVICE_UNAVAILABLE
+        )
+
+    def test_path_preserved_in_redirect(self, fabric: HttpFabric) -> None:
+        response = fabric.respond("https://www-site.com/a/b")
+        assert response.location == "https://www.www-site.com/a/b"
+
+
+class TestFetch:
+    def test_direct_no_chain(self, fabric: HttpFabric) -> None:
+        response, chain = fabric.fetch("https://plain.com/")
+        assert response.status == HttpStatus.OK
+        assert chain == ()
+
+    def test_single_redirect_chain(self, fabric: HttpFabric) -> None:
+        response, chain = fabric.fetch("https://www-site.com/")
+        assert response.status == HttpStatus.OK
+        assert chain == ("https://www-site.com/",)
+        assert response.url == "https://www.www-site.com/"
+
+    def test_final_host(self, fabric: HttpFabric) -> None:
+        assert fabric.final_host("www-site.com") == "www.www-site.com"
+        assert fabric.final_host("plain.com") == "plain.com"
+
+    def test_redirect_budget(self) -> None:
+        fabric = HttpFabric()
+        fabric.set_policy("ping.com", RedirectPolicy.TO_WWW)
+        response, chain = fabric.fetch(
+            "https://ping.com/", max_redirects=1
+        )
+        assert response.status == HttpStatus.OK
+
+    def test_loop_detection(self) -> None:
+        # TO_WWW on apex plus TO_APEX handling would bounce if both
+        # were misconfigured; force a loop via a fabric subclass.
+        class Loopy(HttpFabric):
+            def respond(self, url):  # type: ignore[override]
+                from repro.net.http import HttpResponse
+
+                return HttpResponse(
+                    url=url,
+                    status=HttpStatus.MOVED_PERMANENTLY,
+                    location=url,
+                )
+
+        with pytest.raises(TooManyRedirectsError):
+            Loopy().fetch("https://x.com/")
+
+    def test_long_chain_rejected(self) -> None:
+        class Deep(HttpFabric):
+            def respond(self, url):  # type: ignore[override]
+                from repro.net.http import HttpResponse
+
+                n = int(url.rsplit("-", 1)[-1].rstrip("/").lstrip("d")) if "-d" in url else 0
+                return HttpResponse(
+                    url=url,
+                    status=HttpStatus.FOUND,
+                    location=f"https://x.com/-d{n + 1}",
+                )
+
+        with pytest.raises(TooManyRedirectsError):
+            Deep().fetch("https://x.com/", max_redirects=3)
+
+
+class TestWorldIntegration:
+    def test_some_sites_redirect_to_www(self, small_world) -> None:
+        policies = [
+            small_world.http.policy_of(d)
+            for d in small_world.toplists["US"].domains
+        ]
+        to_www = sum(1 for p in policies if p is RedirectPolicy.TO_WWW)
+        assert 0.2 < to_www / len(policies) < 0.5
+
+    def test_www_sites_have_www_records(self, small_world) -> None:
+        for domain in small_world.toplists["US"].domains:
+            if small_world.http.policy_of(domain) is RedirectPolicy.TO_WWW:
+                zone = small_world.namespace.zone(domain)
+                assert zone is not None
+                assert zone.lookup(f"www.{domain}", "A")
+                break
+        else:
+            pytest.fail("no redirecting site found")
+
+    def test_pipeline_follows_redirects(self, small_world) -> None:
+        from repro.pipeline import MeasurementPipeline
+
+        pipeline = MeasurementPipeline(small_world)
+        for domain in small_world.toplists["US"].domains:
+            if small_world.http.policy_of(domain) is RedirectPolicy.TO_WWW:
+                record = pipeline.measure_site(domain, "US", 1)
+                assert record.ok
+                assert record.hosting_org == (
+                    small_world.sites[domain].hosting
+                )
+                break
+
+    def test_broken_http_recorded(self, small_world) -> None:
+        from repro.pipeline import MeasurementPipeline
+
+        domain = small_world.toplists["US"].domains[3]
+        old_policy = small_world.http.policy_of(domain)
+        small_world.http.set_policy(domain, RedirectPolicy.BROKEN)
+        try:
+            pipeline = MeasurementPipeline(small_world)
+            record = pipeline.measure_site(domain, "US", 4)
+            # A 503 is not a redirect, so the fetch terminates with the
+            # apex still serving; the pipeline proceeds (HTTP errors do
+            # not block the DNS/TLS measurement in our model).
+            assert record.domain == domain
+        finally:
+            small_world.http.set_policy(domain, old_policy)

@@ -1,0 +1,161 @@
+"""Tests for TLS endpoints, certificates, and CCADB ownership."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TLSError
+from repro.net import CCADB, Certificate, TLSFabric, default_ccadb
+from repro.net.ccadb import UnknownIssuerError
+
+
+@pytest.fixture
+def fabric() -> TLSFabric:
+    return TLSFabric()
+
+
+class TestCertificate:
+    def _cert(self, san: tuple[str, ...]) -> Certificate:
+        return Certificate(
+            subject_cn=san[0],
+            issuer_cn="R3",
+            issuer_org="Let's Encrypt",
+            san=san,
+            not_before=0,
+            not_after=100,
+            serial=1,
+        )
+
+    def test_covers_exact(self) -> None:
+        cert = self._cert(("example.com",))
+        assert cert.covers("example.com")
+        assert cert.covers("EXAMPLE.COM.")
+        assert not cert.covers("other.com")
+
+    def test_covers_wildcard_one_level(self) -> None:
+        cert = self._cert(("example.com", "*.example.com"))
+        assert cert.covers("www.example.com")
+        assert not cert.covers("a.b.example.com")
+
+    def test_wildcard_does_not_cover_apex(self) -> None:
+        cert = self._cert(("*.example.com",))
+        assert not cert.covers("example.com")
+
+    def test_validity_window(self) -> None:
+        cert = self._cert(("example.com",))
+        assert cert.valid_at(0)
+        assert cert.valid_at(99)
+        assert not cert.valid_at(100)
+
+    def test_empty_validity_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            Certificate(
+                subject_cn="x",
+                issuer_cn="R3",
+                issuer_org="LE",
+                san=("x",),
+                not_before=10,
+                not_after=10,
+                serial=1,
+            )
+
+
+class TestFabric:
+    def test_install_and_handshake(self, fabric: TLSFabric) -> None:
+        cert = fabric.issue("example.com", "R3", "Let's Encrypt")
+        fabric.install(100, "example.com", cert)
+        assert fabric.handshake(100, "example.com") is cert
+
+    def test_sni_selection(self, fabric: TLSFabric) -> None:
+        a = fabric.issue("a.com", "R3", "LE")
+        b = fabric.issue("b.com", "GTS CA 1C3", "Google")
+        fabric.install(100, "a.com", a)
+        fabric.install(100, "b.com", b)
+        assert fabric.handshake(100, "b.com") is b
+
+    def test_default_certificate_for_unknown_sni(
+        self, fabric: TLSFabric
+    ) -> None:
+        a = fabric.issue("a.com", "R3", "LE")
+        fabric.install(100, "a.com", a)
+        assert fabric.handshake(100, "zzz.com") is a
+
+    def test_nothing_listening(self, fabric: TLSFabric) -> None:
+        with pytest.raises(TLSError):
+            fabric.handshake(9999, "a.com")
+
+    def test_broken_endpoint(self, fabric: TLSFabric) -> None:
+        cert = fabric.issue("a.com", "R3", "LE")
+        fabric.install(100, "a.com", cert)
+        endpoint = fabric.endpoint(100)
+        assert endpoint is not None
+        endpoint.broken = True
+        with pytest.raises(TLSError):
+            fabric.handshake(100, "a.com")
+
+    def test_serials_unique(self, fabric: TLSFabric) -> None:
+        a = fabric.issue("a.com", "R3", "LE")
+        b = fabric.issue("b.com", "R3", "LE")
+        assert a.serial != b.serial
+
+    def test_issue_wildcard(self, fabric: TLSFabric) -> None:
+        cert = fabric.issue("a.com", "R3", "LE", wildcard=True)
+        assert cert.covers("www.a.com")
+
+
+class TestCCADB:
+    def test_default_db_has_45_owners(self) -> None:
+        db = default_ccadb()
+        assert len(db) == 45
+
+    def test_brand_resolution(self) -> None:
+        db = default_ccadb()
+        assert db.owner_of("R3").name == "Let's Encrypt"
+        assert db.owner_of("GTS CA 1C3").name == "Google"
+        assert db.owner_of("Starfield").name == "GoDaddy"
+        assert db.owner_of("Thawte").name == "DigiCert"
+
+    def test_own_name_is_a_brand(self) -> None:
+        db = default_ccadb()
+        assert db.owner_of("DigiCert").name == "DigiCert"
+
+    def test_case_insensitive(self) -> None:
+        db = default_ccadb()
+        assert db.owner_of("r3").name == "Let's Encrypt"
+
+    def test_owner_country(self) -> None:
+        db = default_ccadb()
+        assert db.owner("Asseco").country == "PL"
+        assert db.owner("TWCA").country == "TW"
+
+    def test_unknown_issuer(self) -> None:
+        db = default_ccadb()
+        with pytest.raises(UnknownIssuerError):
+            db.owner_of("Totally Fake CA")
+
+    def test_duplicate_owner_rejected(self) -> None:
+        db = CCADB()
+        db.register_owner("X", "US")
+        with pytest.raises(ValueError):
+            db.register_owner("X", "US")
+
+    def test_register_brand_unknown_owner(self) -> None:
+        db = CCADB()
+        with pytest.raises(UnknownIssuerError):
+            db.register_brand("B", "Nope")
+
+    def test_acquisition_transfers_brands(self) -> None:
+        db = CCADB()
+        db.register_owner("OldCo", "US")
+        db.register_owner("NewCo", "FR")
+        db.register_brand("Brand1", "OldCo")
+        db.register_brand("Brand2", "OldCo")
+        moved = db.transfer_brands("OldCo", "NewCo")
+        assert moved == 3  # two brands + OldCo's own-name brand
+        assert db.owner_of("Brand1").name == "NewCo"
+        assert db.owner_of("OldCo").name == "NewCo"
+
+    def test_owners_sorted(self) -> None:
+        db = default_ccadb()
+        names = [o.name for o in db.owners()]
+        assert names == sorted(names)

@@ -1,0 +1,109 @@
+"""Tests for the dataset release (CSV/JSON export and import)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import DependenceStudy
+from repro.core import centralization_score
+from repro.errors import PipelineError
+from repro.pipeline import MeasurementDataset, WebsiteMeasurement
+from repro.pipeline.export import (
+    CSV_FIELDS,
+    export_csv,
+    export_summary_json,
+    load_csv,
+)
+
+
+class TestCsvRoundTrip:
+    def test_row_count(
+        self, small_study: DependenceStudy, tmp_path: Path
+    ) -> None:
+        out = tmp_path / "release.csv"
+        rows = export_csv(small_study.dataset, out)
+        assert rows == len(small_study.dataset)
+        # Header + rows.
+        assert len(out.read_text().splitlines()) == rows + 1
+
+    def test_round_trip_preserves_scores(
+        self, small_study: DependenceStudy, tmp_path: Path
+    ) -> None:
+        out = tmp_path / "release.csv"
+        export_csv(small_study.dataset, out)
+        loaded = load_csv(out)
+        for cc in ("TH", "US", "IR"):
+            for layer in ("hosting", "dns", "ca", "tld"):
+                original = centralization_score(
+                    small_study.dataset.distribution(cc, layer)
+                )
+                reloaded = centralization_score(
+                    loaded.distribution(cc, layer)
+                )
+                assert original == pytest.approx(reloaded)
+
+    def test_round_trip_preserves_records(
+        self, small_study: DependenceStudy, tmp_path: Path
+    ) -> None:
+        out = tmp_path / "release.csv"
+        export_csv(small_study.dataset, out)
+        loaded = load_csv(out)
+        original = small_study.dataset.records("US")[0]
+        restored = loaded.records("US")[0]
+        assert restored == original
+
+    def test_failed_record_round_trip(self, tmp_path: Path) -> None:
+        dataset = MeasurementDataset()
+        dataset.add(
+            WebsiteMeasurement(
+                domain="broken.com",
+                country="US",
+                rank=1,
+                error="resolve: NXDOMAIN",
+            )
+        )
+        out = tmp_path / "release.csv"
+        export_csv(dataset, out)
+        loaded = load_csv(out)
+        record = loaded.records("US")[0]
+        assert not record.ok
+        assert record.ip is None
+
+    def test_bad_header_rejected(self, tmp_path: Path) -> None:
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(PipelineError):
+            load_csv(bad)
+
+    def test_malformed_row_rejected(self, tmp_path: Path) -> None:
+        bad = tmp_path / "bad.csv"
+        bad.write_text(",".join(CSV_FIELDS) + "\nUS,1\n")
+        with pytest.raises(PipelineError):
+            load_csv(bad)
+
+
+class TestSummaryJson:
+    def test_summary_contents(
+        self, small_study: DependenceStudy, tmp_path: Path
+    ) -> None:
+        out = tmp_path / "summary.json"
+        summary = export_summary_json(small_study.dataset, out)
+        assert out.exists()
+        th = summary["countries"]["TH"]["hosting"]
+        assert th["centralization"] == pytest.approx(
+            small_study.hosting.scores["TH"]
+        )
+        assert 0 <= th["insularity"] <= 1
+        assert th["providers"] > 1
+
+    def test_summary_is_valid_json(
+        self, small_study: DependenceStudy, tmp_path: Path
+    ) -> None:
+        import json
+
+        out = tmp_path / "summary.json"
+        export_summary_json(small_study.dataset, out)
+        parsed = json.loads(out.read_text())
+        assert set(parsed["layers"]) == {"hosting", "dns", "ca", "tld"}

@@ -1,0 +1,105 @@
+"""Property-based tests for regionalization metrics."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    UsageCurve,
+    endemicity,
+    endemicity_ratio,
+    insularity,
+    usage,
+)
+
+usage_values = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=150,
+)
+
+
+class TestUsageEndemicityProperties:
+    @given(usage_values)
+    def test_ratio_in_unit_interval(self, values: list[float]) -> None:
+        assert 0.0 <= endemicity_ratio(values) <= 1.0
+
+    @given(usage_values)
+    def test_u_plus_e_identity(self, values: list[float]) -> None:
+        """U + E == n * max(u) (the normalizing denominator)."""
+        u = usage(values)
+        e = endemicity(values)
+        assert u + e == __import__("pytest").approx(
+            len(values) * max(values), abs=1e-6
+        )
+
+    @given(usage_values)
+    def test_endemicity_nonnegative(self, values: list[float]) -> None:
+        assert endemicity(values) >= 0.0
+
+    @given(usage_values)
+    def test_order_invariance(self, values: list[float]) -> None:
+        rev = list(reversed(values))
+        assert usage(values) == usage(rev)
+        assert endemicity(values) == __import__("pytest").approx(
+            endemicity(rev)
+        )
+
+    @given(usage_values, st.floats(min_value=0.01, max_value=1.0))
+    def test_ratio_scale_invariant(
+        self, values: list[float], factor: float
+    ) -> None:
+        """E_R is unchanged by uniformly scaling the curve (that is the
+        point of normalizing by U + E)."""
+        scaled = [v * factor for v in values]
+        assert endemicity_ratio(scaled) == __import__("pytest").approx(
+            endemicity_ratio(values), abs=1e-9
+        )
+
+    @given(usage_values)
+    def test_appending_zero_country_raises_ratio(
+        self, values: list[float]
+    ) -> None:
+        """Adding a country where the provider is unused can only make
+        it look more regional."""
+        if max(values) == 0.0:
+            return
+        extended = values + [0.0]
+        assert (
+            endemicity_ratio(extended)
+            >= endemicity_ratio(values) - 1e-9
+        )
+
+    @given(usage_values)
+    def test_curve_construction_roundtrip(
+        self, values: list[float]
+    ) -> None:
+        mapping = {f"c{i:03d}": v for i, v in enumerate(values)}
+        curve = UsageCurve.from_usage(mapping)
+        assert usage(curve) == __import__("pytest").approx(sum(values))
+
+
+providers = st.sampled_from(["p-th", "p-us", "p-fr", "p-ru", None])
+
+
+class TestInsularityProperties:
+    HOMES = {"p-th": "TH", "p-us": "US", "p-fr": "FR", "p-ru": "RU"}
+
+    @given(st.lists(providers, min_size=1, max_size=200))
+    def test_insularity_bounds(self, sites: list[str | None]) -> None:
+        if all(s is None for s in sites):
+            return
+        value = insularity(sites, self.HOMES, "TH")
+        assert 0.0 <= value <= 1.0
+
+    @given(st.lists(providers, min_size=1, max_size=200))
+    def test_dependence_partitions(self, sites: list[str | None]) -> None:
+        """Dependence shares over all home countries sum to 1."""
+        if all(s is None for s in sites):
+            return
+        total = sum(
+            insularity(sites, self.HOMES, cc)
+            for cc in ("TH", "US", "FR", "RU")
+        )
+        assert total == __import__("pytest").approx(1.0)

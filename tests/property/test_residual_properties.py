@@ -1,0 +1,131 @@
+"""Property-based tests for residual count reconciliation."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.worldgen.residual import (
+    residual_counts,
+    residual_counts_calibrated,
+    score_of_counts,
+)
+
+entity_names = st.sampled_from(
+    [f"p{i}" for i in range(12)] + ["cloudflare", "amazon"]
+)
+
+targets = st.dictionaries(
+    entity_names, st.integers(min_value=1, max_value=200), min_size=1
+)
+useds = st.dictionaries(
+    entity_names, st.integers(min_value=1, max_value=80), max_size=8
+)
+slot_counts = st.integers(min_value=1, max_value=300)
+
+
+class TestResidualCounts:
+    @given(targets, useds, slot_counts)
+    def test_total_is_slots(
+        self, target: dict[str, int], used: dict[str, int], slots: int
+    ) -> None:
+        result = residual_counts(target, Counter(used), slots)
+        assert sum(result.values()) == slots
+
+    @given(targets, useds, slot_counts)
+    def test_all_counts_positive(
+        self, target: dict[str, int], used: dict[str, int], slots: int
+    ) -> None:
+        result = residual_counts(target, Counter(used), slots)
+        assert all(count > 0 for count in result.values())
+
+    @given(targets, useds, slot_counts)
+    def test_entities_come_from_target(
+        self, target: dict[str, int], used: dict[str, int], slots: int
+    ) -> None:
+        result = residual_counts(target, Counter(used), slots)
+        assert set(result) <= set(target)
+
+    @given(targets, useds, slot_counts)
+    def test_largest_target_is_preserved_first(
+        self, target: dict[str, int], used: dict[str, int], slots: int
+    ) -> None:
+        """Whenever anything survives trimming, the largest-target
+        entity's residual survives at least as well as any other."""
+        result = residual_counts(target, Counter(used), slots)
+        raw = {
+            n: max(c - used.get(n, 0), 0) for n, c in target.items()
+        }
+        if sum(raw.values()) <= slots or not result:
+            return
+        biggest = max(target, key=lambda n: (target[n], n))
+        if raw.get(biggest, 0) > 0:
+            # If the biggest entity was trimmed at all, everything
+            # smaller must have been trimmed to zero.
+            if result.get(biggest, 0) < raw[biggest]:
+                for name in target:
+                    if name != biggest:
+                        assert result.get(name, 0) == 0 or target[
+                            name
+                        ] == target[biggest]
+
+    @given(targets, slot_counts)
+    def test_no_used_means_scaled_target(
+        self, target: dict[str, int], slots: int
+    ) -> None:
+        result = residual_counts(target, Counter(), slots)
+        assert sum(result.values()) == slots
+
+
+class TestCalibratedResidual:
+    @settings(deadline=None, max_examples=50)
+    @given(targets, useds, slot_counts, st.floats(0.0, 0.5))
+    def test_never_worse_than_naive(
+        self,
+        target: dict[str, int],
+        used: dict[str, int],
+        slots: int,
+        target_score: float,
+    ) -> None:
+        used_counter = Counter(used)
+        naive = residual_counts(target, used_counter, slots)
+        calibrated = residual_counts_calibrated(
+            target, used_counter, slots, target_score
+        )
+        naive_err = abs(score_of_counts(used_counter, naive) - target_score)
+        calibrated_err = abs(
+            score_of_counts(used_counter, calibrated) - target_score
+        )
+        assert calibrated_err <= naive_err + 1e-12
+        assert sum(calibrated.values()) == slots
+
+    @settings(deadline=None, max_examples=50)
+    @given(targets, useds, slot_counts, st.floats(0.0, 0.5))
+    def test_counts_remain_positive(
+        self,
+        target: dict[str, int],
+        used: dict[str, int],
+        slots: int,
+        target_score: float,
+    ) -> None:
+        calibrated = residual_counts_calibrated(
+            target, Counter(used), slots, target_score
+        )
+        assert all(count > 0 for count in calibrated.values())
+
+
+class TestScoreOfCounts:
+    @given(useds, targets)
+    def test_matches_core_definition(
+        self, used: dict[str, int], residual: dict[str, int]
+    ) -> None:
+        from repro.core import ProviderDistribution, centralization_score
+
+        merged = Counter(used)
+        merged.update(residual)
+        expected = centralization_score(
+            ProviderDistribution({k: float(v) for k, v in merged.items()})
+        )
+        assert abs(score_of_counts(used, residual) - expected) < 1e-12

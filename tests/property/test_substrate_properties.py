@@ -1,0 +1,145 @@
+"""Property-based tests for the network substrate data structures."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import jaccard_index
+from repro.net import Prefix, PrefixAllocator, PrefixTrie, int_to_ip, ip_to_int
+from repro.worldgen import power_transform, score_of_shares, solve_theta
+
+addresses = st.integers(min_value=0, max_value=(1 << 32) - 1)
+prefix_lengths = st.integers(min_value=0, max_value=32)
+
+
+class TestAddressingProperties:
+    @given(addresses)
+    def test_ip_roundtrip(self, value: int) -> None:
+        assert ip_to_int(int_to_ip(value)) == value
+
+    @given(addresses, prefix_lengths)
+    def test_prefix_contains_own_network(
+        self, address: int, length: int
+    ) -> None:
+        network = address & (((1 << 32) - 1) << (32 - length)) & (
+            (1 << 32) - 1
+        )
+        prefix = Prefix(network, length)
+        assert prefix.contains(prefix.first)
+        assert prefix.contains(prefix.last)
+
+    @given(st.lists(st.tuples(addresses, prefix_lengths), max_size=30), addresses)
+    def test_trie_agrees_with_linear_scan(
+        self, raw: list[tuple[int, int]], probe: int
+    ) -> None:
+        """Longest-prefix match == brute-force scan over all prefixes."""
+        trie: PrefixTrie[int] = PrefixTrie()
+        prefixes: list[tuple[Prefix, int]] = []
+        seen: dict[tuple[int, int], int] = {}
+        for i, (address, length) in enumerate(raw):
+            network = address & ((((1 << 32) - 1) << (32 - length)) & ((1 << 32) - 1))
+            prefix = Prefix(network, length)
+            trie.insert(prefix, i)
+            seen[(network, length)] = i
+        prefixes = [
+            (Prefix(net, length), value)
+            for (net, length), value in seen.items()
+        ]
+        expected = None
+        best_len = -1
+        for prefix, value in prefixes:
+            if prefix.contains(probe) and prefix.length > best_len:
+                best_len = prefix.length
+                expected = value
+        assert trie.lookup(probe) == expected
+
+    @given(st.lists(st.integers(min_value=8, max_value=30), max_size=40))
+    def test_allocator_never_overlaps(self, lengths: list[int]) -> None:
+        allocator = PrefixAllocator("10.0.0.0/8")
+        allocated: list[Prefix] = []
+        for length in lengths:
+            try:
+                allocated.append(allocator.allocate(length))
+            except Exception:
+                break
+        for i, a in enumerate(allocated):
+            for b in allocated[i + 1 :]:
+                assert a.last < b.first or b.last < a.first
+
+
+class TestCalibrationProperties:
+    @settings(deadline=None, max_examples=50)
+    @given(
+        st.lists(
+            st.floats(min_value=1e-6, max_value=1.0, allow_nan=False),
+            min_size=3,
+            max_size=100,
+        ),
+        st.floats(min_value=0.01, max_value=0.6),
+    )
+    def test_solver_hits_reachable_targets(
+        self, raw: list[float], target: float
+    ) -> None:
+        shares = np.array(raw)
+        shares = shares / shares.sum()
+        if np.allclose(shares, shares[0]):
+            return
+        lo = score_of_shares(power_transform(shares, 0.05), 10_000)
+        hi = score_of_shares(power_transform(shares, 12.0), 10_000)
+        theta = solve_theta(shares, target, 10_000)
+        achieved = score_of_shares(
+            power_transform(shares, theta), 10_000
+        )
+        if lo < target < hi:
+            assert abs(achieved - target) < 1e-4
+        else:
+            # Clamped to the nearest attainable bound.
+            assert theta in (0.05, 12.0)
+
+    @settings(deadline=None, max_examples=50)
+    @given(
+        st.lists(
+            st.floats(min_value=1e-6, max_value=1.0, allow_nan=False),
+            min_size=2,
+            max_size=50,
+        ),
+        st.floats(min_value=0.1, max_value=8.0),
+    )
+    def test_power_transform_is_distribution(
+        self, raw: list[float], theta: float
+    ) -> None:
+        shares = np.array(raw)
+        shares = shares / shares.sum()
+        out = power_transform(shares, theta)
+        assert np.all(out > 0)
+        assert out.sum() == __import__("pytest").approx(1.0)
+
+
+class TestJaccardProperties:
+    @given(st.sets(st.text(max_size=3)), st.sets(st.text(max_size=3)))
+    def test_symmetric_and_bounded(
+        self, a: set[str], b: set[str]
+    ) -> None:
+        j = jaccard_index(a, b)
+        assert 0.0 <= j <= 1.0
+        assert j == jaccard_index(b, a)
+
+    @given(st.sets(st.text(max_size=3), min_size=1))
+    def test_self_similarity(self, a: set[str]) -> None:
+        assert jaccard_index(a, a) == 1.0
+
+    @given(
+        st.sets(st.text(max_size=3)),
+        st.sets(st.text(max_size=3)),
+        st.sets(st.text(max_size=3)),
+    )
+    def test_triangle_inequality_of_distance(
+        self, a: set[str], b: set[str], c: set[str]
+    ) -> None:
+        """1 - Jaccard is a proper metric (triangle inequality)."""
+        dab = 1 - jaccard_index(a, b)
+        dbc = 1 - jaccard_index(b, c)
+        dac = 1 - jaccard_index(a, c)
+        assert dac <= dab + dbc + 1e-12

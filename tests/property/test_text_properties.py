@@ -1,0 +1,74 @@
+"""Property-based tests for the text and PSL substrates."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import default_psl
+from repro.text import SUPPORTED_LANGUAGES, default_detector, generate_text
+
+languages = st.sampled_from(SUPPORTED_LANGUAGES)
+seeds = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-.", min_size=1, max_size=30
+)
+
+
+class TestLangidProperties:
+    @settings(deadline=None, max_examples=60)
+    @given(languages, seeds)
+    def test_detection_inverts_generation(
+        self, language: str, seed: str
+    ) -> None:
+        text = generate_text(language, seed, length=30)
+        assert default_detector().detect(text) == language
+
+    @given(languages, seeds)
+    def test_generation_deterministic(
+        self, language: str, seed: str
+    ) -> None:
+        assert generate_text(language, seed) == generate_text(
+            language, seed
+        )
+
+    @given(languages, seeds, st.integers(min_value=1, max_value=60))
+    def test_length_respected(
+        self, language: str, seed: str, length: int
+    ) -> None:
+        assert len(generate_text(language, seed, length).split()) == length
+
+
+label = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=8
+)
+
+
+class TestPslProperties:
+    @given(st.lists(label, min_size=2, max_size=5))
+    def test_split_reassembles(self, labels: list[str]) -> None:
+        hostname = ".".join(labels)
+        psl = default_psl()
+        parts = psl.split(hostname)
+        reassembled = ".".join(
+            p for p in (parts.subdomain, parts.registrable) if p
+        )
+        assert reassembled == hostname
+        assert parts.registrable.endswith("." + parts.suffix) or (
+            parts.registrable.count(".") == parts.suffix.count(".") + 1
+        )
+
+    @given(st.lists(label, min_size=2, max_size=5))
+    def test_registrable_is_one_label_beyond_suffix(
+        self, labels: list[str]
+    ) -> None:
+        hostname = ".".join(labels)
+        psl = default_psl()
+        parts = psl.split(hostname)
+        assert (
+            parts.registrable.count(".") == parts.suffix.count(".") + 1
+        )
+
+    @given(st.lists(label, min_size=2, max_size=5))
+    def test_tld_is_last_label(self, labels: list[str]) -> None:
+        hostname = ".".join(labels)
+        assert default_psl().tld_of(hostname) == labels[-1]

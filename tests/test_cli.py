@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_score_args(self) -> None:
+        args = build_parser().parse_args(["score", "60", "25", "15"])
+        assert args.command == "score"
+        assert args.counts == ["60", "25", "15"]
+
+    def test_compare_layer_choices(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "email"])
+
+
+class TestScoreCommand:
+    def test_numeric_counts(self, capsys: pytest.CaptureFixture) -> None:
+        assert main(["score", "60", "25", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "Centralization Score:  0.4350" in out
+        assert "highly concentrated" in out
+
+    def test_named_counts(self, capsys: pytest.CaptureFixture) -> None:
+        assert main(["score", "cf=50", "aws=50"]) == 0
+        out = capsys.readouterr().out
+        assert "providers:             2" in out
+
+    def test_decentralized(self, capsys: pytest.CaptureFixture) -> None:
+        assert main(["score"] + ["1"] * 20) == 0
+        out = capsys.readouterr().out
+        assert "0.0000" in out
+        assert "competitive" in out
+
+
+class TestStudyCommands:
+    def test_study_summary(self, capsys: pytest.CaptureFixture) -> None:
+        code = main(
+            ["study", "--sites", "200", "--countries", "TH", "US", "IR", "JP"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Layer: hosting" in out
+        assert "most centralized" in out
+
+    def test_country_profile(self, capsys: pytest.CaptureFixture) -> None:
+        code = main(
+            [
+                "country",
+                "th",
+                "--sites",
+                "200",
+                "--countries",
+                "TH",
+                "US",
+                "IR",
+                "JP",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Thailand" in out
+
+    def test_compare_table(self, capsys: pytest.CaptureFixture) -> None:
+        code = main(
+            [
+                "compare",
+                "ca",
+                "--sites",
+                "200",
+                "--limit",
+                "3",
+                "--countries",
+                "TH",
+                "US",
+                "IR",
+                "JP",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "paper" in out
+        assert len(out.strip().splitlines()) == 4
+
+    def test_longitudinal_command(
+        self, capsys: pytest.CaptureFixture
+    ) -> None:
+        code = main(
+            [
+                "longitudinal",
+                "--sites",
+                "200",
+                "--countries",
+                "TH",
+                "US",
+                "IR",
+                "JP",
+                "BR",
+                "RU",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "score correlation" in out
+        assert "largest increase" in out

@@ -1,0 +1,139 @@
+"""Tests for the longitudinal churn model (Section 5.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import jaccard_index
+from repro.worldgen import ChurnConfig, World, WorldConfig, evolve
+from repro.worldgen.churn import derive_overrides
+
+COUNTRIES = ("TH", "US", "RU", "BR", "TM", "BY", "CZ", "NG")
+
+
+@pytest.fixture(scope="module")
+def old_world() -> World:
+    return World(WorldConfig(sites_per_country=300, countries=COUNTRIES))
+
+
+@pytest.fixture(scope="module")
+def new_world(old_world: World) -> World:
+    return evolve(old_world)
+
+
+class TestDeriveOverrides:
+    def test_br_gets_published_2025_score(self, old_world: World) -> None:
+        overrides = derive_overrides(old_world, ChurnConfig())
+        assert overrides.score_targets[("BR", "hosting")] == 0.2354
+        assert overrides.score_targets[("RU", "hosting")] == 0.0499
+
+    def test_cf_deltas(self, old_world: World) -> None:
+        overrides = derive_overrides(old_world, ChurnConfig())
+        c = old_world.config.sites_per_country
+        cf_old_tm = old_world.targets["TM"]["hosting"].get("Cloudflare", 0) / c
+        assert overrides.cf_hosting["TM"] == pytest.approx(
+            cf_old_tm + 0.113, abs=1e-6
+        )
+        cf_old_ru = old_world.targets["RU"]["hosting"].get("Cloudflare", 0) / c
+        assert overrides.cf_hosting["RU"] == pytest.approx(
+            cf_old_ru - 0.020, abs=1e-6
+        )
+
+    def test_default_delta_positive(self, old_world: World) -> None:
+        overrides = derive_overrides(old_world, ChurnConfig())
+        c = old_world.config.sites_per_country
+        cf_old = old_world.targets["NG"]["hosting"].get("Cloudflare", 0) / c
+        assert overrides.cf_hosting["NG"] > cf_old
+
+
+class TestEvolve:
+    def test_snapshot_label(self, new_world: World) -> None:
+        assert new_world.config.snapshot == "2025-05"
+
+    def test_same_countries_and_size(self, new_world: World) -> None:
+        assert set(new_world.toplists) == set(COUNTRIES)
+        for toplist in new_world.toplists.values():
+            assert len(toplist) == 300
+
+    def test_global_pool_carried_over(
+        self, old_world: World, new_world: World
+    ) -> None:
+        assert new_world.global_pool_domains == (
+            old_world.global_pool_domains
+        )
+        domain = old_world.global_pool_domains[0]
+        assert (
+            new_world.sites[domain].hosting
+            == old_world.sites[domain].hosting
+        )
+
+    def test_toplist_jaccard_in_paper_range(
+        self, old_world: World, new_world: World
+    ) -> None:
+        values = [
+            jaccard_index(
+                old_world.toplists[cc].domains,
+                new_world.toplists[cc].domains,
+            )
+            for cc in COUNTRIES
+        ]
+        mean = sum(values) / len(values)
+        assert 0.25 < mean < 0.50  # paper average: 0.37
+
+    def test_kept_sites_retain_providers(
+        self, old_world: World, new_world: World
+    ) -> None:
+        for cc in COUNTRIES:
+            shared = set(old_world.toplists[cc].domains) & set(
+                new_world.toplists[cc].domains
+            )
+            locals_kept = [
+                d for d in shared if not old_world.sites[d].is_global
+            ]
+            assert locals_kept, cc
+            for domain in locals_kept[:20]:
+                assert (
+                    new_world.sites[domain].hosting
+                    == old_world.sites[domain].hosting
+                )
+
+    def test_kept_records_are_copies(
+        self, old_world: World, new_world: World
+    ) -> None:
+        cc = "US"
+        shared = [
+            d
+            for d in set(old_world.toplists[cc].domains)
+            & set(new_world.toplists[cc].domains)
+            if not old_world.sites[d].is_global
+        ]
+        domain = shared[0]
+        assert new_world.sites[domain] is not old_world.sites[domain]
+
+    def test_new_world_remeasurable(self, new_world: World) -> None:
+        from repro.pipeline import MeasurementPipeline
+
+        dataset = MeasurementPipeline(new_world).run(["BR"])
+        assert dataset.failure_rate("BR") == 0.0
+
+    def test_br_score_rises_ru_falls(
+        self, old_world: World, new_world: World
+    ) -> None:
+        from repro.core import ProviderDistribution, centralization_score
+
+        def score(world: World, cc: str) -> float:
+            return centralization_score(
+                ProviderDistribution(world.ground_truth_counts(cc, "hosting"))
+            )
+
+        assert score(new_world, "BR") > score(old_world, "BR") + 0.05
+        assert score(new_world, "RU") < score(old_world, "RU")
+
+    def test_invalid_keep_fraction(self, old_world: World) -> None:
+        with pytest.raises(ValueError):
+            evolve(old_world, ChurnConfig(keep_fraction=1.5))
+
+    def test_evolution_deterministic(self, old_world: World) -> None:
+        a = evolve(old_world)
+        b = evolve(old_world)
+        assert a.toplists["BR"].domains == b.toplists["BR"].domains

@@ -1,0 +1,89 @@
+"""Unit coverage for materialized-infrastructure details."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.worldgen import World
+from repro.worldgen.world import _slug
+
+
+class TestSlug:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("Cloudflare", "cloudflare"),
+            ("Neustar UltraDNS", "neustar-ultradns"),
+            ("SuperHosting.BG", "superhosting-bg"),
+            ("Online S.A.S", "online-s-a-s"),
+            ("...", "provider"),
+        ],
+    )
+    def test_slugs(self, name: str, expected: str) -> None:
+        assert _slug(name) == expected
+
+
+class TestServingAddress:
+    def test_continent_selection(self, small_world: World) -> None:
+        infra = small_world.provider_infra["Cloudflare"]
+        eu = infra.serving_address(0, "EU")
+        na = infra.serving_address(0, "NA")
+        assert eu != na
+        assert small_world.asdb.org_of_ip(eu) == "Cloudflare"
+        assert small_world.geo.continent_of(eu) == "EU"
+
+    def test_default_fallback(self, small_world: World) -> None:
+        infra = small_world.provider_infra["Cloudflare"]
+        default = infra.serving_address(0, None)
+        assert default == infra.address_variants[0]["default"]
+
+    def test_variant_wraps(self, small_world: World) -> None:
+        infra = small_world.provider_infra["Cloudflare"]
+        n = len(infra.address_variants)
+        assert infra.serving_address(n + 2, "NA") == (
+            infra.serving_address(2, "NA")
+        )
+
+    def test_regional_provider_serves_from_home(
+        self, small_world: World
+    ) -> None:
+        # An Iranian regional host serves from an Iranian prefix.
+        for name, infra in small_world.provider_infra.items():
+            if (
+                infra.provider.home_country == "IR"
+                and len(infra.continents) == 1
+            ):
+                address = infra.serving_address(0, "EU")  # no EU PoP
+                assert small_world.geo.country_of(address) == "IR"
+                return
+        pytest.fail("no single-continent Iranian provider found")
+
+
+class TestNameserverInfra:
+    def test_anycast_ns_flagged(self, small_world: World) -> None:
+        infra = small_world.provider_infra["Cloudflare"]
+        resolver_zone = small_world.namespace.zone(infra.ns_domain)
+        assert resolver_zone is not None
+        records = resolver_zone.lookup(infra.ns_hosts[0], "A")
+        assert records
+        assert small_world.anycast.is_anycast(records[0].value)
+
+    def test_regional_ns_not_anycast(self, small_world: World) -> None:
+        for name, infra in small_world.provider_infra.items():
+            if not infra.anycast and infra.provider.home_country == "CZ":
+                zone = small_world.namespace.zone(infra.ns_domain)
+                assert zone is not None
+                records = zone.lookup(infra.ns_hosts[0], "A")
+                assert records
+                assert not small_world.anycast.is_anycast(
+                    records[0].value
+                )
+                return
+        pytest.fail("no Czech unicast provider found")
+
+    def test_ns_domains_unique(self, small_world: World) -> None:
+        domains = [
+            infra.ns_domain
+            for infra in small_world.provider_infra.values()
+        ]
+        assert len(set(domains)) == len(domains)

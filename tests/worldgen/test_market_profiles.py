@@ -1,0 +1,232 @@
+"""Tests for the provider market and profile templates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.paper_scores import PAPER_SCORES
+from repro.worldgen import (
+    ProfileBuilder,
+    ProviderMarket,
+    WorldConfig,
+    cloudflare_share_default,
+    hosting_insularity_target,
+    score_of_shares,
+)
+from repro.worldgen.profiles import ProfileOverrides
+
+
+@pytest.fixture(scope="module")
+def market() -> ProviderMarket:
+    return ProviderMarket()
+
+
+@pytest.fixture(scope="module")
+def builder(market: ProviderMarket) -> ProfileBuilder:
+    return ProfileBuilder(market, WorldConfig(sites_per_country=2000))
+
+
+class TestMarket:
+    def test_seeded_providers_present(self, market: ProviderMarket) -> None:
+        assert "Cloudflare" in market
+        assert "Beget LLC" in market
+        assert market.provider("Cloudflare").anycast
+
+    def test_cloudflare_home(self, market: ProviderMarket) -> None:
+        assert market.home_country_of("Cloudflare") == "US"
+        assert market.home_country_of("OVH") == "FR"
+        assert market.home_country_of("Hetzner") == "DE"
+
+    def test_every_country_has_pools(self, market: ProviderMarket) -> None:
+        from repro.datasets.countries import COUNTRY_CODES
+
+        for cc in COUNTRY_CODES:
+            assert len(market.local_large(cc)) >= 4
+            assert len(market.local_small(cc)) >= 6
+            assert len(market.local_dns(cc)) >= 3
+
+    def test_named_regionals_in_pools(self, market: ProviderMarket) -> None:
+        ru_large = [p.name for p in market.local_large("RU")]
+        assert "Beget LLC" in ru_large
+        bg_large = [p.name for p in market.local_large("BG")]
+        assert "SuperHosting.BG" in bg_large
+
+    def test_tail_provider_identity_stable(
+        self, market: ProviderMarket
+    ) -> None:
+        a = market.tail_provider("TH", 3)
+        b = market.tail_provider("TH", 3)
+        assert a is b
+        assert a.home_country == "TH"
+
+    def test_dns_only_providers(self, market: ProviderMarket) -> None:
+        nsone = market.provider("NSONE")
+        assert nsone.offers_dns and not nsone.offers_hosting
+
+    def test_small_global_pool_size(self, market: ProviderMarket) -> None:
+        assert len(market.small_global()) == 110
+
+    def test_unknown_provider(self, market: ProviderMarket) -> None:
+        assert market.get("No Such Provider") is None
+        assert market.home_country_of("No Such Provider") is None
+
+
+class TestInsularityTargets:
+    def test_anchors(self) -> None:
+        assert hosting_insularity_target("US") == 0.921
+        assert hosting_insularity_target("IR") == 0.648
+        assert hosting_insularity_target("CZ") == 0.545
+        assert hosting_insularity_target("RU") == 0.511
+
+    def test_africa_low(self) -> None:
+        assert hosting_insularity_target("NG") <= 0.05
+        assert hosting_insularity_target("KE") <= 0.05
+
+    def test_defaults_by_subregion(self) -> None:
+        # Two countries in the same (non-special) subregion share a
+        # default target.
+        assert hosting_insularity_target("LY") == hosting_insularity_target(
+            "DZ"
+        )
+
+
+class TestCloudflareDefault:
+    def test_anchored_fit(self) -> None:
+        """The linear fit recovers the paper's anchored pairs."""
+        assert cloudflare_share_default(0.3548) == pytest.approx(0.60, abs=0.03)
+        assert cloudflare_share_default(0.1358) == pytest.approx(0.29, abs=0.015)
+        assert cloudflare_share_default(0.0411) == pytest.approx(0.14, abs=0.01)
+
+    def test_clipping(self) -> None:
+        assert cloudflare_share_default(0.0) == 0.089
+        assert cloudflare_share_default(0.9) == 0.66
+
+
+class TestTemplates:
+    @pytest.mark.parametrize("cc", ["TH", "IR", "US", "JP", "KG", "NG"])
+    def test_template_score_near_target(
+        self, builder: ProfileBuilder, cc: str
+    ) -> None:
+        for fn, layer in (
+            (builder.hosting_template, "hosting"),
+            (builder.dns_template, "dns"),
+            (builder.ca_template, "ca"),
+            (builder.tld_template, "tld"),
+        ):
+            template = fn(cc)
+            s = score_of_shares(template.shares(), 2000)
+            assert abs(s - template.target_score) < 0.12, (cc, layer)
+
+    def test_shares_normalized(self, builder: ProfileBuilder) -> None:
+        template = builder.hosting_template("TH")
+        assert template.shares().sum() == pytest.approx(1.0)
+        assert np.all(template.shares() > 0)
+
+    def test_entries_unique(self, builder: ProfileBuilder) -> None:
+        template = builder.hosting_template("DE")
+        names = template.names()
+        assert len(set(names)) == len(names)
+
+    def test_cloudflare_top_everywhere_but_japan(
+        self, builder: ProfileBuilder
+    ) -> None:
+        for cc in ("TH", "US", "IR", "RU", "NG"):
+            template = builder.hosting_template(cc)
+            assert template.entries[0][0] == "Cloudflare", cc
+        jp = builder.hosting_template("JP")
+        assert jp.entries[0][0] == "Amazon"
+
+    def test_affinity_shares_present(self, builder: ProfileBuilder) -> None:
+        tm = builder.hosting_template("TM")
+        ru_market = ProviderMarket()
+        ru_names = {p.name for p in ru_market.local_large("RU")}
+        ru_share = sum(
+            share for name, share in tm.entries if name in ru_names
+        )
+        assert ru_share == pytest.approx(0.33, abs=0.08)
+
+    def test_dominant_regional_pinned(self, builder: ProfileBuilder) -> None:
+        bg = builder.hosting_template("BG")
+        assert bg.share_of("SuperHosting.BG") == pytest.approx(0.22, abs=0.05)
+
+    def test_ca_template_has_45_or_fewer_cas(
+        self, builder: ProfileBuilder
+    ) -> None:
+        for cc in ("US", "PL", "TW", "JP", "NG"):
+            template = builder.ca_template(cc)
+            assert len(template.entries) <= 45
+
+    def test_ca_seven_lgp_dominate(self, builder: ProfileBuilder) -> None:
+        from repro.datasets.providers import LARGE_GLOBAL_CAS
+
+        template = builder.ca_template("NG")
+        lgp_share = sum(
+            share
+            for name, share in template.entries
+            if name in LARGE_GLOBAL_CAS
+        )
+        assert lgp_share > 0.95
+
+    def test_ca_iran_uses_asseco(self, builder: ProfileBuilder) -> None:
+        template = builder.ca_template("IR")
+        assert template.share_of("Asseco") == pytest.approx(0.19, abs=0.05)
+
+    def test_tld_us_com_share(self, builder: ProfileBuilder) -> None:
+        template = builder.tld_template("US")
+        assert template.share_of("com") == pytest.approx(0.77, abs=0.03)
+
+    def test_tld_kg_mix(self, builder: ProfileBuilder) -> None:
+        template = builder.tld_template("KG")
+        assert template.share_of("ru") == pytest.approx(0.22, abs=0.05)
+        assert template.share_of("kg") == pytest.approx(0.12, abs=0.05)
+
+    def test_tld_dach_de_usage(self, builder: ProfileBuilder) -> None:
+        at = builder.tld_template("AT")
+        assert at.share_of("de") == pytest.approx(0.14, abs=0.04)
+
+    def test_templates_deterministic(self, builder: ProfileBuilder) -> None:
+        a = builder.hosting_template("FR")
+        b = builder.hosting_template("FR")
+        assert a.entries == b.entries
+
+
+class TestOverrides:
+    def test_score_target_override(self, market: ProviderMarket) -> None:
+        overrides = ProfileOverrides(
+            score_targets={("BR", "hosting"): 0.2354},
+            cf_hosting={"BR": 0.46},
+        )
+        builder = ProfileBuilder(
+            market, WorldConfig(sites_per_country=2000), overrides
+        )
+        template = builder.hosting_template("BR")
+        assert template.target_score == 0.2354
+        assert template.share_of("Cloudflare") == pytest.approx(
+            0.46, abs=0.03
+        )
+
+    def test_default_when_not_overridden(self, market: ProviderMarket) -> None:
+        overrides = ProfileOverrides(score_targets={})
+        builder = ProfileBuilder(
+            market, WorldConfig(sites_per_country=2000), overrides
+        )
+        template = builder.hosting_template("TH")
+        assert template.target_score == PAPER_SCORES["hosting"]["TH"]
+
+    def test_insularity_override(self, market: ProviderMarket) -> None:
+        overrides = ProfileOverrides(insularity={"RU": 0.56})
+        builder = ProfileBuilder(
+            market, WorldConfig(sites_per_country=2000), overrides
+        )
+        base = ProfileBuilder(market, WorldConfig(sites_per_country=2000))
+        more_insular = builder.hosting_template("RU")
+        baseline = base.hosting_template("RU")
+        market2 = ProviderMarket()
+        ru_names = {
+            p.name
+            for p in market2.local_large("RU") + market2.local_small("RU")
+        }
+        up = sum(s for n, s in more_insular.entries if n in ru_names)
+        down = sum(s for n, s in baseline.entries if n in ru_names)
+        assert up > down

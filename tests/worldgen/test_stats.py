@@ -1,0 +1,38 @@
+"""Tests for the world inventory summary."""
+
+from __future__ import annotations
+
+from repro.worldgen import World, summarize
+
+
+class TestSummary:
+    def test_counts_consistent(self, small_world: World) -> None:
+        summary = summarize(small_world)
+        assert summary.countries == len(small_world.config.countries)
+        assert summary.sites_per_country == 300
+        assert summary.distinct_sites == len(small_world.sites)
+        assert summary.global_pool_sites == len(
+            small_world.global_pool_domains
+        )
+        assert summary.zones >= summary.distinct_sites
+        assert summary.autonomous_systems >= summary.providers_with_infra
+
+    def test_layer_entity_counts(self, small_world: World) -> None:
+        summary = summarize(small_world)
+        assert summary.entities_per_layer["ca"] <= 45
+        assert summary.entities_per_layer["hosting"] > 100
+        assert (
+            summary.entities_per_layer["tld"]
+            < summary.entities_per_layer["hosting"]
+        )
+
+    def test_calibration_errors_small(self, small_world: World) -> None:
+        summary = summarize(small_world)
+        assert summary.calibration_mean_error < 1e-3
+        assert summary.calibration_max_error < 5e-3
+
+    def test_render(self, small_world: World) -> None:
+        text = summarize(small_world).render()
+        assert "distinct sites" in text
+        assert "calibration" in text
+        assert small_world.config.snapshot in text

@@ -1,0 +1,111 @@
+"""Tests for toplist structures and domain generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidDistributionError
+from repro.worldgen import DomainFactory, Site, Toplist, rank_bucket
+from repro.worldgen.toplist import LANGUAGE_OF_COUNTRY
+
+
+class TestRankBucket:
+    @pytest.mark.parametrize(
+        "rank,bucket",
+        [(1, 1000), (1000, 1000), (1001, 5000), (9999, 10_000), (10_000, 10_000), (10_001, 50_000)],
+    )
+    def test_buckets(self, rank: int, bucket: int) -> None:
+        assert rank_bucket(rank) == bucket
+
+    def test_rejects_zero(self) -> None:
+        with pytest.raises(ValueError):
+            rank_bucket(0)
+
+    def test_huge_rank_saturates(self) -> None:
+        assert rank_bucket(10**9) == 1_000_000
+
+
+class TestToplist:
+    def test_rank_and_bucket(self) -> None:
+        toplist = Toplist(country="TH", domains=("a.com", "b.com", "c.com"))
+        assert toplist.rank_of("b.com") == 2
+        assert toplist.bucket_of("b.com") == 1000
+        assert toplist.top(2) == ("a.com", "b.com")
+        assert len(toplist) == 3
+
+    def test_duplicates_rejected(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            Toplist(country="TH", domains=("a.com", "a.com"))
+
+    def test_rank_of_missing(self) -> None:
+        toplist = Toplist(country="TH", domains=("a.com",))
+        with pytest.raises(ValueError):
+            toplist.rank_of("zzz.com")
+
+
+class TestSite:
+    def test_valid(self) -> None:
+        site = Site(
+            domain="a.com", origin_country="TH", language="th", is_global=False
+        )
+        assert site.domain == "a.com"
+
+    def test_invalid_domain(self) -> None:
+        with pytest.raises(InvalidDistributionError):
+            Site(domain="nodots", origin_country=None, language="en", is_global=True)
+
+
+class TestDomainFactory:
+    def test_unique(self) -> None:
+        factory = DomainFactory(seed=1)
+        domains = {factory.make("com") for _ in range(500)}
+        assert len(domains) == 500
+
+    def test_suffix_respected(self) -> None:
+        factory = DomainFactory(seed=1)
+        assert factory.make("co.th").endswith(".co.th")
+        assert factory.make("cz").endswith(".cz")
+
+    def test_hint_embedded(self) -> None:
+        factory = DomainFactory(seed=1)
+        assert "-th" in factory.make("com", hint="th")
+
+    def test_deterministic(self) -> None:
+        a = DomainFactory(seed=42)
+        b = DomainFactory(seed=42)
+        assert [a.make("com") for _ in range(10)] == [
+            b.make("com") for _ in range(10)
+        ]
+
+    def test_reserve_blocks_collisions(self) -> None:
+        a = DomainFactory(seed=42)
+        first = a.make("com")
+        b = DomainFactory(seed=42)
+        b.reserve({first})
+        assert b.make("com") != first
+
+    def test_empty_suffix_rejected(self) -> None:
+        factory = DomainFactory(seed=1)
+        with pytest.raises(InvalidDistributionError):
+            factory.make("")
+
+    def test_len_counts_minted(self) -> None:
+        factory = DomainFactory(seed=1)
+        factory.make("com")
+        factory.make("net")
+        assert len(factory) == 2
+
+
+class TestLanguages:
+    def test_every_country_has_language(self) -> None:
+        from repro.datasets.countries import COUNTRY_CODES
+
+        for cc in COUNTRY_CODES:
+            assert len(LANGUAGE_OF_COUNTRY[cc]) == 2
+
+    def test_case_study_languages(self) -> None:
+        assert LANGUAGE_OF_COUNTRY["IR"] == "fa"
+        assert LANGUAGE_OF_COUNTRY["AF"] == "fa"
+        assert LANGUAGE_OF_COUNTRY["DE"] == "de"
+        assert LANGUAGE_OF_COUNTRY["AT"] == "de"
+        assert LANGUAGE_OF_COUNTRY["BR"] == "pt"

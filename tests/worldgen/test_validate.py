@@ -1,0 +1,46 @@
+"""Tests for world self-validation."""
+
+from __future__ import annotations
+
+from repro.worldgen import World
+from repro.worldgen.validate import validate_world
+
+
+class TestValidateWorld:
+    def test_built_world_is_sound(self, small_world: World) -> None:
+        assert validate_world(small_world) == []
+
+    def test_detects_missing_zone(self, small_world: World) -> None:
+        domain = small_world.toplists["US"].domains[0]
+        zone = small_world.namespace._zones.pop(domain)  # type: ignore[attr-defined]
+        try:
+            problems = validate_world(small_world)
+            assert any("no authoritative zone" in p for p in problems)
+        finally:
+            small_world.namespace._zones[domain] = zone  # type: ignore[attr-defined]
+
+    def test_detects_truncated_toplist(self, small_world: World) -> None:
+        from repro.worldgen import Toplist
+
+        original = small_world.toplists["US"]
+        small_world.toplists["US"] = Toplist(
+            country="US", domains=original.domains[:10]
+        )
+        try:
+            problems = validate_world(small_world)
+            assert any("expected 300" in p for p in problems)
+        finally:
+            small_world.toplists["US"] = original
+
+    def test_detects_target_corruption(self, small_world: World) -> None:
+        target = small_world.targets["US"]["hosting"]
+        provider = next(iter(target))
+        target[provider] += 5
+        try:
+            problems = validate_world(small_world)
+            assert any("target counts sum" in p for p in problems)
+        finally:
+            target[provider] -= 5
+
+    def test_site_sample_limits_work(self, small_world: World) -> None:
+        assert validate_world(small_world, site_sample=5) == []

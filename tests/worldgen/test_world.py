@@ -1,0 +1,202 @@
+"""Tests for world materialization and ground truth consistency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import centralization_score
+from repro.errors import TLSError
+from repro.worldgen import World, WorldConfig
+from tests.conftest import TEST_COUNTRIES
+
+
+class TestWorldBuild:
+    def test_toplists_complete(self, small_world: World) -> None:
+        assert set(small_world.toplists) == set(TEST_COUNTRIES)
+        for toplist in small_world.toplists.values():
+            assert len(toplist) == 300
+
+    def test_no_duplicate_domains_within_toplist(
+        self, small_world: World
+    ) -> None:
+        for toplist in small_world.toplists.values():
+            assert len(set(toplist.domains)) == len(toplist.domains)
+
+    def test_every_toplist_domain_has_record(
+        self, small_world: World
+    ) -> None:
+        for toplist in small_world.toplists.values():
+            for domain in toplist.domains:
+                assert domain in small_world.sites
+
+    def test_ground_truth_matches_target_scores(
+        self, small_world: World
+    ) -> None:
+        for cc in TEST_COUNTRIES:
+            for layer in ("hosting", "dns", "ca", "tld"):
+                counts = small_world.ground_truth_counts(cc, layer)
+                from repro.core import ProviderDistribution
+
+                measured = centralization_score(
+                    ProviderDistribution(counts)
+                )
+                target = small_world.calibration_report[(cc, layer)][
+                    "target_score"
+                ]
+                assert measured == pytest.approx(target, abs=0.01), (
+                    cc,
+                    layer,
+                )
+
+    def test_every_site_zone_exists(self, small_world: World) -> None:
+        for domain in small_world.sites:
+            zone = small_world.namespace.zone(domain)
+            assert zone is not None
+            assert zone.lookup(domain, "NS")
+            assert zone.lookup(domain, "A")
+
+    def test_provider_infra_has_as_and_ns(self, small_world: World) -> None:
+        infra = small_world.provider_infra["Cloudflare"]
+        assert infra.anycast
+        assert len(infra.ns_hosts) == 2
+        record = small_world.asdb.record(infra.asn)
+        assert record.org_name == "Cloudflare"
+        assert record.country == "US"
+
+    def test_global_provider_has_multi_continent_pops(
+        self, small_world: World
+    ) -> None:
+        infra = small_world.provider_infra["Cloudflare"]
+        assert set(infra.continents) == {"NA", "EU", "AS", "SA", "OC"}
+
+    def test_regional_provider_single_continent(
+        self, small_world: World
+    ) -> None:
+        # An Iranian tail provider serves from Asia only.
+        for name, infra in small_world.provider_infra.items():
+            if infra.provider.home_country == "IR" and not infra.anycast:
+                if len(infra.continents) == 1:
+                    assert infra.continents == ("AS",)
+                    return
+        pytest.fail("no single-continent Iranian provider found")
+
+    def test_tls_handshake_mints_valid_cert(self, small_world: World) -> None:
+        domain = small_world.toplists["US"].domains[0]
+        record = small_world.sites[domain]
+        infra = small_world.provider_infra[record.hosting]
+        address = infra.address_variants[
+            __import__("zlib").crc32(domain.encode()) % 32
+        ]["default"]
+        cert = small_world.tls_handshake(address, domain)
+        assert cert.covers(domain)
+        owner = small_world.ccadb.owner_of(cert.issuer_cn)
+        assert owner.name == record.ca
+
+    def test_tls_handshake_wrong_address_rejected(
+        self, small_world: World
+    ) -> None:
+        domain = small_world.toplists["US"].domains[0]
+        with pytest.raises(TLSError):
+            small_world.tls_handshake(1, domain)
+
+    def test_tls_handshake_unknown_site(self, small_world: World) -> None:
+        with pytest.raises(TLSError):
+            small_world.tls_handshake(1, "not-a-site.com")
+
+    def test_global_pool_nonempty_and_ordered(
+        self, small_world: World
+    ) -> None:
+        assert len(small_world.global_pool_domains) == int(
+            small_world.config.global_pool_factor * 300
+        )
+
+    def test_af_persian_language_share(self, small_world: World) -> None:
+        """Section 5.3.3: ~31.4% of Afghan top sites are Persian."""
+        domains = small_world.toplists["AF"].domains
+        persian = sum(
+            1 for d in domains if small_world.sites[d].language == "fa"
+        )
+        assert persian / len(domains) == pytest.approx(0.314, abs=0.08)
+
+    def test_af_persian_hosted_in_iran(self, small_world: World) -> None:
+        """~60.8% of Persian Afghan sites are hosted in Iran."""
+        domains = small_world.toplists["AF"].domains
+        persian = [
+            small_world.sites[d]
+            for d in domains
+            if small_world.sites[d].language == "fa"
+        ]
+        in_iran = sum(
+            1
+            for r in persian
+            if small_world.provider_home(r.hosting) == "IR"
+        )
+        assert in_iran / len(persian) == pytest.approx(0.608, abs=0.15)
+
+    def test_dns_coupled_to_hosting(self, small_world: World) -> None:
+        """Most sites should use their hosting provider for DNS
+        (Section 6.1)."""
+        same = 0
+        total = 0
+        for record in small_world.sites.values():
+            total += 1
+            if record.dns == record.hosting:
+                same += 1
+        assert same / total > 0.5
+
+    def test_cloudflare_ca_partnership(self, small_world: World) -> None:
+        """Cloudflare-hosted sites prefer its partner CAs (the budget
+        for partner CAs can run out, so not strictly 100%)."""
+        partners = {"Let's Encrypt", "DigiCert", "Google", "Sectigo"}
+        cf_sites = [
+            r
+            for r in small_world.sites.values()
+            if r.hosting == "Cloudflare"
+        ]
+        matched = sum(1 for r in cf_sites if r.ca in partners)
+        assert matched / len(cf_sites) > 0.85
+
+    def test_determinism(self) -> None:
+        cfg = WorldConfig(sites_per_country=100, countries=("TH", "US"))
+        a = World(cfg)
+        b = World(cfg)
+        assert a.toplists["TH"].domains == b.toplists["TH"].domains
+        for domain in a.sites:
+            ra, rb = a.sites[domain], b.sites[domain]
+            assert (ra.hosting, ra.dns, ra.ca, ra.tld) == (
+                rb.hosting,
+                rb.dns,
+                rb.ca,
+                rb.tld,
+            )
+
+    def test_different_seeds_differ(self) -> None:
+        a = World(WorldConfig(sites_per_country=100, countries=("TH",)))
+        b = World(
+            WorldConfig(sites_per_country=100, countries=("TH",), seed=99)
+        )
+        assert a.toplists["TH"].domains != b.toplists["TH"].domains
+
+
+class TestWorldConfig:
+    def test_rejects_tiny_scale(self) -> None:
+        with pytest.raises(Exception):
+            WorldConfig(sites_per_country=10)
+
+    def test_rejects_unknown_country(self) -> None:
+        from repro.errors import UnknownCountryError
+
+        with pytest.raises(UnknownCountryError):
+            WorldConfig(countries=("TH", "XX"))
+
+    def test_rejects_duplicates(self) -> None:
+        with pytest.raises(Exception):
+            WorldConfig(countries=("TH", "TH"))
+
+    def test_scaled_helper(self) -> None:
+        cfg = WorldConfig().scaled(500)
+        assert cfg.sites_per_country == 500
+
+    def test_with_countries_helper(self) -> None:
+        cfg = WorldConfig().with_countries(("TH", "US"))
+        assert cfg.countries == ("TH", "US")
