@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis import DependenceStudy
 from repro.pipeline import validate_vantage
 
 

@@ -22,7 +22,7 @@ from repro.analysis import (
     subregion_means,
 )
 from repro.core import pearson
-from repro.datasets.paper_scores import LAYERS, PAPER_SCORES
+from repro.datasets.paper_scores import LAYERS
 from repro.worldgen import WorldConfig
 
 

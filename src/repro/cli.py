@@ -7,6 +7,7 @@ Commands
 ``country``      print one country's dependence profile
 ``compare``      print measured-vs-published rows for one layer
 ``longitudinal`` run the 2023→2025 churn study
+``measure``      run the pipeline with fault injection and resilience
 
 The CLI is a thin veneer over :mod:`repro.analysis`; anything it prints
 can be obtained programmatically.
@@ -76,6 +77,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     longitudinal.add_argument("--sites", type=int, default=1000)
     longitudinal.add_argument("--countries", nargs="*", default=None)
+
+    from .faults.plan import FAULT_PROFILES
+
+    measure = sub.add_parser(
+        "measure",
+        help="run the measurement pipeline under a fault profile and "
+        "report the failure taxonomy",
+    )
+    measure.add_argument("--sites", type=int, default=300)
+    measure.add_argument("--countries", nargs="*", default=None)
+    measure.add_argument(
+        "--fault-profile",
+        choices=sorted(FAULT_PROFILES),
+        default="none",
+        help="named fault plan injected into the DNS/TLS/enrichment "
+        "steps (default: none)",
+    )
+    measure.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the fault injectors and retry jitter",
+    )
+    measure.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="attempts per network operation; N>1 enables retry with "
+        "deterministic exponential backoff (default: 1, no retries)",
+    )
+    measure.add_argument(
+        "--export", default=None, metavar="CSV",
+        help="also write the per-site records to a CSV release",
+    )
     return parser
 
 
@@ -161,12 +197,67 @@ def _cmd_longitudinal(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_measure(args: argparse.Namespace) -> int:
+    from .faults import RetryPolicy, fault_profile, render_failure_report
+    from .pipeline import MeasurementPipeline, export_csv
+    from .worldgen import World, WorldConfig
+
+    kwargs = {"sites_per_country": args.sites}
+    if args.countries:
+        kwargs["countries"] = tuple(
+            sorted({c.upper() for c in args.countries})
+        )
+    world = World(WorldConfig(**kwargs))
+    plan = fault_profile(args.fault_profile, seed=args.fault_seed)
+    policy = (
+        RetryPolicy(max_attempts=args.retries, seed=args.fault_seed)
+        if args.retries > 1
+        else None
+    )
+    pipeline = MeasurementPipeline(
+        world, fault_plan=plan, retry_policy=policy
+    )
+    dataset = pipeline.run()
+
+    total = len(dataset)
+    failed = sum(1 for r in dataset if not r.ok)
+    degraded = sum(1 for r in dataset if r.degraded)
+    attempts = sum(r.attempts for r in dataset)
+    print(
+        f"measured {total} sites across {len(dataset.countries)} "
+        f"countries (profile={args.fault_profile}, "
+        f"retries={args.retries})"
+    )
+    print(
+        f"failed rows:    {failed} ({100.0 * failed / total:.2f}%)"
+        if total
+        else "failed rows:    0"
+    )
+    print(
+        f"degraded rows:  {degraded} ({100.0 * degraded / total:.2f}%)"
+        if total
+        else "degraded rows:  0"
+    )
+    print(f"attempts spent: {attempts} (injected faults: "
+          f"{sum(plan.injected.values())})")
+    open_circuits = pipeline.breaker.open_keys()
+    if open_circuits:
+        print(f"open circuits:  {', '.join(open_circuits)}")
+    print()
+    print(render_failure_report(dataset.failure_taxonomy()))
+    if args.export:
+        rows = export_csv(dataset, args.export)
+        print(f"\nwrote {rows} rows to {args.export}")
+    return 0
+
+
 _COMMANDS = {
     "score": _cmd_score,
     "study": _cmd_study,
     "country": _cmd_country,
     "compare": _cmd_compare,
     "longitudinal": _cmd_longitudinal,
+    "measure": _cmd_measure,
 }
 
 

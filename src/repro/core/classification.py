@@ -26,7 +26,7 @@ eight-way taxonomy deterministically.
 from __future__ import annotations
 
 import enum
-from collections.abc import Mapping, Sequence
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import ClassVar
 

@@ -12,7 +12,6 @@ generator's calibration.
 
 from __future__ import annotations
 
-import math
 from collections.abc import Sequence
 
 import numpy as np

@@ -25,6 +25,15 @@ class CalibrationError(ReproError, RuntimeError):
     """Raised when the world generator cannot hit a calibration target."""
 
 
+class TransientError(ReproError):
+    """Marker base for failures that may clear on retry.
+
+    Retry policies treat any :class:`TransientError` subclass as
+    retry-safe (SERVFAIL, timeouts, connection resets) and everything
+    else (NXDOMAIN, certificate mismatches) as permanent.
+    """
+
+
 class ResolutionError(ReproError):
     """Raised when the simulated DNS resolver cannot resolve a name."""
 
@@ -33,12 +42,21 @@ class NXDomainError(ResolutionError):
     """The queried name does not exist in the simulated namespace."""
 
 
-class ServFailError(ResolutionError):
+class ServFailError(ResolutionError, TransientError):
     """The simulated authoritative infrastructure failed to answer."""
+
+
+class MeasurementTimeoutError(TransientError):
+    """A simulated network operation exceeded its time budget."""
 
 
 class TLSError(ReproError):
     """Raised when a simulated TLS handshake cannot be completed."""
+
+
+class TLSHandshakeError(TLSError, TransientError):
+    """Connection-level TLS failure (reset/flap), as opposed to a
+    certificate validation failure — retrying may succeed."""
 
 
 class UnknownCountryError(ReproError, KeyError):

@@ -1,0 +1,52 @@
+"""Fault injection and resilience for the measurement pipeline.
+
+The substrate behind the robustness study: seeded, composable fault
+injectors (:mod:`~repro.faults.plan`), deterministic retry/backoff
+(:mod:`~repro.faults.retry`), a per-nameserver circuit breaker
+(:mod:`~repro.faults.breaker`), and the failure taxonomy used for the
+paper-style failure-rate accounting (:mod:`~repro.faults.taxonomy`).
+Everything is a pure function of ``(seed, fault plan)`` on the
+resolver's logical clock — no wall time, no global RNG.
+"""
+
+from .breaker import BreakerState, CircuitBreaker
+from .plan import (
+    FAULT_PROFILES,
+    FaultPlan,
+    NameserverOutage,
+    SlowAnswer,
+    StaleGeoData,
+    TlsHandshakeFlap,
+    TransientServFail,
+    fault_profile,
+)
+from .retry import RetryPolicy, RetrySession
+from .seeding import stable_fraction
+from .taxonomy import (
+    FAILURE_CLASSES,
+    failure_class,
+    failure_class_of,
+    format_failure,
+    render_failure_report,
+)
+
+__all__ = [
+    "FaultPlan",
+    "TransientServFail",
+    "SlowAnswer",
+    "TlsHandshakeFlap",
+    "NameserverOutage",
+    "StaleGeoData",
+    "FAULT_PROFILES",
+    "fault_profile",
+    "RetryPolicy",
+    "RetrySession",
+    "CircuitBreaker",
+    "BreakerState",
+    "FAILURE_CLASSES",
+    "failure_class",
+    "failure_class_of",
+    "format_failure",
+    "render_failure_report",
+    "stable_fraction",
+]

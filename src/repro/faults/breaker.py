@@ -1,0 +1,117 @@
+"""A per-key circuit breaker on the measurement's logical clock.
+
+Repeatedly failing authoritative infrastructure (a dead nameserver, an
+unreachable zone) should be skipped with a recorded reason instead of
+re-probed for every site that delegates to it.  The breaker follows
+the classic three-state machine — CLOSED until ``failure_threshold``
+consecutive failures, OPEN for ``cooldown`` logical seconds, then
+HALF_OPEN admitting a single probe whose outcome closes or re-opens
+the circuit.  Time comes from an injected clock callable (the
+resolver's deterministic clock), never the wall.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from collections.abc import Callable
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    """The three classic circuit-breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker keyed by string identity."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: float = 900.0,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown <= 0.0:
+            raise ValueError(f"cooldown must be positive, got {cooldown}")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self._failures: Counter[str] = Counter()
+        self._opened_at: dict[str, float] = {}
+        self._probing: set[str] = set()
+        #: key -> number of operations skipped because the circuit was
+        #: open (the recorded reason for missing data).
+        self.skips: Counter[str] = Counter()
+
+    def state_of(self, key: str) -> BreakerState:
+        """Current state for a key (without side effects)."""
+        if key not in self._opened_at:
+            return BreakerState.CLOSED
+        if key in self._probing or (
+            self._clock() >= self._opened_at[key] + self.cooldown
+        ):
+            return BreakerState.HALF_OPEN
+        return BreakerState.OPEN
+
+    def allow(self, key: str) -> bool:
+        """Whether an operation against the key may proceed now.
+
+        Returning ``False`` records a skip.  After the cooldown the
+        first caller is admitted as the half-open probe; further
+        callers are skipped until that probe reports its outcome.
+        """
+        opened = self._opened_at.get(key)
+        if opened is None:
+            return True
+        if key in self._probing:
+            self.skips[key] += 1
+            return False
+        if self._clock() >= opened + self.cooldown:
+            self._probing.add(key)
+            return True
+        self.skips[key] += 1
+        return False
+
+    def record_success(self, key: str) -> None:
+        """Note a successful operation: the circuit closes."""
+        self._failures.pop(key, None)
+        self._opened_at.pop(key, None)
+        self._probing.discard(key)
+
+    def record_failure(self, key: str) -> None:
+        """Note a failed operation; may open (or re-open) the circuit."""
+        if key in self._probing:
+            # The half-open probe failed: re-open with a fresh cooldown.
+            self._probing.discard(key)
+            self._opened_at[key] = self._clock()
+            return
+        self._failures[key] += 1
+        if (
+            self._failures[key] >= self.failure_threshold
+            and key not in self._opened_at
+        ):
+            self._opened_at[key] = self._clock()
+
+    def open_keys(self) -> list[str]:
+        """Keys whose circuit is currently open or half-open, sorted."""
+        return sorted(self._opened_at)
+
+    def reason(self, key: str) -> str | None:
+        """Human-readable skip reason for a key (None when closed)."""
+        opened = self._opened_at.get(key)
+        if opened is None:
+            return None
+        return (
+            f"circuit open for {key} since t={opened:g} after "
+            f"{self._failures.get(key, self.failure_threshold)} "
+            f"consecutive failures"
+        )

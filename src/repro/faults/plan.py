@@ -1,0 +1,322 @@
+"""Composable, seeded fault injectors behind a :class:`FaultPlan`.
+
+Real measurement campaigns absorb transient SERVFAILs, slow answers,
+TLS handshake flaps, nameserver outages, and stale enrichment data;
+this module injects the same fault classes into the simulated pipeline
+so their effect on centralization/regionalization scores can be
+studied.  Every decision is a deterministic function of ``(seed,
+injector, identity, attempt)`` driven by the resolver's logical clock —
+no wall clock, no global RNG — so a run is exactly reproducible.
+
+Transient injectors model faults that *clear*: an affected identity
+fails its first ``consecutive`` uncached attempts and then succeeds,
+which is what makes a bounded retry policy able to recover the
+fault-free dataset exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..errors import (
+    MeasurementTimeoutError,
+    PipelineError,
+    ServFailError,
+    TLSHandshakeError,
+)
+from ..net.dns import Resolver
+from .seeding import stable_fraction
+
+__all__ = [
+    "TransientServFail",
+    "SlowAnswer",
+    "TlsHandshakeFlap",
+    "NameserverOutage",
+    "StaleGeoData",
+    "FaultPlan",
+    "FAULT_PROFILES",
+    "fault_profile",
+]
+
+
+def _check_rate(rate: float, what: str) -> None:
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"{what} must be in [0, 1], got {rate}")
+
+
+@dataclass(frozen=True, slots=True)
+class TransientServFail:
+    """A fraction of names SERVFAIL on their first attempts.
+
+    An affected name fails its first ``consecutive`` uncached queries
+    with SERVFAIL and answers normally afterwards — the transient
+    authoritative hiccup ZDNS campaigns see and retry through.
+    """
+
+    rate: float
+    consecutive: int = 2
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate, "rate")
+        if self.consecutive < 1:
+            raise ValueError(f"consecutive must be >= 1, got {self.consecutive}")
+
+    def fires(self, seed: int, name: str, attempt: int) -> bool:
+        """Whether this query attempt (1-based) is injected."""
+        if self.rate <= 0.0 or attempt > self.consecutive:
+            return False
+        return stable_fraction(seed, "servfail", name) < self.rate
+
+
+@dataclass(frozen=True, slots=True)
+class SlowAnswer:
+    """A fraction of names answer slower than the query timeout.
+
+    Affected names burn ``delay`` seconds of logical clock and then
+    time out, for their first ``consecutive`` uncached attempts.
+    """
+
+    rate: float
+    delay: float = 5.0
+    consecutive: int = 2
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate, "rate")
+        if self.delay <= 0.0:
+            raise ValueError(f"delay must be positive, got {self.delay}")
+        if self.consecutive < 1:
+            raise ValueError(f"consecutive must be >= 1, got {self.consecutive}")
+
+    def fires(self, seed: int, name: str, attempt: int) -> bool:
+        """Whether this query attempt (1-based) times out."""
+        if self.rate <= 0.0 or attempt > self.consecutive:
+            return False
+        return stable_fraction(seed, "slow", name) < self.rate
+
+
+@dataclass(frozen=True, slots=True)
+class TlsHandshakeFlap:
+    """A fraction of SNIs reset their first handshake attempts."""
+
+    rate: float
+    consecutive: int = 2
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate, "rate")
+        if self.consecutive < 1:
+            raise ValueError(f"consecutive must be >= 1, got {self.consecutive}")
+
+    def fires(self, seed: int, sni: str, attempt: int) -> bool:
+        """Whether this handshake attempt (1-based) is reset."""
+        if self.rate <= 0.0 or attempt > self.consecutive:
+            return False
+        return stable_fraction(seed, "tlsflap", sni) < self.rate
+
+
+@dataclass(frozen=True, slots=True)
+class NameserverOutage:
+    """Authoritative nameservers that are hard-down for a clock window.
+
+    Unlike the transient injectors, an outage does not clear with
+    retries: every query for an affected host SERVFAILs while the
+    logical clock is inside ``[start, end)``.  Hosts are selected
+    explicitly (``hosts``) and/or pseudo-randomly (``fraction``).
+    This is the fault class the per-nameserver circuit breaker exists
+    for.
+    """
+
+    fraction: float = 0.0
+    hosts: tuple[str, ...] = ()
+    start: float = 0.0
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        _check_rate(self.fraction, "fraction")
+        if self.end <= self.start:
+            raise ValueError(
+                f"empty outage window [{self.start}, {self.end})"
+            )
+
+    def down(self, seed: int, host: str, clock: float) -> bool:
+        """Whether the host is unreachable at this clock reading."""
+        if not self.start <= clock < self.end:
+            return False
+        host = host.lower().rstrip(".")
+        if host in self.hosts:
+            return True
+        if self.fraction <= 0.0:
+            return False
+        return stable_fraction(seed, "nsout", host) < self.fraction
+
+
+@dataclass(frozen=True, slots=True)
+class StaleGeoData:
+    """A fraction of addresses are missing from the stale geo snapshot.
+
+    Models an enrichment dataset older than the measurement: affected
+    addresses have no country/continent entry, so rows keep their
+    provider labels but lose geolocation (degraded, not failed).
+    """
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate, "rate")
+
+    def stale(self, seed: int, address: int) -> bool:
+        """Whether the snapshot is missing this address."""
+        if self.rate <= 0.0:
+            return False
+        return stable_fraction(seed, "stalegeo", address) < self.rate
+
+
+Injector = (
+    TransientServFail
+    | SlowAnswer
+    | TlsHandshakeFlap
+    | NameserverOutage
+    | StaleGeoData
+)
+
+
+class FaultPlan:
+    """A composed set of injectors sharing one seed.
+
+    The plan wraps the three measurement surfaces: it arms a
+    :class:`~repro.net.dns.Resolver`'s ``fault_hook``
+    (:meth:`wrap_resolver`), provides the handshake hook
+    :meth:`tls_hook` for :meth:`World.tls_handshake
+    <repro.worldgen.world.World.tls_handshake>`, and answers
+    :meth:`geo_stale` for the enrichment lookups.  Per-identity attempt
+    counters make transient faults clear after ``consecutive``
+    attempts; ``injected`` tallies what actually fired.
+    """
+
+    def __init__(
+        self, injectors: Sequence[Injector] = (), seed: int = 0
+    ) -> None:
+        self.seed = seed
+        self.injectors: tuple[Injector, ...] = tuple(injectors)
+        self._servfails = [
+            i for i in self.injectors if isinstance(i, TransientServFail)
+        ]
+        self._slow = [i for i in self.injectors if isinstance(i, SlowAnswer)]
+        self._flaps = [
+            i for i in self.injectors if isinstance(i, TlsHandshakeFlap)
+        ]
+        self._outages = [
+            i for i in self.injectors if isinstance(i, NameserverOutage)
+        ]
+        self._stale = [
+            i for i in self.injectors if isinstance(i, StaleGeoData)
+        ]
+        self._dns_attempts: Counter[str] = Counter()
+        self._tls_attempts: Counter[str] = Counter()
+        #: injector class name -> number of faults actually injected.
+        self.injected: Counter[str] = Counter()
+
+    @property
+    def active(self) -> bool:
+        """True when any injector can ever fire."""
+        for inj in self.injectors:
+            if isinstance(inj, NameserverOutage):
+                if inj.fraction > 0.0 or inj.hosts:
+                    return True
+            elif inj.rate > 0.0:
+                return True
+        return False
+
+    def reset(self) -> None:
+        """Forget attempt history and injection tallies."""
+        self._dns_attempts.clear()
+        self._tls_attempts.clear()
+        self.injected.clear()
+
+    # ------------------------------------------------------------------
+    # The three wrapped surfaces
+    # ------------------------------------------------------------------
+
+    def wrap_resolver(self, resolver: Resolver) -> Resolver:
+        """Arm a resolver's fault hook with this plan; returns it."""
+        resolver.fault_hook = (
+            lambda name, clock: self._dns_fault(resolver, name, clock)
+        )
+        return resolver
+
+    def _dns_fault(
+        self, resolver: Resolver, name: str, clock: float
+    ) -> None:
+        attempt = self._dns_attempts[name] + 1
+        self._dns_attempts[name] = attempt
+        for outage in self._outages:
+            if outage.down(self.seed, name, clock):
+                self.injected["NameserverOutage"] += 1
+                raise ServFailError(
+                    f"nameserver {name} unreachable (injected outage)"
+                )
+        for inj in self._servfails:
+            if inj.fires(self.seed, name, attempt):
+                self.injected["TransientServFail"] += 1
+                raise ServFailError(
+                    f"{name} SERVFAIL (injected transient)"
+                )
+        for inj in self._slow:
+            if inj.fires(self.seed, name, attempt):
+                self.injected["SlowAnswer"] += 1
+                resolver.advance_clock(inj.delay)
+                raise MeasurementTimeoutError(
+                    f"query for {name} timed out after {inj.delay:g}s"
+                )
+
+    def tls_hook(self, address: int, sni: str) -> None:
+        """Handshake-time hook for ``World.tls_handshake``."""
+        attempt = self._tls_attempts[sni] + 1
+        self._tls_attempts[sni] = attempt
+        for inj in self._flaps:
+            if inj.fires(self.seed, sni, attempt):
+                self.injected["TlsHandshakeFlap"] += 1
+                raise TLSHandshakeError(
+                    f"handshake with {address} for {sni!r} reset "
+                    f"(injected flap)"
+                )
+
+    def geo_stale(self, address: int) -> bool:
+        """Whether enrichment geodata is missing for an address."""
+        for inj in self._stale:
+            if inj.stale(self.seed, address):
+                self.injected["StaleGeoData"] += 1
+                return True
+        return False
+
+
+#: Named fault profiles for the CLI (``--fault-profile``).
+FAULT_PROFILES: dict[str, tuple[Injector, ...]] = {
+    "none": (),
+    "flaky-dns": (TransientServFail(0.2),),
+    "slow-dns": (SlowAnswer(0.15),),
+    "flaky-tls": (TlsHandshakeFlap(0.2),),
+    "ns-outage": (NameserverOutage(fraction=0.15),),
+    "stale-geo": (StaleGeoData(0.1),),
+    "chaos": (
+        TransientServFail(0.1),
+        SlowAnswer(0.05),
+        TlsHandshakeFlap(0.1),
+        NameserverOutage(fraction=0.05),
+        StaleGeoData(0.05),
+    ),
+}
+
+
+def fault_profile(name: str, seed: int = 0) -> FaultPlan:
+    """Build the named fault plan (see :data:`FAULT_PROFILES`)."""
+    try:
+        injectors = FAULT_PROFILES[name]
+    except KeyError:
+        raise PipelineError(
+            f"unknown fault profile {name!r}; expected one of "
+            f"{sorted(FAULT_PROFILES)}"
+        ) from None
+    return FaultPlan(injectors, seed=seed)

@@ -1,0 +1,25 @@
+"""Deterministic seeded pseudo-randomness for fault injection.
+
+Fault decisions must be a pure function of ``(seed, identity)`` — no
+wall clock, no global RNG — so two runs with the same seed and fault
+plan inject byte-identical faults.  The primitive is a keyed hash
+mapped to a fraction in ``[0, 1)``, the same technique the geolocation
+database uses for its deterministic country noise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["stable_fraction"]
+
+
+def stable_fraction(seed: int, *parts: object) -> float:
+    """A deterministic pseudo-uniform fraction in ``[0, 1)``.
+
+    The fraction depends only on ``seed`` and the string forms of
+    ``parts``; distinct part tuples give independent-looking values.
+    """
+    key = f"{seed}|" + "|".join(str(p) for p in parts)
+    digest = hashlib.blake2b(key.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / float(1 << 64)

@@ -1,0 +1,128 @@
+"""Failure taxonomy: classifying and reporting measurement failures.
+
+The paper reports aggregate failure rates for its §3.4 campaign; a
+resilient reproduction needs finer accounting — *which class* of fault
+(servfail, timeout, nxdomain, handshake flap, …) hit *which layer*
+(http, dns, tls) in *which country*.  Error strings written by the
+pipeline follow the convention ``"<step>: <class>: <detail>"``; legacy
+strings without a class token are classified by keyword so old data
+releases still aggregate.
+"""
+
+from __future__ import annotations
+
+from ..errors import (
+    MeasurementTimeoutError,
+    NXDomainError,
+    ReproError,
+    ResolutionError,
+    ServFailError,
+    TLSError,
+    TLSHandshakeError,
+)
+
+__all__ = [
+    "FAILURE_CLASSES",
+    "failure_class",
+    "failure_class_of",
+    "format_failure",
+    "render_failure_report",
+]
+
+#: Every failure class the taxonomy distinguishes.
+FAILURE_CLASSES: tuple[str, ...] = (
+    "servfail",
+    "timeout",
+    "nxdomain",
+    "resolution",
+    "tls-flap",
+    "certificate",
+    "circuit-open",
+    "empty-answer",
+    "http",
+    "other",
+)
+
+#: Ordered (most specific first) exception → class mapping.
+_CLASS_OF_EXCEPTION: tuple[tuple[type[BaseException], str], ...] = (
+    (MeasurementTimeoutError, "timeout"),
+    (ServFailError, "servfail"),
+    (NXDomainError, "nxdomain"),
+    (ResolutionError, "resolution"),
+    (TLSHandshakeError, "tls-flap"),
+    (TLSError, "certificate"),
+)
+
+#: Keyword fallback for legacy strings, checked in order.
+_KEYWORDS: tuple[tuple[str, str], ...] = (
+    ("circuit", "circuit-open"),
+    ("timed out", "timeout"),
+    ("timeout", "timeout"),
+    ("servfail", "servfail"),
+    ("failed to answer", "servfail"),
+    ("unreachable", "servfail"),
+    ("does not exist", "nxdomain"),
+    ("negative cache", "nxdomain"),
+    ("empty answer", "empty-answer"),
+    ("no addresses", "empty-answer"),
+    ("connection reset", "tls-flap"),
+    ("certificate", "certificate"),
+    ("redirect", "http"),
+)
+
+
+def failure_class(exc: BaseException) -> str:
+    """The taxonomy class of an exception."""
+    for exc_type, name in _CLASS_OF_EXCEPTION:
+        if isinstance(exc, exc_type):
+            return name
+    if isinstance(exc, ReproError):
+        return failure_class_of(str(exc))
+    return "other"
+
+
+def format_failure(step: str, exc: BaseException) -> str:
+    """Render ``"<step>: <class>: <detail>"`` for an error field."""
+    return f"{step}: {failure_class(exc)}: {exc}"
+
+
+def failure_class_of(message: str) -> str:
+    """Classify a recorded error string.
+
+    Prefers the embedded ``<step>: <class>: …`` token; falls back to
+    keyword matching for strings produced before the taxonomy existed.
+    """
+    parts = message.split(":")
+    if len(parts) >= 2:
+        token = parts[1].strip()
+        if token in FAILURE_CLASSES:
+            return token
+    lowered = message.lower()
+    for keyword, name in _KEYWORDS:
+        if keyword in lowered:
+            return name
+    return "other"
+
+
+def render_failure_report(
+    taxonomy: dict[str, dict[str, dict[str, int]]]
+) -> str:
+    """Format a ``class -> layer -> country -> count`` taxonomy.
+
+    One row per (class, layer) with the total count and the worst
+    countries, mirroring the failure-rate accounting of the paper's
+    measurement section.
+    """
+    if not taxonomy:
+        return "no failures recorded"
+    lines = [f"{'class':<14} {'layer':<6} {'count':>7}  top countries"]
+    for cls in sorted(taxonomy):
+        for layer in sorted(taxonomy[cls]):
+            per_country = taxonomy[cls][layer]
+            total = sum(per_country.values())
+            worst = sorted(
+                per_country.items(), key=lambda kv: (-kv[1], kv[0])
+            )[:5]
+            detail = ", ".join(f"{cc}={n}" for cc, n in worst)
+            lines.append(f"{cls:<14} {layer:<6} {total:>7}  {detail}")
+    return "\n".join(lines)

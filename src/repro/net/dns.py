@@ -17,8 +17,8 @@ vantage-point experiment meaningful.
 
 from __future__ import annotations
 
-from collections.abc import Mapping
-from dataclasses import dataclass, field
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
 
 from ..errors import NXDomainError, ResolutionError, ServFailError
 from .psl import PublicSuffixList, default_psl
@@ -221,6 +221,16 @@ class Resolver:
         self.queries = 0
         self.cache_hits = 0
         self.negative_cache_hits = 0
+        #: Optional fault-injection hook, called as ``hook(name, clock)``
+        #: for every query that misses the cache (cached answers never
+        #: re-contact the authorities, so they are immune to injected
+        #: authority faults).  The hook signals a fault by raising.
+        self.fault_hook: Callable[[str, float], None] | None = None
+
+    @property
+    def clock(self) -> float:
+        """Current value of the logical clock (seconds)."""
+        return self._clock
 
     @property
     def vantage_continent(self) -> str | None:
@@ -273,6 +283,8 @@ class Resolver:
                     f"{name!r} does not exist (negative cache)"
                 )
 
+        if self.fault_hook is not None:
+            self.fault_hook(name, self._clock)
         try:
             result = self._resolve_uncached(name)
         except NXDomainError:

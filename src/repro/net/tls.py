@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import TLSError
+from ..errors import TLSError, TLSHandshakeError
 
 __all__ = ["Certificate", "TLSEndpoint", "TLSFabric"]
 
@@ -62,7 +62,9 @@ class TLSEndpoint:
     def handshake(self, sni: str | None) -> Certificate:
         """Complete a handshake, returning the presented leaf."""
         if self.broken:
-            raise TLSError(
+            # Connection-level failure: transient, unlike the
+            # certificate errors below which no retry can fix.
+            raise TLSHandshakeError(
                 f"handshake with {self.address} failed: connection reset"
             )
         if sni is not None:

@@ -7,7 +7,13 @@ records; :mod:`~repro.pipeline.records` holds the resulting dataset;
 validation.
 """
 
-from .export import CSV_FIELDS, export_csv, export_summary_json, load_csv
+from .export import (
+    CSV_FIELDS,
+    LEGACY_CSV_FIELDS,
+    export_csv,
+    export_summary_json,
+    load_csv,
+)
 from .measure import STANFORD_VANTAGE_CONTINENT, MeasurementPipeline
 from .records import LAYER_FIELDS, MeasurementDataset, WebsiteMeasurement
 from .vantage import VantageComparison, ripe_style_dataset, validate_vantage
@@ -25,4 +31,5 @@ __all__ = [
     "load_csv",
     "export_summary_json",
     "CSV_FIELDS",
+    "LEGACY_CSV_FIELDS",
 ]

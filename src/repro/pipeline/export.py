@@ -21,13 +21,14 @@ from .records import MeasurementDataset, WebsiteMeasurement
 
 __all__ = [
     "CSV_FIELDS",
+    "LEGACY_CSV_FIELDS",
     "export_csv",
     "load_csv",
     "export_summary_json",
 ]
 
-#: The released per-site schema, in column order.
-CSV_FIELDS: tuple[str, ...] = (
+#: The original (v1) release schema, still accepted on load.
+LEGACY_CSV_FIELDS: tuple[str, ...] = (
     "country",
     "rank",
     "domain",
@@ -46,6 +47,16 @@ CSV_FIELDS: tuple[str, ...] = (
     "tld",
     "language",
     "error",
+)
+
+#: The released per-site schema, in column order.  Extends the legacy
+#: schema with the per-layer resilience columns; old releases load via
+#: :data:`LEGACY_CSV_FIELDS` with defaults for the new columns.
+CSV_FIELDS: tuple[str, ...] = LEGACY_CSV_FIELDS + (
+    "dns_error",
+    "tls_error",
+    "attempts",
+    "degraded",
 )
 
 
@@ -85,6 +96,10 @@ def export_csv(dataset: MeasurementDataset, path: str | Path) -> int:
                     _cell(record.tld),
                     _cell(record.language),
                     _cell(record.error),
+                    _cell(record.dns_error),
+                    _cell(record.tls_error),
+                    str(record.attempts),
+                    _cell(record.degraded),
                 ]
             )
             rows += 1
@@ -96,23 +111,32 @@ def _parse(value: str) -> str | None:
 
 
 def load_csv(path: str | Path) -> MeasurementDataset:
-    """Load a released CSV back into a dataset (inverse of export)."""
+    """Load a released CSV back into a dataset (inverse of export).
+
+    Accepts both the current schema and the legacy (pre-resilience)
+    schema; legacy rows load with default resilience columns.
+    """
     path = Path(path)
     dataset = MeasurementDataset()
     with path.open(newline="", encoding="utf-8") as handle:
         reader = csv.reader(handle)
         header = next(reader, None)
-        if header is None or tuple(header) != CSV_FIELDS:
+        if header is not None and tuple(header) == CSV_FIELDS:
+            fields = CSV_FIELDS
+        elif header is not None and tuple(header) == LEGACY_CSV_FIELDS:
+            fields = LEGACY_CSV_FIELDS
+        else:
             raise PipelineError(
                 f"{path} does not match the release schema; expected "
-                f"header {CSV_FIELDS}"
+                f"header {CSV_FIELDS} (or the legacy "
+                f"{len(LEGACY_CSV_FIELDS)}-column schema)"
             )
         for row in reader:
-            if len(row) != len(CSV_FIELDS):
+            if len(row) != len(fields):
                 raise PipelineError(
                     f"{path}: malformed row with {len(row)} cells"
                 )
-            values = dict(zip(CSV_FIELDS, row))
+            values = dict(zip(fields, row))
             dataset.add(
                 WebsiteMeasurement(
                     domain=values["domain"],
@@ -137,6 +161,10 @@ def load_csv(path: str | Path) -> MeasurementDataset:
                     tld=_parse(values["tld"]),
                     language=_parse(values["language"]),
                     error=_parse(values["error"]),
+                    dns_error=_parse(values.get("dns_error", "")),
+                    tls_error=_parse(values.get("tls_error", "")),
+                    attempts=int(values.get("attempts", "0") or "0"),
+                    degraded=values.get("degraded", "0") == "1",
                 )
             )
     return dataset

@@ -11,10 +11,15 @@ For every website of every country toplist:
    CA owner through CCADB (ZGrab2 + Ma et al. step);
 5. extract the TLD from the public suffix split.
 
-Resolution failures, TLS failures, and unannounced address space are
-recorded per-site; the dataset keeps failed rows for failure-rate
-accounting while layer distributions skip them, exactly as dropping
-unresolvable domains from the paper's analysis.
+Failures are recorded per layer — a TLS flap no longer poisons the
+hosting/DNS layers of the same row — and the pipeline is resilient the
+way a production campaign must be: an optional
+:class:`~repro.faults.FaultPlan` injects seeded faults into the DNS,
+TLS, and enrichment surfaces; a :class:`~repro.faults.RetryPolicy`
+retries transient failures with deterministic backoff on the logical
+clock; and a per-nameserver :class:`~repro.faults.CircuitBreaker`
+skips repeatedly failing authoritative infrastructure with a recorded
+reason instead of re-probing it for every delegating site.
 """
 
 from __future__ import annotations
@@ -22,6 +27,10 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from ..errors import PipelineError, ReproError
+from ..faults.breaker import CircuitBreaker
+from ..faults.plan import FaultPlan
+from ..faults.retry import RetryPolicy, RetrySession
+from ..faults.taxonomy import failure_class, format_failure
 from ..net.dns import Resolver
 from ..worldgen.world import World
 from .records import MeasurementDataset, WebsiteMeasurement
@@ -31,6 +40,15 @@ __all__ = ["MeasurementPipeline", "STANFORD_VANTAGE_CONTINENT"]
 #: The paper measures from Stanford University — a North American
 #: vantage point.
 STANFORD_VANTAGE_CONTINENT = "NA"
+
+#: The four (label, label-country, continent, anycast) Nones returned
+#: when no authoritative nameserver could be labeled.
+_NO_DNS_INFRA: tuple[str | None, str | None, str | None, bool] = (
+    None,
+    None,
+    None,
+    False,
+)
 
 
 class MeasurementPipeline:
@@ -45,6 +63,9 @@ class MeasurementPipeline:
         measure_tls: bool = True,
         detect_language: bool = False,
         inter_site_seconds: float = 0.0,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         self.world = world
         self.vantage_continent = vantage_continent
@@ -57,9 +78,46 @@ class MeasurementPipeline:
             vantage_continent=vantage_continent,
             vantage_country=vantage_country,
         )
-        self._ns_org_cache: dict[str, tuple[str | None, str | None, str | None, bool]] = {}
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            fault_plan.wrap_resolver(self.resolver)
+        self.retry_policy = retry_policy
+        self.breaker = (
+            breaker
+            if breaker is not None
+            else CircuitBreaker(clock=lambda: self.resolver.clock)
+        )
+        #: ns_host -> (labels-or-None, negative-entry expiry).  Dead
+        #: nameservers are cached too (negative entries carry their
+        #: expiry on the logical clock) so one dead host is not
+        #: re-resolved for every site that delegates to it.
+        self._ns_org_cache: dict[
+            str,
+            tuple[tuple[str | None, str | None, str | None, bool] | None, float],
+        ] = {}
 
     # ------------------------------------------------------------------
+
+    def _wait(self, seconds: float) -> None:
+        """Spend backoff time on the deterministic logical clock."""
+        self.resolver.advance_clock(seconds)
+
+    def _failed_row(
+        self,
+        domain: str,
+        country: str,
+        rank: int,
+        step: str,
+        exc: ReproError,
+        session: RetrySession,
+    ) -> WebsiteMeasurement:
+        return WebsiteMeasurement(
+            domain=domain,
+            country=country,
+            rank=rank,
+            error=format_failure(step, exc),
+            attempts=session.attempts,
+        )
 
     def measure_site(
         self, domain: str, country: str, rank: int
@@ -72,54 +130,75 @@ class MeasurementPipeline:
         """
         if self._inter_site_seconds:
             self.resolver.advance_clock(self._inter_site_seconds)
+        session = RetrySession(self.retry_policy)
+        plan = self.fault_plan
         try:
             serving_host = self.world.http.final_host(domain)
         except ReproError as exc:
-            return WebsiteMeasurement(
-                domain=domain,
-                country=country,
-                rank=rank,
-                error=f"http: {exc}",
+            return self._failed_row(
+                domain, country, rank, "http", exc, session
             )
         try:
-            resolution = self.resolver.resolve(serving_host)
+            resolution = session.run(
+                f"resolve:{serving_host}",
+                lambda: self.resolver.resolve(serving_host),
+                self._wait,
+            )
         except ReproError as exc:
-            return WebsiteMeasurement(
-                domain=domain,
-                country=country,
-                rank=rank,
-                error=f"resolve: {exc}",
+            return self._failed_row(
+                domain, country, rank, "resolve", exc, session
             )
         if not resolution.addresses:
             return WebsiteMeasurement(
-                domain=domain, country=country, rank=rank,
-                error="resolve: empty answer",
+                domain=domain,
+                country=country,
+                rank=rank,
+                error="resolve: empty-answer: answer had no addresses",
+                attempts=session.attempts,
             )
         ip = resolution.addresses[0]
 
         world = self.world
         hosting_org = world.asdb.org_of_ip(ip)
         hosting_org_country = world.asdb.country_of_ip(ip)
-        ip_country = world.geo.country_of(ip)
-        ip_continent = world.geo.continent_of(ip)
+        geo_stale = plan is not None and plan.geo_stale(ip)
+        if geo_stale:
+            # The stale enrichment snapshot has no entry for this
+            # address: the row keeps its provider labels but loses
+            # geolocation.
+            ip_country = ip_continent = None
+        else:
+            ip_country = world.geo.country_of(ip)
+            ip_continent = world.geo.continent_of(ip)
         ip_anycast = world.anycast.is_anycast(ip)
 
-        dns_org, dns_org_country, ns_continent, ns_anycast = (
-            self._dns_infrastructure(resolution.authoritative_ns)
+        dns_infra, dns_error = self._dns_infrastructure(
+            resolution.authoritative_ns, session
         )
+        dns_org, dns_org_country, ns_continent, ns_anycast = dns_infra
 
         ca_owner = ca_country = None
         tls_error: str | None = None
         if self.measure_tls:
+            tls_hook = plan.tls_hook if plan is not None else None
             try:
-                certificate = world.tls_handshake(ip, serving_host)
+                certificate = session.run(
+                    f"tls:{serving_host}",
+                    lambda: world.tls_handshake(
+                        ip, serving_host, fault_hook=tls_hook
+                    ),
+                    self._wait,
+                )
                 if not certificate.covers(serving_host):
-                    tls_error = "tls: certificate does not cover hostname"
+                    tls_error = (
+                        "tls: certificate: certificate does not cover "
+                        "hostname"
+                    )
                 else:
                     owner = world.ccadb.owner_of(certificate.issuer_cn)
                     ca_owner, ca_country = owner.name, owner.country
             except ReproError as exc:
-                tls_error = f"tls: {exc}"
+                tls_error = format_failure("tls", exc)
 
         try:
             tld = world.psl.tld_of(domain)
@@ -157,33 +236,87 @@ class MeasurementPipeline:
             ca_country=ca_country,
             tld=tld,
             language=language,
-            error=tls_error,
+            dns_error=dns_error,
+            tls_error=tls_error,
+            attempts=session.attempts,
+            degraded=(
+                dns_error is not None or tls_error is not None or geo_stale
+            ),
         )
 
     def _dns_infrastructure(
-        self, authoritative_ns: tuple[str, ...]
-    ) -> tuple[str | None, str | None, str | None, bool]:
-        """Label the DNS provider from the first resolvable NS host."""
+        self,
+        authoritative_ns: tuple[str, ...],
+        session: RetrySession,
+    ) -> tuple[
+        tuple[str | None, str | None, str | None, bool], str | None
+    ]:
+        """Label the DNS provider from the first resolvable NS host.
+
+        Successful labels are cached per nameserver; failures are
+        *negative-cached* (with a TTL on the logical clock) and counted
+        against the per-nameserver circuit breaker, so dead
+        authoritative infrastructure is skipped with a recorded reason
+        instead of re-probed for every delegating site.
+        """
+        failures: list[str] = []
         for ns_host in authoritative_ns:
             cached = self._ns_org_cache.get(ns_host)
             if cached is not None:
-                return cached
+                result, expires_at = cached
+                if result is not None:
+                    return result, None
+                if expires_at > self.resolver.clock:
+                    failures.append(
+                        f"{ns_host}: nxdomain: recently failed "
+                        f"(negative cache)"
+                    )
+                    continue
+                del self._ns_org_cache[ns_host]
+            if not self.breaker.allow(ns_host):
+                failures.append(
+                    f"{ns_host}: circuit-open: "
+                    f"{self.breaker.reason(ns_host)}"
+                )
+                continue
             try:
-                ns_resolution = self.resolver.resolve(ns_host)
-            except ReproError:
+                ns_resolution = session.run(
+                    f"ns:{ns_host}",
+                    lambda: self.resolver.resolve(ns_host),
+                    self._wait,
+                )
+            except ReproError as exc:
+                self.breaker.record_failure(ns_host)
+                self._ns_org_cache[ns_host] = (
+                    None,
+                    self.resolver.clock + Resolver.NEGATIVE_TTL,
+                )
+                failures.append(
+                    f"{ns_host}: {failure_class(exc)}: {exc}"
+                )
                 continue
             if not ns_resolution.addresses:
+                failures.append(f"{ns_host}: empty-answer: no addresses")
                 continue
+            self.breaker.record_success(ns_host)
             ns_ip = ns_resolution.addresses[0]
+            if self.fault_plan is not None and self.fault_plan.geo_stale(
+                ns_ip
+            ):
+                ns_continent = None
+            else:
+                ns_continent = self.world.geo.continent_of(ns_ip)
             result = (
                 self.world.asdb.org_of_ip(ns_ip),
                 self.world.asdb.country_of_ip(ns_ip),
-                self.world.geo.continent_of(ns_ip),
+                ns_continent,
                 self.world.anycast.is_anycast(ns_ip),
             )
-            self._ns_org_cache[ns_host] = result
-            return result
-        return None, None, None, False
+            self._ns_org_cache[ns_host] = (result, 0.0)
+            return result, None
+        if failures:
+            return _NO_DNS_INFRA, "dns: " + "; ".join(failures)
+        return _NO_DNS_INFRA, None
 
     # ------------------------------------------------------------------
 

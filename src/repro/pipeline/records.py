@@ -4,7 +4,11 @@ A :class:`WebsiteMeasurement` is the enriched per-site row the paper's
 pipeline produces — DNS resolution, serving IP with AS organization /
 geolocation / anycast annotations, authoritative DNS organization, CA
 ownership of the served leaf certificate, and the TLD.  Failures are
-recorded rather than raised so that datasets stay rectangular.
+recorded rather than raised so that datasets stay rectangular, and
+they are recorded *per layer*: a TLS flap lands in ``tls_error`` and a
+dead nameserver in ``dns_error``, leaving the other layers of the row
+usable (graceful degradation), while only whole-row failures (HTTP
+fetch, serving-host resolution) use ``error``.
 """
 
 from __future__ import annotations
@@ -40,12 +44,55 @@ class WebsiteMeasurement:
     ca_country: str | None = None
     tld: str | None = None
     language: str | None = None
+    #: Whole-row failure: the HTTP fetch or the serving-host resolution
+    #: failed, so no layer of the row carries data.
     error: str | None = None
+    #: DNS-infrastructure failure: the authoritative nameservers could
+    #: not be labeled (the hosting/CA/TLD layers remain valid).
+    dns_error: str | None = None
+    #: TLS failure: no usable leaf certificate (the hosting/DNS/TLD
+    #: layers remain valid).
+    tls_error: str | None = None
+    #: Total network operations attempted for this row, including
+    #: retries (resilience provenance; 0 for hand-built records).
+    attempts: int = 0
+    #: True when the row is partial: some layer failed or fell back
+    #: (stale geodata, dead nameservers, TLS flap) while the rest of
+    #: the row stayed measurable.
+    degraded: bool = False
 
     @property
     def ok(self) -> bool:
-        """True when the measurement completed without error."""
-        return self.error is None
+        """True when the site itself was fully measured.
+
+        DNS-infrastructure degradation does not fail a row (matching
+        the historical accounting, where a dead nameserver silently
+        yielded an unlabeled DNS layer); row-level and TLS failures do.
+        """
+        return self.error is None and self.tls_error is None
+
+    @property
+    def complete(self) -> bool:
+        """True when every layer measured without error or fallback."""
+        return self.ok and self.dns_error is None and not self.degraded
+
+    def failures(self) -> list[tuple[str, str]]:
+        """All recorded ``(layer, message)`` failures of this row."""
+        found: list[tuple[str, str]] = []
+        if self.error is not None:
+            # Legacy rows stored TLS failures in the generic field.
+            if self.error.startswith("http"):
+                layer = "http"
+            elif self.error.startswith("tls"):
+                layer = "tls"
+            else:
+                layer = "dns"
+            found.append((layer, self.error))
+        if self.dns_error is not None:
+            found.append(("dns", self.dns_error))
+        if self.tls_error is not None:
+            found.append(("tls", self.tls_error))
+        return found
 
 
 #: layer name -> (label field, label-country field).
@@ -108,6 +155,34 @@ class MeasurementDataset:
         if not records:
             return 0.0
         return sum(1 for r in records if not r.ok) / len(records)
+
+    def degraded_rate(self, country: str) -> float:
+        """Fraction of a country's rows that are partial (degraded)."""
+        records = self.records(country)
+        if not records:
+            return 0.0
+        return sum(1 for r in records if r.degraded) / len(records)
+
+    def failure_taxonomy(self) -> dict[str, dict[str, dict[str, int]]]:
+        """Failure counts as ``class -> layer -> country -> count``.
+
+        Mirrors the paper's failure-rate accounting at finer grain:
+        every recorded per-layer failure is classified (servfail,
+        timeout, nxdomain, tls-flap, …) via the fault taxonomy.  Use
+        :func:`repro.faults.render_failure_report` to pretty-print.
+        """
+        from ..faults.taxonomy import failure_class_of
+
+        taxonomy: dict[str, dict[str, dict[str, int]]] = {}
+        for country, records in self._by_country.items():
+            for record in records:
+                for layer, message in record.failures():
+                    per_layer = taxonomy.setdefault(
+                        failure_class_of(message), {}
+                    )
+                    per_country = per_layer.setdefault(layer, {})
+                    per_country[country] = per_country.get(country, 0) + 1
+        return taxonomy
 
     # ------------------------------------------------------------------
     # Layer views

@@ -23,7 +23,6 @@ import numpy as np
 
 from ..datasets.paper_scores import PAPER_SCORES
 from ..datasets.providers import CLOUDFLARE
-from .config import WorldConfig
 from .profiles import ProfileOverrides
 from .world import EvolutionPlan, World
 

@@ -9,7 +9,7 @@ preserved at any size.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from ..datasets.countries import COUNTRY_CODES
 from ..errors import InvalidDistributionError, UnknownCountryError

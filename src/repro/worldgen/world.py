@@ -22,6 +22,7 @@ from __future__ import annotations
 import re
 import zlib
 from collections import Counter
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
@@ -1003,7 +1004,12 @@ class World:
     # Runtime services used by the pipeline
     # ------------------------------------------------------------------
 
-    def tls_handshake(self, address: int, sni: str) -> Certificate:
+    def tls_handshake(
+        self,
+        address: int,
+        sni: str,
+        fault_hook: "Callable[[int, str], None] | None" = None,
+    ) -> Certificate:
         """Complete a TLS handshake with a hosting IP for a site.
 
         Certificates are minted on demand (deterministically) so that a
@@ -1012,8 +1018,15 @@ class World:
         the SNI's hosting provider.  ``www.<domain>`` SNIs (reached by
         following a redirect) are served wildcard certificates for the
         registrable domain.
+
+        ``fault_hook`` is called as ``hook(address, sni)`` before the
+        connection is attempted; it models connection-level faults
+        (flaps, timeouts) by raising, the way a real handshake fails
+        before any certificate is seen.
         """
         sni = sni.lower().rstrip(".")
+        if fault_hook is not None:
+            fault_hook(address, sni)
         registrable = sni
         if sni not in self.sites:
             try:

@@ -1,0 +1,106 @@
+"""Tests for the per-nameserver circuit breaker state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import BreakerState, CircuitBreaker
+
+
+class _Clock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def clock() -> _Clock:
+    return _Clock()
+
+
+@pytest.fixture
+def breaker(clock: _Clock) -> CircuitBreaker:
+    return CircuitBreaker(
+        failure_threshold=3, cooldown=900.0, clock=clock
+    )
+
+
+def _trip(breaker: CircuitBreaker, key: str, times: int = 3) -> None:
+    for _ in range(times):
+        assert breaker.allow(key)
+        breaker.record_failure(key)
+
+
+class TestCircuitBreaker:
+    def test_closed_by_default(self, breaker: CircuitBreaker) -> None:
+        assert breaker.state_of("ns1.example") is BreakerState.CLOSED
+        assert breaker.allow("ns1.example")
+        assert breaker.skips["ns1.example"] == 0
+
+    def test_opens_at_threshold(
+        self, breaker: CircuitBreaker
+    ) -> None:
+        _trip(breaker, "ns1.example", times=2)
+        assert breaker.state_of("ns1.example") is BreakerState.CLOSED
+        breaker.record_failure("ns1.example")
+        assert breaker.state_of("ns1.example") is BreakerState.OPEN
+        assert not breaker.allow("ns1.example")
+        assert breaker.skips["ns1.example"] == 1
+        assert "circuit open" in breaker.reason("ns1.example")
+
+    def test_success_resets_count(
+        self, breaker: CircuitBreaker
+    ) -> None:
+        _trip(breaker, "ns1.example", times=2)
+        breaker.record_success("ns1.example")
+        _trip(breaker, "ns1.example", times=2)
+        assert breaker.state_of("ns1.example") is BreakerState.CLOSED
+
+    def test_half_open_probe_after_cooldown(
+        self, breaker: CircuitBreaker, clock: _Clock
+    ) -> None:
+        _trip(breaker, "ns1.example")
+        clock.now = 899.0
+        assert not breaker.allow("ns1.example")
+        clock.now = 900.0
+        # Exactly one probe is admitted.
+        assert breaker.allow("ns1.example")
+        assert breaker.state_of("ns1.example") is BreakerState.HALF_OPEN
+        assert not breaker.allow("ns1.example")
+
+    def test_probe_success_closes(
+        self, breaker: CircuitBreaker, clock: _Clock
+    ) -> None:
+        _trip(breaker, "ns1.example")
+        clock.now = 1000.0
+        assert breaker.allow("ns1.example")
+        breaker.record_success("ns1.example")
+        assert breaker.state_of("ns1.example") is BreakerState.CLOSED
+        assert breaker.allow("ns1.example")
+
+    def test_probe_failure_reopens_with_fresh_cooldown(
+        self, breaker: CircuitBreaker, clock: _Clock
+    ) -> None:
+        _trip(breaker, "ns1.example")
+        clock.now = 1000.0
+        assert breaker.allow("ns1.example")
+        breaker.record_failure("ns1.example")
+        assert breaker.state_of("ns1.example") is BreakerState.OPEN
+        clock.now = 1899.0
+        assert not breaker.allow("ns1.example")
+        clock.now = 1900.0
+        assert breaker.allow("ns1.example")
+
+    def test_keys_independent(self, breaker: CircuitBreaker) -> None:
+        _trip(breaker, "ns1.example")
+        assert not breaker.allow("ns1.example")
+        assert breaker.allow("ns2.example")
+        assert breaker.open_keys() == ["ns1.example"]
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=0.0)

@@ -1,0 +1,177 @@
+"""Tests for the fault injectors and the composed FaultPlan."""
+
+from __future__ import annotations
+
+import math
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import (
+    MeasurementTimeoutError,
+    PipelineError,
+    ServFailError,
+    TLSHandshakeError,
+)
+from repro.faults import (
+    FAULT_PROFILES,
+    FaultPlan,
+    NameserverOutage,
+    SlowAnswer,
+    StaleGeoData,
+    TlsHandshakeFlap,
+    TransientServFail,
+    fault_profile,
+)
+from repro.faults.seeding import stable_fraction
+
+
+class TestStableFraction:
+    def test_range_and_determinism(self) -> None:
+        for seed in range(5):
+            for part in ("ns1.example", 42, "b"):
+                frac = stable_fraction(seed, "k", part)
+                assert 0.0 <= frac < 1.0
+                assert frac == stable_fraction(seed, "k", part)
+
+    def test_sensitive_to_every_part(self) -> None:
+        base = stable_fraction(1, "a", "b")
+        assert base != stable_fraction(2, "a", "b")
+        assert base != stable_fraction(1, "a", "c")
+        assert base != stable_fraction(1, "x", "b")
+
+
+class TestInjectors:
+    def test_transient_clears_after_consecutive(self) -> None:
+        inj = TransientServFail(rate=1.0, consecutive=2)
+        assert inj.fires(0, "ns1.example", 1)
+        assert inj.fires(0, "ns1.example", 2)
+        assert not inj.fires(0, "ns1.example", 3)
+
+    def test_rate_zero_never_fires(self) -> None:
+        assert not TransientServFail(0.0).fires(0, "x", 1)
+        assert not SlowAnswer(0.0).fires(0, "x", 1)
+        assert not TlsHandshakeFlap(0.0).fires(0, "x", 1)
+        assert not StaleGeoData(0.0).stale(0, 7)
+        assert not NameserverOutage().down(0, "x", 0.0)
+
+    def test_rate_roughly_respected(self) -> None:
+        inj = TransientServFail(rate=0.2)
+        names = [f"ns{i}.example" for i in range(2000)]
+        hits = sum(inj.fires(0, name, 1) for name in names)
+        assert 0.15 < hits / len(names) < 0.25
+
+    def test_outage_window_and_hosts(self) -> None:
+        inj = NameserverOutage(
+            hosts=("ns1.example",), start=100.0, end=200.0
+        )
+        assert not inj.down(0, "ns1.example", 99.0)
+        assert inj.down(0, "ns1.example", 100.0)
+        assert inj.down(0, "NS1.Example.", 150.0)
+        assert not inj.down(0, "ns1.example", 200.0)
+        assert not inj.down(0, "ns2.example", 150.0)
+
+    def test_outage_does_not_clear_with_attempts(self) -> None:
+        inj = NameserverOutage(hosts=("ns1.example",))
+        for _ in range(10):
+            assert inj.down(0, "ns1.example", 0.0)
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError):
+            TransientServFail(1.5)
+        with pytest.raises(ValueError):
+            TransientServFail(0.5, consecutive=0)
+        with pytest.raises(ValueError):
+            SlowAnswer(0.5, delay=0.0)
+        with pytest.raises(ValueError):
+            NameserverOutage(start=5.0, end=5.0)
+        assert NameserverOutage(end=math.inf).end == math.inf
+
+
+def _fake_resolver() -> SimpleNamespace:
+    ns = SimpleNamespace(fault_hook=None, clock=0.0)
+    ns.advance_clock = lambda s: setattr(ns, "clock", ns.clock + s)
+    return ns
+
+
+class TestFaultPlan:
+    def test_wrap_resolver_arms_hook(self) -> None:
+        plan = FaultPlan((TransientServFail(1.0, consecutive=1),))
+        resolver = _fake_resolver()
+        assert plan.wrap_resolver(resolver) is resolver
+        with pytest.raises(ServFailError):
+            resolver.fault_hook("ns1.example", resolver.clock)
+        # Transient: second uncached attempt succeeds.
+        resolver.fault_hook("ns1.example", resolver.clock)
+        assert plan.injected["TransientServFail"] == 1
+
+    def test_slow_answer_burns_logical_clock(self) -> None:
+        plan = FaultPlan((SlowAnswer(1.0, delay=5.0, consecutive=1),))
+        resolver = _fake_resolver()
+        plan.wrap_resolver(resolver)
+        with pytest.raises(MeasurementTimeoutError):
+            resolver.fault_hook("ns1.example", resolver.clock)
+        assert resolver.clock == 5.0
+
+    def test_outage_beats_transient(self) -> None:
+        plan = FaultPlan(
+            (
+                TransientServFail(1.0),
+                NameserverOutage(hosts=("ns1.example",)),
+            )
+        )
+        resolver = _fake_resolver()
+        plan.wrap_resolver(resolver)
+        for _ in range(5):
+            with pytest.raises(ServFailError):
+                resolver.fault_hook("ns1.example", resolver.clock)
+        assert plan.injected["NameserverOutage"] == 5
+        assert plan.injected["TransientServFail"] == 0
+
+    def test_tls_hook(self) -> None:
+        plan = FaultPlan((TlsHandshakeFlap(1.0, consecutive=2),))
+        with pytest.raises(TLSHandshakeError):
+            plan.tls_hook(123, "site.example")
+        with pytest.raises(TLSHandshakeError):
+            plan.tls_hook(123, "site.example")
+        plan.tls_hook(123, "site.example")  # cleared
+        assert plan.injected["TlsHandshakeFlap"] == 2
+
+    def test_geo_stale(self) -> None:
+        plan = FaultPlan((StaleGeoData(1.0),))
+        assert plan.geo_stale(7)
+        assert FaultPlan((StaleGeoData(0.0),)).geo_stale(7) is False
+
+    def test_active(self) -> None:
+        assert not FaultPlan().active
+        assert not FaultPlan((TransientServFail(0.0),)).active
+        assert not FaultPlan((NameserverOutage(),)).active
+        assert FaultPlan((TransientServFail(0.1),)).active
+        assert FaultPlan((NameserverOutage(hosts=("a",)),)).active
+
+    def test_reset_forgets_history(self) -> None:
+        plan = FaultPlan((TransientServFail(1.0, consecutive=1),))
+        resolver = _fake_resolver()
+        plan.wrap_resolver(resolver)
+        with pytest.raises(ServFailError):
+            resolver.fault_hook("ns1.example", 0.0)
+        resolver.fault_hook("ns1.example", 0.0)
+        plan.reset()
+        assert not plan.injected
+        with pytest.raises(ServFailError):
+            resolver.fault_hook("ns1.example", 0.0)
+
+
+class TestProfiles:
+    def test_known_profiles_build(self) -> None:
+        for name in FAULT_PROFILES:
+            plan = fault_profile(name, seed=3)
+            assert isinstance(plan, FaultPlan)
+            assert plan.seed == 3
+
+    def test_none_profile_inactive(self) -> None:
+        assert not fault_profile("none").active
+
+    def test_unknown_profile_raises(self) -> None:
+        with pytest.raises(PipelineError):
+            fault_profile("does-not-exist")

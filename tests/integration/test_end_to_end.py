@@ -10,7 +10,7 @@ import pytest
 
 from repro.analysis import DependenceStudy, SnapshotComparison
 from repro.core import pearson
-from repro.datasets.paper_scores import LAYERS, PAPER_SCORES
+from repro.datasets.paper_scores import LAYERS
 from repro.pipeline import MeasurementPipeline
 from repro.worldgen import World, evolve
 from tests.conftest import TEST_COUNTRIES

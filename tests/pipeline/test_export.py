@@ -12,6 +12,7 @@ from repro.errors import PipelineError
 from repro.pipeline import MeasurementDataset, WebsiteMeasurement
 from repro.pipeline.export import (
     CSV_FIELDS,
+    LEGACY_CSV_FIELDS,
     export_csv,
     export_summary_json,
     load_csv,
@@ -82,6 +83,65 @@ class TestCsvRoundTrip:
         bad.write_text(",".join(CSV_FIELDS) + "\nUS,1\n")
         with pytest.raises(PipelineError):
             load_csv(bad)
+
+    def test_resilience_columns_round_trip(self, tmp_path: Path) -> None:
+        dataset = MeasurementDataset()
+        dataset.add(
+            WebsiteMeasurement(
+                domain="flappy.com",
+                country="US",
+                rank=1,
+                ip=0x01020304,
+                hosting_org="HostCo",
+                dns_error="dns: servfail: ns1 down",
+                tls_error="tls: tls-flap: handshake reset",
+                attempts=5,
+                degraded=True,
+            )
+        )
+        out = tmp_path / "release.csv"
+        export_csv(dataset, out)
+        record = load_csv(out).records("US")[0]
+        assert record.dns_error == "dns: servfail: ns1 down"
+        assert record.tls_error == "tls: tls-flap: handshake reset"
+        assert record.attempts == 5
+        assert record.degraded is True
+        # The TLS failure lives in its own column; the row-level error
+        # column stays empty, but the row still counts as failed.
+        assert record.error is None
+        assert not record.ok
+
+
+class TestLegacySchema:
+    """Pre-resilience releases (18 columns) must keep loading."""
+
+    def test_header_is_a_prefix(self) -> None:
+        assert CSV_FIELDS[: len(LEGACY_CSV_FIELDS)] == LEGACY_CSV_FIELDS
+
+    def test_legacy_release_loads_with_defaults(
+        self, tmp_path: Path
+    ) -> None:
+        legacy = tmp_path / "v1.csv"
+        legacy.write_text(
+            ",".join(LEGACY_CSV_FIELDS)
+            + "\nUS,1,example.com,1.2.3.4,HostCo,US,US,NA,0,DnsCo,US,"
+            "NA,1,CertCo,US,com,,\n"
+            + "US,2,broken.com,,,,,,0,,,,0,,,,,tls: handshake failed\n"
+        )
+        loaded = load_csv(legacy)
+        good, bad = loaded.records("US")
+        assert good.domain == "example.com"
+        assert good.hosting_org == "HostCo"
+        assert good.ns_anycast is True
+        assert good.dns_error is None
+        assert good.tls_error is None
+        assert good.attempts == 0
+        assert good.degraded is False
+        assert good.ok
+        # Legacy rows stored TLS failures in the generic error field;
+        # the failure accounting still classifies them as TLS-layer.
+        assert not bad.ok
+        assert bad.failures() == [("tls", "tls: handshake failed")]
 
 
 class TestSummaryJson:

@@ -21,6 +21,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["compare", "email"])
 
+    def test_measure_defaults(self) -> None:
+        args = build_parser().parse_args(["measure"])
+        assert args.fault_profile == "none"
+        assert args.retries == 1
+        assert args.fault_seed == 0
+
+    def test_measure_rejects_unknown_profile(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["measure", "--fault-profile", "lunar-eclipse"]
+            )
+
 
 class TestScoreCommand:
     def test_numeric_counts(self, capsys: pytest.CaptureFixture) -> None:
@@ -111,3 +123,44 @@ class TestStudyCommands:
         out = capsys.readouterr().out
         assert "score correlation" in out
         assert "largest increase" in out
+
+
+class TestMeasureCommand:
+    def test_measure_with_faults_and_retries(
+        self, capsys: pytest.CaptureFixture, tmp_path
+    ) -> None:
+        out_csv = tmp_path / "release.csv"
+        code = main(
+            [
+                "measure",
+                "--sites",
+                "60",
+                "--countries",
+                "US",
+                "TH",
+                "--fault-profile",
+                "flaky-dns",
+                "--retries",
+                "3",
+                "--export",
+                str(out_csv),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "measured 120 sites" in out
+        assert "profile=flaky-dns" in out
+        assert "injected faults:" in out
+        assert out_csv.exists()
+
+    def test_measure_without_faults(
+        self, capsys: pytest.CaptureFixture
+    ) -> None:
+        code = main(
+            ["measure", "--sites", "60", "--countries", "US"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile=none" in out
+        # Either a taxonomy table or the explicit all-clear line.
+        assert "no failures recorded" in out or "top countries" in out
