@@ -1,0 +1,235 @@
+#!/usr/bin/env python
+"""Seed the perf trajectory: time the pipeline and core primitives.
+
+Every future performance PR measures itself against the numbers this
+script writes.  It runs the measurement pipeline (instrumented, so the
+new metrics registry accounts for queries, cache hits, retries, and
+failures alongside the wall-clock timings) plus the hot core
+primitives, and writes a ``BENCH_<date>.json`` at the repository root.
+
+Workflow (documented in DESIGN.md §7):
+
+    python benchmarks/run_bench.py            # full run, BENCH_<date>.json
+    python benchmarks/run_bench.py --smoke    # tiny sizes, CI artifact
+
+Wall timings are best-of-``--repeat`` (the standard way to damp scheduler
+noise); the embedded metrics are deterministic and double as a
+regression check that instrumentation overhead stays honest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from datetime import date
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core import (  # noqa: E402
+    ProviderDistribution,
+    centralization_score,
+    hhi,
+    top_n_share,
+)
+from repro.faults import RetryPolicy, fault_profile  # noqa: E402
+from repro.obs import Instrumentation  # noqa: E402
+from repro.pipeline import MeasurementPipeline  # noqa: E402
+from repro.worldgen import World, WorldConfig  # noqa: E402
+
+
+def _best_of(repeat: int, fn) -> tuple[float, object]:
+    """Best wall time over ``repeat`` runs, plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_pipeline(
+    sites: int, countries: tuple[str, ...], repeat: int
+) -> dict:
+    """Time a full instrumented measurement run."""
+    config = WorldConfig(sites_per_country=sites, countries=countries)
+
+    def build() -> World:
+        return World(config)
+
+    build_seconds, world = _best_of(repeat, build)
+    assert isinstance(world, World)
+
+    obs: Instrumentation | None = None
+    dataset = None
+
+    def run():
+        nonlocal obs, dataset
+        obs = Instrumentation()
+        pipeline = MeasurementPipeline(
+            world,
+            fault_plan=fault_profile("chaos", seed=0),
+            retry_policy=RetryPolicy(max_attempts=3, seed=0),
+            obs=obs,
+        )
+        dataset = pipeline.run()
+        obs.finalize(pipeline)
+        return dataset
+
+    run_seconds, _ = _best_of(repeat, run)
+    assert obs is not None and dataset is not None
+    total_sites = len(dataset)
+    return {
+        "world_build_seconds": round(build_seconds, 4),
+        "run_seconds": round(run_seconds, 4),
+        "sites": total_sites,
+        "sites_per_second": round(total_sites / run_seconds, 1)
+        if run_seconds
+        else None,
+        "metrics": {
+            "dns_queries": obs.dns_queries.total(),
+            "dns_cache_hits": obs.dns_cache_hits.total(),
+            "attempts": obs.attempts.total(),
+            "retries": obs.retries.total(),
+            "backoff_seconds": round(obs.backoff_seconds.total(), 3),
+            "failed_rows": obs.rows.value(status="failed"),
+            "degraded_rows": obs.degraded_rows.total(),
+            "spans": len(obs.tracer.finished()),
+        },
+    }
+
+
+def bench_uninstrumented(
+    sites: int, countries: tuple[str, ...], repeat: int
+) -> dict:
+    """Time the same run without observability (overhead baseline)."""
+    world = World(
+        WorldConfig(sites_per_country=sites, countries=countries)
+    )
+
+    def run():
+        pipeline = MeasurementPipeline(
+            world,
+            fault_plan=fault_profile("chaos", seed=0),
+            retry_policy=RetryPolicy(max_attempts=3, seed=0),
+        )
+        return pipeline.run()
+
+    run_seconds, dataset = _best_of(repeat, run)
+    return {
+        "run_seconds": round(run_seconds, 4),
+        "sites": len(dataset),  # type: ignore[arg-type]
+        "sites_per_second": round(len(dataset) / run_seconds, 1)  # type: ignore[arg-type]
+        if run_seconds
+        else None,
+    }
+
+
+def bench_primitives(repeat: int, n: int = 20000) -> dict:
+    """Time the hot core scoring primitives on a large distribution."""
+    dist = ProviderDistribution(
+        {f"provider-{i}": float((i % 97) + 1) for i in range(n)}
+    )
+
+    out: dict = {}
+    for name, fn in (
+        ("centralization_score", lambda: centralization_score(dist)),
+        ("hhi", lambda: hhi(dist)),
+        ("top_n_share", lambda: top_n_share(dist, 5)),
+    ):
+        seconds, value = _best_of(repeat, fn)
+        out[name] = {
+            "seconds": round(seconds, 6),
+            "providers": n,
+            "value": round(float(value), 6),  # type: ignore[arg-type]
+        }
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark the pipeline and core primitives"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes for CI: 60 sites x 2 countries, 1 repeat",
+    )
+    parser.add_argument("--sites", type=int, default=None)
+    parser.add_argument("--repeat", type=int, default=None)
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="JSON",
+        help="output path (default: BENCH_<date>.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        sites = args.sites or 60
+        countries: tuple[str, ...] = ("TH", "US")
+        repeat = args.repeat or 1
+        primitives_n = 2000
+    else:
+        sites = args.sites or 300
+        countries = ("BR", "DE", "IR", "TH", "US")
+        repeat = args.repeat or 3
+        primitives_n = 20000
+
+    out_path = (
+        Path(args.out)
+        if args.out
+        else ROOT / f"BENCH_{date.today().isoformat()}.json"
+    )
+
+    print(
+        f"benchmarking: {sites} sites x {len(countries)} countries, "
+        f"repeat={repeat} (smoke={args.smoke})"
+    )
+    report = {
+        "date": date.today().isoformat(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "smoke": args.smoke,
+        "config": {
+            "sites_per_country": sites,
+            "countries": list(countries),
+            "repeat": repeat,
+        },
+        "results": {
+            "pipeline_instrumented": bench_pipeline(
+                sites, countries, repeat
+            ),
+            "pipeline_uninstrumented": bench_uninstrumented(
+                sites, countries, repeat
+            ),
+            "core_primitives": bench_primitives(
+                repeat, n=primitives_n
+            ),
+        },
+    }
+    instrumented = report["results"]["pipeline_instrumented"]
+    bare = report["results"]["pipeline_uninstrumented"]
+    if bare["run_seconds"]:
+        report["results"]["observability_overhead_pct"] = round(
+            100.0
+            * (instrumented["run_seconds"] - bare["run_seconds"])
+            / bare["run_seconds"],
+            1,
+        )
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"pipeline: {instrumented['sites_per_second']} sites/s "
+        f"instrumented, {bare['sites_per_second']} sites/s bare"
+    )
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@ aggregates by subregion/continent and builds the Figure 8 dependence
 matrices; :mod:`~repro.analysis.longitudinal` compares snapshots.
 """
 
+from .campaign import load_metrics, render_campaign_report
 from .crosslayer import (
     BundlingReport,
     ca_attribution,
@@ -41,6 +42,8 @@ from .whatif import (
 )
 
 __all__ = [
+    "load_metrics",
+    "render_campaign_report",
     "BundlingReport",
     "hosting_dns_bundling",
     "ca_attribution",

@@ -8,6 +8,12 @@ Commands
 ``compare``      print measured-vs-published rows for one layer
 ``longitudinal`` run the 2023→2025 churn study
 ``measure``      run the pipeline with fault injection and resilience
+``report-campaign``  summarize a run's metrics/trace artifacts
+
+Global flags: ``-v/--verbose`` (repeatable) raises the structured-log
+level, ``-q/--quiet`` lowers it to errors only.  ``measure`` grows
+``--trace-out`` (JSONL spans) and ``--metrics-out`` (deterministic
+metrics JSON) for the observability substrate.
 
 The CLI is a thin veneer over :mod:`repro.analysis`; anything it prints
 can be obtained programmatically.
@@ -38,6 +44,19 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction toolkit for 'Formalizing Dependence of Web "
             "Infrastructure' (SIGCOMM 2025)"
         ),
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="raise structured-log verbosity (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="silence structured logs below error level",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -111,6 +130,47 @@ def build_parser() -> argparse.ArgumentParser:
     measure.add_argument(
         "--export", default=None, metavar="CSV",
         help="also write the per-site records to a CSV release",
+    )
+    measure.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="JSONL",
+        help="write per-site stage spans (logical + wall clock) as "
+        "JSON Lines",
+    )
+    measure.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="JSON",
+        help="write the deterministic metrics registry (counters, "
+        "histograms) as JSON",
+    )
+
+    report = sub.add_parser(
+        "report-campaign",
+        help="summarize a measured run from its metrics/trace "
+        "artifacts (slowest stages, failing nameservers, cache "
+        "efficiency)",
+    )
+    report.add_argument(
+        "--metrics",
+        required=True,
+        metavar="JSON",
+        help="metrics file written by 'measure --metrics-out'",
+    )
+    report.add_argument(
+        "--trace",
+        default=None,
+        metavar="JSONL",
+        help="optional trace written by 'measure --trace-out' "
+        "(adds wall-clock stage timings)",
+    )
+    report.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        metavar="N",
+        help="rows per ranking (nameservers, countries; default 5)",
     )
     return parser
 
@@ -214,8 +274,15 @@ def _cmd_measure(args: argparse.Namespace) -> int:
         if args.retries > 1
         else None
     )
+    obs = None
+    if args.trace_out or args.metrics_out:
+        # Only instrument when asked: the default path stays the
+        # observability-free (byte-identical) hot path.
+        from .obs import Instrumentation
+
+        obs = Instrumentation()
     pipeline = MeasurementPipeline(
-        world, fault_plan=plan, retry_policy=policy
+        world, fault_plan=plan, retry_policy=policy, obs=obs
     )
     dataset = pipeline.run()
 
@@ -248,6 +315,24 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     if args.export:
         rows = export_csv(dataset, args.export)
         print(f"\nwrote {rows} rows to {args.export}")
+    if obs is not None:
+        obs.finalize(pipeline)
+        if args.metrics_out:
+            obs.registry.write_json(args.metrics_out)
+            print(f"wrote metrics to {args.metrics_out}")
+        if args.trace_out:
+            spans = obs.tracer.write_jsonl(args.trace_out)
+            print(f"wrote {spans} spans to {args.trace_out}")
+    return 0
+
+
+def _cmd_report_campaign(args: argparse.Namespace) -> int:
+    from .analysis.campaign import load_metrics, render_campaign_report
+    from .obs.spans import load_trace
+
+    metrics = load_metrics(args.metrics)
+    spans = load_trace(args.trace) if args.trace else None
+    print(render_campaign_report(metrics, spans, top=args.top))
     return 0
 
 
@@ -258,13 +343,17 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "longitudinal": _cmd_longitudinal,
     "measure": _cmd_measure,
+    "report-campaign": _cmd_report_campaign,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from .obs.log import configure
+
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure(verbose=args.verbose, quiet=args.quiet)
     return _COMMANDS[args.command](args)
 
 

@@ -35,6 +35,9 @@ class CircuitBreaker:
         failure_threshold: int = 3,
         cooldown: float = 900.0,
         clock: Callable[[], float] | None = None,
+        on_transition: (
+            Callable[[str, BreakerState, BreakerState], None] | None
+        ) = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError(
@@ -51,6 +54,14 @@ class CircuitBreaker:
         #: key -> number of operations skipped because the circuit was
         #: open (the recorded reason for missing data).
         self.skips: Counter[str] = Counter()
+        #: Optional ``callback(key, old_state, new_state)`` fired on
+        #: every state transition: closed→open at the failure
+        #: threshold, open→half-open when a probe is admitted,
+        #: half-open→closed on probe success, half-open→open on probe
+        #: failure.  The metrics registry hangs its transition counter
+        #: here; exceptions propagate (telemetry must not eat them
+        #: silently).
+        self.on_transition = on_transition
 
     def state_of(self, key: str) -> BreakerState:
         """Current state for a key (without side effects)."""
@@ -62,12 +73,21 @@ class CircuitBreaker:
             return BreakerState.HALF_OPEN
         return BreakerState.OPEN
 
+    def _fire(
+        self, key: str, old: BreakerState, new: BreakerState
+    ) -> None:
+        if self.on_transition is not None and old is not new:
+            self.on_transition(key, old, new)
+
     def allow(self, key: str) -> bool:
         """Whether an operation against the key may proceed now.
 
         Returning ``False`` records a skip.  After the cooldown the
         first caller is admitted as the half-open probe; further
         callers are skipped until that probe reports its outcome.
+        Admitting the probe is the observable open→half-open edge
+        (``state_of`` already *reports* half-open once the cooldown
+        elapses, but the transition only matters when someone probes).
         """
         opened = self._opened_at.get(key)
         if opened is None:
@@ -77,15 +97,18 @@ class CircuitBreaker:
             return False
         if self._clock() >= opened + self.cooldown:
             self._probing.add(key)
+            self._fire(key, BreakerState.OPEN, BreakerState.HALF_OPEN)
             return True
         self.skips[key] += 1
         return False
 
     def record_success(self, key: str) -> None:
         """Note a successful operation: the circuit closes."""
+        old = self.state_of(key)
         self._failures.pop(key, None)
         self._opened_at.pop(key, None)
         self._probing.discard(key)
+        self._fire(key, old, BreakerState.CLOSED)
 
     def record_failure(self, key: str) -> None:
         """Note a failed operation; may open (or re-open) the circuit."""
@@ -93,13 +116,16 @@ class CircuitBreaker:
             # The half-open probe failed: re-open with a fresh cooldown.
             self._probing.discard(key)
             self._opened_at[key] = self._clock()
+            self._fire(key, BreakerState.HALF_OPEN, BreakerState.OPEN)
             return
+        old = self.state_of(key)
         self._failures[key] += 1
         if (
             self._failures[key] >= self.failure_threshold
             and key not in self._opened_at
         ):
             self._opened_at[key] = self._clock()
+        self._fire(key, old, self.state_of(key))
 
     def open_keys(self) -> list[str]:
         """Keys whose circuit is currently open or half-open, sorted."""

@@ -91,11 +91,18 @@ class RetrySession:
     are disabled.
     """
 
-    def __init__(self, policy: RetryPolicy | None) -> None:
+    def __init__(
+        self, policy: RetryPolicy | None, observer: object | None = None
+    ) -> None:
         self.policy = policy
         self.attempts = 0
         self.retries_spent = 0
         self.retries_left = policy.site_budget if policy is not None else 0
+        #: Optional telemetry observer (duck-typed; see
+        #: :class:`repro.obs.instrument.Instrumentation`): notified of
+        #: every attempt (``retry_attempt``) and every backoff about to
+        #: be spent (``retry_backoff``).
+        self.observer = observer
 
     def run(
         self,
@@ -115,9 +122,12 @@ class RetrySession:
             if self.policy is not None
             else ()
         )
+        observer = self.observer
         retry = 0
         while True:
             self.attempts += 1
+            if observer is not None:
+                observer.retry_attempt(key)
             try:
                 return operation()
             except ReproError as exc:
@@ -128,6 +138,8 @@ class RetrySession:
                     or self.retries_left <= 0
                 ):
                     raise
+                if observer is not None:
+                    observer.retry_backoff(key, delays[retry])
                 wait(delays[retry])
                 retry += 1
                 self.retries_left -= 1

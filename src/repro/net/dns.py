@@ -20,7 +20,12 @@ from __future__ import annotations
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass
 
-from ..errors import NXDomainError, ResolutionError, ServFailError
+from ..errors import (
+    NXDomainError,
+    ReproError,
+    ResolutionError,
+    ServFailError,
+)
 from .psl import PublicSuffixList, default_psl
 
 __all__ = [
@@ -226,6 +231,12 @@ class Resolver:
         #: re-contact the authorities, so they are immune to injected
         #: authority faults).  The hook signals a fault by raising.
         self.fault_hook: Callable[[str, float], None] | None = None
+        #: Optional telemetry observer (duck-typed; see
+        #: :class:`repro.obs.instrument.Instrumentation`): notified of
+        #: every query (``dns_query``), cache hit (``dns_cache_hit``),
+        #: and uncached outcome (``dns_uncached``).  ``None`` keeps the
+        #: hot path branch-predictable and observation-free.
+        self.observer: object | None = None
 
     @property
     def clock(self) -> float:
@@ -262,10 +273,15 @@ class Resolver:
         """
         name = hostname.lower().rstrip(".")
         self.queries += 1
+        observer = self.observer
+        if observer is not None:
+            observer.dns_query(name)
         if self._cache_enabled:
             entry = self._cache.get(name)
             if entry is not None and entry.expires_at > self._clock:
                 self.cache_hits += 1
+                if observer is not None:
+                    observer.dns_cache_hit(name)
                 cached = entry.result
                 return ResolutionResult(
                     name=cached.name,
@@ -279,20 +295,32 @@ class Resolver:
             negative_until = self._negative_cache.get(name)
             if negative_until is not None and negative_until > self._clock:
                 self.negative_cache_hits += 1
+                if observer is not None:
+                    observer.dns_cache_hit(name, negative=True)
                 raise NXDomainError(
                     f"{name!r} does not exist (negative cache)"
                 )
 
-        if self.fault_hook is not None:
-            self.fault_hook(name, self._clock)
         try:
+            if self.fault_hook is not None:
+                self.fault_hook(name, self._clock)
             result = self._resolve_uncached(name)
-        except NXDomainError:
+        except NXDomainError as exc:
+            # Injected faults are SERVFAIL/timeout shaped, never
+            # NXDOMAIN, so negative-caching here cannot cache a fault.
             if self._cache_enabled:
                 self._negative_cache[name] = (
                     self._clock + self.NEGATIVE_TTL
                 )
+            if observer is not None:
+                observer.dns_uncached(name, exc)
             raise
+        except ReproError as exc:
+            if observer is not None:
+                observer.dns_uncached(name, exc)
+            raise
+        if observer is not None:
+            observer.dns_uncached(name, None)
         if self._cache_enabled:
             self._cache[name] = _CacheEntry(
                 result=result, expires_at=self._clock + 300.0

@@ -1,0 +1,344 @@
+"""The instrumentation facade threaded through the pipeline.
+
+:class:`Instrumentation` bundles the three observability primitives —
+the span :class:`~repro.obs.spans.Tracer`, the deterministic
+:class:`~repro.obs.metrics.MetricsRegistry`, and the structured
+logger — behind one object implementing every observer protocol the
+measurement stack exposes:
+
+* the :class:`~repro.net.dns.Resolver`'s ``observer`` (queries, cache
+  hits, uncached outcomes),
+* the :class:`~repro.faults.retry.RetrySession`'s ``observer``
+  (attempts, backoff spend),
+* the :class:`~repro.faults.breaker.CircuitBreaker`'s
+  ``on_transition`` callback, and
+* the pipeline's own stage spans, nameserver-cache events, TLS
+  outcomes, and per-row accounting.
+
+:data:`NULL_OBS` is the no-op twin: every hook is an empty method and
+``span`` yields a shared null context, so an uninstrumented pipeline
+pays one attribute lookup and a no-op call per hook — no branches in
+the calling code, and byte-identical measurement output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager, nullcontext
+
+from ..faults.breaker import BreakerState
+from ..faults.taxonomy import failure_class, failure_class_of
+from .log import StructuredLogger, get_logger
+from .metrics import MetricsRegistry
+from .spans import Span, Tracer
+
+__all__ = ["Instrumentation", "NullInstrumentation", "NULL_OBS"]
+
+
+class Instrumentation:
+    """Live tracer + metrics + logger wired into the pipeline hooks."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        logger: StructuredLogger | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.log = logger if logger is not None else get_logger("repro.obs")
+        r = self.registry
+        self.dns_queries = r.counter(
+            "repro_dns_queries_total",
+            "DNS queries issued to the resolver (cached or not)",
+        )
+        self.dns_cache_hits = r.counter(
+            "repro_dns_cache_hits_total",
+            "resolver cache hits by kind (positive answer / negative "
+            "RFC 2308 entry)",
+            ("kind",),
+        )
+        self.dns_uncached_total = r.counter(
+            "repro_dns_uncached_total",
+            "cache misses that contacted the authorities, by outcome "
+            "(ok or a failure-taxonomy class)",
+            ("outcome",),
+        )
+        self.ns_cache_events = r.counter(
+            "repro_ns_cache_events_total",
+            "pipeline nameserver-label cache events (hit / "
+            "negative_hit / miss)",
+            ("event",),
+        )
+        self.attempts = r.counter(
+            "repro_attempts_total",
+            "network operations attempted, including retries (matches "
+            "the dataset's per-row attempts column in aggregate)",
+        )
+        self.retries = r.counter(
+            "repro_retries_total",
+            "retries spent on transient failures",
+        )
+        self.backoff_seconds = r.counter(
+            "repro_backoff_seconds_total",
+            "logical-clock seconds spent in retry backoff",
+        )
+        self.breaker_transitions = r.counter(
+            "repro_breaker_transitions_total",
+            "circuit-breaker state transitions",
+            ("from_state", "to_state"),
+        )
+        self.breaker_skips = r.counter(
+            "repro_breaker_skips_total",
+            "operations skipped because a nameserver's circuit was open",
+            ("ns",),
+        )
+        self.ns_failures = r.counter(
+            "repro_ns_failures_total",
+            "per-nameserver labeling failures by taxonomy class",
+            ("ns", "failure_class"),
+        )
+        self.failures = r.counter(
+            "repro_failures_total",
+            "recorded per-row failures by taxonomy class, layer, and "
+            "country (matches MeasurementDataset.failure_taxonomy)",
+            ("failure_class", "layer", "country"),
+        )
+        self.tls_handshakes = r.counter(
+            "repro_tls_handshakes_total",
+            "TLS handshake outcomes (ok or a failure-taxonomy class)",
+            ("outcome",),
+        )
+        self.rows = r.counter(
+            "repro_rows_total",
+            "measured rows by status (ok / failed)",
+            ("status",),
+        )
+        self.degraded_rows = r.counter(
+            "repro_degraded_rows_total",
+            "rows measured with a degraded layer (matches the "
+            "dataset's degraded column)",
+        )
+        self.stage_seconds = r.histogram(
+            "repro_stage_logical_seconds",
+            "logical-clock seconds per pipeline stage",
+            ("stage",),
+        )
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Point the tracer's logical clock at the resolver's."""
+        self.tracer.clock = clock
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Span | None]:
+        """A traced pipeline stage; also feeds the stage histogram."""
+        span: Span | None = None
+        try:
+            with self.tracer.span(name, **attrs) as span:
+                yield span
+        finally:
+            if span is not None and span.end_logical is not None:
+                self.stage_seconds.observe(
+                    span.logical_seconds, stage=name
+                )
+
+    # ------------------------------------------------------------------
+    # Resolver observer protocol (see repro.net.dns.Resolver.observer)
+    # ------------------------------------------------------------------
+
+    def dns_query(self, name: str) -> None:
+        """One query arrived at the resolver."""
+        self.dns_queries.inc()
+
+    def dns_cache_hit(self, name: str, negative: bool = False) -> None:
+        """A query was answered from the cache."""
+        self.dns_cache_hits.inc(
+            kind="negative" if negative else "positive"
+        )
+
+    def dns_uncached(
+        self, name: str, error: BaseException | None
+    ) -> None:
+        """A cache miss contacted the authorities; record the outcome."""
+        outcome = "ok" if error is None else failure_class(error)
+        self.dns_uncached_total.inc(outcome=outcome)
+        if error is not None:
+            self.log.debug(
+                "dns-miss-failed", name=name, outcome=outcome
+            )
+
+    # ------------------------------------------------------------------
+    # Retry observer protocol (see repro.faults.retry.RetrySession)
+    # ------------------------------------------------------------------
+
+    def retry_attempt(self, key: str) -> None:
+        """One operation attempt started (first try or retry)."""
+        self.attempts.inc()
+
+    def retry_backoff(self, key: str, delay: float) -> None:
+        """A transient failure is about to be retried after a backoff."""
+        self.retries.inc()
+        self.backoff_seconds.inc(delay)
+        self.log.debug("retry-backoff", key=key, delay=delay)
+
+    # ------------------------------------------------------------------
+    # Breaker hooks (see repro.faults.breaker.CircuitBreaker)
+    # ------------------------------------------------------------------
+
+    def breaker_transition(
+        self, key: str, old: BreakerState, new: BreakerState
+    ) -> None:
+        """The circuit for a key changed state."""
+        self.breaker_transitions.inc(
+            from_state=old.value, to_state=new.value
+        )
+        self.log.info(
+            "breaker-transition",
+            key=key,
+            from_state=old.value,
+            to_state=new.value,
+        )
+
+    def breaker_skip(self, ns: str) -> None:
+        """A nameserver was skipped because its circuit was open."""
+        self.breaker_skips.inc(ns=ns)
+
+    # ------------------------------------------------------------------
+    # Pipeline hooks
+    # ------------------------------------------------------------------
+
+    def ns_cache_event(self, event: str) -> None:
+        """A nameserver-label cache hit / negative_hit / miss."""
+        self.ns_cache_events.inc(event=event)
+
+    def ns_failure(self, ns: str, cls: str) -> None:
+        """Labeling one nameserver failed with a taxonomy class."""
+        self.ns_failures.inc(ns=ns, failure_class=cls)
+
+    def tls_outcome(self, outcome: str) -> None:
+        """A TLS handshake finished (``"ok"`` or a taxonomy class)."""
+        self.tls_handshakes.inc(outcome=outcome)
+
+    def row_measured(self, record) -> None:
+        """A row is final: fold its status and failures into metrics.
+
+        Uses exactly the row's :meth:`failures()
+        <repro.pipeline.records.WebsiteMeasurement.failures>` view and
+        the shared taxonomy classifier, so
+        ``repro_failures_total`` aggregates to the same numbers as
+        :meth:`MeasurementDataset.failure_taxonomy
+        <repro.pipeline.records.MeasurementDataset.failure_taxonomy>`.
+        """
+        self.rows.inc(status="ok" if record.ok else "failed")
+        if not record.ok:
+            self.log.info(
+                "row-failed",
+                domain=record.domain,
+                country=record.country,
+                error=record.error or record.tls_error or "",
+            )
+        if record.degraded:
+            self.degraded_rows.inc()
+        for layer, message in record.failures():
+            self.failures.inc(
+                failure_class=failure_class_of(message),
+                layer=layer,
+                country=record.country,
+            )
+
+    def finalize(self, pipeline) -> None:
+        """Snapshot end-of-run state (gauges) from a pipeline."""
+        r = self.registry
+        resolver = pipeline.resolver
+        r.gauge(
+            "repro_resolver_queries",
+            "resolver's own query count (cross-check of "
+            "repro_dns_queries_total)",
+        ).set(resolver.queries)
+        r.gauge(
+            "repro_resolver_cache_hits", "resolver positive cache hits"
+        ).set(resolver.cache_hits)
+        r.gauge(
+            "repro_resolver_negative_cache_hits",
+            "resolver negative cache hits",
+        ).set(resolver.negative_cache_hits)
+        r.gauge(
+            "repro_breaker_open_circuits",
+            "circuits open or half-open at end of run",
+        ).set(len(pipeline.breaker.open_keys()))
+        if pipeline.fault_plan is not None:
+            injected = r.gauge(
+                "repro_faults_injected",
+                "faults actually injected by the plan, per injector",
+                ("injector",),
+            )
+            for injector, count in sorted(
+                pipeline.fault_plan.injected.items()
+            ):
+                injected.set(count, injector=injector)
+
+
+#: A reusable do-nothing context manager for :class:`NullInstrumentation`.
+_NULL_CONTEXT = nullcontext()
+
+
+class NullInstrumentation:
+    """The no-op twin of :class:`Instrumentation` (default wiring)."""
+
+    registry = None
+    tracer = None
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """No-op."""
+
+    def span(self, name: str, **attrs: object):
+        """A shared null context (no allocation per call)."""
+        return _NULL_CONTEXT
+
+    def dns_query(self, name: str) -> None:
+        """No-op."""
+
+    def dns_cache_hit(self, name: str, negative: bool = False) -> None:
+        """No-op."""
+
+    def dns_uncached(
+        self, name: str, error: BaseException | None
+    ) -> None:
+        """No-op."""
+
+    def retry_attempt(self, key: str) -> None:
+        """No-op."""
+
+    def retry_backoff(self, key: str, delay: float) -> None:
+        """No-op."""
+
+    def breaker_transition(
+        self, key: str, old: BreakerState, new: BreakerState
+    ) -> None:
+        """No-op."""
+
+    def breaker_skip(self, ns: str) -> None:
+        """No-op."""
+
+    def ns_cache_event(self, event: str) -> None:
+        """No-op."""
+
+    def ns_failure(self, ns: str, cls: str) -> None:
+        """No-op."""
+
+    def tls_outcome(self, outcome: str) -> None:
+        """No-op."""
+
+    def row_measured(self, record) -> None:
+        """No-op."""
+
+    def finalize(self, pipeline) -> None:
+        """No-op."""
+
+
+#: Shared no-op instance used wherever no instrumentation was given.
+NULL_OBS = NullInstrumentation()

@@ -1,0 +1,121 @@
+"""A small structured logger: ``level event key=value ...`` lines.
+
+The pipeline's diagnostic narration (breaker transitions, retry
+backoff, degraded rows) goes through here rather than bare ``print``
+calls: every line is one event with typed fields, machine-grepable
+and silenced by default.  The CLI's ``-v/--verbose`` and ``-q/--quiet``
+flags map onto :func:`configure`; library code calls
+:func:`get_logger` and never touches the global level directly.
+
+Deliberately not :mod:`logging`: no handler graphs, no global mutable
+root logger shared with third-party code, no wall-clock timestamps
+(which would make captured output nondeterministic).  Lines go to
+``stderr`` so they never contaminate the CLI's stdout contract.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import TextIO
+
+__all__ = [
+    "LEVELS",
+    "StructuredLogger",
+    "configure",
+    "get_logger",
+    "level_for_verbosity",
+]
+
+#: Symbolic level -> numeric severity (higher is more severe).
+LEVELS: dict[str, int] = {
+    "debug": 10,
+    "info": 20,
+    "warning": 30,
+    "error": 40,
+}
+
+#: Process-wide sink configuration, mutated only by :func:`configure`.
+_config: dict[str, object] = {"level": LEVELS["warning"], "stream": None}
+
+
+def level_for_verbosity(verbose: int = 0, quiet: bool = False) -> int:
+    """The numeric level for CLI flags: ``-q`` < default < ``-v`` < ``-vv``."""
+    if quiet:
+        return LEVELS["error"]
+    if verbose >= 2:
+        return LEVELS["debug"]
+    if verbose == 1:
+        return LEVELS["info"]
+    return LEVELS["warning"]
+
+
+def configure(
+    verbose: int = 0,
+    quiet: bool = False,
+    stream: TextIO | None = None,
+) -> None:
+    """Set the process-wide log level (and optionally the sink)."""
+    _config["level"] = level_for_verbosity(verbose, quiet)
+    _config["stream"] = stream
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, str):
+        if value and " " not in value and "=" not in value and '"' not in value:
+            return value
+        return json.dumps(value)
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+class StructuredLogger:
+    """A named logger writing one structured line per event."""
+
+    def __init__(self, name: str = "repro") -> None:
+        self.name = name
+
+    def _stream(self) -> TextIO:
+        stream = _config["stream"]
+        return stream if stream is not None else sys.stderr  # type: ignore[return-value]
+
+    def enabled(self, level: str) -> bool:
+        """Whether a level would currently be emitted."""
+        return LEVELS[level] >= int(_config["level"])  # type: ignore[call-overload]
+
+    def log(self, level: str, event: str, **fields: object) -> None:
+        """Emit one event line when the level is enabled."""
+        if level not in LEVELS:
+            raise ValueError(f"unknown log level {level!r}")
+        if not self.enabled(level):
+            return
+        parts = [level, self.name, event]
+        parts.extend(
+            f"{key}={_format_value(value)}"
+            for key, value in fields.items()
+        )
+        self._stream().write(" ".join(parts) + "\n")
+
+    def debug(self, event: str, **fields: object) -> None:
+        """Emit at ``debug`` (shown under ``-vv``)."""
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        """Emit at ``info`` (shown under ``-v``)."""
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        """Emit at ``warning`` (shown by default)."""
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        """Emit at ``error`` (shown even under ``-q``)."""
+        self.log("error", event, **fields)
+
+
+def get_logger(name: str = "repro") -> StructuredLogger:
+    """A logger bound to the process-wide configuration."""
+    return StructuredLogger(name)

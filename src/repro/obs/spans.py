@@ -1,0 +1,151 @@
+"""Span-based tracing for the measurement pipeline.
+
+A *span* is one timed stage of work — measuring a site, resolving its
+serving host, walking its authoritative nameservers, handshaking TLS —
+with a parent link, so a trace reconstructs the nested structure of a
+campaign.  Every span carries **two** clocks:
+
+* the resolver's deterministic *logical* clock (what the simulation
+  itself believes time is — backoff, TTLs, outage windows), and
+* the *wall* clock (what the host machine actually spent), which is
+  what perf work optimizes.
+
+Only logical durations are deterministic; wall durations vary run to
+run and therefore never feed the metrics registry.  Finished spans are
+emitted as JSON Lines (one object per span, in completion order) via
+:meth:`Tracer.write_jsonl`, a format that streams, greps, and loads
+into dataframes without a schema negotiation.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["Span", "Tracer", "load_trace"]
+
+
+@dataclass(slots=True)
+class Span:
+    """One timed, attributed stage of pipeline work."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    attrs: dict[str, object] = field(default_factory=dict)
+    start_logical: float = 0.0
+    end_logical: float | None = None
+    start_wall: float = 0.0
+    end_wall: float | None = None
+    status: str = "ok"
+    error: str | None = None
+
+    @property
+    def logical_seconds(self) -> float:
+        """Logical-clock duration (0 until the span finishes)."""
+        if self.end_logical is None:
+            return 0.0
+        return self.end_logical - self.start_logical
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock duration (0 until the span finishes)."""
+        if self.end_wall is None:
+            return 0.0
+        return self.end_wall - self.start_wall
+
+    def to_dict(self) -> dict:
+        """The JSONL representation of a finished span."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "attrs": self.attrs,
+            "start_logical": self.start_logical,
+            "logical_seconds": self.logical_seconds,
+            "wall_ms": round(self.wall_seconds * 1000.0, 3),
+            "status": self.status,
+            "error": self.error,
+        }
+
+
+class Tracer:
+    """Records nested spans against a logical clock and the wall.
+
+    ``clock`` supplies logical time (the pipeline binds the resolver's
+    clock); ``wall`` defaults to :func:`time.perf_counter` and is
+    injectable for tests.  Span ids are sequential integers, so the
+    id sequence — unlike wall durations — is deterministic.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        wall: Callable[[], float] | None = None,
+    ) -> None:
+        self.clock: Callable[[], float] = (
+            clock if clock is not None else (lambda: 0.0)
+        )
+        self._wall = wall if wall is not None else time.perf_counter
+        self._finished: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    @property
+    def active(self) -> Span | None:
+        """The innermost open span (None outside any span)."""
+        return self._stack[-1] if self._stack else None
+
+    def finished(self) -> list[Span]:
+        """All finished spans, in completion order."""
+        return list(self._finished)
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Span]:
+        """Open a child span of the innermost open span."""
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            attrs=dict(attrs),
+            start_logical=self.clock(),
+            start_wall=self._wall(),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException as exc:
+            span.status = "error"
+            span.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            span.end_logical = self.clock()
+            span.end_wall = self._wall()
+            self._stack.pop()
+            self._finished.append(span)
+
+    def write_jsonl(self, path: str | Path) -> int:
+        """Write finished spans as JSON Lines; returns the span count."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            for span in self._finished:
+                handle.write(
+                    json.dumps(span.to_dict(), sort_keys=True) + "\n"
+                )
+        return len(self._finished)
+
+
+def load_trace(path: str | Path) -> list[dict]:
+    """Load a JSONL trace file back into span dicts."""
+    spans: list[dict] = []
+    with Path(path).open(encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans

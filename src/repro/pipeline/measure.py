@@ -32,6 +32,7 @@ from ..faults.plan import FaultPlan
 from ..faults.retry import RetryPolicy, RetrySession
 from ..faults.taxonomy import failure_class, format_failure
 from ..net.dns import Resolver
+from ..obs.instrument import NULL_OBS, Instrumentation
 from ..worldgen.world import World
 from .records import MeasurementDataset, WebsiteMeasurement
 
@@ -66,6 +67,7 @@ class MeasurementPipeline:
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
+        obs: Instrumentation | None = None,
     ) -> None:
         self.world = world
         self.vantage_continent = vantage_continent
@@ -87,6 +89,18 @@ class MeasurementPipeline:
             if breaker is not None
             else CircuitBreaker(clock=lambda: self.resolver.clock)
         )
+        #: Telemetry sink (spans + metrics + logs).  The default is a
+        #: shared no-op object, so the uninstrumented pipeline produces
+        #: byte-identical output at full speed.
+        self.obs = obs if obs is not None else NULL_OBS
+        #: The retry sessions' observer: the real instrumentation or
+        #: None (RetrySession skips its hooks entirely on None).
+        self._retry_observer = obs
+        if obs is not None:
+            obs.bind_clock(lambda: self.resolver.clock)
+            self.resolver.observer = obs
+            if self.breaker.on_transition is None:
+                self.breaker.on_transition = obs.breaker_transition
         #: ns_host -> (labels-or-None, negative-entry expiry).  Dead
         #: nameservers are cached too (negative entries carry their
         #: expiry on the logical clock) so one dead host is not
@@ -127,23 +141,40 @@ class MeasurementPipeline:
         The root-page fetch follows HTTP redirects first (about a third
         of the web answers its apex with a 301 to ``www.``), then
         resolves and scans whatever host ultimately serves the page.
+        When instrumented, the whole site is one ``site`` span with
+        nested stage spans (http → resolve → label → ns-walk → tls →
+        enrich) and the finished row feeds the metrics registry.
         """
         if self._inter_site_seconds:
             self.resolver.advance_clock(self._inter_site_seconds)
-        session = RetrySession(self.retry_policy)
+        obs = self.obs
+        with obs.span("site", domain=domain, country=country):
+            record = self._measure_site(domain, country, rank)
+        obs.row_measured(record)
+        return record
+
+    def _measure_site(
+        self, domain: str, country: str, rank: int
+    ) -> WebsiteMeasurement:
+        obs = self.obs
+        session = RetrySession(
+            self.retry_policy, observer=self._retry_observer
+        )
         plan = self.fault_plan
         try:
-            serving_host = self.world.http.final_host(domain)
+            with obs.span("http", domain=domain):
+                serving_host = self.world.http.final_host(domain)
         except ReproError as exc:
             return self._failed_row(
                 domain, country, rank, "http", exc, session
             )
         try:
-            resolution = session.run(
-                f"resolve:{serving_host}",
-                lambda: self.resolver.resolve(serving_host),
-                self._wait,
-            )
+            with obs.span("resolve", host=serving_host):
+                resolution = session.run(
+                    f"resolve:{serving_host}",
+                    lambda: self.resolver.resolve(serving_host),
+                    self._wait,
+                )
         except ReproError as exc:
             return self._failed_row(
                 domain, country, rank, "resolve", exc, session
@@ -159,22 +190,24 @@ class MeasurementPipeline:
         ip = resolution.addresses[0]
 
         world = self.world
-        hosting_org = world.asdb.org_of_ip(ip)
-        hosting_org_country = world.asdb.country_of_ip(ip)
-        geo_stale = plan is not None and plan.geo_stale(ip)
-        if geo_stale:
-            # The stale enrichment snapshot has no entry for this
-            # address: the row keeps its provider labels but loses
-            # geolocation.
-            ip_country = ip_continent = None
-        else:
-            ip_country = world.geo.country_of(ip)
-            ip_continent = world.geo.continent_of(ip)
-        ip_anycast = world.anycast.is_anycast(ip)
+        with obs.span("label", host=serving_host):
+            hosting_org = world.asdb.org_of_ip(ip)
+            hosting_org_country = world.asdb.country_of_ip(ip)
+            geo_stale = plan is not None and plan.geo_stale(ip)
+            if geo_stale:
+                # The stale enrichment snapshot has no entry for this
+                # address: the row keeps its provider labels but loses
+                # geolocation.
+                ip_country = ip_continent = None
+            else:
+                ip_country = world.geo.country_of(ip)
+                ip_continent = world.geo.continent_of(ip)
+            ip_anycast = world.anycast.is_anycast(ip)
 
-        dns_infra, dns_error = self._dns_infrastructure(
-            resolution.authoritative_ns, session
-        )
+        with obs.span("ns-walk", domain=domain):
+            dns_infra, dns_error = self._dns_infrastructure(
+                resolution.authoritative_ns, session
+            )
         dns_org, dns_org_country, ns_continent, ns_anycast = dns_infra
 
         ca_owner = ca_country = None
@@ -182,41 +215,47 @@ class MeasurementPipeline:
         if self.measure_tls:
             tls_hook = plan.tls_hook if plan is not None else None
             try:
-                certificate = session.run(
-                    f"tls:{serving_host}",
-                    lambda: world.tls_handshake(
-                        ip, serving_host, fault_hook=tls_hook
-                    ),
-                    self._wait,
-                )
+                with obs.span("tls", host=serving_host):
+                    certificate = session.run(
+                        f"tls:{serving_host}",
+                        lambda: world.tls_handshake(
+                            ip, serving_host, fault_hook=tls_hook
+                        ),
+                        self._wait,
+                    )
                 if not certificate.covers(serving_host):
                     tls_error = (
                         "tls: certificate: certificate does not cover "
                         "hostname"
                     )
+                    obs.tls_outcome("certificate")
                 else:
                     owner = world.ccadb.owner_of(certificate.issuer_cn)
                     ca_owner, ca_country = owner.name, owner.country
+                    obs.tls_outcome("ok")
             except ReproError as exc:
                 tls_error = format_failure("tls", exc)
+                obs.tls_outcome(failure_class(exc))
 
-        try:
-            tld = world.psl.tld_of(domain)
-        except ReproError:
-            tld = None
-
-        language: str | None = None
-        if self.detect_language:
-            # The LangDetect step (Section 5.3.3): fetch the page and
-            # classify its text; expensive, so opt-in per pipeline.
-            from ..text import default_detector
-
+        with obs.span("enrich", domain=domain):
             try:
-                language = default_detector().detect(
-                    world.page_content(domain)
-                )
+                tld = world.psl.tld_of(domain)
             except ReproError:
-                language = None
+                tld = None
+
+            language: str | None = None
+            if self.detect_language:
+                # The LangDetect step (Section 5.3.3): fetch the page
+                # and classify its text; expensive, so opt-in per
+                # pipeline.
+                from ..text import default_detector
+
+                try:
+                    language = default_detector().detect(
+                        world.page_content(domain)
+                    )
+                except ReproError:
+                    language = None
 
         return WebsiteMeasurement(
             domain=domain,
@@ -259,14 +298,18 @@ class MeasurementPipeline:
         authoritative infrastructure is skipped with a recorded reason
         instead of re-probed for every delegating site.
         """
+        obs = self.obs
         failures: list[str] = []
         for ns_host in authoritative_ns:
             cached = self._ns_org_cache.get(ns_host)
             if cached is not None:
                 result, expires_at = cached
                 if result is not None:
+                    obs.ns_cache_event("hit")
                     return result, None
                 if expires_at > self.resolver.clock:
+                    obs.ns_cache_event("negative_hit")
+                    obs.ns_failure(ns_host, "nxdomain")
                     failures.append(
                         f"{ns_host}: nxdomain: recently failed "
                         f"(negative cache)"
@@ -274,11 +317,14 @@ class MeasurementPipeline:
                     continue
                 del self._ns_org_cache[ns_host]
             if not self.breaker.allow(ns_host):
+                obs.breaker_skip(ns_host)
+                obs.ns_failure(ns_host, "circuit-open")
                 failures.append(
                     f"{ns_host}: circuit-open: "
                     f"{self.breaker.reason(ns_host)}"
                 )
                 continue
+            obs.ns_cache_event("miss")
             try:
                 ns_resolution = session.run(
                     f"ns:{ns_host}",
@@ -291,11 +337,13 @@ class MeasurementPipeline:
                     None,
                     self.resolver.clock + Resolver.NEGATIVE_TTL,
                 )
+                obs.ns_failure(ns_host, failure_class(exc))
                 failures.append(
                     f"{ns_host}: {failure_class(exc)}: {exc}"
                 )
                 continue
             if not ns_resolution.addresses:
+                obs.ns_failure(ns_host, "empty-answer")
                 failures.append(f"{ns_host}: empty-answer: no addresses")
                 continue
             self.breaker.record_success(ns_host)

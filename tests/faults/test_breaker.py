@@ -104,3 +104,89 @@ class TestCircuitBreaker:
             CircuitBreaker(failure_threshold=0)
         with pytest.raises(ValueError):
             CircuitBreaker(cooldown=0.0)
+
+
+class TestTransitionCallback:
+    """The observable state-machine edges (PR 2 bugfix).
+
+    Before the callback existed, the half-open edges were unobservable
+    and untested; these tests pin the full open → half-open → closed
+    and open → half-open → open sequences.
+    """
+
+    @pytest.fixture
+    def transitions(
+        self, breaker: CircuitBreaker
+    ) -> list[tuple[str, str, str]]:
+        seen: list[tuple[str, str, str]] = []
+        breaker.on_transition = lambda key, old, new: seen.append(
+            (key, old.value, new.value)
+        )
+        return seen
+
+    def test_open_half_open_closed(
+        self,
+        breaker: CircuitBreaker,
+        clock: _Clock,
+        transitions: list,
+    ) -> None:
+        _trip(breaker, "ns1.example")
+        assert transitions == [("ns1.example", "closed", "open")]
+        clock.now = 900.0
+        assert breaker.allow("ns1.example")  # the half-open probe
+        assert transitions[-1] == ("ns1.example", "open", "half-open")
+        breaker.record_success("ns1.example")
+        assert transitions[-1] == ("ns1.example", "half-open", "closed")
+        assert breaker.state_of("ns1.example") is BreakerState.CLOSED
+        assert len(transitions) == 3
+
+    def test_open_half_open_reopen(
+        self,
+        breaker: CircuitBreaker,
+        clock: _Clock,
+        transitions: list,
+    ) -> None:
+        _trip(breaker, "ns1.example")
+        clock.now = 950.0
+        assert breaker.allow("ns1.example")
+        breaker.record_failure("ns1.example")  # probe fails
+        assert transitions == [
+            ("ns1.example", "closed", "open"),
+            ("ns1.example", "open", "half-open"),
+            ("ns1.example", "half-open", "open"),
+        ]
+        assert breaker.state_of("ns1.example") is BreakerState.OPEN
+        # The re-opened circuit runs a fresh cooldown from the probe.
+        clock.now = 1849.0
+        assert not breaker.allow("ns1.example")
+        clock.now = 1850.0
+        assert breaker.allow("ns1.example")
+        assert transitions[-1] == ("ns1.example", "open", "half-open")
+
+    def test_no_callback_on_non_transitions(
+        self, breaker: CircuitBreaker, transitions: list
+    ) -> None:
+        # Sub-threshold failures and successes on a closed circuit
+        # never fire: closed -> closed is not a transition.
+        breaker.record_failure("ns1.example")
+        breaker.record_success("ns1.example")
+        breaker.record_failure("ns1.example")
+        breaker.record_failure("ns1.example")
+        assert transitions == []
+        breaker.record_failure("ns1.example")
+        assert transitions == [("ns1.example", "closed", "open")]
+        # Denied calls while open are skips, not transitions.
+        assert not breaker.allow("ns1.example")
+        assert len(transitions) == 1
+
+    def test_callback_exceptions_propagate(
+        self, breaker: CircuitBreaker
+    ) -> None:
+        def explode(key: str, old: object, new: object) -> None:
+            raise RuntimeError("observer crashed")
+
+        breaker.on_transition = explode
+        breaker.record_failure("ns1.example")
+        breaker.record_failure("ns1.example")
+        with pytest.raises(RuntimeError):
+            breaker.record_failure("ns1.example")

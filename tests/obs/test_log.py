@@ -1,0 +1,75 @@
+"""Tests for the structured logger."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.obs import configure, get_logger
+from repro.obs.log import LEVELS, level_for_verbosity
+
+
+@pytest.fixture(autouse=True)
+def _restore_config():
+    yield
+    configure()  # back to defaults (warning level, stderr)
+
+
+class TestVerbosity:
+    def test_level_mapping(self) -> None:
+        assert level_for_verbosity() == LEVELS["warning"]
+        assert level_for_verbosity(verbose=1) == LEVELS["info"]
+        assert level_for_verbosity(verbose=2) == LEVELS["debug"]
+        assert level_for_verbosity(verbose=5) == LEVELS["debug"]
+        assert level_for_verbosity(quiet=True) == LEVELS["error"]
+
+    def test_default_hides_info(self) -> None:
+        sink = io.StringIO()
+        configure(stream=sink)
+        log = get_logger("repro.test")
+        log.info("hidden")
+        log.warning("shown")
+        lines = sink.getvalue().splitlines()
+        assert lines == ["warning repro.test shown"]
+
+    def test_verbose_shows_info_not_debug(self) -> None:
+        sink = io.StringIO()
+        configure(verbose=1, stream=sink)
+        log = get_logger("repro.test")
+        log.debug("hidden")
+        log.info("shown")
+        assert sink.getvalue() == "info repro.test shown\n"
+
+    def test_quiet_shows_only_errors(self) -> None:
+        sink = io.StringIO()
+        configure(quiet=True, stream=sink)
+        log = get_logger("repro.test")
+        log.warning("hidden")
+        log.error("shown")
+        assert sink.getvalue() == "error repro.test shown\n"
+
+
+class TestFormatting:
+    def test_fields_rendered_key_value(self) -> None:
+        sink = io.StringIO()
+        configure(verbose=1, stream=sink)
+        get_logger("p").info(
+            "breaker-transition", key="ns1.x", from_state="open", n=3
+        )
+        assert (
+            sink.getvalue()
+            == "info p breaker-transition key=ns1.x from_state=open n=3\n"
+        )
+
+    def test_values_with_spaces_quoted(self) -> None:
+        sink = io.StringIO()
+        configure(verbose=1, stream=sink)
+        get_logger("p").info("ev", msg="two words", flag=True, x=1.5)
+        assert (
+            sink.getvalue() == 'info p ev msg="two words" flag=true x=1.5\n'
+        )
+
+    def test_unknown_level_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            get_logger("p").log("loud", "ev")

@@ -1,0 +1,148 @@
+"""Tests for the deterministic metrics registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import METRICS_SCHEMA
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self) -> None:
+        c = MetricsRegistry().counter("requests_total")
+        assert c.value() == 0
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+        assert c.total() == 3.5
+
+    def test_labels_partition_series(self) -> None:
+        c = MetricsRegistry().counter("events_total", labelnames=("kind",))
+        c.inc(kind="hit")
+        c.inc(kind="hit")
+        c.inc(kind="miss")
+        assert c.value(kind="hit") == 2
+        assert c.value(kind="miss") == 1
+        assert c.total() == 3
+
+    def test_rejects_decrease_and_wrong_labels(self) -> None:
+        c = MetricsRegistry().counter("n_total", labelnames=("kind",))
+        with pytest.raises(ValueError):
+            c.inc(-1.0, kind="hit")
+        with pytest.raises(ValueError):
+            c.inc(other="hit")
+        with pytest.raises(ValueError):
+            c.inc()
+
+    def test_samples_sorted_by_label_value(self) -> None:
+        c = MetricsRegistry().counter("n_total", labelnames=("kind",))
+        c.inc(kind="zebra")
+        c.inc(kind="aardvark")
+        labels = [s[0]["kind"] for s in c.samples()]
+        assert labels == ["aardvark", "zebra"]
+
+
+class TestGauge:
+    def test_set_overwrites(self) -> None:
+        g = MetricsRegistry().gauge("open_circuits")
+        g.set(4)
+        g.set(2)
+        assert g.value() == 2
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self) -> None:
+        h = MetricsRegistry().histogram(
+            "latency_seconds", buckets=(0.1, 1.0, 10.0)
+        )
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        buckets, total, count = h.snapshot()
+        assert buckets == {"0.1": 1, "1.0": 3, "10.0": 4, "+Inf": 5}
+        assert count == 5
+        assert total == pytest.approx(56.05)
+
+    def test_empty_series_snapshot(self) -> None:
+        h = MetricsRegistry().histogram("x_seconds", buckets=(1.0,))
+        buckets, total, count = h.snapshot()
+        assert buckets == {"1.0": 0, "+Inf": 0}
+        assert count == 0
+
+    def test_rejects_bad_buckets(self) -> None:
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("a_seconds", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("b_seconds", buckets=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_idempotent_registration(self) -> None:
+        r = MetricsRegistry()
+        first = r.counter("n_total", labelnames=("kind",))
+        again = r.counter("n_total", labelnames=("kind",))
+        assert first is again
+
+    def test_conflicting_registration_rejected(self) -> None:
+        r = MetricsRegistry()
+        r.counter("n_total")
+        with pytest.raises(ValueError):
+            r.gauge("n_total")
+        with pytest.raises(ValueError):
+            r.counter("n_total", labelnames=("kind",))
+
+    def test_json_export_is_deterministic(self) -> None:
+        def build() -> MetricsRegistry:
+            r = MetricsRegistry()
+            c = r.counter("events_total", "help", ("kind",))
+            c.inc(kind="b")
+            c.inc(0.25, kind="a")
+            h = r.histogram("t_seconds", buckets=(0.5, 5.0))
+            h.observe(0.1)
+            h.observe(1.0)
+            r.gauge("open").set(3)
+            return r
+
+        assert build().to_json() == build().to_json()
+        payload = json.loads(build().to_json())
+        assert payload["_schema"] == METRICS_SCHEMA
+        assert set(payload["metrics"]) == {
+            "events_total",
+            "t_seconds",
+            "open",
+        }
+
+    def test_write_json_round_trip(self, tmp_path) -> None:
+        r = MetricsRegistry()
+        r.counter("n_total").inc(7)
+        path = tmp_path / "m.json"
+        r.write_json(path)
+        loaded = json.loads(path.read_text())
+        sample = loaded["metrics"]["n_total"]["samples"][0]
+        assert sample == {"labels": {}, "value": 7}
+
+    def test_prometheus_text_format(self) -> None:
+        r = MetricsRegistry()
+        c = r.counter("events_total", "things that happened", ("kind",))
+        c.inc(2, kind="hit")
+        h = r.histogram("t_seconds", "timing", buckets=(1.0,))
+        h.observe(0.5)
+        text = r.to_prometheus()
+        assert "# HELP events_total things that happened" in text
+        assert "# TYPE events_total counter" in text
+        assert 'events_total{kind="hit"} 2' in text
+        assert 't_seconds_bucket{le="1.0"} 1' in text
+        assert 't_seconds_bucket{le="+Inf"} 1' in text
+        assert "t_seconds_sum 0.5" in text
+        assert "t_seconds_count 1" in text
+
+    def test_prometheus_escapes_label_values(self) -> None:
+        r = MetricsRegistry()
+        c = r.counter("n_total", labelnames=("msg",))
+        c.inc(msg='say "hi"\nplease')
+        text = r.to_prometheus()
+        assert '\\"hi\\"' in text
+        assert "\\n" in text

@@ -1,0 +1,97 @@
+"""Tests for the span tracer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import Tracer, load_trace
+
+
+class _Clock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestTracer:
+    def test_nesting_records_parent_ids(self) -> None:
+        tracer = Tracer()
+        with tracer.span("site") as site:
+            with tracer.span("resolve") as resolve:
+                pass
+            with tracer.span("tls") as tls:
+                pass
+        assert site.span_id == 1
+        assert site.parent_id is None
+        assert resolve.parent_id == site.span_id
+        assert tls.parent_id == site.span_id
+        # Children finish before the parent.
+        names = [s.name for s in tracer.finished()]
+        assert names == ["resolve", "tls", "site"]
+
+    def test_logical_durations_use_injected_clock(self) -> None:
+        clock = _Clock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("stage"):
+            clock.now = 2.5
+        (span,) = tracer.finished()
+        assert span.start_logical == 0.0
+        assert span.logical_seconds == 2.5
+
+    def test_error_status_and_propagation(self) -> None:
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("stage"):
+                raise RuntimeError("boom")
+        (span,) = tracer.finished()
+        assert span.status == "error"
+        assert span.error == "RuntimeError: boom"
+
+    def test_attrs_recorded(self) -> None:
+        tracer = Tracer()
+        with tracer.span("site", domain="a.com", country="TH"):
+            pass
+        (span,) = tracer.finished()
+        assert span.attrs == {"domain": "a.com", "country": "TH"}
+
+    def test_active_tracks_innermost(self) -> None:
+        tracer = Tracer()
+        assert tracer.active is None
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                assert tracer.active.name == "inner"
+            assert tracer.active.name == "outer"
+        assert tracer.active is None
+
+
+class TestJsonl:
+    def test_write_and_load_round_trip(self, tmp_path) -> None:
+        clock = _Clock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("site", domain="x.th"):
+            clock.now = 1.0
+            with tracer.span("resolve"):
+                clock.now = 3.0
+        path = tmp_path / "trace.jsonl"
+        assert tracer.write_jsonl(path) == 2
+        # Every line is standalone JSON.
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["name"] == "resolve"
+        assert parsed[0]["logical_seconds"] == 2.0
+        assert parsed[1]["attrs"] == {"domain": "x.th"}
+        assert load_trace(path) == parsed
+
+    def test_wall_ms_present_and_nonnegative(self, tmp_path) -> None:
+        tracer = Tracer()
+        with tracer.span("stage"):
+            pass
+        path = tmp_path / "t.jsonl"
+        tracer.write_jsonl(path)
+        (span,) = load_trace(path)
+        assert span["wall_ms"] >= 0.0

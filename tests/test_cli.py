@@ -2,9 +2,20 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import configure
+
+
+@pytest.fixture(autouse=True)
+def _restore_log_config():
+    # main() calls repro.obs.configure() with the parsed -v/-q flags;
+    # reset the module-level logger config after every test.
+    yield
+    configure()
 
 
 class TestParser:
@@ -164,3 +175,99 @@ class TestMeasureCommand:
         assert "profile=none" in out
         # Either a taxonomy table or the explicit all-clear line.
         assert "no failures recorded" in out or "top countries" in out
+
+
+class TestObservabilityFlags:
+    def test_verbosity_flags_parse(self) -> None:
+        parser = build_parser()
+        assert parser.parse_args(["measure"]).verbose == 0
+        assert parser.parse_args(["-vv", "measure"]).verbose == 2
+        assert parser.parse_args(["-q", "measure"]).quiet is True
+        args = parser.parse_args(["measure"])
+        assert args.trace_out is None
+        assert args.metrics_out is None
+
+    def test_measure_writes_trace_and_metrics(
+        self, capsys: pytest.CaptureFixture, tmp_path
+    ) -> None:
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            [
+                "measure",
+                "--sites", "60",
+                "--countries", "US", "TH",
+                "--fault-profile", "chaos",
+                "--retries", "3",
+                "--trace-out", str(trace),
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"wrote metrics to {metrics}" in out
+        assert f"spans to {trace}" in out
+        payload = json.loads(metrics.read_text())
+        assert payload["_schema"] == "repro-metrics-v1"
+        rows = payload["metrics"]["repro_rows_total"]["samples"]
+        assert sum(s["value"] for s in rows) == 120
+        spans = [
+            json.loads(line)
+            for line in trace.read_text().splitlines()
+        ]
+        assert sum(1 for s in spans if s["name"] == "site") == 120
+
+    def test_report_campaign_end_to_end(
+        self, capsys: pytest.CaptureFixture, tmp_path
+    ) -> None:
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert main(
+            [
+                "measure",
+                "--sites", "60",
+                "--countries", "US", "TH",
+                "--fault-profile", "chaos",
+                "--retries", "3",
+                "--trace-out", str(trace),
+                "--metrics-out", str(metrics),
+            ]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "report-campaign",
+                "--metrics", str(metrics),
+                "--trace", str(trace),
+                "--top", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign report" in out
+        assert "-- overview" in out
+        assert "slowest stages (wall clock, from trace):" in out
+
+    def test_report_campaign_bad_metrics_path(self, tmp_path) -> None:
+        from repro.errors import PipelineError
+
+        with pytest.raises(PipelineError):
+            main(["report-campaign", "--metrics", str(tmp_path / "x.json")])
+
+    def test_verbose_measure_logs_to_stderr(
+        self, capsys: pytest.CaptureFixture, tmp_path
+    ) -> None:
+        metrics = tmp_path / "m.json"
+        code = main(
+            [
+                "-v",
+                "measure",
+                "--sites", "60",
+                "--countries", "US", "TH",
+                "--fault-profile", "chaos",
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "row-failed" in err
