@@ -2,24 +2,31 @@
 """Seed the perf trajectory: time the pipeline and core primitives.
 
 Every future performance PR measures itself against the numbers this
-script writes.  It runs the measurement pipeline (instrumented, so the
-new metrics registry accounts for queries, cache hits, retries, and
-failures alongside the wall-clock timings) plus the hot core
-primitives, and writes a ``BENCH_<date>.json`` at the repository root.
+script writes.  It times the measurement pipeline instrumented and
+bare (the observability-overhead yardstick), the sharded campaign
+runner across worker counts, and the hot core primitives, and writes
+a ``BENCH_<date>.json`` at the repository root.
 
 Workflow (documented in DESIGN.md §7):
 
     python benchmarks/run_bench.py            # full run, BENCH_<date>.json
     python benchmarks/run_bench.py --smoke    # tiny sizes, CI artifact
+    python benchmarks/run_bench.py --smoke --max-overhead-pct 30
+                                              # CI gate: fail on regression
 
-Wall timings are best-of-``--repeat`` (the standard way to damp scheduler
-noise); the embedded metrics are deterministic and double as a
-regression check that instrumentation overhead stays honest.
+Overhead is measured **interleaved**: instrumented and bare runs
+alternate inside one loop and each takes its best-of-``--repeat``
+minimum.  Sequential phases (all instrumented, then all bare) let one
+scheduler-noise spike land entirely on one variant — this benchmark
+once reported the same build at 19% and 116% overhead that way.  The
+embedded metrics are deterministic and double as a regression check
+that instrumentation accounting stays honest.
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import platform
 import sys
@@ -38,7 +45,11 @@ from repro.core import (  # noqa: E402
 )
 from repro.faults import RetryPolicy, fault_profile  # noqa: E402
 from repro.obs import Instrumentation  # noqa: E402
-from repro.pipeline import MeasurementPipeline  # noqa: E402
+from repro.pipeline import (  # noqa: E402
+    CampaignSpec,
+    MeasurementPipeline,
+    run_campaign,
+)
 from repro.worldgen import World, WorldConfig  # noqa: E402
 
 
@@ -53,43 +64,66 @@ def _best_of(repeat: int, fn) -> tuple[float, object]:
     return best, result
 
 
-def bench_pipeline(
+def bench_overhead(
     sites: int, countries: tuple[str, ...], repeat: int
-) -> dict:
-    """Time a full instrumented measurement run."""
+) -> tuple[dict, dict]:
+    """Interleaved instrumented/bare timing of the same campaign.
+
+    Returns ``(instrumented, bare)`` result dicts.  Both variants run
+    against one shared World, alternate within a single loop, and take
+    the minimum over ``repeat`` rounds (after one warm-up round each),
+    so the overhead ratio compares two noise-floor readings instead of
+    two phase averages.
+    """
     config = WorldConfig(sites_per_country=sites, countries=countries)
-
-    def build() -> World:
-        return World(config)
-
-    build_seconds, world = _best_of(repeat, build)
+    build_seconds, world = _best_of(repeat, lambda: World(config))
     assert isinstance(world, World)
 
-    obs: Instrumentation | None = None
-    dataset = None
-
-    def run():
-        nonlocal obs, dataset
-        obs = Instrumentation()
+    def run(instrumented: bool):
+        obs = Instrumentation() if instrumented else None
         pipeline = MeasurementPipeline(
             world,
             fault_plan=fault_profile("chaos", seed=0),
             retry_policy=RetryPolicy(max_attempts=3, seed=0),
             obs=obs,
         )
-        dataset = pipeline.run()
-        obs.finalize(pipeline)
-        return dataset
+        # Collect the previous run's garbage outside the timed region
+        # and keep the collector off inside it, so cycle-collection
+        # pauses don't land on whichever variant happens to be running
+        # (the instrumented variant leaves large cyclic object graphs
+        # behind, which would otherwise bill its cleanup to the *next*
+        # timed run).
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            dataset = pipeline.run()
+            if obs is not None:
+                obs.finalize(pipeline)
+            seconds = time.perf_counter() - start
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return seconds, dataset, obs
 
-    run_seconds, _ = _best_of(repeat, run)
-    assert obs is not None and dataset is not None
+    run(True)  # warm up caches and allocator on both variants
+    run(False)
+    best_instrumented = best_bare = float("inf")
+    dataset = obs = None
+    for _ in range(repeat):
+        seconds, dataset, obs = run(True)
+        best_instrumented = min(best_instrumented, seconds)
+        seconds, _, _ = run(False)
+        best_bare = min(best_bare, seconds)
+    assert dataset is not None and obs is not None
     total_sites = len(dataset)
-    return {
+    instrumented = {
         "world_build_seconds": round(build_seconds, 4),
-        "run_seconds": round(run_seconds, 4),
+        "run_seconds": round(best_instrumented, 4),
         "sites": total_sites,
-        "sites_per_second": round(total_sites / run_seconds, 1)
-        if run_seconds
+        "sites_per_second": round(total_sites / best_instrumented, 1)
+        if best_instrumented
         else None,
         "metrics": {
             "dns_queries": obs.dns_queries.total(),
@@ -102,32 +136,60 @@ def bench_pipeline(
             "spans": len(obs.tracer.finished()),
         },
     }
-
-
-def bench_uninstrumented(
-    sites: int, countries: tuple[str, ...], repeat: int
-) -> dict:
-    """Time the same run without observability (overhead baseline)."""
-    world = World(
-        WorldConfig(sites_per_country=sites, countries=countries)
-    )
-
-    def run():
-        pipeline = MeasurementPipeline(
-            world,
-            fault_plan=fault_profile("chaos", seed=0),
-            retry_policy=RetryPolicy(max_attempts=3, seed=0),
-        )
-        return pipeline.run()
-
-    run_seconds, dataset = _best_of(repeat, run)
-    return {
-        "run_seconds": round(run_seconds, 4),
-        "sites": len(dataset),  # type: ignore[arg-type]
-        "sites_per_second": round(len(dataset) / run_seconds, 1)  # type: ignore[arg-type]
-        if run_seconds
+    bare = {
+        "run_seconds": round(best_bare, 4),
+        "sites": total_sites,
+        "sites_per_second": round(total_sites / best_bare, 1)
+        if best_bare
         else None,
     }
+    return instrumented, bare
+
+
+def bench_parallel(
+    sites: int,
+    countries: tuple[str, ...],
+    repeat: int,
+    workers_counts: tuple[int, ...],
+) -> dict:
+    """Time the campaign runner across worker counts, end to end.
+
+    Each reading includes everything ``repro measure --workers N``
+    pays — worker spawn and per-worker World builds included — so the
+    speedup column reflects what a user actually gets.
+    """
+    spec = CampaignSpec(
+        config=WorldConfig(
+            sites_per_country=sites, countries=countries
+        ),
+        fault_profile="chaos",
+        fault_seed=0,
+        retries=3,
+        instrument=False,
+    )
+    out: dict = {}
+    serial_seconds: float | None = None
+    for workers in workers_counts:
+        seconds, result = _best_of(
+            repeat, lambda: run_campaign(spec, workers=workers)
+        )
+        entry = {
+            "run_seconds": round(seconds, 4),
+            "sites": len(result.dataset),  # type: ignore[union-attr]
+            "sites_per_second": round(
+                len(result.dataset) / seconds, 1  # type: ignore[union-attr]
+            )
+            if seconds
+            else None,
+        }
+        if workers <= 1:
+            serial_seconds = seconds
+        elif serial_seconds:
+            entry["speedup_vs_serial"] = round(
+                serial_seconds / seconds, 2
+            )
+        out[str(workers)] = entry
+    return out
 
 
 def bench_primitives(repeat: int, n: int = 20000) -> dict:
@@ -163,6 +225,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--sites", type=int, default=None)
     parser.add_argument("--repeat", type=int, default=None)
     parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="worker counts to benchmark the campaign runner at "
+        "(default: 1 2 for --smoke, 1 2 4 otherwise)",
+    )
+    parser.add_argument(
+        "--max-overhead-pct",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="fail (exit 1) when observability overhead exceeds PCT "
+        "percent — the CI perf-regression gate",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         metavar="JSON",
@@ -174,11 +253,13 @@ def main(argv: list[str] | None = None) -> int:
         sites = args.sites or 60
         countries: tuple[str, ...] = ("TH", "US")
         repeat = args.repeat or 1
+        workers_counts = tuple(args.workers or (1, 2))
         primitives_n = 2000
     else:
         sites = args.sites or 300
         countries = ("BR", "DE", "IR", "TH", "US")
         repeat = args.repeat or 3
+        workers_counts = tuple(args.workers or (1, 2, 4))
         primitives_n = 20000
 
     out_path = (
@@ -189,8 +270,43 @@ def main(argv: list[str] | None = None) -> int:
 
     print(
         f"benchmarking: {sites} sites x {len(countries)} countries, "
-        f"repeat={repeat} (smoke={args.smoke})"
+        f"repeat={repeat}, workers={list(workers_counts)} "
+        f"(smoke={args.smoke})"
     )
+    # Scheduler noise only ever *adds* time, so the ratio-of-minima
+    # overhead estimate is biased upward: when a gate is set, a
+    # breaching reading is re-measured (up to three attempts) and the
+    # lowest reading wins.  An over-threshold result then means every
+    # attempt breached — a real regression, not one noisy window.
+    attempts = 3 if args.max_overhead_pct is not None else 1
+    instrumented, bare, overhead_pct = {}, {}, None
+    for attempt in range(attempts):
+        inst, bar = bench_overhead(sites, countries, repeat)
+        pct = (
+            round(
+                100.0
+                * (inst["run_seconds"] - bar["run_seconds"])
+                / bar["run_seconds"],
+                1,
+            )
+            if bar["run_seconds"]
+            else None
+        )
+        if overhead_pct is None or (
+            pct is not None and pct < overhead_pct
+        ):
+            instrumented, bare, overhead_pct = inst, bar, pct
+        if (
+            args.max_overhead_pct is None
+            or overhead_pct is None
+            or overhead_pct <= args.max_overhead_pct
+        ):
+            break
+        if attempt < attempts - 1:
+            print(
+                f"overhead reading {pct}% over gate; re-measuring "
+                f"(attempt {attempt + 2}/{attempts})"
+            )
     report = {
         "date": date.today().isoformat(),
         "python": platform.python_version(),
@@ -200,34 +316,45 @@ def main(argv: list[str] | None = None) -> int:
             "sites_per_country": sites,
             "countries": list(countries),
             "repeat": repeat,
+            "workers": list(workers_counts),
         },
         "results": {
-            "pipeline_instrumented": bench_pipeline(
-                sites, countries, repeat
-            ),
-            "pipeline_uninstrumented": bench_uninstrumented(
-                sites, countries, repeat
+            "pipeline_instrumented": instrumented,
+            "pipeline_uninstrumented": bare,
+            "parallel_campaign": bench_parallel(
+                sites, countries, repeat, workers_counts
             ),
             "core_primitives": bench_primitives(
                 repeat, n=primitives_n
             ),
         },
     }
-    instrumented = report["results"]["pipeline_instrumented"]
-    bare = report["results"]["pipeline_uninstrumented"]
-    if bare["run_seconds"]:
-        report["results"]["observability_overhead_pct"] = round(
-            100.0
-            * (instrumented["run_seconds"] - bare["run_seconds"])
-            / bare["run_seconds"],
-            1,
-        )
+    if overhead_pct is not None:
+        report["results"]["observability_overhead_pct"] = overhead_pct
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(
         f"pipeline: {instrumented['sites_per_second']} sites/s "
-        f"instrumented, {bare['sites_per_second']} sites/s bare"
+        f"instrumented, {bare['sites_per_second']} sites/s bare "
+        f"(overhead {overhead_pct}%)"
     )
+    for workers, entry in report["results"]["parallel_campaign"].items():
+        speedup = entry.get("speedup_vs_serial")
+        suffix = f" ({speedup}x vs serial)" if speedup else ""
+        print(
+            f"campaign --workers {workers}: "
+            f"{entry['run_seconds']}s{suffix}"
+        )
     print(f"wrote {out_path}")
+    if (
+        args.max_overhead_pct is not None
+        and overhead_pct is not None
+        and overhead_pct > args.max_overhead_pct
+    ):
+        print(
+            f"FAIL: observability overhead {overhead_pct}% exceeds "
+            f"--max-overhead-pct {args.max_overhead_pct}%"
+        )
+        return 1
     return 0
 
 

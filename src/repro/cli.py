@@ -128,6 +128,15 @@ def build_parser() -> argparse.ArgumentParser:
         "deterministic exponential backoff (default: 1, no retries)",
     )
     measure.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard the campaign's countries across N worker "
+        "processes; output is byte-identical to --workers 1 for the "
+        "same seed (default: 1, in-process)",
+    )
+    measure.add_argument(
         "--export", default=None, metavar="CSV",
         help="also write the per-site records to a CSV release",
     )
@@ -161,8 +170,10 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--trace",
         default=None,
+        nargs="+",
         metavar="JSONL",
-        help="optional trace written by 'measure --trace-out' "
+        help="optional trace(s) written by 'measure --trace-out'; "
+        "several per-shard files are stitched into one id space "
         "(adds wall-clock stage timings)",
     )
     report.add_argument(
@@ -258,33 +269,26 @@ def _cmd_longitudinal(args: argparse.Namespace) -> int:
 
 
 def _cmd_measure(args: argparse.Namespace) -> int:
-    from .faults import RetryPolicy, fault_profile, render_failure_report
-    from .pipeline import MeasurementPipeline, export_csv
-    from .worldgen import World, WorldConfig
+    from .faults import render_failure_report
+    from .pipeline import CampaignSpec, export_csv, run_campaign
+    from .worldgen import WorldConfig
 
     kwargs = {"sites_per_country": args.sites}
     if args.countries:
         kwargs["countries"] = tuple(
             sorted({c.upper() for c in args.countries})
         )
-    world = World(WorldConfig(**kwargs))
-    plan = fault_profile(args.fault_profile, seed=args.fault_seed)
-    policy = (
-        RetryPolicy(max_attempts=args.retries, seed=args.fault_seed)
-        if args.retries > 1
-        else None
+    # Only instrument when asked: the default path stays the
+    # observability-free (byte-identical) hot path.
+    spec = CampaignSpec(
+        config=WorldConfig(**kwargs),
+        fault_profile=args.fault_profile,
+        fault_seed=args.fault_seed,
+        retries=args.retries,
+        instrument=bool(args.trace_out or args.metrics_out),
     )
-    obs = None
-    if args.trace_out or args.metrics_out:
-        # Only instrument when asked: the default path stays the
-        # observability-free (byte-identical) hot path.
-        from .obs import Instrumentation
-
-        obs = Instrumentation()
-    pipeline = MeasurementPipeline(
-        world, fault_plan=plan, retry_policy=policy, obs=obs
-    )
-    dataset = pipeline.run()
+    result = run_campaign(spec, workers=args.workers)
+    dataset = result.dataset
 
     total = len(dataset)
     failed = sum(1 for r in dataset if not r.ok)
@@ -293,7 +297,7 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     print(
         f"measured {total} sites across {len(dataset.countries)} "
         f"countries (profile={args.fault_profile}, "
-        f"retries={args.retries})"
+        f"retries={args.retries}, workers={args.workers})"
     )
     print(
         f"failed rows:    {failed} ({100.0 * failed / total:.2f}%)"
@@ -306,32 +310,34 @@ def _cmd_measure(args: argparse.Namespace) -> int:
         else "degraded rows:  0"
     )
     print(f"attempts spent: {attempts} (injected faults: "
-          f"{sum(plan.injected.values())})")
-    open_circuits = pipeline.breaker.open_keys()
-    if open_circuits:
-        print(f"open circuits:  {', '.join(open_circuits)}")
+          f"{result.injected_faults})")
+    if result.open_circuits:
+        print(f"open circuits:  {', '.join(result.open_circuits)}")
     print()
     print(render_failure_report(dataset.failure_taxonomy()))
     if args.export:
         rows = export_csv(dataset, args.export)
         print(f"\nwrote {rows} rows to {args.export}")
-    if obs is not None:
-        obs.finalize(pipeline)
-        if args.metrics_out:
-            obs.registry.write_json(args.metrics_out)
-            print(f"wrote metrics to {args.metrics_out}")
-        if args.trace_out:
-            spans = obs.tracer.write_jsonl(args.trace_out)
-            print(f"wrote {spans} spans to {args.trace_out}")
+    if args.metrics_out:
+        result.write_metrics(args.metrics_out)
+        print(f"wrote metrics to {args.metrics_out}")
+    if args.trace_out:
+        spans = result.write_trace(args.trace_out)
+        print(f"wrote {spans} spans to {args.trace_out}")
     return 0
 
 
 def _cmd_report_campaign(args: argparse.Namespace) -> int:
     from .analysis.campaign import load_metrics, render_campaign_report
-    from .obs.spans import load_trace
+    from .obs.spans import load_trace, stitch_spans
 
     metrics = load_metrics(args.metrics)
-    spans = load_trace(args.trace) if args.trace else None
+    spans = None
+    if args.trace:
+        traces = [load_trace(path) for path in args.trace]
+        spans = (
+            stitch_spans(traces) if len(traces) > 1 else traces[0]
+        )
     print(render_campaign_report(metrics, spans, top=args.top))
     return 0
 

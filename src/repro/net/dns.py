@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass
+from functools import partial
 
 from ..errors import (
     NXDomainError,
@@ -132,13 +133,19 @@ class Zone:
 
 @dataclass(frozen=True, slots=True)
 class ResolutionResult:
-    """Outcome of resolving one name."""
+    """Outcome of resolving one name.
+
+    ``min_ttl`` is the smallest TTL seen across the answer's A records
+    and any CNAMEs followed to reach them — the RFC 1034 rule for how
+    long the whole answer may be cached.
+    """
 
     name: str
     addresses: tuple[int, ...]
     cname_chain: tuple[str, ...]
     authoritative_ns: tuple[str, ...]
     from_cache: bool = False
+    min_ttl: float = 300.0
 
 
 @dataclass(slots=True)
@@ -198,14 +205,21 @@ class Resolver:
     """An iterative resolver over a :class:`Namespace` with caching.
 
     ``vantage_continent`` influences geo-routed A records (CDN mapping).
-    The cache key includes the continent so distinct vantages do not
-    poison each other.  Time is a logical clock advanced by the caller,
-    which keeps resolution deterministic.
+    The cache key includes the vantage (continent, country) so distinct
+    vantages do not poison each other.  Time is a logical clock advanced
+    by the caller, which keeps resolution deterministic.  Positive
+    answers are cached for the answer's own minimum TTL (clamped to
+    :data:`MAX_TTL`), so short-TTL CDN records actually expire.
     """
 
     #: TTL for cached negative answers (RFC 2308-style, in seconds of
     #: the logical clock).
     NEGATIVE_TTL = 300.0
+
+    #: Cap on how long a positive answer may be cached, regardless of
+    #: the records' own TTLs (resolver operators clamp absurd TTLs the
+    #: same way).
+    MAX_TTL = 86400.0
 
     def __init__(
         self,
@@ -218,8 +232,16 @@ class Resolver:
         self._ns = namespace
         self._continent = vantage_continent
         self._country = vantage_country
-        self._cache: dict[str, _CacheEntry] = {}
-        self._negative_cache: dict[str, float] = {}
+        #: Caches are keyed by (name, vantage_continent, vantage_country)
+        #: because geo-routed answers differ per vantage; a shared
+        #: resolver switched between vantages must never serve another
+        #: vantage's addresses.
+        self._cache: dict[
+            tuple[str, str | None, str | None], _CacheEntry
+        ] = {}
+        self._negative_cache: dict[
+            tuple[str, str | None, str | None], float
+        ] = {}
         self._cache_enabled = cache_enabled
         self._max_cname_depth = max_cname_depth
         self._clock = 0.0
@@ -243,6 +265,15 @@ class Resolver:
         """Current value of the logical clock (seconds)."""
         return self._clock
 
+    def clock_fn(self) -> Callable[[], float]:
+        """A zero-argument reader of the logical clock.
+
+        Built on :func:`functools.partial` + :func:`getattr`, so each
+        read costs no Python frame — tracers read the clock twice per
+        span, which makes this the hot path of instrumented runs.
+        """
+        return partial(getattr, self, "_clock")
+
     @property
     def vantage_continent(self) -> str | None:
         """Continent of the querying vantage (geo answers)."""
@@ -252,6 +283,18 @@ class Resolver:
     def vantage_country(self) -> str | None:
         """Country of the querying vantage (cache nodes)."""
         return self._country
+
+    def set_vantage(
+        self, continent: str | None, country: str | None = None
+    ) -> None:
+        """Move the resolver to a new vantage.
+
+        Cached answers survive the move — they are keyed per vantage,
+        so the new vantage simply resolves fresh while the old
+        vantage's entries age out on the logical clock.
+        """
+        self._continent = continent
+        self._country = country
 
     def advance_clock(self, seconds: float) -> None:
         """Advance the logical clock (expires cache entries)."""
@@ -276,8 +319,9 @@ class Resolver:
         observer = self.observer
         if observer is not None:
             observer.dns_query(name)
+        cache_key = (name, self._continent, self._country)
         if self._cache_enabled:
-            entry = self._cache.get(name)
+            entry = self._cache.get(cache_key)
             if entry is not None and entry.expires_at > self._clock:
                 self.cache_hits += 1
                 if observer is not None:
@@ -289,10 +333,11 @@ class Resolver:
                     cname_chain=cached.cname_chain,
                     authoritative_ns=cached.authoritative_ns,
                     from_cache=True,
+                    min_ttl=cached.min_ttl,
                 )
             # Negative caching (RFC 2308): a recent NXDOMAIN answers
             # repeated queries without bothering the authorities.
-            negative_until = self._negative_cache.get(name)
+            negative_until = self._negative_cache.get(cache_key)
             if negative_until is not None and negative_until > self._clock:
                 self.negative_cache_hits += 1
                 if observer is not None:
@@ -309,7 +354,7 @@ class Resolver:
             # Injected faults are SERVFAIL/timeout shaped, never
             # NXDOMAIN, so negative-caching here cannot cache a fault.
             if self._cache_enabled:
-                self._negative_cache[name] = (
+                self._negative_cache[cache_key] = (
                     self._clock + self.NEGATIVE_TTL
                 )
             if observer is not None:
@@ -322,8 +367,9 @@ class Resolver:
         if observer is not None:
             observer.dns_uncached(name, None)
         if self._cache_enabled:
-            self._cache[name] = _CacheEntry(
-                result=result, expires_at=self._clock + 300.0
+            self._cache[cache_key] = _CacheEntry(
+                result=result,
+                expires_at=self._clock + min(result.min_ttl, self.MAX_TTL),
             )
         return result
 
@@ -364,10 +410,12 @@ class Resolver:
                     addresses=addresses,
                     cname_chain=tuple(cname_chain),
                     authoritative_ns=ns,
+                    min_ttl=min_ttl if min_ttl != float("inf") else 300.0,
                 )
             cnames = zone.lookup(current, "CNAME")
             if cnames:
                 target = str(cnames[0].value)
+                min_ttl = min(min_ttl, float(cnames[0].ttl))
                 if target in cname_chain or target == current:
                     raise ResolutionError(
                         f"CNAME loop resolving {name!r} at {target!r}"

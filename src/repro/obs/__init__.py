@@ -26,8 +26,10 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    merge_metrics_payloads,
+    render_metrics_json,
 )
-from .spans import Span, Tracer, load_trace
+from .spans import Span, Tracer, load_trace, write_spans_jsonl
 
 __all__ = [
     "Instrumentation",
@@ -42,7 +44,10 @@ __all__ = [
     "MetricsRegistry",
     "METRICS_SCHEMA",
     "DEFAULT_SECONDS_BUCKETS",
+    "merge_metrics_payloads",
+    "render_metrics_json",
     "Span",
     "Tracer",
     "load_trace",
+    "write_spans_jsonl",
 ]

@@ -23,14 +23,14 @@ the calling code, and byte-identical measurement output.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterator
-from contextlib import contextmanager, nullcontext
+from collections.abc import Callable
+from contextlib import nullcontext
 
 from ..faults.breaker import BreakerState
 from ..faults.taxonomy import failure_class, failure_class_of
 from .log import StructuredLogger, get_logger
 from .metrics import MetricsRegistry
-from .spans import Span, Tracer
+from .spans import Tracer
 
 __all__ = ["Instrumentation", "NullInstrumentation", "NULL_OBS"]
 
@@ -124,6 +124,37 @@ class Instrumentation:
             "logical-clock seconds per pipeline stage",
             ("stage",),
         )
+        # Hot-path fast paths.  Bound children validate their labels
+        # once here instead of on every event; the per-event firehose
+        # (queries, cache hits, attempts) batches into plain ints and
+        # flushes once per row.  Counter values are identical either
+        # way — n increments of 1.0 sum to exactly float(n).
+        self._queries_child = self.dns_queries.child()
+        self._hits_positive = self.dns_cache_hits.child(kind="positive")
+        self._hits_negative = self.dns_cache_hits.child(kind="negative")
+        self._uncached_ok = self.dns_uncached_total.child(outcome="ok")
+        self._attempts_child = self.attempts.child()
+        self._retries_child = self.retries.child()
+        self._backoff_child = self.backoff_seconds.child()
+        self._degraded_child = self.degraded_rows.child()
+        self._rows_ok = self.rows.child(status="ok")
+        self._rows_failed = self.rows.child(status="failed")
+        self._tls_ok = self.tls_handshakes.child(outcome="ok")
+        self._ns_event_children = {
+            event: self.ns_cache_events.child(event=event)
+            for event in ("hit", "negative_hit", "miss")
+        }
+        #: The span API is the tracer's bound method itself — no facade
+        #: frame on the per-stage hot path.  The stage histogram is
+        #: folded from the finished spans in :meth:`finalize` instead
+        #: of per-span callbacks.
+        self.span = self.tracer.span
+        self._stages_folded = False
+        self._pending_queries = 0
+        self._pending_hits_positive = 0
+        self._pending_hits_negative = 0
+        self._pending_uncached_ok = 0
+        self._pending_attempts = 0
 
     # ------------------------------------------------------------------
     # Spans
@@ -133,56 +164,83 @@ class Instrumentation:
         """Point the tracer's logical clock at the resolver's."""
         self.tracer.clock = clock
 
-    @contextmanager
-    def span(self, name: str, **attrs: object) -> Iterator[Span | None]:
-        """A traced pipeline stage; also feeds the stage histogram."""
-        span: Span | None = None
-        try:
-            with self.tracer.span(name, **attrs) as span:
-                yield span
-        finally:
-            if span is not None and span.end_logical is not None:
-                self.stage_seconds.observe(
-                    span.logical_seconds, stage=name
-                )
+    def _fold_stage_seconds(self) -> None:
+        """Fold every finished span into the stage histogram (once).
+
+        One pass at the end of the run replaces a per-span callback
+        chain on the hot path; the resulting histogram is identical
+        because logical durations are deterministic.
+        """
+        if self._stages_folded:
+            return
+        self._stages_folded = True
+        hist = self.stage_seconds
+        buckets = hist.buckets
+        bucket_count = len(buckets)
+        series_map = hist._series
+        series_by_stage: dict[str, list] = {}
+        for span in self.tracer._finished:
+            series = series_by_stage.get(span.name)
+            if series is None:
+                key = hist._key({"stage": span.name})
+                series = series_map.get(key)
+                if series is None:
+                    series = series_map[key] = [
+                        [0] * (bucket_count + 1),
+                        0.0,
+                        0,
+                    ]
+                series_by_stage[span.name] = series
+            end = span.end_logical
+            value = end - span.start_logical if end is not None else 0.0
+            counts = series[0]
+            for i in range(bucket_count):
+                if value <= buckets[i]:
+                    counts[i] += 1
+                    break
+            else:
+                counts[-1] += 1
+            series[1] += float(value)
+            series[2] += 1
 
     # ------------------------------------------------------------------
     # Resolver observer protocol (see repro.net.dns.Resolver.observer)
     # ------------------------------------------------------------------
 
     def dns_query(self, name: str) -> None:
-        """One query arrived at the resolver."""
-        self.dns_queries.inc()
+        """One query arrived at the resolver (batched per row)."""
+        self._pending_queries += 1
 
     def dns_cache_hit(self, name: str, negative: bool = False) -> None:
-        """A query was answered from the cache."""
-        self.dns_cache_hits.inc(
-            kind="negative" if negative else "positive"
-        )
+        """A query was answered from the cache (batched per row)."""
+        if negative:
+            self._pending_hits_negative += 1
+        else:
+            self._pending_hits_positive += 1
 
     def dns_uncached(
         self, name: str, error: BaseException | None
     ) -> None:
         """A cache miss contacted the authorities; record the outcome."""
-        outcome = "ok" if error is None else failure_class(error)
+        if error is None:
+            self._pending_uncached_ok += 1
+            return
+        outcome = failure_class(error)
         self.dns_uncached_total.inc(outcome=outcome)
-        if error is not None:
-            self.log.debug(
-                "dns-miss-failed", name=name, outcome=outcome
-            )
+        self.log.debug("dns-miss-failed", name=name, outcome=outcome)
 
     # ------------------------------------------------------------------
     # Retry observer protocol (see repro.faults.retry.RetrySession)
     # ------------------------------------------------------------------
 
     def retry_attempt(self, key: str) -> None:
-        """One operation attempt started (first try or retry)."""
-        self.attempts.inc()
+        """One operation attempt started (batched per row)."""
+        self._pending_attempts += 1
 
     def retry_backoff(self, key: str, delay: float) -> None:
         """A transient failure is about to be retried after a backoff."""
-        self.retries.inc()
-        self.backoff_seconds.inc(delay)
+        self._retries_child.inc()
+        self._backoff_child.inc(delay)
         self.log.debug("retry-backoff", key=key, delay=delay)
 
     # ------------------------------------------------------------------
@@ -213,7 +271,11 @@ class Instrumentation:
 
     def ns_cache_event(self, event: str) -> None:
         """A nameserver-label cache hit / negative_hit / miss."""
-        self.ns_cache_events.inc(event=event)
+        child = self._ns_event_children.get(event)
+        if child is not None:
+            child.inc()
+        else:  # pragma: no cover - future event kinds
+            self.ns_cache_events.inc(event=event)
 
     def ns_failure(self, ns: str, cls: str) -> None:
         """Labeling one nameserver failed with a taxonomy class."""
@@ -221,7 +283,28 @@ class Instrumentation:
 
     def tls_outcome(self, outcome: str) -> None:
         """A TLS handshake finished (``"ok"`` or a taxonomy class)."""
-        self.tls_handshakes.inc(outcome=outcome)
+        if outcome == "ok":
+            self._tls_ok.inc()
+        else:
+            self.tls_handshakes.inc(outcome=outcome)
+
+    def _flush_pending(self) -> None:
+        """Fold the batched per-event tallies into their counters."""
+        if self._pending_queries:
+            self._queries_child.inc(self._pending_queries)
+            self._pending_queries = 0
+        if self._pending_hits_positive:
+            self._hits_positive.inc(self._pending_hits_positive)
+            self._pending_hits_positive = 0
+        if self._pending_hits_negative:
+            self._hits_negative.inc(self._pending_hits_negative)
+            self._pending_hits_negative = 0
+        if self._pending_uncached_ok:
+            self._uncached_ok.inc(self._pending_uncached_ok)
+            self._pending_uncached_ok = 0
+        if self._pending_attempts:
+            self._attempts_child.inc(self._pending_attempts)
+            self._pending_attempts = 0
 
     def row_measured(self, record) -> None:
         """A row is final: fold its status and failures into metrics.
@@ -233,8 +316,11 @@ class Instrumentation:
         :meth:`MeasurementDataset.failure_taxonomy
         <repro.pipeline.records.MeasurementDataset.failure_taxonomy>`.
         """
-        self.rows.inc(status="ok" if record.ok else "failed")
-        if not record.ok:
+        self._flush_pending()
+        if record.ok:
+            self._rows_ok.inc()
+        else:
+            self._rows_failed.inc()
             self.log.info(
                 "row-failed",
                 domain=record.domain,
@@ -242,7 +328,7 @@ class Instrumentation:
                 error=record.error or record.tls_error or "",
             )
         if record.degraded:
-            self.degraded_rows.inc()
+            self._degraded_child.inc()
         for layer, message in record.failures():
             self.failures.inc(
                 failure_class=failure_class_of(message),
@@ -252,6 +338,8 @@ class Instrumentation:
 
     def finalize(self, pipeline) -> None:
         """Snapshot end-of-run state (gauges) from a pipeline."""
+        self._flush_pending()
+        self._fold_stage_seconds()
         r = self.registry
         resolver = pipeline.resolver
         r.gauge(

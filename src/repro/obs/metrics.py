@@ -29,6 +29,8 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_SECONDS_BUCKETS",
     "METRICS_SCHEMA",
+    "merge_metrics_payloads",
+    "render_metrics_json",
 ]
 
 #: Schema tag written into every metrics JSON export.
@@ -93,6 +95,29 @@ class _Metric:
         return dict(zip(self.labelnames, key))
 
 
+class _CounterChild:
+    """A counter handle pre-bound to one labeled series.
+
+    Labels are validated once at :meth:`Counter.child` time, so the
+    hot path is a dict update — no per-call label-set checks.
+    """
+
+    __slots__ = ("_values", "_key")
+
+    def __init__(
+        self, values: dict[tuple[str, ...], float], key: tuple[str, ...]
+    ) -> None:
+        self._values = values
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the bound series."""
+        if amount < 0:
+            raise ValueError("counter cannot decrease")
+        values = self._values
+        values[self._key] = values.get(self._key, 0.0) + amount
+
+
 class Counter(_Metric):
     """A monotonically increasing sum, optionally labeled."""
 
@@ -110,6 +135,10 @@ class Counter(_Metric):
             raise ValueError(f"counter {self.name} cannot decrease")
         key = self._key(labels)
         self._values[key] = self._values.get(key, 0.0) + amount
+
+    def child(self, **labels: object) -> _CounterChild:
+        """A bound handle to one labeled series (hot-path fast path)."""
+        return _CounterChild(self._values, self._key(labels))
 
     def value(self, **labels: object) -> float:
         """Current value of one labeled series (0 if never touched)."""
@@ -154,6 +183,20 @@ class Gauge(_Metric):
         ]
 
 
+class _HistogramChild:
+    """A histogram handle pre-bound to one labeled series."""
+
+    __slots__ = ("_histogram", "_key")
+
+    def __init__(self, histogram: Histogram, key: tuple[str, ...]) -> None:
+        self._histogram = histogram
+        self._key = key
+
+    def observe(self, value: float) -> None:
+        """Record one observation into the bound series."""
+        self._histogram._observe_key(self._key, value)
+
+
 class Histogram(_Metric):
     """A distribution over fixed, creation-time bucket boundaries.
 
@@ -181,25 +224,37 @@ class Histogram(_Metric):
                 f"histogram {name} buckets must be strictly increasing"
             )
         self.buckets = bounds
-        #: key -> (per-bucket counts [len(buckets)+1], sum, count)
+        #: key -> [per-bucket counts [len(buckets)+1], sum, count]
+        #: (a mutable list so the hot path updates in place).
         self._series: dict[
-            tuple[str, ...], tuple[list[int], float, int]
+            tuple[str, ...], list
         ] = {}
 
     def observe(self, value: float, **labels: object) -> None:
         """Record one observation into the labeled series."""
-        key = self._key(labels)
+        self._observe_key(self._key(labels), value)
+
+    def _observe_key(self, key: tuple[str, ...], value: float) -> None:
         series = self._series.get(key)
         if series is None:
-            series = ([0] * (len(self.buckets) + 1), 0.0, 0)
-        counts, total, count = series
+            series = self._series[key] = [
+                [0] * (len(self.buckets) + 1),
+                0.0,
+                0,
+            ]
+        counts = series[0]
         for i, bound in enumerate(self.buckets):
             if value <= bound:
                 counts[i] += 1
                 break
         else:
             counts[-1] += 1
-        self._series[key] = (counts, total + float(value), count + 1)
+        series[1] += float(value)
+        series[2] += 1
+
+    def child(self, **labels: object) -> _HistogramChild:
+        """A bound handle to one labeled series (hot-path fast path)."""
+        return _HistogramChild(self, self._key(labels))
 
     def snapshot(
         self, **labels: object
@@ -320,7 +375,7 @@ class MetricsRegistry:
 
     def to_json(self) -> str:
         """Deterministic JSON rendering (byte-identical across runs)."""
-        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        return render_metrics_json(self.to_dict())
 
     def write_json(self, path: str | Path) -> None:
         """Write :meth:`to_json` to a file."""
@@ -356,6 +411,111 @@ class MetricsRegistry:
                         f"{name}_count{_prom_labels(labels)} {count}"
                     )
         return "\n".join(lines) + "\n"
+
+
+def render_metrics_json(payload: dict) -> str:
+    """The canonical JSON rendering of a metrics payload.
+
+    Shared by :meth:`MetricsRegistry.to_json` and the shard merge, so
+    a merged campaign export is byte-identical to the export a single
+    registry with the same contents would have produced.
+    """
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _sample_sort_key(labels: Mapping[str, object]) -> tuple[str, ...]:
+    # Sample labels keep labelnames order (to_dict builds them with
+    # zip(labelnames, key)), so the value tuple reproduces the
+    # registry's own sorted-by-label-values ordering.
+    return tuple(str(v) for v in labels.values())
+
+
+def merge_metrics_payloads(payloads: Sequence[dict]) -> dict:
+    """Merge per-shard metrics exports into one campaign payload.
+
+    Counters and gauges sum per label set (gauges here are end-of-run
+    totals like resolver query counts, so summing per-shard readings
+    yields the campaign total); histograms sum cumulative bucket
+    counts, sums, and counts.  Families must agree on type across
+    payloads.  Output families and samples are re-sorted, so the
+    result depends only on the multiset of inputs and their order —
+    callers feed shards in sorted-country order to make the merge
+    independent of shard layout.
+    """
+    families: dict[str, dict] = {}
+    accumulators: dict[str, dict[tuple[str, ...], dict]] = {}
+    for payload in payloads:
+        for name, entry in payload.get("metrics", {}).items():
+            family = families.get(name)
+            if family is None:
+                family = {"type": entry["type"], "help": entry.get("help", "")}
+                if "buckets" in entry:
+                    family["buckets"] = list(entry["buckets"])
+                families[name] = family
+                accumulators[name] = {}
+            elif family["type"] != entry["type"]:
+                raise ValueError(
+                    f"metric {name!r} has conflicting types across "
+                    f"shards: {family['type']} vs {entry['type']}"
+                )
+            acc = accumulators[name]
+            if entry["type"] == "histogram":
+                for sample in entry.get("samples", ()):
+                    key = _sample_sort_key(sample["labels"])
+                    merged = acc.get(key)
+                    if merged is None:
+                        acc[key] = {
+                            "labels": dict(sample["labels"]),
+                            "cumulative": dict(sample["cumulative"]),
+                            "sum": float(sample["sum"]),
+                            "count": int(sample["count"]),
+                        }
+                    else:
+                        cumulative = merged["cumulative"]
+                        for bound, n in sample["cumulative"].items():
+                            cumulative[bound] = cumulative.get(bound, 0) + n
+                        merged["sum"] += float(sample["sum"])
+                        merged["count"] += int(sample["count"])
+            else:
+                for sample in entry.get("samples", ()):
+                    key = _sample_sort_key(sample["labels"])
+                    merged = acc.get(key)
+                    if merged is None:
+                        acc[key] = {
+                            "labels": dict(sample["labels"]),
+                            "value": float(sample["value"]),
+                        }
+                    else:
+                        merged["value"] += float(sample["value"])
+    out: dict = {"_schema": METRICS_SCHEMA, "metrics": {}}
+    for name in sorted(families):
+        family = families[name]
+        entry = {"type": family["type"], "help": family["help"]}
+        if "buckets" in family:
+            entry["buckets"] = family["buckets"]
+        samples = []
+        acc = accumulators[name]
+        for key in sorted(acc):
+            merged = acc[key]
+            if family["type"] == "histogram":
+                samples.append(
+                    {
+                        "labels": merged["labels"],
+                        "cumulative": merged["cumulative"],
+                        "sum": _format_value(merged["sum"]),
+                        "count": merged["count"],
+                    }
+                )
+            else:
+                samples.append(
+                    {
+                        "labels": merged["labels"],
+                        "value": _format_value(merged["value"]),
+                    }
+                )
+        entry["samples"] = samples
+        out["metrics"][name] = entry
+    return out
 
 
 def _prom_labels(labels: Mapping[str, str]) -> str:

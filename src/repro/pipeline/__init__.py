@@ -4,7 +4,8 @@
 enriches every toplist website into :class:`WebsiteMeasurement`
 records; :mod:`~repro.pipeline.records` holds the resulting dataset;
 :mod:`~repro.pipeline.vantage` replays the RIPE-Atlas vantage-point
-validation.
+validation; :mod:`~repro.pipeline.parallel` shards a campaign across
+worker processes with a deterministic per-country merge.
 """
 
 from .export import (
@@ -15,12 +16,24 @@ from .export import (
     load_csv,
 )
 from .measure import STANFORD_VANTAGE_CONTINENT, MeasurementPipeline
+from .parallel import (
+    CampaignResult,
+    CampaignSpec,
+    CountryResult,
+    measure_country_unit,
+    run_campaign,
+)
 from .records import LAYER_FIELDS, MeasurementDataset, WebsiteMeasurement
 from .vantage import VantageComparison, ripe_style_dataset, validate_vantage
 
 __all__ = [
     "MeasurementPipeline",
     "STANFORD_VANTAGE_CONTINENT",
+    "CampaignSpec",
+    "CampaignResult",
+    "CountryResult",
+    "measure_country_unit",
+    "run_campaign",
     "MeasurementDataset",
     "WebsiteMeasurement",
     "LAYER_FIELDS",

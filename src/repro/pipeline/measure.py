@@ -97,17 +97,23 @@ class MeasurementPipeline:
         #: None (RetrySession skips its hooks entirely on None).
         self._retry_observer = obs
         if obs is not None:
-            obs.bind_clock(lambda: self.resolver.clock)
+            obs.bind_clock(self.resolver.clock_fn())
             self.resolver.observer = obs
             if self.breaker.on_transition is None:
                 self.breaker.on_transition = obs.breaker_transition
-        #: ns_host -> (labels-or-None, negative-entry expiry).  Dead
-        #: nameservers are cached too (negative entries carry their
-        #: expiry on the logical clock) so one dead host is not
-        #: re-resolved for every site that delegates to it.
+        #: ns_host -> (labels-or-None, negative-entry expiry, geo-stale
+        #: flag).  Dead nameservers are cached too (negative entries
+        #: carry their expiry on the logical clock) so one dead host is
+        #: not re-resolved for every site that delegates to it.  The
+        #: geo-stale flag rides along so cached stale-geo labels still
+        #: mark their rows degraded.
         self._ns_org_cache: dict[
             str,
-            tuple[tuple[str | None, str | None, str | None, bool] | None, float],
+            tuple[
+                tuple[str | None, str | None, str | None, bool] | None,
+                float,
+                bool,
+            ],
         ] = {}
 
     # ------------------------------------------------------------------
@@ -143,7 +149,10 @@ class MeasurementPipeline:
         resolves and scans whatever host ultimately serves the page.
         When instrumented, the whole site is one ``site`` span with
         nested stage spans (http → resolve → label → ns-walk → tls →
-        enrich) and the finished row feeds the metrics registry.
+        enrich) and the finished row feeds the metrics registry.  Only
+        the site span carries attributes — its children inherit the
+        domain/country through the parent link, and the empty-attrs
+        form keeps six dict builds per site off the hot path.
         """
         if self._inter_site_seconds:
             self.resolver.advance_clock(self._inter_site_seconds)
@@ -162,14 +171,14 @@ class MeasurementPipeline:
         )
         plan = self.fault_plan
         try:
-            with obs.span("http", domain=domain):
+            with obs.span("http"):
                 serving_host = self.world.http.final_host(domain)
         except ReproError as exc:
             return self._failed_row(
                 domain, country, rank, "http", exc, session
             )
         try:
-            with obs.span("resolve", host=serving_host):
+            with obs.span("resolve"):
                 resolution = session.run(
                     f"resolve:{serving_host}",
                     lambda: self.resolver.resolve(serving_host),
@@ -190,7 +199,7 @@ class MeasurementPipeline:
         ip = resolution.addresses[0]
 
         world = self.world
-        with obs.span("label", host=serving_host):
+        with obs.span("label"):
             hosting_org = world.asdb.org_of_ip(ip)
             hosting_org_country = world.asdb.country_of_ip(ip)
             geo_stale = plan is not None and plan.geo_stale(ip)
@@ -204,8 +213,8 @@ class MeasurementPipeline:
                 ip_continent = world.geo.continent_of(ip)
             ip_anycast = world.anycast.is_anycast(ip)
 
-        with obs.span("ns-walk", domain=domain):
-            dns_infra, dns_error = self._dns_infrastructure(
+        with obs.span("ns-walk"):
+            dns_infra, dns_error, ns_geo_stale = self._dns_infrastructure(
                 resolution.authoritative_ns, session
             )
         dns_org, dns_org_country, ns_continent, ns_anycast = dns_infra
@@ -215,7 +224,7 @@ class MeasurementPipeline:
         if self.measure_tls:
             tls_hook = plan.tls_hook if plan is not None else None
             try:
-                with obs.span("tls", host=serving_host):
+                with obs.span("tls"):
                     certificate = session.run(
                         f"tls:{serving_host}",
                         lambda: world.tls_handshake(
@@ -237,7 +246,7 @@ class MeasurementPipeline:
                 tls_error = format_failure("tls", exc)
                 obs.tls_outcome(failure_class(exc))
 
-        with obs.span("enrich", domain=domain):
+        with obs.span("enrich"):
             try:
                 tld = world.psl.tld_of(domain)
             except ReproError:
@@ -279,7 +288,10 @@ class MeasurementPipeline:
             tls_error=tls_error,
             attempts=session.attempts,
             degraded=(
-                dns_error is not None or tls_error is not None or geo_stale
+                dns_error is not None
+                or tls_error is not None
+                or geo_stale
+                or ns_geo_stale
             ),
         )
 
@@ -288,9 +300,15 @@ class MeasurementPipeline:
         authoritative_ns: tuple[str, ...],
         session: RetrySession,
     ) -> tuple[
-        tuple[str | None, str | None, str | None, bool], str | None
+        tuple[str | None, str | None, str | None, bool],
+        str | None,
+        bool,
     ]:
         """Label the DNS provider from the first resolvable NS host.
+
+        Returns ``(labels, dns_error, ns_geo_stale)`` — the last flag
+        is True when the labeling NS address hit the stale-geo
+        enrichment snapshot, so the caller can mark the row degraded.
 
         Successful labels are cached per nameserver; failures are
         *negative-cached* (with a TTL on the logical clock) and counted
@@ -303,10 +321,10 @@ class MeasurementPipeline:
         for ns_host in authoritative_ns:
             cached = self._ns_org_cache.get(ns_host)
             if cached is not None:
-                result, expires_at = cached
+                result, expires_at, cached_stale = cached
                 if result is not None:
                     obs.ns_cache_event("hit")
-                    return result, None
+                    return result, None, cached_stale
                 if expires_at > self.resolver.clock:
                     obs.ns_cache_event("negative_hit")
                     obs.ns_failure(ns_host, "nxdomain")
@@ -336,6 +354,7 @@ class MeasurementPipeline:
                 self._ns_org_cache[ns_host] = (
                     None,
                     self.resolver.clock + Resolver.NEGATIVE_TTL,
+                    False,
                 )
                 obs.ns_failure(ns_host, failure_class(exc))
                 failures.append(
@@ -348,9 +367,14 @@ class MeasurementPipeline:
                 continue
             self.breaker.record_success(ns_host)
             ns_ip = ns_resolution.addresses[0]
-            if self.fault_plan is not None and self.fault_plan.geo_stale(
-                ns_ip
-            ):
+            ns_geo_stale = (
+                self.fault_plan is not None
+                and self.fault_plan.geo_stale(ns_ip)
+            )
+            if ns_geo_stale:
+                # The stale enrichment snapshot has no entry for the
+                # NS address: the row keeps its provider labels but
+                # loses NS geolocation — and is degraded for it.
                 ns_continent = None
             else:
                 ns_continent = self.world.geo.continent_of(ns_ip)
@@ -360,11 +384,11 @@ class MeasurementPipeline:
                 ns_continent,
                 self.world.anycast.is_anycast(ns_ip),
             )
-            self._ns_org_cache[ns_host] = (result, 0.0)
-            return result, None
+            self._ns_org_cache[ns_host] = (result, 0.0, ns_geo_stale)
+            return result, None, ns_geo_stale
         if failures:
-            return _NO_DNS_INFRA, "dns: " + "; ".join(failures)
-        return _NO_DNS_INFRA, None
+            return _NO_DNS_INFRA, "dns: " + "; ".join(failures), False
+        return _NO_DNS_INFRA, None, False
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,282 @@
+"""Sharded parallel campaign execution.
+
+A measurement campaign is embarrassingly parallel *by country*: the
+paper measures each country's toplist independently, so the campaign
+runner makes the country the unit of determinism.  Every country is
+measured with completely fresh pipeline state — its own resolver
+(cache and logical clock), fault plan, retry policy, circuit breaker,
+and, when instrumented, its own metrics registry and span tracer —
+against a :class:`~repro.worldgen.world.World` built from the same
+:class:`~repro.worldgen.config.WorldConfig`.  Because a country unit
+never observes another country's state, its rows, metrics, and spans
+are a pure function of ``(config, campaign knobs, country)``.
+
+That invariant is what makes sharding safe: ``run_campaign`` splits
+the sorted country list round-robin across ``workers`` processes
+(each worker builds one World and runs its shard's countries through
+it), then merges the per-country results **in sorted country order**
+regardless of which shard produced them.  The merge is exact, not
+approximate:
+
+* rows concatenate in ``(country, rank)`` order, the order the serial
+  run produces;
+* metrics registries merge by summing counters/gauges and cumulative
+  histogram buckets (:func:`~repro.obs.metrics.merge_metrics_payloads`)
+  and render through the same JSON formatter;
+* span files stitch with span ids renumbered by cumulative offset, so
+  the id sequence is again 1..N in merged order.
+
+``workers <= 1`` runs the same country units inline through the same
+merge path — so ``--workers 4`` output is byte-identical to the
+serial run for the same seed, which the test suite asserts on the
+exported CSV and the merged metrics JSON.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import PipelineError
+from ..faults.plan import FaultPlan, fault_profile
+from ..faults.retry import RetryPolicy
+from ..obs.instrument import Instrumentation
+from ..obs.metrics import merge_metrics_payloads, render_metrics_json
+from ..obs.spans import stitch_spans, write_spans_jsonl
+from ..worldgen.config import WorldConfig
+from ..worldgen.world import World
+from .measure import STANFORD_VANTAGE_CONTINENT, MeasurementPipeline
+from .records import MeasurementDataset, WebsiteMeasurement
+
+__all__ = [
+    "CampaignSpec",
+    "CountryResult",
+    "CampaignResult",
+    "measure_country_unit",
+    "run_campaign",
+]
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything a worker needs to measure a country deterministically.
+
+    Frozen and picklable: the spec crosses the process boundary once
+    per shard, and every knob that influences output lives here (a
+    worker rebuilds the World from ``config`` and the fault plan from
+    the profile name + seed, never from live objects).
+    """
+
+    config: WorldConfig
+    fault_profile: str = "none"
+    fault_seed: int = 0
+    retries: int = 1
+    vantage_continent: str = STANFORD_VANTAGE_CONTINENT
+    vantage_country: str | None = None
+    instrument: bool = False
+    countries: tuple[str, ...] | None = None
+
+    def resolved_countries(self) -> list[str]:
+        """The sorted country list this campaign will measure."""
+        if self.countries is not None:
+            return sorted(self.countries)
+        return sorted(self.config.countries)
+
+
+@dataclass(frozen=True)
+class CountryResult:
+    """One country's measurements plus its unit-local telemetry."""
+
+    country: str
+    rows: tuple[WebsiteMeasurement, ...]
+    #: Metrics-registry payload (``MetricsRegistry.to_dict``) or None
+    #: when the unit ran uninstrumented.
+    metrics: dict | None
+    #: Finished span dicts (``Span.to_dict``, completion order, span
+    #: ids 1..n) or None when the unit ran uninstrumented.
+    spans: tuple[dict, ...] | None
+    #: Faults the unit's plan actually injected.
+    injected_faults: int
+    #: Nameserver circuits open or half-open at end of unit.
+    open_circuits: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """The merged output of a campaign, serial or sharded."""
+
+    dataset: MeasurementDataset
+    #: Merged metrics payload (None when uninstrumented).
+    metrics: dict | None
+    #: Stitched span dicts with globally renumbered ids (None when
+    #: uninstrumented).
+    spans: tuple[dict, ...] | None
+    injected_faults: int
+    open_circuits: tuple[str, ...]
+
+    def write_metrics(self, path: str | Path) -> None:
+        """Write the merged metrics payload as deterministic JSON."""
+        if self.metrics is None:
+            raise PipelineError(
+                "campaign ran uninstrumented; no metrics to write"
+            )
+        Path(path).write_text(
+            render_metrics_json(self.metrics), encoding="utf-8"
+        )
+
+    def write_trace(self, path: str | Path) -> int:
+        """Write the stitched spans as JSONL; returns the span count."""
+        if self.spans is None:
+            raise PipelineError(
+                "campaign ran uninstrumented; no trace to write"
+            )
+        return write_spans_jsonl(list(self.spans), path)
+
+
+def _build_plan(spec: CampaignSpec) -> FaultPlan:
+    return fault_profile(spec.fault_profile, seed=spec.fault_seed)
+
+
+def measure_country_unit(
+    world: World, spec: CampaignSpec, country: str
+) -> CountryResult:
+    """Measure one country with completely fresh pipeline state.
+
+    The World is the only shared object (it is immutable during
+    measurement); resolver, fault plan, retry policy, breaker, and
+    instrumentation are all unit-local, so the result is independent
+    of what other countries ran before it — the invariant sharding
+    relies on.
+    """
+    plan = _build_plan(spec)
+    policy = (
+        RetryPolicy(max_attempts=spec.retries, seed=spec.fault_seed)
+        if spec.retries > 1
+        else None
+    )
+    obs = Instrumentation() if spec.instrument else None
+    pipeline = MeasurementPipeline(
+        world,
+        spec.vantage_continent,
+        vantage_country=spec.vantage_country,
+        fault_plan=plan,
+        retry_policy=policy,
+        obs=obs,
+    )
+    rows = pipeline.measure_country(country)
+    metrics: dict | None = None
+    spans: tuple[dict, ...] | None = None
+    if obs is not None:
+        obs.finalize(pipeline)
+        metrics = obs.registry.to_dict()
+        spans = tuple(
+            span.to_dict() for span in obs.tracer.finished()
+        )
+    return CountryResult(
+        country=country,
+        rows=tuple(rows),
+        metrics=metrics,
+        spans=spans,
+        injected_faults=sum(plan.injected.values()),
+        open_circuits=tuple(pipeline.breaker.open_keys()),
+    )
+
+
+#: World handed to forked workers copy-on-write.  The parent builds it
+#: once before creating the pool; fork children inherit it for free,
+#: which beats rebuilding a multi-second World in every worker.  Set
+#: only for the duration of one sharded run (run_campaign is not
+#: reentrant while a pool is live).
+_PREFORK_WORLD: World | None = None
+
+
+def _run_shard(
+    spec: CampaignSpec, countries: Sequence[str]
+) -> list[CountryResult]:
+    """Worker entry point: one World, one shard of countries.
+
+    Module-level (picklable) for :class:`ProcessPoolExecutor`; also
+    the inline path for ``workers <= 1``, so serial and parallel runs
+    share every line of measurement code.  Uses the pre-fork World
+    when one was inherited; builds its own on spawn-based platforms
+    (identical by construction — World is a pure function of config).
+    """
+    world = _PREFORK_WORLD
+    if world is None:
+        world = World(spec.config)
+    return [
+        measure_country_unit(world, spec, country)
+        for country in countries
+    ]
+
+
+def run_campaign(
+    spec: CampaignSpec, workers: int = 1
+) -> CampaignResult:
+    """Run a campaign, optionally sharded across worker processes.
+
+    ``workers <= 1`` measures every country inline; ``workers > 1``
+    splits the sorted country list round-robin across that many
+    processes.  Either way the per-country results merge in sorted
+    country order, so the output is invariant under ``workers``.
+    """
+    countries = spec.resolved_countries()
+    if not countries:
+        raise PipelineError("campaign has no countries to measure")
+    workers = min(workers, len(countries))
+    if workers <= 1:
+        units = _run_shard(spec, countries)
+    else:
+        shards = [
+            countries[index::workers] for index in range(workers)
+        ]
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            context = None
+        units = []
+        global _PREFORK_WORLD
+        _PREFORK_WORLD = (
+            World(spec.config) if context is not None else None
+        )
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=context
+            ) as pool:
+                for shard_units in pool.map(
+                    _run_shard, [spec] * len(shards), shards
+                ):
+                    units.extend(shard_units)
+        finally:
+            _PREFORK_WORLD = None
+    units.sort(key=lambda unit: unit.country)
+
+    dataset = MeasurementDataset(
+        vantage_continent=spec.vantage_continent
+    )
+    for unit in units:
+        dataset.extend(unit.rows)
+
+    metrics: dict | None = None
+    spans: tuple[dict, ...] | None = None
+    if spec.instrument:
+        metrics = merge_metrics_payloads(
+            [unit.metrics for unit in units if unit.metrics is not None]
+        )
+        spans = tuple(
+            stitch_spans([unit.spans or () for unit in units])
+        )
+
+    open_circuits = sorted(
+        {key for unit in units for key in unit.open_circuits}
+    )
+    return CampaignResult(
+        dataset=dataset,
+        metrics=metrics,
+        spans=spans,
+        injected_faults=sum(unit.injected_faults for unit in units),
+        open_circuits=tuple(open_circuits),
+    )

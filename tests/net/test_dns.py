@@ -236,3 +236,105 @@ class TestResolverCache:
             with pytest.raises(NXDomainError):
                 resolver.resolve("missing.example.com")
         assert resolver.negative_cache_hits == 0
+
+
+class TestTTLHonoringCache:
+    """Positive answers are cached for the answer's own minimum TTL.
+
+    Regression: the cache once hardcoded a 300s lifetime, so short-TTL
+    CDN records were served long after their authority said to re-ask,
+    and day-long TTLs expired prematurely.
+    """
+
+    def test_short_ttl_expires_early(self, namespace: Namespace) -> None:
+        zone = namespace.zone("example.com")
+        assert zone is not None
+        zone.add("fast", "A", 8001, ttl=30)
+        resolver = Resolver(namespace)
+        first = resolver.resolve("fast.example.com")
+        assert first.min_ttl == 30.0
+        resolver.advance_clock(29.0)
+        assert resolver.resolve("fast.example.com").from_cache
+        resolver.advance_clock(2.0)
+        assert not resolver.resolve("fast.example.com").from_cache
+
+    def test_long_ttl_outlives_default(self, namespace: Namespace) -> None:
+        zone = namespace.zone("example.com")
+        assert zone is not None
+        zone.add("slow", "A", 8002, ttl=3600)
+        resolver = Resolver(namespace)
+        resolver.resolve("slow.example.com")
+        resolver.advance_clock(3599.0)
+        assert resolver.resolve("slow.example.com").from_cache
+        resolver.advance_clock(2.0)
+        assert not resolver.resolve("slow.example.com").from_cache
+
+    def test_cname_chain_lowers_answer_ttl(
+        self, namespace: Namespace
+    ) -> None:
+        # RFC 1034: the answer is cacheable only as long as its
+        # shortest-lived component — here the CNAME, not the target A.
+        zone = namespace.zone("example.com")
+        cdn_zone = namespace.zone("cdn-co.com")
+        assert zone is not None and cdn_zone is not None
+        zone.add("short", "CNAME", "edge2.cdn-co.com", ttl=60)
+        cdn_zone.add("edge2", "A", 6002, ttl=3600)
+        resolver = Resolver(namespace)
+        assert resolver.resolve("short.example.com").min_ttl == 60.0
+        resolver.advance_clock(61.0)
+        assert not resolver.resolve("short.example.com").from_cache
+
+    def test_absurd_ttl_clamped_to_max(self, namespace: Namespace) -> None:
+        zone = namespace.zone("example.com")
+        assert zone is not None
+        zone.add("forever", "A", 8003, ttl=10_000_000)
+        resolver = Resolver(namespace)
+        resolver.resolve("forever.example.com")
+        resolver.advance_clock(Resolver.MAX_TTL - 1.0)
+        assert resolver.resolve("forever.example.com").from_cache
+        resolver.advance_clock(2.0)
+        assert not resolver.resolve("forever.example.com").from_cache
+
+
+class TestVantageCacheIsolation:
+    """Caches are keyed per (name, vantage continent, vantage country).
+
+    Regression: the cache once keyed on the name alone, so a resolver
+    moved between vantages served the previous vantage's geo-routed
+    addresses.
+    """
+
+    def test_vantage_switch_is_not_poisoned(
+        self, namespace: Namespace
+    ) -> None:
+        resolver = Resolver(namespace, vantage_continent="NA")
+        first = resolver.resolve("www.example.com")
+        assert first.addresses == (3000,)
+        resolver.set_vantage("EU")
+        second = resolver.resolve("www.example.com")
+        assert not second.from_cache  # EU must not see NA's answer
+        assert second.addresses == (2000,)
+
+    def test_old_vantage_entries_survive_the_move(
+        self, namespace: Namespace
+    ) -> None:
+        resolver = Resolver(namespace, vantage_continent="NA")
+        resolver.resolve("www.example.com")
+        resolver.set_vantage("EU")
+        resolver.resolve("www.example.com")
+        resolver.set_vantage("NA")
+        third = resolver.resolve("www.example.com")
+        assert third.from_cache
+        assert third.addresses == (3000,)
+
+    def test_negative_cache_is_per_vantage(
+        self, namespace: Namespace
+    ) -> None:
+        resolver = Resolver(namespace, vantage_continent="NA")
+        with pytest.raises(NXDomainError):
+            resolver.resolve("missing.example.com")
+        resolver.set_vantage("EU")
+        with pytest.raises(NXDomainError) as excinfo:
+            resolver.resolve("missing.example.com")
+        assert "negative cache" not in str(excinfo.value)
+        assert resolver.negative_cache_hits == 0

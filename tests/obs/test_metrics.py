@@ -146,3 +146,96 @@ class TestRegistry:
         text = r.to_prometheus()
         assert '\\"hi\\"' in text
         assert "\\n" in text
+
+
+class TestBoundChildren:
+    def test_counter_child_matches_labeled_inc(self) -> None:
+        r = MetricsRegistry()
+        c = r.counter("events_total", labelnames=("kind",))
+        child = c.child(kind="hit")
+        child.inc()
+        child.inc(2.0)
+        c.inc(kind="hit")
+        assert c.value(kind="hit") == 4.0
+
+    def test_counter_child_rejects_negative(self) -> None:
+        c = MetricsRegistry().counter("n_total", labelnames=("k",))
+        with pytest.raises(ValueError):
+            c.child(k="x").inc(-1.0)
+
+    def test_counter_child_validates_labels_once(self) -> None:
+        c = MetricsRegistry().counter("n_total", labelnames=("k",))
+        with pytest.raises(ValueError):
+            c.child(wrong="x")
+
+    def test_histogram_child_matches_labeled_observe(self) -> None:
+        r = MetricsRegistry()
+        h = r.histogram(
+            "t_seconds", buckets=(1.0, 5.0), labelnames=("stage",)
+        )
+        child = h.child(stage="tls")
+        child.observe(0.5)
+        h.observe(3.0, stage="tls")
+        buckets, total, count = h.snapshot(stage="tls")
+        assert buckets == {"1.0": 1, "5.0": 2, "+Inf": 2}
+        assert total == 3.5
+        assert count == 2
+
+
+class TestMergePayloads:
+    """Shard payloads merge into the registry a single run would build."""
+
+    @staticmethod
+    def _registry(hit_count: int, seconds: float) -> MetricsRegistry:
+        r = MetricsRegistry()
+        c = r.counter("events_total", "events", labelnames=("kind",))
+        for _ in range(hit_count):
+            c.inc(kind="hit")
+        r.gauge("queries", "end-of-run total").set(float(hit_count))
+        h = r.histogram("t_seconds", "timings", buckets=(1.0, 5.0))
+        h.observe(seconds)
+        return r
+
+    def test_merge_equals_single_registry(self) -> None:
+        from repro.obs.metrics import (
+            merge_metrics_payloads,
+            render_metrics_json,
+        )
+
+        merged = merge_metrics_payloads(
+            [
+                self._registry(2, 0.5).to_dict(),
+                self._registry(3, 3.0).to_dict(),
+            ]
+        )
+        combined = MetricsRegistry()
+        c = combined.counter(
+            "events_total", "events", labelnames=("kind",)
+        )
+        c.inc(kind="hit", amount=5)
+        combined.gauge("queries", "end-of-run total").set(5.0)
+        h = combined.histogram(
+            "t_seconds", "timings", buckets=(1.0, 5.0)
+        )
+        h.observe(0.5)
+        h.observe(3.0)
+        assert render_metrics_json(merged) == render_metrics_json(
+            combined.to_dict()
+        )
+
+    def test_single_payload_roundtrips(self) -> None:
+        from repro.obs.metrics import merge_metrics_payloads
+
+        payload = self._registry(4, 0.2).to_dict()
+        merged = merge_metrics_payloads([payload])
+        assert merged["metrics"] == payload["metrics"]
+
+    def test_type_conflict_raises(self) -> None:
+        from repro.obs.metrics import merge_metrics_payloads
+
+        a = MetricsRegistry()
+        a.counter("x_total").inc()
+        b = MetricsRegistry()
+        b.gauge("x_total").set(1.0)
+        with pytest.raises(ValueError):
+            merge_metrics_payloads([a.to_dict(), b.to_dict()])

@@ -1,0 +1,149 @@
+"""Sharded campaign execution: serial and parallel runs are identical.
+
+The acceptance property of :mod:`repro.pipeline.parallel`: for the
+same :class:`CampaignSpec`, ``run_campaign(spec, workers=N)`` produces
+byte-identical artifacts to ``workers=1`` — the exported CSV, the
+merged metrics JSON, and the stitched span structure (everything but
+wall-clock timings, which no run can reproduce).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.obs.metrics import render_metrics_json
+from repro.obs.spans import stitch_spans
+from repro.pipeline import (
+    CampaignSpec,
+    export_csv,
+    measure_country_unit,
+    run_campaign,
+)
+from repro.worldgen import World, WorldConfig
+
+CONFIG = WorldConfig(
+    sites_per_country=50, countries=("BR", "DE", "TH", "US")
+)
+
+SPEC = CampaignSpec(
+    config=CONFIG,
+    fault_profile="chaos",
+    fault_seed=3,
+    retries=3,
+    instrument=True,
+)
+
+
+@pytest.fixture(scope="module")
+def serial():
+    return run_campaign(SPEC, workers=1)
+
+
+@pytest.fixture(scope="module")
+def sharded():
+    return run_campaign(SPEC, workers=2)
+
+
+class TestSerialParallelIdentity:
+    def test_csv_bytes_identical(
+        self, serial, sharded, tmp_path: Path
+    ) -> None:
+        a, b = tmp_path / "serial.csv", tmp_path / "sharded.csv"
+        export_csv(serial.dataset, a)
+        export_csv(sharded.dataset, b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_merged_metrics_json_identical(
+        self, serial, sharded
+    ) -> None:
+        assert render_metrics_json(
+            serial.metrics
+        ) == render_metrics_json(sharded.metrics)
+
+    def test_spans_identical_modulo_wall_clock(
+        self, serial, sharded
+    ) -> None:
+        assert len(serial.spans) == len(sharded.spans)
+        for left, right in zip(serial.spans, sharded.spans):
+            left = {k: v for k, v in left.items() if k != "wall_ms"}
+            right = {k: v for k, v in right.items() if k != "wall_ms"}
+            assert left == right
+
+    def test_aggregates_identical(self, serial, sharded) -> None:
+        assert serial.injected_faults == sharded.injected_faults
+        assert serial.open_circuits == sharded.open_circuits
+
+    def test_more_workers_than_countries(self, serial) -> None:
+        # Worker count clamps to the country count; output unchanged.
+        wide = run_campaign(SPEC, workers=6)
+        assert render_metrics_json(wide.metrics) == render_metrics_json(
+            serial.metrics
+        )
+
+    def test_span_ids_are_dense_and_renumbered(self, sharded) -> None:
+        ids = [span["span_id"] for span in sharded.spans]
+        assert sorted(ids) == list(range(1, len(ids) + 1))
+        by_id = {span["span_id"]: span for span in sharded.spans}
+        for span in sharded.spans:
+            parent = span["parent_id"]
+            if parent is not None:
+                assert by_id[parent]["name"] == "site"
+
+
+class TestCountryUnitIsolation:
+    def test_unit_result_independent_of_other_countries(self) -> None:
+        # A country's unit result is a pure function of (config,
+        # knobs, country): measuring it alone equals measuring it
+        # after other countries ran through the same World.
+        world = World(CONFIG)
+        alone = measure_country_unit(world, SPEC, "TH")
+        measure_country_unit(world, SPEC, "US")
+        again = measure_country_unit(world, SPEC, "TH")
+        assert alone.rows == again.rows
+        assert alone.metrics == again.metrics
+        assert len(alone.spans) == len(again.spans)
+        for left, right in zip(alone.spans, again.spans):
+            left = {k: v for k, v in left.items() if k != "wall_ms"}
+            right = {k: v for k, v in right.items() if k != "wall_ms"}
+            assert left == right
+
+    def test_uninstrumented_units_have_no_telemetry(self) -> None:
+        spec = CampaignSpec(config=CONFIG, instrument=False)
+        result = run_campaign(spec, workers=1)
+        assert result.metrics is None
+        assert result.spans is None
+        with pytest.raises(PipelineError):
+            result.write_metrics("unused.json")
+        with pytest.raises(PipelineError):
+            result.write_trace("unused.jsonl")
+
+
+class TestStitchSpans:
+    def test_offsets_and_parent_links(self) -> None:
+        first = [
+            {"span_id": 1, "parent_id": None, "name": "site"},
+            {"span_id": 2, "parent_id": 1, "name": "resolve"},
+        ]
+        second = [
+            {"span_id": 1, "parent_id": None, "name": "site"},
+            {"span_id": 2, "parent_id": 1, "name": "tls"},
+        ]
+        stitched = stitch_spans([first, second])
+        assert [s["span_id"] for s in stitched] == [1, 2, 3, 4]
+        assert [s["parent_id"] for s in stitched] == [None, 1, None, 3]
+        # Inputs are not mutated.
+        assert second[0]["span_id"] == 1
+
+    def test_roundtrips_through_json(self, tmp_path: Path) -> None:
+        from repro.obs.spans import load_trace, write_spans_jsonl
+
+        spans = [{"span_id": 1, "parent_id": None, "name": "site"}]
+        path = tmp_path / "trace.jsonl"
+        assert write_spans_jsonl(spans, path) == 1
+        assert load_trace(path) == json.loads(
+            json.dumps(spans)
+        )

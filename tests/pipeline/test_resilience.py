@@ -245,3 +245,41 @@ class TestDeterminism:
         assert list(first) == list(second)
         assert first.failure_taxonomy() == second.failure_taxonomy()
         assert first_plan.injected == second_plan.injected
+
+
+class TestNsStaleGeoDegradation:
+    def test_ns_stale_geo_marks_row_degraded(
+        self, small_world: World
+    ) -> None:
+        """Regression: a stale-geo hit on the *nameserver* address once
+        left the row's ``degraded`` flag False even though the row lost
+        its NS geolocation."""
+        baseline = MeasurementPipeline(small_world).run(["US"])
+        plan = FaultPlan((StaleGeoData(0.5),), seed=11)
+        faulted = MeasurementPipeline(
+            small_world, fault_plan=plan
+        ).run(["US"])
+
+        ns_only_stale = 0
+        for base, row in zip(baseline, faulted):
+            if base.error is not None or row.error is not None:
+                continue
+            if (
+                row.ns_continent is None
+                and base.ns_continent is not None
+                and row.ip_country is not None
+                and row.dns_error is None
+                and row.tls_error is None
+            ):
+                # Only the NS address hit the stale snapshot: the row
+                # must still be flagged partial.
+                ns_only_stale += 1
+                assert row.degraded
+                assert row.ok  # degraded, not failed
+                assert row.dns_org == base.dns_org  # labels survive
+        # The flag must also survive the NS-org cache: with 300 sites
+        # sharing a handful of nameservers, most of these rows were
+        # labeled from a cached (stale) entry.
+        assert ns_only_stale > len(
+            {r.dns_org for r in faulted if r.dns_org}
+        )
