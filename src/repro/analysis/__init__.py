@@ -32,6 +32,11 @@ from .regional import (
     subregion_means,
 )
 from .report import comparison_table, country_report, layer_summary
+from .storediff import (
+    campaign_dataset,
+    campaign_diff,
+    render_campaign_diff,
+)
 from .study import DependenceStudy
 from .whatif import (
     OutageImpact,
@@ -44,6 +49,9 @@ from .whatif import (
 __all__ = [
     "load_metrics",
     "render_campaign_report",
+    "campaign_dataset",
+    "campaign_diff",
+    "render_campaign_diff",
     "BundlingReport",
     "hosting_dns_bundling",
     "ca_attribution",

@@ -237,10 +237,42 @@ def _failure_lines(metrics: dict, top: int) -> list[str]:
     return lines
 
 
+def _store_lines(store_metrics: dict) -> list[str]:
+    """Summarize the campaign-store hit/miss/skip accounting."""
+    hits = _value_total(store_metrics, "repro_store_shard_hits_total")
+    misses = _value_total(store_metrics, "repro_store_shard_misses_total")
+    skipped = _value_total(
+        store_metrics, "repro_store_resume_skipped_total"
+    )
+    lines = [
+        f"   shard hits:       {_fmt_count(hits)}",
+        f"   shard misses:     {_fmt_count(misses)}",
+        f"   resume skipped:   {_fmt_count(skipped)}",
+    ]
+    hit_countries = sorted(
+        labels["country"]
+        for labels, _ in _samples(
+            store_metrics, "repro_store_shard_hits_total"
+        )
+    )
+    miss_countries = sorted(
+        labels["country"]
+        for labels, _ in _samples(
+            store_metrics, "repro_store_shard_misses_total"
+        )
+    )
+    if hit_countries:
+        lines.append(f"   reused: {' '.join(hit_countries)}")
+    if miss_countries:
+        lines.append(f"   measured: {' '.join(miss_countries)}")
+    return lines
+
+
 def render_campaign_report(
     metrics: dict,
     spans: list[dict] | None = None,
     top: int = 5,
+    store_metrics: dict | None = None,
 ) -> str:
     """Render the operator-facing summary of one campaign run.
 
@@ -248,6 +280,10 @@ def render_campaign_report(
     ``spans`` an optional loaded trace
     (:func:`repro.obs.spans.load_trace`) that adds wall-clock stage
     timings.  ``top`` bounds the nameserver and country rankings.
+    ``store_metrics`` is the per-campaign store-telemetry artifact
+    (kept out of the measurement metrics so resumed runs stay
+    byte-identical); when given, a campaign-store section reports
+    shard reuse.
     """
     sections: list[tuple[str, list[str]]] = [
         ("overview", _overview_lines(metrics)),
@@ -257,6 +293,8 @@ def render_campaign_report(
         ("resilience", _breaker_lines(metrics)),
         ("failures by class × layer", _failure_lines(metrics, top)),
     ]
+    if store_metrics is not None:
+        sections.append(("campaign store", _store_lines(store_metrics)))
     out: list[str] = ["campaign report", "==============="]
     for title, lines in sections:
         if not lines:

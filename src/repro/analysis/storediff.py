@@ -1,0 +1,181 @@
+"""Diffing two stored campaigns: what did the world's evolution change?
+
+The longitudinal questions the paper asks (Section 5.4: who gained,
+who lost, where did Cloudflare spread) become cheap once campaigns
+persist: load two manifests from a
+:class:`~repro.store.store.CampaignStore`, rebuild each dataset from
+its shards, and compare the per-layer centralization scores and
+insularity country by country.  The renderer also reports *shard
+provenance* — which countries were actually re-measured between the
+two campaigns and which reused identical stored results — which is the
+store's own evidence of how much incremental re-measurement saved.
+"""
+
+from __future__ import annotations
+
+from ..core.centralization import centralization_score
+from ..datasets.paper_scores import LAYERS
+from ..errors import PipelineError
+from ..pipeline.records import MeasurementDataset
+from ..store.store import CampaignStore, decode_shard
+from .layers import LayerAnalysis
+
+__all__ = [
+    "campaign_dataset",
+    "campaign_diff",
+    "manifest_snapshot",
+    "render_campaign_diff",
+]
+
+
+def manifest_snapshot(manifest: dict) -> str | None:
+    """The snapshot a stored campaign actually measured.
+
+    An evolved campaign's manifest records the *base* config plus the
+    churn recipe; the measured world carries the churn's new snapshot.
+    """
+    spec = manifest.get("spec", {})
+    churn = spec.get("churn")
+    if churn is not None:
+        return churn.get("new_snapshot")
+    return spec.get("config", {}).get("snapshot")
+
+
+def campaign_dataset(
+    store: CampaignStore, campaign: str
+) -> MeasurementDataset:
+    """Rebuild a stored campaign's full dataset from its shards."""
+    manifest = store.load_manifest(campaign)
+    if manifest is None:
+        raise PipelineError(
+            f"campaign {campaign} not found in store {store.root}"
+        )
+    dataset = MeasurementDataset()
+    for cc in sorted(manifest.get("countries", {})):
+        entry = manifest["countries"][cc]
+        digest = entry.get("object")
+        if digest is None:
+            raise PipelineError(
+                f"campaign {campaign} has no stored shard for {cc} "
+                f"(incomplete run; finish it with --resume)"
+            )
+        payload = store.get_object(digest)
+        if payload is None:
+            raise PipelineError(
+                f"campaign {campaign} shard object {digest} missing "
+                f"from store (was it gc'ed?)"
+            )
+        dataset.extend(decode_shard(payload).rows)
+    return dataset
+
+
+def campaign_diff(
+    store: CampaignStore, campaign_a: str, campaign_b: str
+) -> dict:
+    """Structured per-layer, per-country deltas between two campaigns.
+
+    Returns a JSON-ready mapping with shard provenance (which
+    countries' stored results are literally the same object) and, for
+    every layer, each country's centralization score and insularity in
+    both campaigns plus the delta.
+    """
+    manifest_a = store.load_manifest(campaign_a)
+    manifest_b = store.load_manifest(campaign_b)
+    if manifest_a is None or manifest_b is None:
+        missing = campaign_a if manifest_a is None else campaign_b
+        raise PipelineError(
+            f"campaign {missing} not found in store {store.root}"
+        )
+    dataset_a = campaign_dataset(store, campaign_a)
+    dataset_b = campaign_dataset(store, campaign_b)
+
+    countries_a = manifest_a.get("countries", {})
+    countries_b = manifest_b.get("countries", {})
+    shared = sorted(set(countries_a) & set(countries_b))
+    reused = [
+        cc
+        for cc in shared
+        if countries_a[cc].get("object") == countries_b[cc].get("object")
+    ]
+    remeasured = [cc for cc in shared if cc not in set(reused)]
+
+    layers: dict = {}
+    for layer in LAYERS:
+        analysis_a = LayerAnalysis(dataset_a, layer)
+        analysis_b = LayerAnalysis(dataset_b, layer)
+        per_country: dict = {}
+        for cc in shared:
+            score_a = centralization_score(analysis_a.distribution(cc))
+            score_b = centralization_score(analysis_b.distribution(cc))
+            insularity_a = analysis_a.insularity[cc]
+            insularity_b = analysis_b.insularity[cc]
+            per_country[cc] = {
+                "centralization": [score_a, score_b, score_b - score_a],
+                "insularity": [
+                    insularity_a,
+                    insularity_b,
+                    insularity_b - insularity_a,
+                ],
+            }
+        layers[layer] = per_country
+
+    return {
+        "campaign_a": campaign_a,
+        "campaign_b": campaign_b,
+        "snapshot_a": manifest_snapshot(manifest_a),
+        "snapshot_b": manifest_snapshot(manifest_b),
+        "countries_only_a": sorted(set(countries_a) - set(countries_b)),
+        "countries_only_b": sorted(set(countries_b) - set(countries_a)),
+        "reused_shards": reused,
+        "remeasured": remeasured,
+        "layers": layers,
+    }
+
+
+def render_campaign_diff(
+    store: CampaignStore,
+    campaign_a: str,
+    campaign_b: str,
+    top: int = 10,
+) -> str:
+    """Human-readable diff of two stored campaigns.
+
+    Per layer, the ``top`` countries by absolute centralization delta
+    (all countries when fewer); plus shard provenance up front.
+    """
+    diff = campaign_diff(store, campaign_a, campaign_b)
+    out = [
+        "campaign diff",
+        "=============",
+        f"a: {campaign_a[:16]}  snapshot {diff['snapshot_a']}",
+        f"b: {campaign_b[:16]}  snapshot {diff['snapshot_b']}",
+        "",
+        f"-- shards: {len(diff['reused_shards'])} reused, "
+        f"{len(diff['remeasured'])} re-measured",
+    ]
+    if diff["reused_shards"]:
+        out.append(f"   reused: {' '.join(diff['reused_shards'])}")
+    if diff["remeasured"]:
+        out.append(f"   re-measured: {' '.join(diff['remeasured'])}")
+    for only, label in (
+        (diff["countries_only_a"], "only in a"),
+        (diff["countries_only_b"], "only in b"),
+    ):
+        if only:
+            out.append(f"   {label}: {' '.join(only)}")
+    for layer, per_country in diff["layers"].items():
+        ranked = sorted(
+            per_country.items(),
+            key=lambda item: (-abs(item[1]["centralization"][2]), item[0]),
+        )[:top]
+        out.append("")
+        out.append(f"-- {layer}: centralization / insularity deltas")
+        for cc, entry in ranked:
+            score_a, score_b, d_score = entry["centralization"]
+            ins_a, ins_b, d_ins = entry["insularity"]
+            out.append(
+                f"   {cc}  score {score_a:.4f} -> {score_b:.4f} "
+                f"({d_score:+.4f})   insularity {ins_a:.3f} -> "
+                f"{ins_b:.3f} ({d_ins:+.3f})"
+            )
+    return "\n".join(out)

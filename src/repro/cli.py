@@ -9,11 +9,19 @@ Commands
 ``longitudinal`` run the 2023→2025 churn study
 ``measure``      run the pipeline with fault injection and resilience
 ``report-campaign``  summarize a run's metrics/trace artifacts
+``campaigns``    list / show / diff / gc the campaign store
+``version``      print the package version (also ``--version``)
 
 Global flags: ``-v/--verbose`` (repeatable) raises the structured-log
 level, ``-q/--quiet`` lowers it to errors only.  ``measure`` grows
 ``--trace-out`` (JSONL spans) and ``--metrics-out`` (deterministic
-metrics JSON) for the observability substrate.
+metrics JSON) for the observability substrate, plus the campaign-store
+family: ``--store`` (persist per-country shards as they complete),
+``--resume`` (skip countries whose shard is already stored),
+``--since <campaign-id>`` (incremental re-measurement after a world
+evolution — pair with ``--evolve``/``--churn-countries``), and
+``--halt-after N`` (testing hook: abort after N checkpointed
+countries, exit code 3).
 
 The CLI is a thin veneer over :mod:`repro.analysis`; anything it prints
 can be obtained programmatically.
@@ -33,7 +41,24 @@ from .core import (
     top_n_share,
 )
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "package_version"]
+
+
+def package_version() -> str:
+    """The installed package version, falling back to the source tree.
+
+    Prefers importlib.metadata (authoritative for an installed wheel);
+    a source checkout run via ``PYTHONPATH=src`` has no distribution
+    metadata, so fall back to ``repro.__version__``.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        from . import __version__
+
+        return __version__
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,6 +69,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction toolkit for 'Formalizing Dependence of Web "
             "Infrastructure' (SIGCOMM 2025)"
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {package_version()}",
     )
     parser.add_argument(
         "-v",
@@ -154,6 +184,91 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the deterministic metrics registry (counters, "
         "histograms) as JSON",
     )
+    measure.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="campaign store directory; per-country results are "
+        "checkpointed there as they complete",
+    )
+    measure.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip countries whose shard already exists in the store "
+        "(finishing an interrupted run of the same campaign); output "
+        "is byte-identical to an uninterrupted run",
+    )
+    measure.add_argument(
+        "--since",
+        default=None,
+        metavar="CAMPAIGN",
+        help="incremental re-measurement: reuse stored shards from a "
+        "baseline campaign for countries whose world slice is "
+        "unchanged (campaign id, unique prefix accepted)",
+    )
+    measure.add_argument(
+        "--evolve",
+        action="store_true",
+        help="measure the churned evolution of the world "
+        "(worldgen.churn.evolve) instead of the base snapshot",
+    )
+    measure.add_argument(
+        "--churn-countries",
+        nargs="+",
+        default=None,
+        metavar="CC",
+        help="with --evolve: restrict churn to these countries; all "
+        "others carry into the new snapshot byte-identically",
+    )
+    measure.add_argument(
+        "--halt-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="testing hook: abort (exit code 3) once N countries have "
+        "been measured and checkpointed",
+    )
+
+    campaigns = sub.add_parser(
+        "campaigns",
+        help="inspect and maintain the campaign store "
+        "(list / show / diff / gc)",
+    )
+    campaigns.add_argument(
+        "--store",
+        required=True,
+        metavar="DIR",
+        help="campaign store directory",
+    )
+    campaigns_sub = campaigns.add_subparsers(
+        dest="subcommand", required=True
+    )
+    campaigns_sub.add_parser("list", help="list stored campaigns")
+    show = campaigns_sub.add_parser(
+        "show", help="one campaign's manifest in detail"
+    )
+    show.add_argument("campaign", help="campaign id (prefix accepted)")
+    diff = campaigns_sub.add_parser(
+        "diff",
+        help="per-layer centralization and insularity deltas between "
+        "two stored campaigns",
+    )
+    diff.add_argument("campaign_a", help="baseline campaign id")
+    diff.add_argument("campaign_b", help="comparison campaign id")
+    diff.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="countries per layer, ranked by |score delta| (default 10)",
+    )
+    campaigns_sub.add_parser(
+        "gc",
+        help="drop shard objects and index entries no manifest "
+        "references",
+    )
+
+    sub.add_parser("version", help="print the package version")
 
     report = sub.add_parser(
         "report-campaign",
@@ -182,6 +297,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=5,
         metavar="N",
         help="rows per ranking (nameservers, countries; default 5)",
+    )
+    report.add_argument(
+        "--store-metrics",
+        default=None,
+        metavar="JSON",
+        help="per-campaign store-telemetry artifact "
+        "(campaigns/<id>.store.json); adds a campaign-store section "
+        "with shard hit/miss/resume counts",
     )
     return parser
 
@@ -268,16 +391,51 @@ def _cmd_longitudinal(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_campaign_id(store, prefix: str) -> str:
+    """Expand a campaign-id prefix against the store's manifests."""
+    from .errors import PipelineError
+
+    matches = [
+        manifest["campaign"]
+        for manifest in store.list_campaigns()
+        if manifest["campaign"].startswith(prefix)
+    ]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise PipelineError(
+            f"no campaign matching {prefix!r} in {store.root}"
+        )
+    raise PipelineError(
+        f"campaign prefix {prefix!r} is ambiguous: "
+        f"{', '.join(m[:16] for m in matches)}"
+    )
+
+
 def _cmd_measure(args: argparse.Namespace) -> int:
+    from .errors import PipelineError
     from .faults import render_failure_report
-    from .pipeline import CampaignSpec, export_csv, run_campaign
-    from .worldgen import WorldConfig
+    from .pipeline import (
+        CampaignHalted,
+        CampaignSpec,
+        export_csv,
+        run_campaign,
+    )
+    from .worldgen import ChurnConfig, WorldConfig
 
     kwargs = {"sites_per_country": args.sites}
     if args.countries:
         kwargs["countries"] = tuple(
             sorted({c.upper() for c in args.countries})
         )
+    churn = None
+    if args.evolve or args.churn_countries:
+        churn_kwargs = {}
+        if args.churn_countries:
+            churn_kwargs["churn_countries"] = tuple(
+                sorted({c.upper() for c in args.churn_countries})
+            )
+        churn = ChurnConfig(**churn_kwargs)
     # Only instrument when asked: the default path stays the
     # observability-free (byte-identical) hot path.
     spec = CampaignSpec(
@@ -286,8 +444,31 @@ def _cmd_measure(args: argparse.Namespace) -> int:
         fault_seed=args.fault_seed,
         retries=args.retries,
         instrument=bool(args.trace_out or args.metrics_out),
+        churn=churn,
     )
-    result = run_campaign(spec, workers=args.workers)
+    store = None
+    baseline = None
+    if args.store:
+        from .store import CampaignStore
+
+        store = CampaignStore(args.store)
+        if args.since:
+            baseline = _resolve_campaign_id(store, args.since)
+    elif args.resume or args.since:
+        raise PipelineError("--resume/--since require --store DIR")
+    try:
+        result = run_campaign(
+            spec,
+            workers=args.workers,
+            store=store,
+            resume=args.resume,
+            baseline=baseline,
+            halt_after=args.halt_after,
+        )
+    except CampaignHalted as halted:
+        print(f"{halted} (campaign {halted.campaign or '-'}); "
+              f"finish it with --resume")
+        return 3
     dataset = result.dataset
 
     total = len(dataset)
@@ -324,6 +505,25 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     if args.trace_out:
         spans = result.write_trace(args.trace_out)
         print(f"wrote {spans} spans to {args.trace_out}")
+    if result.campaign is not None:
+        hits, misses, skipped = (0, 0, 0)
+        if result.store_metrics is not None:
+            metrics = result.store_metrics.get("metrics", {})
+
+            def _total(name: str) -> int:
+                entry = metrics.get(name, {})
+                return int(
+                    sum(s["value"] for s in entry.get("samples", ()))
+                )
+
+            hits = _total("repro_store_shard_hits_total")
+            misses = _total("repro_store_shard_misses_total")
+            skipped = _total("repro_store_resume_skipped_total")
+        print(
+            f"campaign {result.campaign[:16]} stored in {args.store} "
+            f"(shard hits {hits}, misses {misses}, "
+            f"resume skipped {skipped})"
+        )
     return 0
 
 
@@ -338,7 +538,76 @@ def _cmd_report_campaign(args: argparse.Namespace) -> int:
         spans = (
             stitch_spans(traces) if len(traces) > 1 else traces[0]
         )
-    print(render_campaign_report(metrics, spans, top=args.top))
+    store_metrics = None
+    if args.store_metrics:
+        store_metrics = load_metrics(args.store_metrics)
+    print(
+        render_campaign_report(
+            metrics, spans, top=args.top, store_metrics=store_metrics
+        )
+    )
+    return 0
+
+
+def _cmd_campaigns(args: argparse.Namespace) -> int:
+    from .store import CampaignStore
+
+    store = CampaignStore(args.store)
+    if args.subcommand == "list":
+        manifests = store.list_campaigns()
+        if not manifests:
+            print(f"no campaigns stored in {store.root}")
+            return 0
+        from .analysis.storediff import manifest_snapshot
+
+        for manifest in manifests:
+            config = manifest["spec"]["config"]
+            countries = manifest.get("countries", {})
+            stored = sum(
+                1 for entry in countries.values() if entry.get("object")
+            )
+            state = "complete" if manifest.get("complete") else "partial"
+            print(
+                f"{manifest['campaign'][:16]}  {state:8s}  "
+                f"snapshot {manifest_snapshot(manifest)}  "
+                f"seed {config.get('seed')}  "
+                f"profile {manifest['spec']['knobs']['fault_profile']}  "
+                f"{stored}/{len(countries)} shards"
+            )
+        return 0
+    if args.subcommand == "show":
+        import json as json_module
+
+        campaign = _resolve_campaign_id(store, args.campaign)
+        manifest = store.load_manifest(campaign)
+        print(json_module.dumps(manifest, indent=2, sort_keys=True))
+        return 0
+    if args.subcommand == "diff":
+        from .analysis import render_campaign_diff
+
+        print(
+            render_campaign_diff(
+                store,
+                _resolve_campaign_id(store, args.campaign_a),
+                _resolve_campaign_id(store, args.campaign_b),
+                top=args.top,
+            )
+        )
+        return 0
+    if args.subcommand == "gc":
+        objects_removed, index_removed = store.gc()
+        print(
+            f"removed {objects_removed} objects, "
+            f"{index_removed} index entries"
+        )
+        return 0
+    raise AssertionError(  # pragma: no cover - argparse enforces choices
+        f"unknown campaigns subcommand {args.subcommand!r}"
+    )
+
+
+def _cmd_version(args: argparse.Namespace) -> int:
+    print(f"repro {package_version()}")
     return 0
 
 
@@ -350,6 +619,8 @@ _COMMANDS = {
     "longitudinal": _cmd_longitudinal,
     "measure": _cmd_measure,
     "report-campaign": _cmd_report_campaign,
+    "campaigns": _cmd_campaigns,
+    "version": _cmd_version,
 }
 
 

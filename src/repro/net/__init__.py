@@ -13,6 +13,7 @@ and public-suffix TLD extraction (:mod:`~repro.net.psl`).
 
 from .addressing import (
     AddressSpaceExhausted,
+    KeyedPrefixAllocator,
     Prefix,
     PrefixAllocator,
     PrefixTrie,
@@ -38,6 +39,7 @@ __all__ = [
     "Prefix",
     "PrefixTrie",
     "PrefixAllocator",
+    "KeyedPrefixAllocator",
     "AddressSpaceExhausted",
     "ip_to_int",
     "int_to_ip",

@@ -10,6 +10,7 @@ RIR would.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterator
 from dataclasses import dataclass
 from typing import Generic, TypeVar
@@ -20,6 +21,7 @@ __all__ = [
     "Prefix",
     "PrefixTrie",
     "PrefixAllocator",
+    "KeyedPrefixAllocator",
     "AddressSpaceExhausted",
     "ip_to_int",
     "int_to_ip",
@@ -257,3 +259,79 @@ class PrefixAllocator:
             )
         self._cursor = aligned + size
         return Prefix(aligned, length)
+
+
+class KeyedPrefixAllocator:
+    """Per-key block allocation with hash-derived, stable placement.
+
+    A sequential allocator makes every address depend on the *global*
+    request order: insert one provider early and every later provider's
+    prefixes shift.  That order-dependence is poison for incremental
+    re-measurement, where a churned world should leave the unchanged
+    providers' addresses alone.  Here each key (a provider, a cache
+    node) owns a /``block_length`` block whose position is derived from
+    ``sha256(key)``, and allocates sub-prefixes sequentially *inside*
+    its own block — so a key's prefixes are a function of the key and
+    its own request sequence only, independent of what other keys exist
+    or in which order they allocated.
+
+    Hash collisions (two keys landing on the same block) are resolved
+    by deterministic linear probing; the probed key's placement then
+    depends on whichever key claimed the block first, so collisions can
+    degrade cross-world address stability — but never determinism
+    within one world, and never correctness (consumers that need
+    stability detect address changes by digest, not by assumption).
+    """
+
+    def __init__(
+        self, pool: Prefix | str = "0.0.0.0/0", block_length: int = 16
+    ) -> None:
+        self._pool = Prefix.parse(pool) if isinstance(pool, str) else pool
+        if not self._pool.length <= block_length <= 32:
+            raise ValueError(
+                f"block length /{block_length} outside pool "
+                f"/{self._pool.length}"
+            )
+        self._block_length = block_length
+        self._n_blocks = 1 << (block_length - self._pool.length)
+        self._block_size = 1 << (32 - block_length)
+        self._owner: dict[int, str] = {}
+        self._blocks: dict[str, PrefixAllocator] = {}
+
+    @property
+    def pool(self) -> Prefix:
+        """The prefix pool blocks are carved from."""
+        return self._pool
+
+    def _slot_of(self, key: str) -> int:
+        digest = hashlib.sha256(key.encode()).digest()
+        base = int.from_bytes(digest[:8], "big")
+        for probe in range(self._n_blocks):
+            slot = (base + probe) % self._n_blocks
+            owner = self._owner.get(slot)
+            if owner is None:
+                self._owner[slot] = key
+                return slot
+            if owner == key:
+                return slot
+        raise AddressSpaceExhausted(
+            f"no free /{self._block_length} block in {self._pool} "
+            f"for key {key!r}"
+        )
+
+    def block_of(self, key: str) -> Prefix:
+        """The key's own block (claimed on first use)."""
+        slot = self._slot_of(key)
+        return Prefix(
+            self._pool.network + slot * self._block_size,
+            self._block_length,
+        )
+
+    def allocate(self, key: str, length: int) -> Prefix:
+        """Allocate the key's next /``length`` prefix inside its block."""
+        allocator = self._blocks.get(key)
+        if allocator is None:
+            allocator = self._blocks[key] = PrefixAllocator(
+                self.block_of(key)
+            )
+        return allocator.allocate(length)

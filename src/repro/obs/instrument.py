@@ -32,7 +32,12 @@ from .log import StructuredLogger, get_logger
 from .metrics import MetricsRegistry
 from .spans import Tracer
 
-__all__ = ["Instrumentation", "NullInstrumentation", "NULL_OBS"]
+__all__ = [
+    "Instrumentation",
+    "NullInstrumentation",
+    "NULL_OBS",
+    "StoreTelemetry",
+]
 
 
 class Instrumentation:
@@ -430,3 +435,61 @@ class NullInstrumentation:
 
 #: Shared no-op instance used wherever no instrumentation was given.
 NULL_OBS = NullInstrumentation()
+
+
+class StoreTelemetry:
+    """Hit/miss/skip accounting for the campaign store.
+
+    Lives in its *own* :class:`~repro.obs.metrics.MetricsRegistry`,
+    never merged into a campaign's measurement metrics: a resumed run
+    must emit a ``--metrics-out`` file byte-identical to an
+    uninterrupted run, and store hit counts differ between the two by
+    design.  The payload is written as a separate per-campaign
+    artifact and surfaced by ``repro report-campaign``.
+    """
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self._hits = self.registry.counter(
+            "repro_store_shard_hits_total",
+            "Countries whose stored shard was reused",
+            labelnames=("country",),
+        )
+        self._misses = self.registry.counter(
+            "repro_store_shard_misses_total",
+            "Countries measured because no stored shard matched",
+            labelnames=("country",),
+        )
+        self._skipped = self.registry.counter(
+            "repro_store_resume_skipped_total",
+            "Countries skipped by --resume (shard already present)",
+            labelnames=("country",),
+        )
+
+    def shard_hit(self, country: str) -> None:
+        """A stored shard satisfied this country."""
+        self._hits.inc(country=country)
+
+    def shard_miss(self, country: str) -> None:
+        """No stored shard matched; the country was measured."""
+        self._misses.inc(country=country)
+
+    def resume_skipped(self, country: str) -> None:
+        """--resume skipped this country (hit during the same campaign)."""
+        self._skipped.inc(country=country)
+
+    def counts(self) -> tuple[int, int, int]:
+        """Total ``(hits, misses, resume_skipped)`` across countries."""
+
+        def total(metric) -> int:
+            return int(sum(value for _, value in metric.samples()))
+
+        return (
+            total(self._hits),
+            total(self._misses),
+            total(self._skipped),
+        )
+
+    def to_dict(self) -> dict:
+        """The store-metrics payload (``MetricsRegistry.to_dict``)."""
+        return self.registry.to_dict()

@@ -14,9 +14,12 @@ from .export import (
     export_csv,
     export_summary_json,
     load_csv,
+    rows_from_csv_text,
+    rows_to_csv_text,
 )
 from .measure import STANFORD_VANTAGE_CONTINENT, MeasurementPipeline
 from .parallel import (
+    CampaignHalted,
     CampaignResult,
     CampaignSpec,
     CountryResult,
@@ -31,6 +34,7 @@ __all__ = [
     "STANFORD_VANTAGE_CONTINENT",
     "CampaignSpec",
     "CampaignResult",
+    "CampaignHalted",
     "CountryResult",
     "measure_country_unit",
     "run_campaign",
@@ -42,6 +46,8 @@ __all__ = [
     "validate_vantage",
     "export_csv",
     "load_csv",
+    "rows_to_csv_text",
+    "rows_from_csv_text",
     "export_summary_json",
     "CSV_FIELDS",
     "LEGACY_CSV_FIELDS",

@@ -10,7 +10,9 @@ without rebuilding the world.
 from __future__ import annotations
 
 import csv
+import io
 import json
+from collections.abc import Iterable
 from pathlib import Path
 
 from ..core.centralization import centralization_score
@@ -24,6 +26,8 @@ __all__ = [
     "LEGACY_CSV_FIELDS",
     "export_csv",
     "load_csv",
+    "rows_to_csv_text",
+    "rows_from_csv_text",
     "export_summary_json",
 ]
 
@@ -68,6 +72,49 @@ def _cell(value: object) -> str:
     return str(value)
 
 
+def _record_row(record: WebsiteMeasurement) -> list[str]:
+    return [
+        record.country,
+        str(record.rank),
+        record.domain,
+        int_to_ip(record.ip) if record.ip is not None else "",
+        _cell(record.hosting_org),
+        _cell(record.hosting_org_country),
+        _cell(record.ip_country),
+        _cell(record.ip_continent),
+        _cell(record.ip_anycast),
+        _cell(record.dns_org),
+        _cell(record.dns_org_country),
+        _cell(record.ns_continent),
+        _cell(record.ns_anycast),
+        _cell(record.ca_owner),
+        _cell(record.ca_country),
+        _cell(record.tld),
+        _cell(record.language),
+        _cell(record.error),
+        _cell(record.dns_error),
+        _cell(record.tls_error),
+        str(record.attempts),
+        _cell(record.degraded),
+    ]
+
+
+def rows_to_csv_text(records: Iterable[WebsiteMeasurement]) -> str:
+    """Render records as release-schema CSV text (header included).
+
+    The single serialization used everywhere a record crosses a byte
+    boundary — file exports and campaign-store shards alike — so that
+    the store's resume/reuse paths are byte-identical to a fresh export
+    by construction.
+    """
+    buffer = io.StringIO(newline="")
+    writer = csv.writer(buffer)
+    writer.writerow(CSV_FIELDS)
+    for record in records:
+        writer.writerow(_record_row(record))
+    return buffer.getvalue()
+
+
 def export_csv(dataset: MeasurementDataset, path: str | Path) -> int:
     """Write the per-site records to CSV; returns the row count."""
     path = Path(path)
@@ -76,38 +123,69 @@ def export_csv(dataset: MeasurementDataset, path: str | Path) -> int:
         writer = csv.writer(handle)
         writer.writerow(CSV_FIELDS)
         for record in dataset:
-            writer.writerow(
-                [
-                    record.country,
-                    record.rank,
-                    record.domain,
-                    int_to_ip(record.ip) if record.ip is not None else "",
-                    _cell(record.hosting_org),
-                    _cell(record.hosting_org_country),
-                    _cell(record.ip_country),
-                    _cell(record.ip_continent),
-                    _cell(record.ip_anycast),
-                    _cell(record.dns_org),
-                    _cell(record.dns_org_country),
-                    _cell(record.ns_continent),
-                    _cell(record.ns_anycast),
-                    _cell(record.ca_owner),
-                    _cell(record.ca_country),
-                    _cell(record.tld),
-                    _cell(record.language),
-                    _cell(record.error),
-                    _cell(record.dns_error),
-                    _cell(record.tls_error),
-                    str(record.attempts),
-                    _cell(record.degraded),
-                ]
-            )
+            writer.writerow(_record_row(record))
             rows += 1
     return rows
 
 
 def _parse(value: str) -> str | None:
     return value if value else None
+
+
+def _record_from_values(values: dict[str, str]) -> WebsiteMeasurement:
+    return WebsiteMeasurement(
+        domain=values["domain"],
+        country=values["country"],
+        rank=int(values["rank"]),
+        ip=(ip_to_int(values["ip"]) if values["ip"] else None),
+        hosting_org=_parse(values["hosting_org"]),
+        hosting_org_country=_parse(values["hosting_org_country"]),
+        ip_country=_parse(values["ip_country"]),
+        ip_continent=_parse(values["ip_continent"]),
+        ip_anycast=values["ip_anycast"] == "1",
+        dns_org=_parse(values["dns_org"]),
+        dns_org_country=_parse(values["dns_org_country"]),
+        ns_continent=_parse(values["ns_continent"]),
+        ns_anycast=values["ns_anycast"] == "1",
+        ca_owner=_parse(values["ca_owner"]),
+        ca_country=_parse(values["ca_country"]),
+        tld=_parse(values["tld"]),
+        language=_parse(values["language"]),
+        error=_parse(values["error"]),
+        dns_error=_parse(values.get("dns_error", "")),
+        tls_error=_parse(values.get("tls_error", "")),
+        attempts=int(values.get("attempts", "0") or "0"),
+        degraded=values.get("degraded", "0") == "1",
+    )
+
+
+def _parse_csv(
+    reader: Iterable[list[str]], source: str
+) -> Iterable[WebsiteMeasurement]:
+    iterator = iter(reader)
+    header = next(iterator, None)
+    if header is not None and tuple(header) == CSV_FIELDS:
+        fields = CSV_FIELDS
+    elif header is not None and tuple(header) == LEGACY_CSV_FIELDS:
+        fields = LEGACY_CSV_FIELDS
+    else:
+        raise PipelineError(
+            f"{source} does not match the release schema; expected "
+            f"header {CSV_FIELDS} (or the legacy "
+            f"{len(LEGACY_CSV_FIELDS)}-column schema)"
+        )
+    for row in iterator:
+        if len(row) != len(fields):
+            raise PipelineError(
+                f"{source}: malformed row with {len(row)} cells"
+            )
+        yield _record_from_values(dict(zip(fields, row)))
+
+
+def rows_from_csv_text(text: str) -> tuple[WebsiteMeasurement, ...]:
+    """Parse release-schema CSV text (inverse of rows_to_csv_text)."""
+    reader = csv.reader(io.StringIO(text, newline=""))
+    return tuple(_parse_csv(reader, "csv text"))
 
 
 def load_csv(path: str | Path) -> MeasurementDataset:
@@ -119,54 +197,8 @@ def load_csv(path: str | Path) -> MeasurementDataset:
     path = Path(path)
     dataset = MeasurementDataset()
     with path.open(newline="", encoding="utf-8") as handle:
-        reader = csv.reader(handle)
-        header = next(reader, None)
-        if header is not None and tuple(header) == CSV_FIELDS:
-            fields = CSV_FIELDS
-        elif header is not None and tuple(header) == LEGACY_CSV_FIELDS:
-            fields = LEGACY_CSV_FIELDS
-        else:
-            raise PipelineError(
-                f"{path} does not match the release schema; expected "
-                f"header {CSV_FIELDS} (or the legacy "
-                f"{len(LEGACY_CSV_FIELDS)}-column schema)"
-            )
-        for row in reader:
-            if len(row) != len(fields):
-                raise PipelineError(
-                    f"{path}: malformed row with {len(row)} cells"
-                )
-            values = dict(zip(fields, row))
-            dataset.add(
-                WebsiteMeasurement(
-                    domain=values["domain"],
-                    country=values["country"],
-                    rank=int(values["rank"]),
-                    ip=(
-                        ip_to_int(values["ip"]) if values["ip"] else None
-                    ),
-                    hosting_org=_parse(values["hosting_org"]),
-                    hosting_org_country=_parse(
-                        values["hosting_org_country"]
-                    ),
-                    ip_country=_parse(values["ip_country"]),
-                    ip_continent=_parse(values["ip_continent"]),
-                    ip_anycast=values["ip_anycast"] == "1",
-                    dns_org=_parse(values["dns_org"]),
-                    dns_org_country=_parse(values["dns_org_country"]),
-                    ns_continent=_parse(values["ns_continent"]),
-                    ns_anycast=values["ns_anycast"] == "1",
-                    ca_owner=_parse(values["ca_owner"]),
-                    ca_country=_parse(values["ca_country"]),
-                    tld=_parse(values["tld"]),
-                    language=_parse(values["language"]),
-                    error=_parse(values["error"]),
-                    dns_error=_parse(values.get("dns_error", "")),
-                    tls_error=_parse(values.get("tls_error", "")),
-                    attempts=int(values.get("attempts", "0") or "0"),
-                    degraded=values.get("degraded", "0") == "1",
-                )
-            )
+        for record in _parse_csv(csv.reader(handle), str(path)):
+            dataset.add(record)
     return dataset
 
 

@@ -1,4 +1,4 @@
-"""Sharded parallel campaign execution.
+"""Sharded parallel campaign execution with checkpoint/resume.
 
 A measurement campaign is embarrassingly parallel *by country*: the
 paper measures each country's toplist independently, so the campaign
@@ -11,12 +11,12 @@ against a :class:`~repro.worldgen.world.World` built from the same
 never observes another country's state, its rows, metrics, and spans
 are a pure function of ``(config, campaign knobs, country)``.
 
-That invariant is what makes sharding safe: ``run_campaign`` splits
-the sorted country list round-robin across ``workers`` processes
-(each worker builds one World and runs its shard's countries through
-it), then merges the per-country results **in sorted country order**
-regardless of which shard produced them.  The merge is exact, not
-approximate:
+That invariant is what makes sharding safe: ``run_campaign`` submits
+one task per country to a process pool (each worker builds one World —
+inherited copy-on-write under fork, rebuilt once per process under
+spawn — and reuses it across its tasks), then merges the per-country
+results **in sorted country order** regardless of completion order.
+The merge is exact, not approximate:
 
 * rows concatenate in ``(country, rank)`` order, the order the serial
   run produces;
@@ -30,34 +30,68 @@ approximate:
 merge path — so ``--workers 4`` output is byte-identical to the
 serial run for the same seed, which the test suite asserts on the
 exported CSV and the merged metrics JSON.
+
+The same purity powers persistence: with a
+:class:`~repro.store.store.CampaignStore` attached, every country's
+result is checkpointed through the store as it completes, keyed by
+:func:`~repro.store.digest.shard_key` (campaign knobs + the country's
+world-slice digest).  ``resume=True`` reuses any shard whose key
+already matches — an interrupted campaign picks up where it stopped
+and merges to byte-identical output, because reused rows and metrics
+pass through exactly the same codec and merge as fresh ones.
+``baseline=<campaign-id>`` (the ``--since`` path) is the same lookup
+after a world evolution: unchurned countries keep their slice digest,
+hit the store, and are never re-measured.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from ..errors import PipelineError
 from ..faults.plan import FaultPlan, fault_profile
 from ..faults.retry import RetryPolicy
-from ..obs.instrument import Instrumentation
+from ..obs.instrument import Instrumentation, StoreTelemetry
 from ..obs.metrics import merge_metrics_payloads, render_metrics_json
 from ..obs.spans import stitch_spans, write_spans_jsonl
+from ..worldgen.churn import ChurnConfig, evolve
 from ..worldgen.config import WorldConfig
 from ..worldgen.world import World
 from .measure import STANFORD_VANTAGE_CONTINENT, MeasurementPipeline
 from .records import MeasurementDataset, WebsiteMeasurement
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..store.store import CampaignStore
+
 __all__ = [
     "CampaignSpec",
     "CountryResult",
     "CampaignResult",
+    "CampaignHalted",
     "measure_country_unit",
     "run_campaign",
 ]
+
+
+class CampaignHalted(PipelineError):
+    """Raised when ``halt_after`` stops a campaign mid-run.
+
+    The checkpoint machinery's test hook: everything measured so far
+    is already persisted in the store, so a subsequent ``--resume``
+    completes the campaign.
+    """
+
+    def __init__(self, campaign: str | None, completed: int) -> None:
+        super().__init__(
+            f"campaign halted after {completed} measured "
+            f"countr{'y' if completed == 1 else 'ies'}"
+        )
+        self.campaign = campaign
+        self.completed = completed
 
 
 @dataclass(frozen=True)
@@ -78,6 +112,20 @@ class CampaignSpec:
     vantage_country: str | None = None
     instrument: bool = False
     countries: tuple[str, ...] | None = None
+    #: When set, the measured world is the churned evolution of the
+    #: base world: ``evolve(World(config), churn)``.  An evolved world
+    #: cannot be rebuilt from its *own* config (the evolution plan
+    #: carries sites from the previous epoch), so the spec carries the
+    #: base config + churn recipe instead — still a pure, picklable
+    #: description that any worker process can replay exactly.
+    churn: ChurnConfig | None = None
+
+    def build_world(self) -> World:
+        """Materialize the world this campaign measures."""
+        world = World(self.config)
+        if self.churn is not None:
+            world = evolve(world, self.churn)
+        return world
 
     def resolved_countries(self) -> list[str]:
         """The sorted country list this campaign will measure."""
@@ -116,6 +164,11 @@ class CampaignResult:
     spans: tuple[dict, ...] | None
     injected_faults: int
     open_circuits: tuple[str, ...]
+    #: Campaign id in the attached store (None when no store was used).
+    campaign: str | None = None
+    #: Store hit/miss/skip payload (None when no store was used).  Kept
+    #: separate from ``metrics`` so resumed runs stay byte-identical.
+    store_metrics: dict | None = None
 
     def write_metrics(self, path: str | Path) -> None:
         """Write the merged metrics payload as deterministic JSON."""
@@ -192,67 +245,247 @@ def measure_country_unit(
 #: reentrant while a pool is live).
 _PREFORK_WORLD: World | None = None
 
+#: Per-process World memo for spawn-based pools, where workers inherit
+#: nothing: the first task in each worker builds the World from the
+#: spec's recipe (identical by construction — the world is a pure
+#: function of config + churn) and every later task in that process
+#: reuses it.
+_WORKER_WORLD: tuple[tuple[WorldConfig, ChurnConfig | None], World] | None = (
+    None
+)
 
-def _run_shard(
-    spec: CampaignSpec, countries: Sequence[str]
-) -> list[CountryResult]:
-    """Worker entry point: one World, one shard of countries.
 
-    Module-level (picklable) for :class:`ProcessPoolExecutor`; also
-    the inline path for ``workers <= 1``, so serial and parallel runs
-    share every line of measurement code.  Uses the pre-fork World
-    when one was inherited; builds its own on spawn-based platforms
-    (identical by construction — World is a pure function of config).
+def _worker_world(spec: CampaignSpec) -> World:
+    global _WORKER_WORLD
+    if _PREFORK_WORLD is not None:
+        return _PREFORK_WORLD
+    recipe = (spec.config, spec.churn)
+    if _WORKER_WORLD is None or _WORKER_WORLD[0] != recipe:
+        _WORKER_WORLD = (recipe, spec.build_world())
+    return _WORKER_WORLD[1]
+
+
+def _measure_one(spec: CampaignSpec, country: str) -> CountryResult:
+    """Worker entry point: measure a single country (picklable)."""
+    return measure_country_unit(_worker_world(spec), spec, country)
+
+
+class _StoreSession:
+    """One campaign's interaction with the store, parent-process side.
+
+    Computes the campaign id, per-country slice digests and shard
+    keys, decides which countries can reuse stored shards, checkpoints
+    each measured result as it lands, and keeps the manifest current on
+    disk — so a kill at any instant loses at most the country units
+    still in flight.
     """
-    world = _PREFORK_WORLD
-    if world is None:
-        world = World(spec.config)
-    return [
-        measure_country_unit(world, spec, country)
-        for country in countries
-    ]
+
+    def __init__(
+        self,
+        store: "CampaignStore",
+        spec: CampaignSpec,
+        world: World,
+        countries: list[str],
+        *,
+        resume: bool,
+        baseline: str | None,
+    ) -> None:
+        from ..store.digest import campaign_id, shard_key, spec_fingerprint
+        from ..store.store import MANIFEST_SCHEMA
+        from ..worldgen.slices import world_slice_digest
+
+        self.store = store
+        self.spec = spec
+        self.telemetry = StoreTelemetry()
+        self.campaign = campaign_id(spec)
+        if baseline is not None and store.load_manifest(baseline) is None:
+            raise PipelineError(
+                f"--since campaign {baseline} not found in store "
+                f"{store.root}"
+            )
+        self.slices = {
+            cc: world_slice_digest(
+                world, cc, spec.vantage_continent, spec.vantage_country
+            )
+            for cc in countries
+        }
+        self.keys = {
+            cc: shard_key(spec, cc, self.slices[cc]) for cc in countries
+        }
+        self.reused: dict[str, CountryResult] = {}
+        reuse_wanted = resume or baseline is not None
+        for cc in countries:
+            if reuse_wanted and store.has_shard(self.keys[cc]):
+                shard = store.get_shard(self.keys[cc])
+                assert shard is not None
+                self.reused[cc] = shard
+                self.telemetry.shard_hit(cc)
+                if resume:
+                    self.telemetry.resume_skipped(cc)
+            elif reuse_wanted:
+                self.telemetry.shard_miss(cc)
+        self.manifest: dict = {
+            "_schema": MANIFEST_SCHEMA,
+            "campaign": self.campaign,
+            "spec": spec_fingerprint(spec),
+            "baseline": baseline,
+            "complete": False,
+            "countries": {
+                cc: {
+                    "slice": self.slices[cc],
+                    "shard_key": self.keys[cc],
+                    "object": store.shard_digest(self.keys[cc])
+                    if cc in self.reused
+                    else None,
+                }
+                for cc in countries
+            },
+        }
+        store.save_manifest(self.manifest)
+
+    def checkpoint(self, result: CountryResult) -> None:
+        """Persist one freshly measured country and update the manifest."""
+        cc = result.country
+        digest = self.store.put_shard(self.keys[cc], result)
+        self.manifest["countries"][cc]["object"] = digest
+        self.store.save_manifest(self.manifest)
+
+    def finish(self, complete: bool) -> None:
+        """Record final state and write the store-metrics artifact."""
+        self.manifest["complete"] = complete
+        self.store.save_manifest(self.manifest)
+        self.store.write_store_metrics(
+            self.campaign, self.telemetry.to_dict()
+        )
 
 
 def run_campaign(
-    spec: CampaignSpec, workers: int = 1
+    spec: CampaignSpec,
+    workers: int = 1,
+    *,
+    store: "CampaignStore | None" = None,
+    resume: bool = False,
+    baseline: str | None = None,
+    halt_after: int | None = None,
+    mp_start_method: str | None = None,
 ) -> CampaignResult:
-    """Run a campaign, optionally sharded across worker processes.
+    """Run a campaign, optionally sharded, persisted, and incremental.
 
     ``workers <= 1`` measures every country inline; ``workers > 1``
-    splits the sorted country list round-robin across that many
-    processes.  Either way the per-country results merge in sorted
-    country order, so the output is invariant under ``workers``.
+    submits one task per country to that many processes.  Either way
+    the per-country results merge in sorted country order, so the
+    output is invariant under ``workers``.
+
+    With a ``store``, every measured country is checkpointed as it
+    completes.  ``resume=True`` reuses stored shards whose key matches
+    (continuing an interrupted run of the *same* campaign);
+    ``baseline=<campaign-id>`` additionally asserts the baseline
+    campaign exists and reuses shards across world epochs (the
+    ``--since`` path).  ``halt_after=N`` aborts with
+    :class:`CampaignHalted` once N fresh countries are persisted —
+    the deterministic stand-in for a mid-campaign crash in tests.
+    ``mp_start_method`` pins the multiprocessing start method
+    (default: fork when available).
     """
+    if (resume or baseline is not None) and store is None:
+        raise PipelineError(
+            "resume/baseline require a campaign store"
+        )
     countries = spec.resolved_countries()
     if not countries:
         raise PipelineError("campaign has no countries to measure")
-    workers = min(workers, len(countries))
-    if workers <= 1:
-        units = _run_shard(spec, countries)
-    else:
-        shards = [
-            countries[index::workers] for index in range(workers)
-        ]
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:
-            context = None
-        units = []
-        global _PREFORK_WORLD
-        _PREFORK_WORLD = (
-            World(spec.config) if context is not None else None
+
+    parent_world: World | None = None
+    session: _StoreSession | None = None
+    if store is not None:
+        parent_world = spec.build_world()
+        session = _StoreSession(
+            store,
+            spec,
+            parent_world,
+            countries,
+            resume=resume,
+            baseline=baseline,
         )
+
+    to_measure = [
+        cc
+        for cc in countries
+        if session is None or cc not in session.reused
+    ]
+    measured: dict[str, CountryResult] = {}
+    halted = False
+
+    def note(result: CountryResult) -> bool:
+        """Record one fresh result; True when the campaign must halt."""
+        measured[result.country] = result
+        if session is not None:
+            session.checkpoint(result)
+        return halt_after is not None and len(measured) >= halt_after
+
+    workers = min(workers, max(len(to_measure), 1))
+    if workers <= 1:
+        world = parent_world
+        if world is None and to_measure:
+            world = spec.build_world()
+        for cc in to_measure:
+            assert world is not None
+            if note(measure_country_unit(world, spec, cc)):
+                halted = True
+                break
+    else:
+        if mp_start_method is not None:
+            context = multiprocessing.get_context(mp_start_method)
+        else:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - platform-specific
+                context = None
+        method = (
+            context.get_start_method()
+            if context is not None
+            else multiprocessing.get_start_method()
+        )
+        global _PREFORK_WORLD
+        if method == "fork":
+            _PREFORK_WORLD = (
+                parent_world
+                if parent_world is not None
+                else spec.build_world()
+            )
         try:
             with ProcessPoolExecutor(
                 max_workers=workers, mp_context=context
             ) as pool:
-                for shard_units in pool.map(
-                    _run_shard, [spec] * len(shards), shards
-                ):
-                    units.extend(shard_units)
+                pending = {
+                    pool.submit(_measure_one, spec, cc)
+                    for cc in to_measure
+                }
+                while pending:
+                    done, pending = wait(
+                        pending, return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        if note(future.result()):
+                            halted = True
+                    if halted:
+                        for future in pending:
+                            future.cancel()
+                        break
         finally:
             _PREFORK_WORLD = None
-    units.sort(key=lambda unit: unit.country)
+
+    if halted:
+        if session is not None:
+            session.finish(complete=False)
+            raise CampaignHalted(session.campaign, len(measured))
+        raise CampaignHalted(None, len(measured))
+
+    units = [
+        session.reused[cc] if session is not None and cc in session.reused
+        else measured[cc]
+        for cc in countries
+    ]
 
     dataset = MeasurementDataset(
         vantage_continent=spec.vantage_continent
@@ -273,10 +506,16 @@ def run_campaign(
     open_circuits = sorted(
         {key for unit in units for key in unit.open_circuits}
     )
+    if session is not None:
+        session.finish(complete=True)
     return CampaignResult(
         dataset=dataset,
         metrics=metrics,
         spans=spans,
         injected_faults=sum(unit.injected_faults for unit in units),
         open_circuits=tuple(open_circuits),
+        campaign=session.campaign if session is not None else None,
+        store_metrics=(
+            session.telemetry.to_dict() if session is not None else None
+        ),
     )

@@ -1,0 +1,38 @@
+"""Campaign store: content-addressed persistence for measurement runs.
+
+The subsystem behind ``repro measure --store/--resume/--since`` and the
+``repro campaigns`` CLI.  :mod:`repro.store.digest` defines the
+identity scheme (campaign ids, input-keyed shard keys over world-slice
+digests); :mod:`repro.store.store` is the on-disk object store with
+manifests and garbage collection.
+"""
+
+from .digest import (
+    PIPELINE_VERSION,
+    campaign_id,
+    canonical_json,
+    digest_of,
+    shard_key,
+    spec_fingerprint,
+)
+from .store import (
+    MANIFEST_SCHEMA,
+    SHARD_SCHEMA,
+    CampaignStore,
+    decode_shard,
+    encode_shard,
+)
+
+__all__ = [
+    "PIPELINE_VERSION",
+    "MANIFEST_SCHEMA",
+    "SHARD_SCHEMA",
+    "CampaignStore",
+    "campaign_id",
+    "canonical_json",
+    "decode_shard",
+    "digest_of",
+    "encode_shard",
+    "shard_key",
+    "spec_fingerprint",
+]

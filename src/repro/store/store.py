@@ -1,0 +1,257 @@
+"""Content-addressed, append-only campaign store.
+
+Layout (under one root directory)::
+
+    objects/<aa>/<digest>.json   content-addressed shard payloads
+    index/<shard_key>.json       shard-key -> object digest
+    campaigns/<id>.json          campaign manifests
+    campaigns/<id>.store.json    store-telemetry artifacts
+
+Objects are immutable: a payload is written once under the sha256 of
+its canonical JSON and never modified.  The index maps the
+*input-keyed* identity of a shard (:func:`repro.store.digest.shard_key`)
+to the content digest of its result, which is what lets a resumed or
+incremental run answer "has this exact measurement already been done?"
+with a single file stat.  Manifests record which shards a campaign
+comprises and whether it ran to completion; they are the GC root set.
+
+All writes go through a temp-file + :func:`os.replace` so a crash
+mid-write never leaves a torn object — the resume machinery can trust
+anything it finds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..errors import PipelineError
+from ..pipeline.export import rows_from_csv_text, rows_to_csv_text
+from ..pipeline.parallel import CountryResult
+from .digest import digest_of
+
+__all__ = ["CampaignStore", "SHARD_SCHEMA", "MANIFEST_SCHEMA"]
+
+#: Schema tag of stored shard payloads.
+SHARD_SCHEMA = "repro-shard-v1"
+
+#: Schema tag of campaign manifests.
+MANIFEST_SCHEMA = "repro-manifest-v1"
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def encode_shard(result: CountryResult) -> dict:
+    """A CountryResult as a JSON-ready shard payload."""
+    return {
+        "_schema": SHARD_SCHEMA,
+        "country": result.country,
+        "csv": rows_to_csv_text(result.rows),
+        "metrics": result.metrics,
+        "spans": list(result.spans) if result.spans is not None else None,
+        "injected_faults": result.injected_faults,
+        "open_circuits": list(result.open_circuits),
+    }
+
+
+def decode_shard(payload: dict) -> CountryResult:
+    """Rebuild a CountryResult from a stored shard payload."""
+    if payload.get("_schema") != SHARD_SCHEMA:
+        raise PipelineError(
+            f"unsupported shard schema {payload.get('_schema')!r}"
+        )
+    spans = payload.get("spans")
+    return CountryResult(
+        country=payload["country"],
+        rows=rows_from_csv_text(payload["csv"]),
+        metrics=payload.get("metrics"),
+        spans=tuple(spans) if spans is not None else None,
+        injected_faults=int(payload.get("injected_faults", 0)),
+        open_circuits=tuple(payload.get("open_circuits", ())),
+    )
+
+
+class CampaignStore:
+    """Append-only persistence for campaign results.
+
+    Safe for concurrent readers; writes are single-process (the
+    campaign runner checkpoints from the parent process only).
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self._root = Path(root)
+        self._objects = self._root / "objects"
+        self._index = self._root / "index"
+        self._campaigns = self._root / "campaigns"
+        for directory in (self._objects, self._index, self._campaigns):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def root(self) -> Path:
+        """The store's root directory."""
+        return self._root
+
+    # ------------------------------------------------------------------
+    # Objects and the shard index
+    # ------------------------------------------------------------------
+
+    def _object_path(self, digest: str) -> Path:
+        return self._objects / digest[:2] / f"{digest}.json"
+
+    def _index_path(self, key: str) -> Path:
+        return self._index / f"{key}.json"
+
+    def put_object(self, payload: dict) -> str:
+        """Store a payload by content; returns its digest (idempotent)."""
+        digest = digest_of(payload)
+        path = self._object_path(digest)
+        if not path.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+            _atomic_write_text(
+                path, json.dumps(payload, sort_keys=True, indent=1)
+            )
+        return digest
+
+    def get_object(self, digest: str) -> dict | None:
+        """Load a payload by content digest (None when absent)."""
+        path = self._object_path(digest)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    def put_shard(self, key: str, result: CountryResult) -> str:
+        """Store one country's result under its shard key.
+
+        The payload lands in ``objects/`` first and the index entry is
+        written (atomically) after, so a crash between the two leaves
+        at worst an unreferenced object — never an index entry pointing
+        at a missing payload.
+        """
+        digest = self.put_object(encode_shard(result))
+        _atomic_write_text(
+            self._index_path(key),
+            json.dumps({"object": digest}),
+        )
+        return digest
+
+    def has_shard(self, key: str) -> bool:
+        """True when a result for this shard key is stored."""
+        return self._index_path(key).exists()
+
+    def shard_digest(self, key: str) -> str | None:
+        """The object digest a shard key resolves to (None when absent)."""
+        path = self._index_path(key)
+        if not path.exists():
+            return None
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        return entry.get("object")
+
+    def get_shard(self, key: str) -> CountryResult | None:
+        """Load one country's stored result (None when absent)."""
+        digest = self.shard_digest(key)
+        if digest is None:
+            return None
+        payload = self.get_object(digest)
+        if payload is None:
+            raise PipelineError(
+                f"store index references missing object {digest} "
+                f"(key {key}); run `repro campaigns gc`"
+            )
+        return decode_shard(payload)
+
+    # ------------------------------------------------------------------
+    # Manifests
+    # ------------------------------------------------------------------
+
+    def _manifest_path(self, campaign: str) -> Path:
+        return self._campaigns / f"{campaign}.json"
+
+    def save_manifest(self, manifest: dict) -> None:
+        """Write a campaign manifest (overwrites previous state)."""
+        if manifest.get("_schema") != MANIFEST_SCHEMA:
+            raise PipelineError(
+                f"unsupported manifest schema {manifest.get('_schema')!r}"
+            )
+        campaign = manifest["campaign"]
+        _atomic_write_text(
+            self._manifest_path(campaign),
+            json.dumps(manifest, sort_keys=True, indent=1),
+        )
+
+    def load_manifest(self, campaign: str) -> dict | None:
+        """Load a campaign manifest (None when absent)."""
+        path = self._manifest_path(campaign)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    def list_campaigns(self) -> list[dict]:
+        """Every stored manifest, sorted by campaign id."""
+        manifests = []
+        for path in sorted(self._campaigns.glob("*.json")):
+            if path.name.endswith(".store.json"):
+                continue
+            manifests.append(json.loads(path.read_text(encoding="utf-8")))
+        return manifests
+
+    # ------------------------------------------------------------------
+    # Store telemetry artifacts
+    # ------------------------------------------------------------------
+
+    def _store_metrics_path(self, campaign: str) -> Path:
+        return self._campaigns / f"{campaign}.store.json"
+
+    def write_store_metrics(self, campaign: str, payload: dict) -> None:
+        """Write a campaign's store-telemetry metrics payload.
+
+        Kept out of the campaign's own ``--metrics-out`` export on
+        purpose: resumed and uninterrupted runs must emit byte-identical
+        measurement metrics, and hit/miss counts differ by design.
+        """
+        _atomic_write_text(
+            self._store_metrics_path(campaign),
+            json.dumps(payload, sort_keys=True, indent=2) + "\n",
+        )
+
+    def load_store_metrics(self, campaign: str) -> dict | None:
+        """Load a campaign's store-telemetry payload (None when absent)."""
+        path = self._store_metrics_path(campaign)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+
+    def gc(self) -> tuple[int, int]:
+        """Drop objects and index entries no manifest references.
+
+        Manifests are the root set: an object survives iff some
+        manifest's country table points at it (directly or through the
+        shard index).  Returns ``(objects_removed, index_removed)``.
+        """
+        live_objects: set[str] = set()
+        live_keys: set[str] = set()
+        for manifest in self.list_campaigns():
+            for entry in manifest.get("countries", {}).values():
+                if entry.get("object"):
+                    live_objects.add(entry["object"])
+                if entry.get("shard_key"):
+                    live_keys.add(entry["shard_key"])
+        index_removed = 0
+        for path in self._index.glob("*.json"):
+            if path.stem not in live_keys:
+                path.unlink()
+                index_removed += 1
+        objects_removed = 0
+        for path in self._objects.glob("*/*.json"):
+            if path.stem not in live_objects:
+                path.unlink()
+                objects_removed += 1
+        return objects_removed, index_removed

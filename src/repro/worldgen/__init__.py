@@ -9,6 +9,7 @@ CA partnerships, ccTLD mixes) hold by construction, and which is then
 """
 
 from .churn import ChurnConfig, derive_overrides, evolve
+from .slices import project_country, world_slice_digest
 from .stats import WorldSummary, summarize
 from .validate import validate_world
 from .calibration import (
@@ -47,6 +48,8 @@ __all__ = [
     "evolve",
     "derive_overrides",
     "EvolutionPlan",
+    "world_slice_digest",
+    "project_country",
     "WorldSummary",
     "summarize",
     "validate_world",

@@ -60,6 +60,14 @@ class ChurnConfig:
     )
     new_snapshot: str = "2025-05"
     seed_shift: int = 0x2025
+    #: When set, only these countries churn (toplist re-draws, local
+    #: site turnover, Cloudflare/score drift); every other country's
+    #: toplist and site records carry into the new snapshot
+    #: byte-identically.  ``None`` (the default) churns everything —
+    #: the paper's full longitudinal study.  Restricting churn is what
+    #: makes incremental re-measurement (``repro measure --since``)
+    #: able to reuse the unchurned countries' stored shards.
+    churn_countries: tuple[str, ...] | None = None
 
 
 def derive_overrides(
@@ -70,15 +78,24 @@ def derive_overrides(
     The 2025 hosting score target moves with the Cloudflare share:
     ``S_new ≈ S_old + (cf_new^2 - cf_old^2)`` — the XL-GP term dominates
     score changes (Section 5.2's rho=0.90 coupling) — except where the
-    paper publishes the 2025 score directly.
+    paper publishes the 2025 score directly.  When the churn config
+    restricts churn to a country subset, only those countries' targets
+    drift; everyone else keeps the old snapshot's calibration (their
+    toplists carry byte-identically anyway).
     """
     c = old_world.config.sites_per_country
+    churned = (
+        set(churn.churn_countries)
+        if churn.churn_countries is not None
+        else set(old_world.config.countries)
+    )
     score_targets: dict[tuple[str, str], float] = {}
     cf_hosting: dict[str, float] = {}
     for cc in old_world.config.countries:
-        if cc == "JP":
+        if cc == "JP" or cc not in churned:
             # Japan's Amazon-led market is not modeled through the
             # Cloudflare-delta mechanism; its snapshot stays put.
+            # Unchurned countries keep their old calibration entirely.
             continue
         old_counts = old_world.targets[cc]["hosting"]
         cf_old = old_counts.get(CLOUDFLARE, 0) / c
@@ -93,7 +110,11 @@ def derive_overrides(
     return ProfileOverrides(
         score_targets=score_targets,
         cf_hosting=cf_hosting,
-        insularity=dict(churn.insularity_special),
+        insularity={
+            cc: value
+            for cc, value in churn.insularity_special.items()
+            if cc in churned
+        },
     )
 
 
@@ -104,6 +125,21 @@ def evolve(old_world: World, churn: ChurnConfig | None = None) -> World:
         raise ValueError(
             f"keep_fraction must be in [0, 1], got {churn.keep_fraction}"
         )
+    if churn.churn_countries is not None:
+        unknown = [
+            cc
+            for cc in churn.churn_countries
+            if cc not in old_world.config.countries
+        ]
+        if unknown:
+            raise ValueError(
+                f"churn_countries not in the old world: {unknown}"
+            )
+    churned = (
+        set(churn.churn_countries)
+        if churn.churn_countries is not None
+        else set(old_world.config.countries)
+    )
     overrides = derive_overrides(old_world, churn)
 
     pool_records = {
@@ -111,15 +147,22 @@ def evolve(old_world: World, churn: ChurnConfig | None = None) -> World:
         for domain in old_world.global_pool_domains
     }
     kept_local: dict[str, tuple] = {}
+    kept_toplists: dict[str, tuple[str, ...]] = {}
     for cc in old_world.config.countries:
-        rng = np.random.default_rng(
-            (old_world.config.seed, churn.seed_shift, hashable_cc(cc))
-        )
         local = [
             old_world.sites[d]
             for d in old_world.toplists[cc].domains
             if not old_world.sites[d].is_global
         ]
+        if cc not in churned:
+            # Carried byte-identically: all local records (in rank
+            # order) plus the full toplist, no randomness consumed.
+            kept_local[cc] = tuple(local)
+            kept_toplists[cc] = tuple(old_world.toplists[cc].domains)
+            continue
+        rng = np.random.default_rng(
+            (old_world.config.seed, churn.seed_shift, hashable_cc(cc))
+        )
         n_keep = int(churn.keep_fraction * len(local))
         if n_keep:
             picks = rng.choice(len(local), size=n_keep, replace=False)
@@ -132,6 +175,7 @@ def evolve(old_world: World, churn: ChurnConfig | None = None) -> World:
         pool_records=pool_records,
         pool_order=tuple(old_world.global_pool_domains),
         kept_local=kept_local,
+        kept_toplists=kept_toplists,
     )
     new_config = replace(
         old_world.config,

@@ -1,0 +1,167 @@
+"""Per-country world-slice digests for incremental re-measurement.
+
+A campaign shard (one country's measurements) is a pure function of
+``(pipeline version, campaign knobs, country, what the pipeline can
+observe of the world from its vantage)`` — the country-unit purity
+that makes sharded execution exact.  :func:`world_slice_digest`
+fingerprints that last input: it projects, for every site of the
+country's toplist in rank order, exactly the observables the
+measurement pipeline can read — the redirect-resolved serving host,
+the vantage-projected A records with their TTLs, the authoritative NS
+set, each nameserver's own resolution and enrichment labels, the
+serving address's AS-organization / geolocation / anycast labels, and
+the TLS issuer — and hashes the projection canonically.
+
+Two worlds that agree on a country's digest are indistinguishable to
+the pipeline for that country and vantage, so a result stored under
+the digest can be reused verbatim (``repro measure --since``).  The
+converse is deliberately conservative: any observable change, however
+inconsequential, changes the digest and forces a re-measure — a cache
+miss costs time, a false hit would cost correctness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from ..errors import ReproError
+from .world import World
+
+__all__ = ["world_slice_digest", "project_country"]
+
+#: Bumped when the projection itself changes shape.
+SLICE_SCHEMA = "repro-slice-v1"
+
+#: CNAME-chain depth matching the resolver's default.
+_MAX_CNAME_DEPTH = 8
+
+
+def _project_address(world: World, address: int) -> list:
+    """Every enrichment label the pipeline attaches to an address."""
+    return [
+        world.asdb.org_of_ip(address),
+        world.asdb.country_of_ip(address),
+        world.geo.country_of(address),
+        world.geo.continent_of(address),
+        1 if world.anycast.is_anycast(address) else 0,
+    ]
+
+
+def _project_name(
+    world: World,
+    name: str,
+    continent: str | None,
+    country: str | None,
+) -> dict:
+    """Project one hostname's resolution as the resolver would see it."""
+    current = name.lower().rstrip(".")
+    chain: list = []
+    for _ in range(_MAX_CNAME_DEPTH):
+        zone = world.namespace.zone_for(current)
+        if zone is None:
+            return {"error": "nxdomain", "chain": chain}
+        if zone.broken:
+            return {"error": "servfail", "chain": chain}
+        a_records = zone.lookup(current, "A")
+        if a_records:
+            addresses = [
+                [r.resolve_address(continent, country), r.ttl]
+                for r in a_records
+            ]
+            ns = [
+                [str(r.value), r.ttl]
+                for r in zone.lookup(zone.origin, "NS")
+            ]
+            return {
+                "chain": chain,
+                "addresses": addresses,
+                "ns": ns,
+                "enrich": _project_address(world, addresses[0][0]),
+            }
+        cnames = zone.lookup(current, "CNAME")
+        if cnames:
+            target = str(cnames[0].value)
+            chain.append([target, cnames[0].ttl])
+            if any(target == hop for hop, _ in chain[:-1]):
+                return {"error": "cname-loop", "chain": chain}
+            current = target
+            continue
+        if zone.has_name(current):
+            return {"error": "nodata", "chain": chain}
+        return {"error": "nxdomain", "chain": chain}
+    return {"error": "cname-depth", "chain": chain}
+
+
+def project_country(
+    world: World,
+    country: str,
+    vantage_continent: str | None,
+    vantage_country: str | None = None,
+) -> dict:
+    """The full vantage-projected observable state of one country.
+
+    The projection is JSON-ready and deterministic; its canonical
+    digest is :func:`world_slice_digest`.
+    """
+    toplist = world.toplists.get(country)
+    if toplist is None:
+        raise ReproError(
+            f"world has no toplist for {country!r}; cannot project"
+        )
+    nameservers: dict[str, dict] = {}
+    sites: list[dict] = []
+    for domain in toplist.domains:
+        record = world.sites[domain]
+        entry: dict = {"domain": domain}
+        try:
+            serving_host = world.http.final_host(domain)
+        except ReproError as exc:
+            entry["http_error"] = type(exc).__name__
+            sites.append(entry)
+            continue
+        entry["serving_host"] = serving_host
+        resolution = _project_name(
+            world, serving_host, vantage_continent, vantage_country
+        )
+        entry["resolution"] = resolution
+        for ns_host, _ttl in resolution.get("ns", ()):
+            if ns_host not in nameservers:
+                nameservers[ns_host] = _project_name(
+                    world, ns_host, vantage_continent, vantage_country
+                )
+        issuer = world._site_issuer.get(domain)
+        entry["tls"] = [
+            record.hosting,
+            record.secondary_cdn,
+            issuer[0] if issuer else None,
+            issuer[1] if issuer else None,
+        ]
+        entry["language"] = record.language
+        sites.append(entry)
+    return {
+        "_schema": SLICE_SCHEMA,
+        "country": country,
+        "vantage": [vantage_continent, vantage_country],
+        "dns_ttl": world.config.dns_ttl,
+        "sites": sites,
+        "nameservers": {
+            name: nameservers[name] for name in sorted(nameservers)
+        },
+    }
+
+
+def world_slice_digest(
+    world: World,
+    country: str,
+    vantage_continent: str | None,
+    vantage_country: str | None = None,
+) -> str:
+    """Canonical sha256 of one country's vantage-projected slice."""
+    projection = project_country(
+        world, country, vantage_continent, vantage_country
+    )
+    text = json.dumps(
+        projection, sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

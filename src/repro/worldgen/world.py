@@ -23,7 +23,7 @@ import re
 import zlib
 from collections import Counter
 from collections.abc import Callable
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -31,7 +31,7 @@ from ..core.reference import allocate_counts
 from ..datasets.countries import COUNTRIES
 from ..datasets.providers import HOSTING_CA_PARTNERSHIPS
 from ..errors import CalibrationError, ReproError, TLSError
-from ..net.addressing import Prefix, PrefixAllocator
+from ..net.addressing import KeyedPrefixAllocator, Prefix
 from ..net.anycast import AnycastRegistry
 from ..net.asdb import ASDatabase
 from ..net.ccadb import CCADB, default_ccadb
@@ -82,6 +82,10 @@ _ADDRESS_VARIANTS = 32
 #: the realistic mechanism behind the paper's vantage-point divergence.
 _CACHE_NODE_PROVIDERS = ("Cloudflare", "Google", "Akamai", "Amazon")
 
+#: Shape of on-demand tail provider names (``ProviderMarket.tail_provider``);
+#: used to revive identities referenced only by carried site records.
+_TAIL_PROVIDER_NAME = re.compile(r"^([A-Z]{2}) Webhost (\d{4})$")
+
 
 @dataclass(slots=True)
 class SiteRecord:
@@ -130,13 +134,18 @@ class EvolutionPlan:
     Produced by :mod:`repro.worldgen.churn`; ``pool_records`` are the
     reused global-pool sites (copied, in popularity order via
     ``pool_order``) and ``kept_local`` are the per-country local sites
-    that survive toplist churn.
+    that survive toplist churn.  ``kept_toplists`` carries *entire*
+    toplists (domain tuples, in rank order) for countries excluded from
+    churn — those countries skip every stochastic draw and reproduce
+    the old snapshot's toplist byte-identically, which is what lets
+    incremental re-measurement reuse their stored results.
     """
 
     overrides: ProfileOverrides
     pool_records: dict[str, "SiteRecord"]
     pool_order: tuple[str, ...]
     kept_local: dict[str, tuple["SiteRecord", ...]]
+    kept_toplists: dict[str, tuple[str, ...]] = field(default_factory=dict)
 
 
 class World:
@@ -171,8 +180,12 @@ class World:
         #: country -> layer -> provider/CA/TLD -> target site count.
         self.targets: dict[str, dict[str, dict[str, int]]] = {}
 
-        self._allocator = PrefixAllocator("10.0.0.0/8")
-        self._anycast_allocator = PrefixAllocator("172.16.0.0/12")
+        #: Keyed allocation: each provider (and each cache node) owns a
+        #: hash-placed /16 block, so its addresses depend only on its
+        #: own key and request sequence — not on which other providers
+        #: exist.  This is what keeps an unchanged provider's addresses
+        #: stable across world epochs (incremental re-measurement).
+        self._blocks = KeyedPrefixAllocator()
         self._domains = DomainFactory(self.config.seed ^ 0x5EED)
         self._brand_of_ca: dict[str, str] = {}
         self._site_issuer: dict[str, tuple[str, str]] = {}
@@ -610,7 +623,33 @@ class World:
                 }
             )
 
+        kept_toplists = (
+            self._plan.kept_toplists if self._plan is not None else {}
+        )
+
         for cc in self.config.countries:
+            if cc in kept_toplists:
+                # The country is excluded from churn: reproduce its old
+                # toplist exactly (local records carried via kept_local
+                # in rank order, shared sites already materialized from
+                # the carried pool) without consuming any randomness.
+                for old in kept_local.get(cc, ()):
+                    record = SiteRecord(
+                        domain=old.domain,
+                        origin_country=old.origin_country,
+                        language=old.language,
+                        is_global=False,
+                        hosting=old.hosting,
+                        dns=old.dns,
+                        ca=old.ca,
+                        tld=old.tld,
+                        secondary_cdn=old.secondary_cdn,
+                    )
+                    self.sites[record.domain] = record
+                self.toplists[cc] = Toplist(
+                    country=cc, domains=tuple(kept_toplists[cc])
+                )
+                continue
             rng = self._rng("country", cc)
             kept_records = kept_local.get(cc, ())
             max_shared = c - len(kept_records)
@@ -777,6 +816,10 @@ class World:
         """
         if "AF" not in self.config.countries:
             return
+        if self._plan is not None and "AF" in self._plan.kept_toplists:
+            # Afghanistan carried byte-identically: its records already
+            # hold the languages this pass assigned in the old epoch.
+            return
         rng = self._rng("lang", "AF")
         af_sites = [
             self.sites[d]
@@ -828,8 +871,21 @@ class World:
         self, name: str, n_countries_served: int
     ) -> ProviderInfra:
         provider = self.market.get(name)
-        if provider is None:  # pragma: no cover - defensive
-            provider = Provider(name=name, home_country="US")
+        if provider is None:
+            # Tail providers are created in the market on demand while
+            # drawing targets; a carried site record (evolution with
+            # restricted churn) can reference one that the new draw
+            # never touched.  Its identity is a pure function of the
+            # name, so revive it rather than falling back to a US-homed
+            # placeholder — the revived home country keeps the carried
+            # country's observables (geo labels) byte-stable.
+            match = _TAIL_PROVIDER_NAME.match(name)
+            if match is not None:
+                provider = self.market.tail_provider(
+                    match.group(1), int(match.group(2))
+                )
+            else:  # pragma: no cover - defensive
+                provider = Provider(name=name, home_country="US")
         home = provider.home_country
         home_continent = self._home_continent(home)
 
@@ -853,7 +909,7 @@ class World:
             )
             if is_global and continent == home_continent:
                 geo_country = home if home in COUNTRIES else geo_country
-            prefix = self._allocator.allocate(prefix_len)
+            prefix = self._blocks.allocate(f"provider:{name}", prefix_len)
             self.asdb_register_or_announce(name, home, prefix)
             self.geo.register(prefix, geo_country, continent)
             for variant in range(_ADDRESS_VARIANTS):
@@ -879,12 +935,12 @@ class World:
         zone = self.namespace.create_zone(ns_domain)
         ns_hosts = (f"ns1.{ns_domain}", f"ns2.{ns_domain}")
         if provider.anycast:
-            ns_prefix = self._anycast_allocator.allocate(24)
+            ns_prefix = self._blocks.allocate(f"provider:{name}", 24)
             self.anycast.add(ns_prefix)
             self.geo.register(ns_prefix, "US", "NA")
             ns_addresses = (ns_prefix.address(1), ns_prefix.address(2))
         else:
-            ns_prefix = self._allocator.allocate(26)
+            ns_prefix = self._blocks.allocate(f"provider:{name}", 26)
             self.geo.register(ns_prefix, home if home in COUNTRIES else "US",
                               home_continent)
             ns_addresses = (ns_prefix.address(1), ns_prefix.address(2))
@@ -926,7 +982,9 @@ class World:
             if not pool:
                 continue
             telecom = pool[min(1, len(pool) - 1)]
-            prefix = self._allocator.allocate(26)
+            prefix = self._blocks.allocate(
+                f"cache:{provider_name}:{cc}", 26
+            )
             self.asdb_register_or_announce(telecom.name, cc, prefix)
             self.geo.register(prefix, cc, self._home_continent(cc))
             picks = rng.choice(

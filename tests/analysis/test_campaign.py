@@ -121,3 +121,33 @@ class TestRenderReport:
         report = render_campaign_report({"metrics": {}})
         assert "no failures recorded" in report
         assert "rows:      0 total" in report
+
+
+class TestStoreSection:
+    def store_metrics(self) -> dict:
+        from repro.obs.instrument import StoreTelemetry
+
+        telemetry = StoreTelemetry()
+        for cc in ("DE", "TH", "US"):
+            telemetry.shard_hit(cc)
+        telemetry.shard_miss("BR")
+        telemetry.resume_skipped("DE")
+        return telemetry.to_dict()
+
+    def test_absent_without_store_metrics(self, artifacts) -> None:
+        metrics_path, _ = artifacts
+        report = render_campaign_report(load_metrics(metrics_path))
+        assert "campaign store" not in report
+
+    def test_store_section_rendered(self, artifacts) -> None:
+        metrics_path, _ = artifacts
+        report = render_campaign_report(
+            load_metrics(metrics_path),
+            store_metrics=self.store_metrics(),
+        )
+        assert "-- campaign store" in report
+        assert "shard hits:       3" in report
+        assert "shard misses:     1" in report
+        assert "resume skipped:   1" in report
+        assert "reused: DE TH US" in report
+        assert "measured: BR" in report

@@ -175,3 +175,56 @@ class TestAllocator:
         before = alloc.remaining
         alloc.allocate(24)
         assert alloc.remaining == before - 256
+
+
+class TestKeyedAllocator:
+    def test_key_placement_order_independent(self) -> None:
+        from repro.net import KeyedPrefixAllocator
+
+        a = KeyedPrefixAllocator()
+        b = KeyedPrefixAllocator()
+        a.allocate("provider:alpha", 24)
+        got_a = a.allocate("provider:beta", 24)
+        # Reverse arrival order: beta's prefix must not move.
+        b.allocate("provider:gamma", 20)
+        got_b = b.allocate("provider:beta", 24)
+        assert got_a == got_b
+
+    def test_within_key_sequence_is_sequential(self) -> None:
+        from repro.net import KeyedPrefixAllocator
+
+        alloc = KeyedPrefixAllocator()
+        first = alloc.allocate("k", 24)
+        second = alloc.allocate("k", 24)
+        assert second.first == first.last + 1
+        assert alloc.block_of("k").contains_prefix(first)
+        assert alloc.block_of("k").contains_prefix(second)
+
+    def test_distinct_keys_never_overlap(self) -> None:
+        from repro.net import KeyedPrefixAllocator
+
+        alloc = KeyedPrefixAllocator(block_length=20)
+        prefixes = [
+            alloc.allocate(f"key-{i}", 24) for i in range(64)
+        ]
+        for i, a in enumerate(prefixes):
+            for b in prefixes[i + 1 :]:
+                assert not a.contains_prefix(b)
+                assert not b.contains_prefix(a)
+
+    def test_collision_probes_to_next_slot(self) -> None:
+        from repro.net import KeyedPrefixAllocator
+
+        # A /31 pool with /32 blocks has exactly two slots, forcing a
+        # probe on the second key and exhaustion on the third.
+        alloc = KeyedPrefixAllocator("10.0.0.0/31", block_length=32)
+        seen = {alloc.block_of("a"), alloc.block_of("b")}
+        assert len(seen) == 2
+        with pytest.raises(AddressSpaceExhausted):
+            alloc.block_of("c")
+
+    def test_block_length_validation(self) -> None:
+        from repro.net import KeyedPrefixAllocator
+
+        with pytest.raises(ValueError):
+            KeyedPrefixAllocator("10.0.0.0/16", block_length=8)

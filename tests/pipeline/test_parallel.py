@@ -94,6 +94,24 @@ class TestSerialParallelIdentity:
                 assert by_id[parent]["name"] == "site"
 
 
+class TestSpawnContext:
+    def test_spawn_workers_byte_identical_to_serial(
+        self, serial, tmp_path: Path
+    ) -> None:
+        # Under spawn, workers inherit nothing: each process rebuilds
+        # the World from the spec's recipe.  Output must still match
+        # the serial run byte for byte — proving results depend only on
+        # the spec, never on inherited parent state.
+        spawned = run_campaign(SPEC, workers=2, mp_start_method="spawn")
+        a, b = tmp_path / "serial.csv", tmp_path / "spawned.csv"
+        export_csv(serial.dataset, a)
+        export_csv(spawned.dataset, b)
+        assert a.read_bytes() == b.read_bytes()
+        assert render_metrics_json(
+            spawned.metrics
+        ) == render_metrics_json(serial.metrics)
+
+
 class TestCountryUnitIsolation:
     def test_unit_result_independent_of_other_countries(self) -> None:
         # A country's unit result is a pure function of (config,

@@ -1,0 +1,147 @@
+"""Property tests: the CSV release schema is a lossless codec.
+
+Every :class:`WebsiteMeasurement` field must survive
+``export_csv -> load_csv`` (and the text codec the campaign store
+shards use) — including pathological strings, since provider and
+domain names are free text.  The legacy 18-column schema must keep
+loading with default resilience columns.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline import (
+    MeasurementDataset,
+    WebsiteMeasurement,
+    export_csv,
+    load_csv,
+    rows_from_csv_text,
+    rows_to_csv_text,
+)
+from repro.pipeline.export import LEGACY_CSV_FIELDS
+from repro.net import int_to_ip
+
+# "" encodes None, so optional text must be non-empty to round-trip;
+# NUL is the one character the csv module cannot carry.
+_text = st.text(
+    alphabet=st.characters(
+        blacklist_categories=("Cs",), blacklist_characters="\x00"
+    ),
+    min_size=1,
+    max_size=12,
+)
+_opt_text = st.none() | _text
+
+_records = st.builds(
+    WebsiteMeasurement,
+    domain=_text,
+    country=_text,
+    rank=st.integers(min_value=1, max_value=10_000),
+    ip=st.none() | st.integers(min_value=0, max_value=2**32 - 1),
+    hosting_org=_opt_text,
+    hosting_org_country=_opt_text,
+    ip_country=_opt_text,
+    ip_continent=_opt_text,
+    ip_anycast=st.booleans(),
+    dns_org=_opt_text,
+    dns_org_country=_opt_text,
+    ns_continent=_opt_text,
+    ns_anycast=st.booleans(),
+    ca_owner=_opt_text,
+    ca_country=_opt_text,
+    tld=_opt_text,
+    language=_opt_text,
+    error=_opt_text,
+    dns_error=_opt_text,
+    tls_error=_opt_text,
+    attempts=st.integers(min_value=0, max_value=99),
+    degraded=st.booleans(),
+)
+
+
+class TestCsvRoundTrip:
+    @given(rows=st.lists(_records, max_size=8))
+    @settings(deadline=None, max_examples=60)
+    def test_text_codec_preserves_every_field(self, rows: list) -> None:
+        assert rows_from_csv_text(rows_to_csv_text(rows)) == tuple(rows)
+
+    @given(rows=st.lists(_records, max_size=8))
+    @settings(deadline=None, max_examples=30)
+    def test_file_round_trip(self, rows: list, tmp_path_factory) -> None:
+        dataset = MeasurementDataset()
+        for row in rows:
+            dataset.add(row)
+        path = tmp_path_factory.mktemp("csv") / "release.csv"
+        assert export_csv(dataset, path) == len(rows)
+        loaded = load_csv(path)
+        key = lambda r: (r.country, r.rank, r.domain)  # noqa: E731
+        assert sorted(loaded, key=key) == sorted(dataset, key=key)
+
+    @given(rows=st.lists(_records, min_size=1, max_size=4))
+    @settings(deadline=None, max_examples=30)
+    def test_legacy_schema_loads_with_default_resilience(
+        self, rows: list
+    ) -> None:
+        buffer = io.StringIO(newline="")
+        writer = csv.writer(buffer)
+        writer.writerow(LEGACY_CSV_FIELDS)
+        for r in rows:
+            writer.writerow(
+                [
+                    r.country,
+                    str(r.rank),
+                    r.domain,
+                    int_to_ip(r.ip) if r.ip is not None else "",
+                    r.hosting_org or "",
+                    r.hosting_org_country or "",
+                    r.ip_country or "",
+                    r.ip_continent or "",
+                    "1" if r.ip_anycast else "0",
+                    r.dns_org or "",
+                    r.dns_org_country or "",
+                    r.ns_continent or "",
+                    "1" if r.ns_anycast else "0",
+                    r.ca_owner or "",
+                    r.ca_country or "",
+                    r.tld or "",
+                    r.language or "",
+                    r.error or "",
+                ]
+            )
+        loaded = rows_from_csv_text(buffer.getvalue())
+        assert len(loaded) == len(rows)
+        for got, want in zip(loaded, rows):
+            assert got.dns_error is None
+            assert got.tls_error is None
+            assert got.attempts == 0
+            assert got.degraded is False
+            assert got == WebsiteMeasurement(
+                domain=want.domain,
+                country=want.country,
+                rank=want.rank,
+                ip=want.ip,
+                hosting_org=want.hosting_org,
+                hosting_org_country=want.hosting_org_country,
+                ip_country=want.ip_country,
+                ip_continent=want.ip_continent,
+                ip_anycast=want.ip_anycast,
+                dns_org=want.dns_org,
+                dns_org_country=want.dns_org_country,
+                ns_continent=want.ns_continent,
+                ns_anycast=want.ns_anycast,
+                ca_owner=want.ca_owner,
+                ca_country=want.ca_country,
+                tld=want.tld,
+                language=want.language,
+                error=want.error,
+            )
+
+    def test_legacy_header_is_a_prefix_of_current(self) -> None:
+        from repro.pipeline.export import CSV_FIELDS
+
+        assert CSV_FIELDS[: len(LEGACY_CSV_FIELDS)] == LEGACY_CSV_FIELDS

@@ -1,0 +1,97 @@
+"""Digest scheme: campaign ids and shard keys are stable identities."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.pipeline import CampaignSpec
+from repro.store import (
+    PIPELINE_VERSION,
+    campaign_id,
+    canonical_json,
+    digest_of,
+    shard_key,
+    spec_fingerprint,
+)
+from repro.worldgen import ChurnConfig, WorldConfig
+
+CONFIG = WorldConfig(sites_per_country=50, countries=("BR", "DE"))
+SPEC = CampaignSpec(
+    config=CONFIG, fault_profile="flaky-dns", fault_seed=7, retries=3
+)
+
+
+class TestCanonicalJson:
+    def test_key_order_is_irrelevant(self) -> None:
+        assert digest_of({"b": 1, "a": [2, 3]}) == digest_of(
+            {"a": [2, 3], "b": 1}
+        )
+
+    def test_compact_and_sorted(self) -> None:
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+
+class TestCampaignId:
+    def test_deterministic(self) -> None:
+        other = CampaignSpec(
+            config=WorldConfig(sites_per_country=50, countries=("BR", "DE")),
+            fault_profile="flaky-dns",
+            fault_seed=7,
+            retries=3,
+        )
+        assert campaign_id(SPEC) == campaign_id(other)
+
+    def test_every_knob_is_identity(self) -> None:
+        ids = {
+            campaign_id(SPEC),
+            campaign_id(replace(SPEC, fault_seed=8)),
+            campaign_id(replace(SPEC, fault_profile="none")),
+            campaign_id(replace(SPEC, retries=2)),
+            campaign_id(replace(SPEC, vantage_continent="SA")),
+            campaign_id(replace(SPEC, instrument=True)),
+            campaign_id(replace(SPEC, countries=("BR",))),
+            campaign_id(
+                replace(SPEC, churn=ChurnConfig(churn_countries=("BR",)))
+            ),
+        }
+        assert len(ids) == 8
+
+    def test_fingerprint_carries_pipeline_version_and_churn(self) -> None:
+        fingerprint = spec_fingerprint(
+            replace(SPEC, churn=ChurnConfig(churn_countries=("BR",)))
+        )
+        assert fingerprint["pipeline"] == PIPELINE_VERSION
+        assert fingerprint["churn"]["churn_countries"] == ["BR"]
+        assert fingerprint["countries"] == ["BR", "DE"]
+        # JSON-ready: digesting must not hit non-serializable values.
+        canonical_json(fingerprint)
+
+
+class TestShardKey:
+    def test_campaign_independent(self) -> None:
+        # Shard identity must ignore which other countries the campaign
+        # measures — that's what lets --since reuse shards across specs.
+        narrowed = replace(SPEC, countries=("BR",))
+        assert shard_key(SPEC, "BR", "abc") == shard_key(
+            narrowed, "BR", "abc"
+        )
+
+    def test_slice_and_knobs_are_identity(self) -> None:
+        keys = {
+            shard_key(SPEC, "BR", "abc"),
+            shard_key(SPEC, "BR", "abd"),
+            shard_key(SPEC, "DE", "abc"),
+            shard_key(replace(SPEC, fault_seed=8), "BR", "abc"),
+            shard_key(replace(SPEC, retries=2), "BR", "abc"),
+            shard_key(replace(SPEC, instrument=True), "BR", "abc"),
+        }
+        assert len(keys) == 6
+
+    def test_churn_does_not_leak_into_shard_key(self) -> None:
+        # The slice digest already captures everything observable about
+        # the world; keying on the churn recipe too would break reuse
+        # of unchurned countries across epochs.
+        churned = replace(SPEC, churn=ChurnConfig(churn_countries=("BR",)))
+        assert shard_key(SPEC, "DE", "abc") == shard_key(
+            churned, "DE", "abc"
+        )

@@ -271,3 +271,205 @@ class TestObservabilityFlags:
         assert code == 0
         err = capsys.readouterr().err
         assert "row-failed" in err
+
+
+class TestVersion:
+    def test_version_flag_exits_zero(
+        self, capsys: pytest.CaptureFixture
+    ) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.startswith("repro ")
+
+    def test_version_subcommand(
+        self, capsys: pytest.CaptureFixture
+    ) -> None:
+        from repro.cli import package_version
+
+        assert main(["version"]) == 0
+        out = capsys.readouterr().out
+        assert out == f"repro {package_version()}\n"
+
+
+@pytest.fixture(scope="module")
+def store_workflow(tmp_path_factory):
+    """One full CLI store workflow: halt, resume, evolve --since."""
+    import contextlib
+    import io
+    import re
+
+    root = tmp_path_factory.mktemp("cli-store")
+    store = root / "store"
+
+    def run(argv: list[str]) -> tuple[int, str]:
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            code = main(argv)
+        configure()
+        return code, buffer.getvalue()
+
+    base = [
+        "measure",
+        "--sites", "60",
+        "--countries", "US", "TH",
+        "--fault-profile", "flaky-dns",
+        "--retries", "2",
+    ]
+    full_csv = root / "full.csv"
+    full_metrics = root / "full-metrics.json"
+    run(base + ["--export", str(full_csv),
+                "--metrics-out", str(full_metrics)])
+
+    stored = base + ["--store", str(store)]
+    halted_code, halted_out = run(
+        stored + ["--halt-after", "1",
+                  "--metrics-out", str(root / "halted-m.json")]
+    )
+    resumed_csv = root / "resumed.csv"
+    resumed_code, resumed_out = run(
+        stored + ["--resume", "--export", str(resumed_csv),
+                  "--metrics-out", str(root / "m.json")]
+    )
+    base_id = re.search(r"campaign (\w{16}) stored", resumed_out).group(1)
+    since_code, since_out = run(
+        stored
+        + ["--evolve", "--churn-countries", "TH", "--since", base_id,
+           "--metrics-out", str(root / "since-m.json")]
+    )
+    evolved_id = re.search(r"campaign (\w{16}) stored", since_out).group(1)
+    return {
+        "run": run,
+        "root": root,
+        "store": store,
+        "full_csv": full_csv,
+        "full_metrics": full_metrics,
+        "resumed_csv": resumed_csv,
+        "halted": (halted_code, halted_out),
+        "resumed": (resumed_code, resumed_out),
+        "since": (since_code, since_out),
+        "base_id": base_id,
+        "evolved_id": evolved_id,
+    }
+
+
+class TestCampaignStoreCli:
+    def test_halt_exits_3_and_points_at_resume(
+        self, store_workflow
+    ) -> None:
+        code, out = store_workflow["halted"]
+        assert code == 3
+        assert "finish it with --resume" in out
+
+    def test_resume_completes_byte_identical(
+        self, store_workflow
+    ) -> None:
+        code, out = store_workflow["resumed"]
+        assert code == 0
+        assert "shard hits 1, misses 1, resume skipped 1" in out
+        assert (
+            store_workflow["resumed_csv"].read_bytes()
+            == store_workflow["full_csv"].read_bytes()
+        )
+
+    def test_resume_metrics_byte_identical(self, store_workflow) -> None:
+        assert (
+            (store_workflow["root"] / "m.json").read_bytes()
+            == store_workflow["full_metrics"].read_bytes()
+        )
+
+    def test_since_reuses_unchurned_shards(self, store_workflow) -> None:
+        code, out = store_workflow["since"]
+        assert code == 0
+        assert "shard hits 1, misses 1, resume skipped 0" in out
+
+    def test_campaigns_list(self, store_workflow) -> None:
+        code, out = store_workflow["run"](
+            ["campaigns", "--store", str(store_workflow["store"]), "list"]
+        )
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert len(lines) == 2
+        assert all("complete" in line for line in lines)
+        assert all("2/2 shards" in line for line in lines)
+
+    def test_campaigns_show_by_prefix(self, store_workflow) -> None:
+        code, out = store_workflow["run"](
+            [
+                "campaigns",
+                "--store", str(store_workflow["store"]),
+                "show", store_workflow["base_id"][:8],
+            ]
+        )
+        assert code == 0
+        manifest = json.loads(out)
+        assert manifest["campaign"].startswith(store_workflow["base_id"])
+        assert manifest["complete"] is True
+
+    def test_campaigns_diff(self, store_workflow) -> None:
+        code, out = store_workflow["run"](
+            [
+                "campaigns",
+                "--store", str(store_workflow["store"]),
+                "diff",
+                store_workflow["base_id"],
+                store_workflow["evolved_id"],
+            ]
+        )
+        assert code == 0
+        assert "reused: US" in out
+        assert "re-measured: TH" in out
+
+    def test_campaigns_gc_keeps_referenced_shards(
+        self, store_workflow
+    ) -> None:
+        code, out = store_workflow["run"](
+            ["campaigns", "--store", str(store_workflow["store"]), "gc"]
+        )
+        assert code == 0
+        assert "removed 0 objects, 0 index entries" in out
+
+    def test_report_campaign_store_section(self, store_workflow) -> None:
+        store = store_workflow["store"]
+        artifacts = sorted(
+            (store / "campaigns").glob(
+                f"{store_workflow['base_id']}*.store.json"
+            )
+        )
+        assert artifacts
+        code, out = store_workflow["run"](
+            [
+                "report-campaign",
+                "--metrics", str(store_workflow["full_metrics"]),
+                "--store-metrics", str(artifacts[0]),
+            ]
+        )
+        assert code == 0
+        assert "-- campaign store" in out
+
+    def test_unknown_campaign_prefix_rejected(
+        self, store_workflow
+    ) -> None:
+        from repro.errors import PipelineError
+
+        with pytest.raises(PipelineError, match="no campaign matching"):
+            store_workflow["run"](
+                [
+                    "campaigns",
+                    "--store", str(store_workflow["store"]),
+                    "show", "feedface",
+                ]
+            )
+
+    def test_resume_without_store_rejected(self) -> None:
+        from repro.errors import PipelineError
+
+        with pytest.raises(PipelineError, match="require --store"):
+            main(
+                [
+                    "measure",
+                    "--sites", "60",
+                    "--countries", "US",
+                    "--resume",
+                ]
+            )

@@ -1,0 +1,72 @@
+"""World-slice digests: the cache key of incremental re-measurement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.worldgen import (
+    ChurnConfig,
+    World,
+    WorldConfig,
+    evolve,
+    project_country,
+    world_slice_digest,
+)
+
+CONFIG = WorldConfig(sites_per_country=50, countries=("BR", "DE", "TH", "US"))
+
+
+@pytest.fixture(scope="module")
+def world() -> World:
+    return World(CONFIG)
+
+
+class TestDigest:
+    def test_deterministic_across_rebuilds(self, world: World) -> None:
+        other = World(WorldConfig(sites_per_country=50, countries=("BR", "DE", "TH", "US")))
+        for cc in CONFIG.countries:
+            assert world_slice_digest(world, cc, "EU") == world_slice_digest(
+                other, cc, "EU"
+            )
+
+    def test_countries_have_distinct_digests(self, world: World) -> None:
+        digests = {world_slice_digest(world, cc, "EU") for cc in CONFIG.countries}
+        assert len(digests) == len(CONFIG.countries)
+
+    def test_vantage_changes_digest(self, world: World) -> None:
+        # Geo-aware records resolve differently per vantage; the digest
+        # must be keyed by it or a cached shard could leak across
+        # vantages.
+        assert world_slice_digest(world, "US", "EU") != world_slice_digest(
+            world, "US", "SA"
+        )
+
+    def test_unknown_country_raises(self, world: World) -> None:
+        with pytest.raises(ReproError):
+            world_slice_digest(world, "ZZ", "EU")
+
+    def test_projection_is_json_canonicalizable(self, world: World) -> None:
+        import json
+
+        projection = project_country(world, "DE", "EU", None)
+        assert projection["country"] == "DE"
+        assert len(projection["sites"]) == CONFIG.sites_per_country
+        # Must survive canonical JSON without custom encoders.
+        json.dumps(projection, sort_keys=True)
+
+
+class TestChurnStability:
+    def test_only_churned_country_changes(self, world: World) -> None:
+        churn = ChurnConfig(churn_countries=("BR",))
+        evolved = evolve(world, churn)
+        before = {
+            cc: world_slice_digest(world, cc, "EU") for cc in CONFIG.countries
+        }
+        after = {
+            cc: world_slice_digest(evolved, cc, "EU")
+            for cc in CONFIG.countries
+        }
+        assert before["BR"] != after["BR"]
+        for cc in ("DE", "TH", "US"):
+            assert before[cc] == after[cc], cc
