@@ -268,6 +268,54 @@ def _store_lines(store_metrics: dict) -> list[str]:
     return lines
 
 
+def _supervisor_lines(store_metrics: dict) -> list[str]:
+    """Summarize supervision events (retries, timeouts, quarantine).
+
+    The supervisor's registry is merged into the per-campaign store
+    artifact only when events actually occurred, so this section
+    appears exactly when a run needed supervision.
+    """
+    retries = _value_total(store_metrics, "repro_shard_retries_total")
+    timeouts = _value_total(store_metrics, "repro_shard_timeouts_total")
+    quarantined = _value_total(
+        store_metrics, "repro_countries_quarantined_total"
+    )
+    if not (retries or timeouts or quarantined):
+        return []
+    lines = [
+        f"   shard retries:    {_fmt_count(retries)}",
+        f"   shard timeouts:   {_fmt_count(timeouts)}",
+        f"   quarantined:      {_fmt_count(quarantined)}",
+    ]
+    by_reason: dict[str, float] = defaultdict(float)
+    for labels, sample in _samples(
+        store_metrics, "repro_shard_retries_total"
+    ):
+        by_reason[labels.get("reason", "?")] += float(
+            sample.get("value", 0)
+        )
+    if by_reason:
+        detail = ", ".join(
+            f"{reason}={_fmt_count(n)}"
+            for reason, n in sorted(
+                by_reason.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        )
+        lines.append(f"   retry reasons:    {detail}")
+    tombstoned = sorted(
+        labels["country"]
+        for labels, _ in _samples(
+            store_metrics, "repro_countries_quarantined_total"
+        )
+    )
+    if tombstoned:
+        lines.append(
+            f"   quarantined countries: {' '.join(tombstoned)} "
+            f"(a --resume run re-measures them)"
+        )
+    return lines
+
+
 def render_campaign_report(
     metrics: dict,
     spans: list[dict] | None = None,
@@ -295,6 +343,7 @@ def render_campaign_report(
     ]
     if store_metrics is not None:
         sections.append(("campaign store", _store_lines(store_metrics)))
+        sections.append(("supervision", _supervisor_lines(store_metrics)))
     out: list[str] = ["campaign report", "==============="]
     for title, lines in sections:
         if not lines:

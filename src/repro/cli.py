@@ -9,7 +9,7 @@ Commands
 ``longitudinal`` run the 2023→2025 churn study
 ``measure``      run the pipeline with fault injection and resilience
 ``report-campaign``  summarize a run's metrics/trace artifacts
-``campaigns``    list / show / diff / gc the campaign store
+``campaigns``    list / show / diff / gc / fsck the campaign store
 ``version``      print the package version (also ``--version``)
 
 Global flags: ``-v/--verbose`` (repeatable) raises the structured-log
@@ -21,7 +21,14 @@ family: ``--store`` (persist per-country shards as they complete),
 ``--since <campaign-id>`` (incremental re-measurement after a world
 evolution — pair with ``--evolve``/``--churn-countries``), and
 ``--halt-after N`` (testing hook: abort after N checkpointed
-countries, exit code 3).
+countries, exit code 3).  Supervision flags harden sharded runs:
+``--country-timeout`` (wall-clock deadline per country),
+``--max-shard-retries`` (resubmission budget after worker crashes,
+hangs, or errors), and ``--quarantine`` (tombstone a country that
+exhausts its budget instead of aborting; exit code 4 when any
+country ends up quarantined — a later ``--resume`` re-measures it).
+``campaigns fsck [--repair]`` verifies store integrity (exit code 5
+when damage is found and not repaired).
 
 The CLI is a thin veneer over :mod:`repro.analysis`; anything it prints
 can be obtained programmatically.
@@ -59,6 +66,51 @@ def package_version() -> str:
         from . import __version__
 
         return __version__
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    """argparse type: an integer >= 0."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0, got {value}"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a float > 0."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid float value: {text!r}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number, got {value}"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -159,12 +211,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     measure.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         default=1,
         metavar="N",
         help="shard the campaign's countries across N worker "
         "processes; output is byte-identical to --workers 1 for the "
         "same seed (default: 1, in-process)",
+    )
+    measure.add_argument(
+        "--country-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline per country dispatch; a worker that "
+        "blows it is killed and the country resubmitted (default: no "
+        "deadline)",
+    )
+    measure.add_argument(
+        "--max-shard-retries",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help="resubmissions per country after a worker crash, hang, "
+        "or error, with jittered backoff (default: 2)",
+    )
+    measure.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="when a country exhausts its retry budget, record a "
+        "tombstone and keep going instead of aborting; the campaign "
+        "exits 4 and a later --resume re-measures the quarantined "
+        "countries",
     )
     measure.add_argument(
         "--export", default=None, metavar="CSV",
@@ -228,6 +305,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="testing hook: abort (exit code 3) once N countries have "
         "been measured and checkpointed",
     )
+    from .faults.chaos import CHAOS_PROFILES
+
+    measure.add_argument(
+        "--chaos",
+        choices=sorted(CHAOS_PROFILES),
+        default=None,
+        help="testing hook: batter the worker fleet with a seeded "
+        "process-level chaos profile (SIGKILLed or wedged workers); "
+        "never changes what a converged campaign measures",
+    )
+    measure.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for chaos target selection (default: 0)",
+    )
 
     campaigns = sub.add_parser(
         "campaigns",
@@ -266,6 +360,20 @@ def build_parser() -> argparse.ArgumentParser:
         "gc",
         help="drop shard objects and index entries no manifest "
         "references",
+    )
+    fsck = campaigns_sub.add_parser(
+        "fsck",
+        help="verify store integrity: re-hash every object and detect "
+        "corrupt/truncated objects, dangling or unparseable index "
+        "entries, and damaged manifests (exit code 5 when damage is "
+        "found and not repaired)",
+    )
+    fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="drop damaged objects and index entries and clear the "
+        "manifest references to them, so --resume/--since re-measure "
+        "exactly the damaged countries",
     )
 
     sub.add_parser("version", help="print the package version")
@@ -456,6 +564,37 @@ def _cmd_measure(args: argparse.Namespace) -> int:
             baseline = _resolve_campaign_id(store, args.since)
     elif args.resume or args.since:
         raise PipelineError("--resume/--since require --store DIR")
+    countries = spec.resolved_countries()
+    if args.workers > len(countries):
+        print(
+            f"warning: --workers {args.workers} exceeds the campaign's "
+            f"{len(countries)} countries; clamping to {len(countries)}",
+            file=sys.stderr,
+        )
+    policy = None
+    if (
+        args.country_timeout is not None
+        or args.max_shard_retries is not None
+        or args.quarantine
+    ):
+        from .pipeline import SupervisorPolicy
+
+        policy_kwargs = {
+            "quarantine": args.quarantine,
+            "seed": args.fault_seed,
+        }
+        if args.country_timeout is not None:
+            policy_kwargs["country_timeout"] = args.country_timeout
+        if args.max_shard_retries is not None:
+            policy_kwargs["max_shard_retries"] = args.max_shard_retries
+        policy = SupervisorPolicy(**policy_kwargs)
+    chaos = None
+    if args.chaos:
+        from .faults.chaos import chaos_profile
+
+        chaos = chaos_profile(
+            args.chaos, list(countries), seed=args.chaos_seed
+        )
     try:
         result = run_campaign(
             spec,
@@ -464,6 +603,8 @@ def _cmd_measure(args: argparse.Namespace) -> int:
             resume=args.resume,
             baseline=baseline,
             halt_after=args.halt_after,
+            policy=policy,
+            chaos=chaos,
         )
     except CampaignHalted as halted:
         print(f"{halted} (campaign {halted.campaign or '-'}); "
@@ -524,6 +665,33 @@ def _cmd_measure(args: argparse.Namespace) -> int:
             f"(shard hits {hits}, misses {misses}, "
             f"resume skipped {skipped})"
         )
+    if result.supervisor_metrics is not None:
+        sup = result.supervisor_metrics.get("metrics", {})
+
+        def _sup_total(name: str) -> int:
+            entry = sup.get(name, {})
+            return int(
+                sum(s["value"] for s in entry.get("samples", ()))
+            )
+
+        print(
+            f"supervision: "
+            f"{_sup_total('repro_shard_retries_total')} shard retries, "
+            f"{_sup_total('repro_shard_timeouts_total')} timeouts, "
+            f"{_sup_total('repro_countries_quarantined_total')} "
+            f"quarantined"
+        )
+    if result.quarantined:
+        print(
+            f"quarantined countries: {', '.join(result.quarantined)}"
+        )
+        print(
+            "a --resume run re-measures exactly the quarantined "
+            "countries"
+            if store is not None
+            else "re-run with --store + --resume to re-measure them"
+        )
+        return 4
     return 0
 
 
@@ -566,14 +734,22 @@ def _cmd_campaigns(args: argparse.Namespace) -> int:
             stored = sum(
                 1 for entry in countries.values() if entry.get("object")
             )
+            quarantined = sum(
+                1
+                for entry in countries.values()
+                if entry.get("quarantined")
+            )
             state = "complete" if manifest.get("complete") else "partial"
-            print(
+            line = (
                 f"{manifest['campaign'][:16]}  {state:8s}  "
                 f"snapshot {manifest_snapshot(manifest)}  "
                 f"seed {config.get('seed')}  "
                 f"profile {manifest['spec']['knobs']['fault_profile']}  "
                 f"{stored}/{len(countries)} shards"
             )
+            if quarantined:
+                line += f"  {quarantined} quarantined"
+            print(line)
         return 0
     if args.subcommand == "show":
         import json as json_module
@@ -601,6 +777,10 @@ def _cmd_campaigns(args: argparse.Namespace) -> int:
             f"{index_removed} index entries"
         )
         return 0
+    if args.subcommand == "fsck":
+        report = store.fsck(repair=args.repair)
+        print(report.render())
+        return 0 if report.clean or report.repaired else 5
     raise AssertionError(  # pragma: no cover - argparse enforces choices
         f"unknown campaigns subcommand {args.subcommand!r}"
     )

@@ -69,3 +69,15 @@ class UnknownLayerError(ReproError, KeyError):
 
 class PipelineError(ReproError, RuntimeError):
     """Raised when the measurement pipeline is misconfigured."""
+
+
+class StoreCorruptionError(PipelineError):
+    """Raised when the campaign store holds a damaged artifact.
+
+    A truncated or bit-flipped object, an index entry whose JSON no
+    longer parses, a dangling digest reference — anything where the
+    bytes on disk contradict the store's content-addressing.  Typed
+    (rather than a bare ``KeyError``/``JSONDecodeError``) so callers
+    can distinguish "your store is damaged, run ``repro campaigns
+    fsck --repair``" from programming errors.
+    """

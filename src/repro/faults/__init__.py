@@ -10,6 +10,15 @@ resolver's logical clock — no wall time, no global RNG.
 """
 
 from .breaker import BreakerState, CircuitBreaker
+from .chaos import (
+    CHAOS_PROFILES,
+    ChaosPlan,
+    KillWorker,
+    WedgeWorker,
+    chaos_profile,
+    corrupt_object,
+    corrupt_store,
+)
 from .plan import (
     FAULT_PROFILES,
     FaultPlan,
@@ -39,6 +48,13 @@ __all__ = [
     "StaleGeoData",
     "FAULT_PROFILES",
     "fault_profile",
+    "ChaosPlan",
+    "KillWorker",
+    "WedgeWorker",
+    "CHAOS_PROFILES",
+    "chaos_profile",
+    "corrupt_object",
+    "corrupt_store",
     "RetryPolicy",
     "RetrySession",
     "CircuitBreaker",

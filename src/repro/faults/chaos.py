@@ -1,0 +1,225 @@
+"""Process-level chaos: kill, wedge, and corrupt — deterministically.
+
+The injectors in :mod:`repro.faults.plan` model *in-pipeline* faults
+(SERVFAILs, TLS flaps) that the retry/breaker machinery absorbs.
+This module models the faults that machinery cannot see because they
+happen to the measurement *system* itself:
+
+* a worker process SIGKILLed mid-country (the OOM killer, a reboot),
+* a worker wedged past any reasonable deadline (an fd leak, a lock),
+* bytes flipped inside the campaign store (disk rot, torn flush).
+
+The harness is the supervision layer's proof obligation: under every
+seeded chaos plan a campaign must terminate without manual
+intervention and — after supervisor retries plus at most one
+``--resume`` — produce byte-identical CSV and metrics to a run that
+never saw the chaos.  The integration suite and the ``chaos-smoke``
+CI job assert exactly that.
+
+Determinism matters as much here as in the fault plans: a chaos plan
+is a frozen, picklable value addressed by ``(country, attempt)``, so
+"the worker measuring TH dies on its first two dispatches" replays
+identically on every run.  Target selection for the named profiles is
+seeded (:func:`~repro.faults.seeding.stable_fraction`), never random.
+
+Chaos plans ride into worker processes next to the
+:class:`~repro.pipeline.parallel.CampaignSpec` but are deliberately
+*not* part of campaign identity: they change how the orchestration is
+battered, never what a country's measurements are — which is exactly
+why a battered campaign can converge to the unbattered artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import PipelineError
+from .seeding import stable_fraction
+
+__all__ = [
+    "KillWorker",
+    "WedgeWorker",
+    "ChaosPlan",
+    "CHAOS_PROFILES",
+    "chaos_profile",
+    "corrupt_object",
+    "corrupt_store",
+]
+
+
+def _die() -> None:  # pragma: no cover - the process does not return
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+@dataclass(frozen=True, slots=True)
+class KillWorker:
+    """SIGKILL the worker dispatched a country on chosen attempts.
+
+    ``after_measure=True`` (the default) kills after the country has
+    been measured but before the result is reported — the worst case:
+    the work is done, then lost, and the supervisor must detect the
+    broken pipe and pay for the country again.
+    """
+
+    country: str
+    attempts: tuple[int, ...] = (1,)
+    after_measure: bool = True
+
+    def fires(self, country: str, attempt: int) -> bool:
+        """Whether this dispatch is the one that dies."""
+        return country == self.country and attempt in self.attempts
+
+
+@dataclass(frozen=True, slots=True)
+class WedgeWorker:
+    """Wedge the worker (a long sleep) before it starts measuring.
+
+    Models a hung shard: the worker blocks on the *wall* clock, which
+    only a wall-clock deadline (``--country-timeout``) can detect —
+    the logical clock never advances in a wedged process.  ``seconds``
+    should dwarf the configured deadline; the supervisor's SIGKILL
+    ends the sleep early.
+    """
+
+    country: str
+    attempts: tuple[int, ...] = (1,)
+    seconds: float = 300.0
+
+    def fires(self, country: str, attempt: int) -> bool:
+        """Whether this dispatch is the one that hangs."""
+        return country == self.country and attempt in self.attempts
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosPlan:
+    """A composed set of process-level faults (frozen, picklable)."""
+
+    kills: tuple[KillWorker, ...] = ()
+    wedges: tuple[WedgeWorker, ...] = ()
+
+    def before_measure(self, country: str, attempt: int) -> None:
+        """Worker hook fired as a dispatch starts."""
+        for wedge in self.wedges:
+            if wedge.fires(country, attempt):
+                time.sleep(wedge.seconds)
+        for kill in self.kills:
+            if not kill.after_measure and kill.fires(country, attempt):
+                _die()
+
+    def after_measure(self, country: str, attempt: int) -> None:
+        """Worker hook fired after measurement, before reporting."""
+        for kill in self.kills:
+            if kill.after_measure and kill.fires(country, attempt):
+                _die()
+
+
+def _target(countries: list[str], seed: int) -> str:
+    """Seeded choice of the country whose worker gets battered."""
+    if not countries:
+        raise PipelineError("chaos profile needs at least one country")
+    ordered = sorted(countries)
+    index = int(
+        stable_fraction(seed, "chaos-target", *ordered) * len(ordered)
+    )
+    return ordered[min(index, len(ordered) - 1)]
+
+
+#: Named chaos profiles for ``repro measure --chaos`` and the tests.
+#: Each maps the campaign's country list + seed to a plan:
+#:
+#: ``worker-kill``        one country's worker dies after measuring,
+#:                        on the first dispatch (one retry recovers);
+#: ``worker-kill-repeat`` same, on the first two dispatches (the
+#:                        default retry budget just barely absorbs it);
+#: ``hung-shard``         one country's worker wedges on its first
+#:                        dispatch (requires ``--country-timeout``);
+#: ``quarantine``         one country's worker dies on every dispatch
+#:                        a sane budget allows — only ``--quarantine``
+#:                        lets the campaign terminate, and a later
+#:                        chaos-free ``--resume`` heals it.
+CHAOS_PROFILES: dict[str, object] = {
+    "worker-kill": lambda target: ChaosPlan(
+        kills=(KillWorker(target, attempts=(1,)),)
+    ),
+    "worker-kill-repeat": lambda target: ChaosPlan(
+        kills=(KillWorker(target, attempts=(1, 2)),)
+    ),
+    "hung-shard": lambda target: ChaosPlan(
+        wedges=(WedgeWorker(target, attempts=(1,)),)
+    ),
+    "quarantine": lambda target: ChaosPlan(
+        kills=(KillWorker(target, attempts=tuple(range(1, 33))),)
+    ),
+}
+
+
+def chaos_profile(
+    name: str, countries: list[str], seed: int = 0
+) -> ChaosPlan:
+    """Build a named chaos plan against a seeded target country."""
+    try:
+        build = CHAOS_PROFILES[name]
+    except KeyError:
+        raise PipelineError(
+            f"unknown chaos profile {name!r}; expected one of "
+            f"{sorted(CHAOS_PROFILES)}"
+        ) from None
+    return build(_target(list(countries), seed))
+
+
+# ----------------------------------------------------------------------
+# Store corruption
+# ----------------------------------------------------------------------
+
+
+def corrupt_object(path: Path, seed: int = 0, truncate: bool = False) -> None:
+    """Damage one store object file in place, deterministically.
+
+    ``truncate=True`` cuts the file in half (the torn-flush shape);
+    otherwise one seeded alphanumeric byte is bit-flipped (the disk-rot
+    shape).  Either way the object fails content verification.
+    """
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise PipelineError(f"cannot corrupt empty file {path}")
+    if truncate:
+        path.write_bytes(bytes(data[: max(len(data) // 2, 1)]))
+        return
+    positions = [
+        i for i, b in enumerate(data)
+        if (48 <= b <= 57) or (97 <= b <= 122) or (65 <= b <= 90)
+    ]
+    if not positions:  # pragma: no cover - JSON always has alnum bytes
+        positions = list(range(len(data)))
+    frac = stable_fraction(seed, "corrupt", path.name)
+    pos = positions[min(int(frac * len(positions)), len(positions) - 1)]
+    data[pos] ^= 0x01
+    path.write_bytes(bytes(data))
+
+
+def corrupt_store(
+    store, seed: int = 0, count: int = 1, truncate: bool = False
+) -> list[str]:
+    """Corrupt ``count`` seeded objects in a campaign store.
+
+    Returns the digests of the damaged objects (sorted), so tests can
+    assert fsck finds exactly them.
+    """
+    paths = sorted(Path(store.root, "objects").glob("*/*.json"))
+    if len(paths) < count:
+        raise PipelineError(
+            f"store has only {len(paths)} objects, cannot corrupt {count}"
+        )
+    chosen: list[Path] = []
+    remaining = list(paths)
+    for pick in range(count):
+        frac = stable_fraction(seed, "corrupt-pick", pick)
+        index = min(int(frac * len(remaining)), len(remaining) - 1)
+        chosen.append(remaining.pop(index))
+    for path in chosen:
+        corrupt_object(path, seed=seed, truncate=truncate)
+    return sorted(path.stem for path in chosen)

@@ -37,6 +37,7 @@ __all__ = [
     "NullInstrumentation",
     "NULL_OBS",
     "StoreTelemetry",
+    "SupervisorTelemetry",
 ]
 
 
@@ -492,4 +493,74 @@ class StoreTelemetry:
 
     def to_dict(self) -> dict:
         """The store-metrics payload (``MetricsRegistry.to_dict``)."""
+        return self.registry.to_dict()
+
+
+class SupervisorTelemetry:
+    """Shard-supervision accounting: retries, timeouts, quarantines.
+
+    Like :class:`StoreTelemetry`, this lives in its own registry and
+    never merges into a campaign's measurement metrics — a campaign
+    that survived worker crashes must still export ``--metrics-out``
+    byte-identical to one that never saw them.  When a store is
+    attached the payload is folded into the per-campaign store-metrics
+    artifact, which ``repro report-campaign --store-metrics``
+    surfaces.
+    """
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self._retries = self.registry.counter(
+            "repro_shard_retries_total",
+            "Country shards resubmitted after a worker crash, error, "
+            "or deadline",
+            labelnames=("country", "reason"),
+        )
+        self._timeouts = self.registry.counter(
+            "repro_shard_timeouts_total",
+            "Country shards killed for exceeding the wall-clock "
+            "country deadline",
+            labelnames=("country",),
+        )
+        self._quarantined = self.registry.counter(
+            "repro_countries_quarantined_total",
+            "Countries tombstoned after exhausting the shard retry "
+            "budget",
+            labelnames=("country", "reason"),
+        )
+        self._events = 0
+
+    def shard_retry(self, country: str, reason: str) -> None:
+        """A country is being resubmitted to a fresh worker."""
+        self._retries.inc(country=country, reason=reason)
+        self._events += 1
+
+    def shard_timeout(self, country: str) -> None:
+        """A country blew its wall-clock deadline; worker killed."""
+        self._timeouts.inc(country=country)
+        self._events += 1
+
+    def quarantined(self, country: str, reason: str) -> None:
+        """A country was tombstoned after exhausting its retries."""
+        self._quarantined.inc(country=country, reason=reason)
+        self._events += 1
+
+    def empty(self) -> bool:
+        """True when supervision never had to intervene."""
+        return self._events == 0
+
+    def counts(self) -> tuple[int, int, int]:
+        """Total ``(retries, timeouts, quarantined)`` across countries."""
+
+        def total(metric) -> int:
+            return int(sum(value for _, value in metric.samples()))
+
+        return (
+            total(self._retries),
+            total(self._timeouts),
+            total(self._quarantined),
+        )
+
+    def to_dict(self) -> dict:
+        """The supervisor payload (``MetricsRegistry.to_dict``)."""
         return self.registry.to_dict()

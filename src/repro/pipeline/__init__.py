@@ -27,6 +27,7 @@ from .parallel import (
     run_campaign,
 )
 from .records import LAYER_FIELDS, MeasurementDataset, WebsiteMeasurement
+from .supervisor import ShardSupervisor, SupervisorPolicy
 from .vantage import VantageComparison, ripe_style_dataset, validate_vantage
 
 __all__ = [
@@ -36,6 +37,8 @@ __all__ = [
     "CampaignResult",
     "CampaignHalted",
     "CountryResult",
+    "ShardSupervisor",
+    "SupervisorPolicy",
     "measure_country_unit",
     "run_campaign",
     "MeasurementDataset",

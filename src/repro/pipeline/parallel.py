@@ -11,12 +11,16 @@ against a :class:`~repro.worldgen.world.World` built from the same
 never observes another country's state, its rows, metrics, and spans
 are a pure function of ``(config, campaign knobs, country)``.
 
-That invariant is what makes sharding safe: ``run_campaign`` submits
-one task per country to a process pool (each worker builds one World —
-inherited copy-on-write under fork, rebuilt once per process under
-spawn — and reuses it across its tasks), then merges the per-country
-results **in sorted country order** regardless of completion order.
-The merge is exact, not approximate:
+That invariant is what makes sharding safe: ``run_campaign`` hands
+one task per country to a supervised worker fleet
+(:class:`~repro.pipeline.supervisor.ShardSupervisor`; each worker
+builds one World — inherited copy-on-write under fork, rebuilt once
+per process under spawn — and reuses it across its tasks), then
+merges the per-country results **in sorted country order** regardless
+of completion order.  The supervisor resubmits countries whose worker
+crashed or hung, which cannot change output for the same reason
+sharding cannot: a country unit is a pure function of the spec.  The
+merge is exact, not approximate:
 
 * rows concatenate in ``(country, rank)`` order, the order the serial
   run produces;
@@ -47,7 +51,6 @@ hit the store, and are never re-measured.
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -55,7 +58,11 @@ from typing import TYPE_CHECKING
 from ..errors import PipelineError
 from ..faults.plan import FaultPlan, fault_profile
 from ..faults.retry import RetryPolicy
-from ..obs.instrument import Instrumentation, StoreTelemetry
+from ..obs.instrument import (
+    Instrumentation,
+    StoreTelemetry,
+    SupervisorTelemetry,
+)
 from ..obs.metrics import merge_metrics_payloads, render_metrics_json
 from ..obs.spans import stitch_spans, write_spans_jsonl
 from ..worldgen.churn import ChurnConfig, evolve
@@ -63,8 +70,10 @@ from ..worldgen.config import WorldConfig
 from ..worldgen.world import World
 from .measure import STANFORD_VANTAGE_CONTINENT, MeasurementPipeline
 from .records import MeasurementDataset, WebsiteMeasurement
+from .supervisor import ShardSupervisor, SupervisorPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.chaos import ChaosPlan
     from ..store.store import CampaignStore
 
 __all__ = [
@@ -150,6 +159,10 @@ class CountryResult:
     injected_faults: int
     #: Nameserver circuits open or half-open at end of unit.
     open_circuits: tuple[str, ...]
+    #: Why the supervisor quarantined this country (None for a real
+    #: measurement).  A quarantined unit is a tombstone: zero rows, no
+    #: telemetry — the degraded-row idea applied to a whole country.
+    quarantined: str | None = None
 
 
 @dataclass(frozen=True)
@@ -169,6 +182,14 @@ class CampaignResult:
     #: Store hit/miss/skip payload (None when no store was used).  Kept
     #: separate from ``metrics`` so resumed runs stay byte-identical.
     store_metrics: dict | None = None
+    #: Countries the supervisor quarantined (empty on a clean run);
+    #: their rows are absent from ``dataset`` and a later ``--resume``
+    #: re-measures exactly these.
+    quarantined: tuple[str, ...] = ()
+    #: Supervisor telemetry payload (shard retries/timeouts/quarantine
+    #: counters).  None when nothing went wrong, so happy-path
+    #: artifacts stay byte-identical to the unsupervised executor's.
+    supervisor_metrics: dict | None = None
 
     def write_metrics(self, path: str | Path) -> None:
         """Write the merged metrics payload as deterministic JSON."""
@@ -255,7 +276,13 @@ _WORKER_WORLD: tuple[tuple[WorldConfig, ChurnConfig | None], World] | None = (
 )
 
 
-def _worker_world(spec: CampaignSpec) -> World:
+def worker_world(spec: CampaignSpec) -> World:
+    """The World a worker process measures against (memoized).
+
+    Forked workers reuse the parent's pre-built World copy-on-write;
+    spawned (or respawned) workers build it once per process from the
+    spec's recipe and keep it across tasks.
+    """
     global _WORKER_WORLD
     if _PREFORK_WORLD is not None:
         return _PREFORK_WORLD
@@ -263,11 +290,6 @@ def _worker_world(spec: CampaignSpec) -> World:
     if _WORKER_WORLD is None or _WORKER_WORLD[0] != recipe:
         _WORKER_WORLD = (recipe, spec.build_world())
     return _WORKER_WORLD[1]
-
-
-def _measure_one(spec: CampaignSpec, country: str) -> CountryResult:
-    """Worker entry point: measure a single country (picklable)."""
-    return measure_country_unit(_worker_world(spec), spec, country)
 
 
 class _StoreSession:
@@ -318,6 +340,11 @@ class _StoreSession:
             if reuse_wanted and store.has_shard(self.keys[cc]):
                 shard = store.get_shard(self.keys[cc])
                 assert shard is not None
+                if shard.quarantined is not None:
+                    # A stored tombstone is a promise to re-measure,
+                    # never a reusable result.
+                    self.telemetry.shard_miss(cc)
+                    continue
                 self.reused[cc] = shard
                 self.telemetry.shard_hit(cc)
                 if resume:
@@ -344,19 +371,34 @@ class _StoreSession:
         store.save_manifest(self.manifest)
 
     def checkpoint(self, result: CountryResult) -> None:
-        """Persist one freshly measured country and update the manifest."""
+        """Persist one finished country and update the manifest.
+
+        Quarantine tombstones are persisted too (provenance: the
+        manifest records *why* a country is missing), but marked so
+        resume treats them as work to redo, not results to reuse.
+        """
         cc = result.country
         digest = self.store.put_shard(self.keys[cc], result)
-        self.manifest["countries"][cc]["object"] = digest
+        entry = self.manifest["countries"][cc]
+        entry["object"] = digest
+        if result.quarantined is not None:
+            entry["quarantined"] = result.quarantined
+        else:
+            entry.pop("quarantined", None)
         self.store.save_manifest(self.manifest)
 
-    def finish(self, complete: bool) -> None:
+    def finish(
+        self, complete: bool, supervisor_metrics: dict | None = None
+    ) -> None:
         """Record final state and write the store-metrics artifact."""
         self.manifest["complete"] = complete
         self.store.save_manifest(self.manifest)
-        self.store.write_store_metrics(
-            self.campaign, self.telemetry.to_dict()
-        )
+        payload = self.telemetry.to_dict()
+        if supervisor_metrics is not None:
+            payload = merge_metrics_payloads(
+                [payload, supervisor_metrics]
+            )
+        self.store.write_store_metrics(self.campaign, payload)
 
 
 def run_campaign(
@@ -368,24 +410,35 @@ def run_campaign(
     baseline: str | None = None,
     halt_after: int | None = None,
     mp_start_method: str | None = None,
+    policy: SupervisorPolicy | None = None,
+    chaos: "ChaosPlan | None" = None,
 ) -> CampaignResult:
-    """Run a campaign, optionally sharded, persisted, and incremental.
+    """Run a campaign, optionally sharded, persisted, and supervised.
 
     ``workers <= 1`` measures every country inline; ``workers > 1``
-    submits one task per country to that many processes.  Either way
-    the per-country results merge in sorted country order, so the
-    output is invariant under ``workers``.
+    dispatches countries to that many supervised worker processes
+    (:class:`~repro.pipeline.supervisor.ShardSupervisor`): a worker
+    that crashes, reports an error, or blows its per-country
+    wall-clock deadline has its country resubmitted with jittered
+    backoff, and — with ``policy.quarantine`` — tombstoned once the
+    retry budget is spent.  Either way the per-country results merge
+    in sorted country order, so the output is invariant under
+    ``workers`` (and under any supervision that ends in success).
 
-    With a ``store``, every measured country is checkpointed as it
+    With a ``store``, every finished country is checkpointed as it
     completes.  ``resume=True`` reuses stored shards whose key matches
-    (continuing an interrupted run of the *same* campaign);
+    (continuing an interrupted run of the *same* campaign; quarantine
+    tombstones are re-measured, never reused);
     ``baseline=<campaign-id>`` additionally asserts the baseline
     campaign exists and reuses shards across world epochs (the
     ``--since`` path).  ``halt_after=N`` aborts with
     :class:`CampaignHalted` once N fresh countries are persisted —
     the deterministic stand-in for a mid-campaign crash in tests.
     ``mp_start_method`` pins the multiprocessing start method
-    (default: fork when available).
+    (default: fork when available).  ``policy`` (or ``chaos``) forces
+    the supervised path even for ``workers=1``; ``chaos`` is the test
+    harness's process-fault injector and must never be set in
+    production use.
     """
     if (resume or baseline is not None) and store is None:
         raise PipelineError(
@@ -415,6 +468,7 @@ def run_campaign(
     ]
     measured: dict[str, CountryResult] = {}
     halted = False
+    supervisor_telemetry: SupervisorTelemetry | None = None
 
     def note(result: CountryResult) -> bool:
         """Record one fresh result; True when the campaign must halt."""
@@ -424,7 +478,8 @@ def run_campaign(
         return halt_after is not None and len(measured) >= halt_after
 
     workers = min(workers, max(len(to_measure), 1))
-    if workers <= 1:
+    supervised = workers > 1 or policy is not None or chaos is not None
+    if not supervised:
         world = parent_world
         if world is None and to_measure:
             world = spec.build_world()
@@ -433,7 +488,7 @@ def run_campaign(
             if note(measure_country_unit(world, spec, cc)):
                 halted = True
                 break
-    else:
+    elif to_measure:
         if mp_start_method is not None:
             context = multiprocessing.get_context(mp_start_method)
         else:
@@ -453,31 +508,33 @@ def run_campaign(
                 if parent_world is not None
                 else spec.build_world()
             )
+        supervisor_telemetry = SupervisorTelemetry()
+        supervisor = ShardSupervisor(
+            spec,
+            to_measure,
+            workers,
+            policy if policy is not None else SupervisorPolicy(),
+            chaos=chaos,
+            telemetry=supervisor_telemetry,
+            mp_context=context,
+        )
         try:
-            with ProcessPoolExecutor(
-                max_workers=workers, mp_context=context
-            ) as pool:
-                pending = {
-                    pool.submit(_measure_one, spec, cc)
-                    for cc in to_measure
-                }
-                while pending:
-                    done, pending = wait(
-                        pending, return_when=FIRST_COMPLETED
-                    )
-                    for future in done:
-                        if note(future.result()):
-                            halted = True
-                    if halted:
-                        for future in pending:
-                            future.cancel()
-                        break
+            _results, halted = supervisor.run(note)
         finally:
             _PREFORK_WORLD = None
 
+    supervisor_metrics = (
+        supervisor_telemetry.to_dict()
+        if supervisor_telemetry is not None
+        and not supervisor_telemetry.empty()
+        else None
+    )
+
     if halted:
         if session is not None:
-            session.finish(complete=False)
+            session.finish(
+                complete=False, supervisor_metrics=supervisor_metrics
+            )
             raise CampaignHalted(session.campaign, len(measured))
         raise CampaignHalted(None, len(measured))
 
@@ -486,6 +543,9 @@ def run_campaign(
         else measured[cc]
         for cc in countries
     ]
+    quarantined = tuple(
+        unit.country for unit in units if unit.quarantined is not None
+    )
 
     dataset = MeasurementDataset(
         vantage_continent=spec.vantage_continent
@@ -507,7 +567,10 @@ def run_campaign(
         {key for unit in units for key in unit.open_circuits}
     )
     if session is not None:
-        session.finish(complete=True)
+        session.finish(
+            complete=not quarantined,
+            supervisor_metrics=supervisor_metrics,
+        )
     return CampaignResult(
         dataset=dataset,
         metrics=metrics,
@@ -518,4 +581,6 @@ def run_campaign(
         store_metrics=(
             session.telemetry.to_dict() if session is not None else None
         ),
+        quarantined=quarantined,
+        supervisor_metrics=supervisor_metrics,
     )

@@ -1,0 +1,484 @@
+"""Process supervision for sharded campaigns.
+
+The executor in :mod:`repro.pipeline.parallel` made the country the
+unit of determinism; this module makes it the unit of *failure*.  A
+long campaign at paper scale (150 countries x 10K sites) will meet the
+operational faults the in-pipeline injectors cannot model: a worker
+process SIGKILLed by the OOM killer, a worker wedged on one
+pathological country, a box rebooting mid-run.  Without supervision
+any of those aborts the whole campaign and throws away every country
+already measured.
+
+:class:`ShardSupervisor` owns a fleet of long-lived worker processes,
+each connected to the parent by its own duplex pipe (no shared queue:
+a worker killed mid-``put`` can corrupt a queue's lock, while a dead
+pipe simply reads EOF).  The parent dispatches one ``(country,
+attempt)`` task at a time to each worker and watches for three fault
+shapes:
+
+* **worker death** — the worker's pipe hits EOF or its process exits
+  nonzero.  The in-flight country is resubmitted to a fresh worker.
+* **hung shard** — a per-country wall-clock deadline
+  (``country_timeout``) expires.  The worker is SIGKILLed and the
+  country resubmitted.  Wall clock, not the logical clock: a wedged
+  worker by definition stops advancing logical time.
+* **in-pipeline error** — the worker caught an exception and reported
+  it over the pipe.  Also resubmitted: the box-level conditions that
+  produce spurious errors (fd exhaustion, memory pressure) often
+  clear.
+
+Resubmission is bounded and jittered: each country gets at most
+``max_shard_retries`` extra dispatches, spaced by the same
+decorrelated-jitter schedule the in-pipeline
+:class:`~repro.faults.retry.RetryPolicy` uses (seeded per country, so
+a thundering herd of failed shards does not resubmit in lockstep).
+When the budget is exhausted the supervisor either aborts the campaign
+(default — same observable behavior as before this module existed) or,
+with ``quarantine=True``, records a :class:`~repro.pipeline.parallel.
+CountryResult`-shaped tombstone and moves on, so the campaign always
+terminates with the maximal valid subset of its output.  Tombstones
+carry degraded-row semantics: zero rows, a recorded reason, a
+``quarantined`` marker persisted in the store manifest — and a later
+``--resume`` re-measures exactly the quarantined countries.
+
+Because every country unit is a pure function of ``(spec, country)``,
+none of this machinery can change output: a retried country produces
+byte-identical rows/metrics/spans to a first-try success, so a
+campaign that survives crashes converges to the same artifacts as one
+that never saw them.  The test suite asserts exactly that under a
+process-level chaos harness (:mod:`repro.faults.chaos`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from multiprocessing.connection import Connection
+from multiprocessing.connection import wait as connection_wait
+from typing import TYPE_CHECKING, Callable
+
+from ..errors import PipelineError
+from ..faults.retry import RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.chaos import ChaosPlan
+    from ..obs.instrument import SupervisorTelemetry
+    from .parallel import CampaignSpec, CountryResult
+
+__all__ = [
+    "SupervisorPolicy",
+    "ShardSupervisor",
+    "quarantine_tombstone",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SupervisorPolicy:
+    """Fault-handling knobs for the sharded campaign supervisor.
+
+    The defaults are deliberately no-ops on the happy path: no
+    deadline, and the retry/backoff knobs only matter once something
+    actually fails.  ``country_timeout`` is a *wall-clock* budget per
+    country dispatch; ``max_shard_retries`` bounds resubmissions per
+    country (on top of the first dispatch); ``quarantine`` turns
+    budget exhaustion into a tombstone instead of a campaign abort.
+    """
+
+    country_timeout: float | None = None
+    max_shard_retries: int = 2
+    quarantine: bool = False
+    #: Backoff before resubmitting a failed country, following the
+    #: decorrelated-jitter recurrence of the in-pipeline RetryPolicy —
+    #: but spent on the real clock (the supervisor has no logical one).
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    seed: int = 0
+    #: How often the supervisor wakes to check deadlines when no pipe
+    #: is readable.
+    poll_interval: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.country_timeout is not None and self.country_timeout <= 0:
+            raise PipelineError(
+                f"country_timeout must be positive, got {self.country_timeout}"
+            )
+        if self.max_shard_retries < 0:
+            raise PipelineError(
+                f"max_shard_retries must be >= 0, got {self.max_shard_retries}"
+            )
+        if self.backoff_base <= 0 or self.backoff_cap < self.backoff_base:
+            raise PipelineError(
+                f"invalid backoff window [{self.backoff_base}, "
+                f"{self.backoff_cap}]"
+            )
+        if self.poll_interval <= 0:
+            raise PipelineError(
+                f"poll_interval must be positive, got {self.poll_interval}"
+            )
+
+    def backoff_schedule(self, country: str) -> tuple[float, ...]:
+        """Jittered resubmission delays for one country's retries."""
+        if self.max_shard_retries == 0:
+            return ()
+        policy = RetryPolicy(
+            max_attempts=self.max_shard_retries + 1,
+            base_delay=self.backoff_base,
+            max_delay=self.backoff_cap,
+            seed=self.seed,
+        )
+        return policy.backoff_schedule(f"shard:{country}")
+
+
+def quarantine_tombstone(country: str, reason: str) -> "CountryResult":
+    """A CountryResult-shaped tombstone for a quarantined country.
+
+    Degraded-row semantics taken to the limit: zero rows, no
+    telemetry, and the failure reason recorded so manifests and
+    reports can surface *why* the country is missing.
+    """
+    from .parallel import CountryResult
+
+    return CountryResult(
+        country=country,
+        rows=(),
+        metrics=None,
+        spans=None,
+        injected_faults=0,
+        open_circuits=(),
+        quarantined=reason,
+    )
+
+
+def _supervised_worker(
+    spec: "CampaignSpec", chaos: "ChaosPlan | None", conn: Connection
+) -> None:
+    """Worker-process loop: measure countries until told to stop.
+
+    One task at a time arrives as ``(country, attempt)``; the result
+    goes back as ``("ok", country, attempt, CountryResult)`` or
+    ``("error", country, attempt, reason)``.  The chaos hooks are the
+    test harness's seam for killing or wedging the process at
+    deterministic points; they are no-ops in production.
+    """
+    from .parallel import measure_country_unit, worker_world
+
+    try:
+        while True:
+            try:
+                task = conn.recv()
+            except (EOFError, OSError):
+                return
+            if task is None:
+                return
+            country, attempt = task
+            try:
+                if chaos is not None:
+                    chaos.before_measure(country, attempt)
+                world = worker_world(spec)
+                result = measure_country_unit(world, spec, country)
+                if chaos is not None:
+                    chaos.after_measure(country, attempt)
+                conn.send(("ok", country, attempt, result))
+            except BaseException as exc:  # noqa: BLE001 - report, don't die
+                try:
+                    conn.send(
+                        (
+                            "error",
+                            country,
+                            attempt,
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                except (BrokenPipeError, OSError):
+                    return
+    finally:
+        conn.close()
+
+
+class _Worker:
+    """Parent-side handle on one worker process."""
+
+    __slots__ = ("process", "conn", "task", "deadline")
+
+    def __init__(self, process, conn: Connection) -> None:
+        self.process = process
+        self.conn = conn
+        #: The in-flight ``(country, attempt)`` or None when idle.
+        self.task: tuple[str, int] | None = None
+        #: Wall-clock instant the in-flight task times out (None when
+        #: idle or no country_timeout configured).
+        self.deadline: float | None = None
+
+
+class ShardSupervisor:
+    """Run a campaign's country shards under crash/hang supervision.
+
+    Drives ``workers`` long-lived processes over per-worker pipes,
+    dispatching countries in sorted order and resubmitting failures
+    per the :class:`SupervisorPolicy`.  Purely an orchestration layer:
+    results (and the merge the caller performs on them) are identical
+    to the unsupervised executor's whenever nothing fails.
+    """
+
+    def __init__(
+        self,
+        spec: "CampaignSpec",
+        countries: list[str],
+        workers: int,
+        policy: SupervisorPolicy,
+        *,
+        chaos: "ChaosPlan | None" = None,
+        telemetry: "SupervisorTelemetry | None" = None,
+        mp_context=None,
+    ) -> None:
+        self.spec = spec
+        self.countries = list(countries)
+        self.worker_count = max(1, min(workers, len(self.countries) or 1))
+        self.policy = policy
+        self.chaos = chaos
+        self.telemetry = telemetry
+        self._context = (
+            mp_context if mp_context is not None else multiprocessing
+        )
+        #: country -> (attempt, wall-clock instant it may be dispatched)
+        self._pending: dict[str, tuple[int, float]] = {}
+        self._results: dict[str, "CountryResult"] = {}
+        self._workers: list[_Worker] = []
+        self._halted = False
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+
+    def _spawn_worker(self) -> _Worker:
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_supervised_worker,
+            args=(self.spec, self.chaos, child_conn),
+            daemon=True,
+        )
+        process.start()
+        # Close the parent's copy of the child end: otherwise the pipe
+        # never reads EOF when the worker dies.
+        child_conn.close()
+        return _Worker(process, parent_conn)
+
+    def _retire_worker(self, worker: _Worker) -> None:
+        """Tear one worker down hard (it is dead or being killed)."""
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if worker.process.is_alive():
+            worker.process.kill()
+        worker.process.join(timeout=5.0)
+
+    def _replace_worker(self, worker: _Worker) -> None:
+        self._retire_worker(worker)
+        index = self._workers.index(worker)
+        self._workers[index] = self._spawn_worker()
+
+    def _shutdown(self) -> None:
+        for worker in self._workers:
+            if worker.process.is_alive() and worker.task is None:
+                try:
+                    worker.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+        for worker in self._workers:
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            worker.process.join(timeout=0.5)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+        self._workers = []
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+
+    def _task_failed(
+        self,
+        country: str,
+        attempt: int,
+        reason: str,
+        detail: str,
+        note: Callable[["CountryResult"], bool],
+    ) -> None:
+        """One dispatch of a country failed; resubmit or quarantine."""
+        if self.telemetry is not None:
+            if reason == "timeout":
+                self.telemetry.shard_timeout(country)
+        if attempt <= self.policy.max_shard_retries:
+            delays = self.policy.backoff_schedule(country)
+            delay = delays[min(attempt - 1, len(delays) - 1)] if delays else 0.0
+            self._pending[country] = (attempt + 1, time.monotonic() + delay)
+            if self.telemetry is not None:
+                self.telemetry.shard_retry(country, reason)
+            return
+        message = (
+            f"country {country} failed {attempt} dispatch"
+            f"{'es' if attempt != 1 else ''} ({reason}: {detail})"
+        )
+        if not self.policy.quarantine:
+            raise PipelineError(
+                f"{message}; raise --max-shard-retries or pass "
+                f"--quarantine to tombstone the country and keep going"
+            )
+        tombstone = quarantine_tombstone(country, f"{reason}: {detail}")
+        self._results[country] = tombstone
+        if self.telemetry is not None:
+            self.telemetry.quarantined(country, reason)
+        if note(tombstone):
+            self._halted = True
+
+    def _worker_died(
+        self, worker: _Worker, note: Callable[["CountryResult"], bool]
+    ) -> None:
+        worker.process.join(timeout=5.0)
+        exitcode = worker.process.exitcode
+        task = worker.task
+        self._replace_worker(worker)
+        if task is None:
+            return
+        country, attempt = task
+        self._task_failed(
+            country,
+            attempt,
+            "crash",
+            f"worker exited with code {exitcode}",
+            note,
+        )
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def _dispatch_ready(self, now: float) -> None:
+        idle = [w for w in self._workers if w.task is None]
+        if not idle:
+            return
+        ready = sorted(
+            cc
+            for cc, (_attempt, ready_at) in self._pending.items()
+            if ready_at <= now
+        )
+        for worker, country in zip(idle, ready):
+            attempt, _ready_at = self._pending.pop(country)
+            try:
+                worker.conn.send((country, attempt))
+            except (BrokenPipeError, OSError):
+                # Worker died while idle; put the task back and bring
+                # up a replacement immediately.
+                self._pending[country] = (attempt, now)
+                self._replace_worker(worker)
+                continue
+            worker.task = (country, attempt)
+            worker.deadline = (
+                now + self.policy.country_timeout
+                if self.policy.country_timeout is not None
+                else None
+            )
+
+    def _wait_budget(self, now: float) -> float:
+        budget = self.policy.poll_interval
+        for worker in self._workers:
+            if worker.deadline is not None:
+                budget = min(budget, max(worker.deadline - now, 0.0))
+        for _attempt, ready_at in self._pending.values():
+            budget = min(budget, max(ready_at - now, 0.0))
+        return budget
+
+    def run(
+        self, note: Callable[["CountryResult"], bool]
+    ) -> tuple[dict[str, "CountryResult"], bool]:
+        """Measure every country; returns ``(results, halted)``.
+
+        ``note`` is invoked for every finished unit (fresh result or
+        quarantine tombstone) in completion order — the caller's
+        checkpoint hook; returning True halts the campaign (the
+        ``--halt-after`` contract).  ``results`` maps country to its
+        unit (tombstones included) unless halted early.
+        """
+        self._pending = {cc: (1, 0.0) for cc in self.countries}
+        self._results = {}
+        self._halted = False
+        self._workers = [
+            self._spawn_worker() for _ in range(self.worker_count)
+        ]
+        try:
+            while (
+                len(self._results) < len(self.countries)
+                and not self._halted
+            ):
+                now = time.monotonic()
+                self._dispatch_ready(now)
+                busy = {
+                    w.conn: w for w in self._workers if w.task is not None
+                }
+                if not busy and not self._pending:
+                    # Nothing in flight and nothing schedulable: every
+                    # remaining country is already resolved.
+                    break
+                if busy:
+                    readable = connection_wait(
+                        list(busy), timeout=self._wait_budget(now)
+                    )
+                else:
+                    time.sleep(self._wait_budget(now))
+                    readable = []
+                for conn in readable:
+                    worker = busy[conn]
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        self._worker_died(worker, note)
+                        continue
+                    kind, country, attempt, payload = message
+                    worker.task = None
+                    worker.deadline = None
+                    if kind == "ok":
+                        self._results[country] = payload
+                        if note(payload):
+                            self._halted = True
+                            break
+                    else:
+                        self._task_failed(
+                            country, attempt, "error", payload, note
+                        )
+                    if self._halted:
+                        break
+                if self._halted:
+                    break
+                now = time.monotonic()
+                for worker in list(self._workers):
+                    if (
+                        worker.task is not None
+                        and worker.deadline is not None
+                        and now >= worker.deadline
+                    ):
+                        country, attempt = worker.task
+                        self._replace_worker(worker)
+                        self._task_failed(
+                            country,
+                            attempt,
+                            "timeout",
+                            f"exceeded the {self.policy.country_timeout:g}s "
+                            f"wall-clock country deadline",
+                            note,
+                        )
+                    elif (
+                        worker.task is not None
+                        and not worker.process.is_alive()
+                        and not worker.conn.poll()
+                    ):
+                        # Exited without writing a result (covers the
+                        # rare case where EOF was consumed elsewhere).
+                        self._worker_died(worker, note)
+        finally:
+            self._shutdown()
+        return dict(self._results), self._halted

@@ -19,6 +19,7 @@ from .store import (
     MANIFEST_SCHEMA,
     SHARD_SCHEMA,
     CampaignStore,
+    FsckReport,
     decode_shard,
     encode_shard,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "MANIFEST_SCHEMA",
     "SHARD_SCHEMA",
     "CampaignStore",
+    "FsckReport",
     "campaign_id",
     "canonical_json",
     "decode_shard",

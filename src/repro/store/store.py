@@ -16,22 +16,36 @@ with a single file stat.  Manifests record which shards a campaign
 comprises and whether it ran to completion; they are the GC root set.
 
 All writes go through a temp-file + :func:`os.replace` so a crash
-mid-write never leaves a torn object — the resume machinery can trust
-anything it finds.
+mid-write never leaves a torn object — but disks, not just crashes,
+corrupt stores: bit flips, truncation by a full filesystem, a crash
+*inside* the page cache flush.  Loads therefore verify: every object
+read re-hashes its payload against its filename and raises a typed
+:class:`~repro.errors.StoreCorruptionError` on any mismatch or parse
+failure, and :meth:`CampaignStore.fsck` sweeps the whole store
+(``repro campaigns fsck [--repair]``), so a damaged store degrades
+into "re-measure exactly these countries" instead of silent reuse of
+bad data.  Orphaned ``*.tmp`` files (a crash between tmp-write and
+``os.replace``) are swept on store open.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from dataclasses import dataclass, field
 from pathlib import Path
 
-from ..errors import PipelineError
+from ..errors import PipelineError, StoreCorruptionError
 from ..pipeline.export import rows_from_csv_text, rows_to_csv_text
 from ..pipeline.parallel import CountryResult
 from .digest import digest_of
 
-__all__ = ["CampaignStore", "SHARD_SCHEMA", "MANIFEST_SCHEMA"]
+__all__ = [
+    "CampaignStore",
+    "FsckReport",
+    "SHARD_SCHEMA",
+    "MANIFEST_SCHEMA",
+]
 
 #: Schema tag of stored shard payloads.
 SHARD_SCHEMA = "repro-shard-v1"
@@ -47,8 +61,13 @@ def _atomic_write_text(path: Path, text: str) -> None:
 
 
 def encode_shard(result: CountryResult) -> dict:
-    """A CountryResult as a JSON-ready shard payload."""
-    return {
+    """A CountryResult as a JSON-ready shard payload.
+
+    The ``quarantined`` marker is included only when set, so the
+    digests of ordinary shards are unchanged from stores written
+    before quarantine existed.
+    """
+    payload = {
         "_schema": SHARD_SCHEMA,
         "country": result.country,
         "csv": rows_to_csv_text(result.rows),
@@ -57,23 +76,34 @@ def encode_shard(result: CountryResult) -> dict:
         "injected_faults": result.injected_faults,
         "open_circuits": list(result.open_circuits),
     }
+    if result.quarantined is not None:
+        payload["quarantined"] = result.quarantined
+    return payload
 
 
 def decode_shard(payload: dict) -> CountryResult:
     """Rebuild a CountryResult from a stored shard payload."""
-    if payload.get("_schema") != SHARD_SCHEMA:
-        raise PipelineError(
-            f"unsupported shard schema {payload.get('_schema')!r}"
+    if not isinstance(payload, dict) or payload.get("_schema") != SHARD_SCHEMA:
+        raise StoreCorruptionError(
+            f"unsupported shard schema "
+            f"{payload.get('_schema') if isinstance(payload, dict) else payload!r}"
         )
     spans = payload.get("spans")
-    return CountryResult(
-        country=payload["country"],
-        rows=rows_from_csv_text(payload["csv"]),
-        metrics=payload.get("metrics"),
-        spans=tuple(spans) if spans is not None else None,
-        injected_faults=int(payload.get("injected_faults", 0)),
-        open_circuits=tuple(payload.get("open_circuits", ())),
-    )
+    try:
+        return CountryResult(
+            country=payload["country"],
+            rows=rows_from_csv_text(payload["csv"]),
+            metrics=payload.get("metrics"),
+            spans=tuple(spans) if spans is not None else None,
+            injected_faults=int(payload.get("injected_faults", 0)),
+            open_circuits=tuple(payload.get("open_circuits", ())),
+            quarantined=payload.get("quarantined"),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise StoreCorruptionError(
+            f"malformed shard payload ({exc}); run `repro campaigns "
+            f"fsck --repair`"
+        ) from exc
 
 
 class CampaignStore:
@@ -90,6 +120,21 @@ class CampaignStore:
         self._campaigns = self._root / "campaigns"
         for directory in (self._objects, self._index, self._campaigns):
             directory.mkdir(parents=True, exist_ok=True)
+        #: Orphaned temp files swept on open (crash between tmp-write
+        #: and ``os.replace`` leaks them; they are never referenced,
+        #: so sweeping is always safe — writes are single-process).
+        self.tmp_swept = self._sweep_tmp()
+
+    def _sweep_tmp(self) -> int:
+        swept = 0
+        for directory in (self._objects, self._index, self._campaigns):
+            for tmp in directory.rglob("*.tmp"):
+                try:
+                    tmp.unlink()
+                except OSError:  # pragma: no cover - races with nothing
+                    continue
+                swept += 1
+        return swept
 
     @property
     def root(self) -> Path:
@@ -118,11 +163,39 @@ class CampaignStore:
         return digest
 
     def get_object(self, digest: str) -> dict | None:
-        """Load a payload by content digest (None when absent)."""
+        """Load and verify a payload by content digest (None when absent).
+
+        Every load re-hashes the parsed payload against the digest it
+        was stored under: a truncated or bit-flipped object raises
+        :class:`~repro.errors.StoreCorruptionError` instead of feeding
+        damaged data into a resume.
+        """
         path = self._object_path(digest)
         if not path.exists():
             return None
-        return json.loads(path.read_text(encoding="utf-8"))
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise StoreCorruptionError(
+                f"object {digest} is corrupt (unparseable JSON: {exc}); "
+                f"run `repro campaigns fsck --repair`"
+            ) from exc
+        try:
+            actual = digest_of(payload)
+        except (UnicodeEncodeError, ValueError, TypeError) as exc:
+            # json.loads accepts things canonical JSON cannot re-encode
+            # (lone surrogates from a bit-flipped escape): unhashable
+            # content is corrupt content.
+            raise StoreCorruptionError(
+                f"object {digest} is corrupt (unhashable payload: "
+                f"{exc}); run `repro campaigns fsck --repair`"
+            ) from exc
+        if actual != digest:
+            raise StoreCorruptionError(
+                f"object {digest} fails content verification (payload "
+                f"hashes to {actual}); run `repro campaigns fsck --repair`"
+            )
+        return payload
 
     def put_shard(self, key: str, result: CountryResult) -> str:
         """Store one country's result under its shard key.
@@ -148,7 +221,18 @@ class CampaignStore:
         path = self._index_path(key)
         if not path.exists():
             return None
-        entry = json.loads(path.read_text(encoding="utf-8"))
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise StoreCorruptionError(
+                f"index entry {key} is corrupt ({exc}); run "
+                f"`repro campaigns fsck --repair`"
+            ) from exc
+        if not isinstance(entry, dict):
+            raise StoreCorruptionError(
+                f"index entry {key} is corrupt (not an object); run "
+                f"`repro campaigns fsck --repair`"
+            )
         return entry.get("object")
 
     def get_shard(self, key: str) -> CountryResult | None:
@@ -158,9 +242,9 @@ class CampaignStore:
             return None
         payload = self.get_object(digest)
         if payload is None:
-            raise PipelineError(
+            raise StoreCorruptionError(
                 f"store index references missing object {digest} "
-                f"(key {key}); run `repro campaigns gc`"
+                f"(key {key}); run `repro campaigns fsck --repair`"
             )
         return decode_shard(payload)
 
@@ -188,7 +272,12 @@ class CampaignStore:
         path = self._manifest_path(campaign)
         if not path.exists():
             return None
-        return json.loads(path.read_text(encoding="utf-8"))
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise StoreCorruptionError(
+                f"manifest {campaign} is corrupt ({exc})"
+            ) from exc
 
     def list_campaigns(self) -> list[dict]:
         """Every stored manifest, sorted by campaign id."""
@@ -255,3 +344,227 @@ class CampaignStore:
                 path.unlink()
                 objects_removed += 1
         return objects_removed, index_removed
+
+    # ------------------------------------------------------------------
+    # Integrity checking
+    # ------------------------------------------------------------------
+
+    def fsck(self, repair: bool = False) -> "FsckReport":
+        """Verify every stored artifact against its digest.
+
+        Re-parses and re-hashes every object, resolves every index
+        entry, and cross-checks every manifest's country table.  With
+        ``repair=True`` the damage is *dropped*, never patched: corrupt
+        objects and dangling/corrupt index entries are deleted and
+        affected manifest entries cleared (and the manifest marked
+        incomplete), so a subsequent ``--resume``/``--since`` simply
+        re-measures exactly the damaged countries.  Orphan objects
+        (referenced by nothing) are reported but left for ``gc``.
+        """
+        report = FsckReport(repaired=repair, tmp_swept=self.tmp_swept)
+        valid_objects: set[str] = set()
+        for path in sorted(self._objects.glob("*/*.json")):
+            report.objects_scanned += 1
+            digest = path.stem
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                rehash = digest_of(payload)
+            except (
+                json.JSONDecodeError,
+                UnicodeDecodeError,
+                UnicodeEncodeError,
+                ValueError,
+                TypeError,
+            ):
+                payload = None
+                rehash = None
+            if payload is None or rehash != digest:
+                report.corrupt_objects.append(digest)
+                if repair:
+                    path.unlink()
+            else:
+                valid_objects.add(digest)
+
+        referenced: set[str] = set()
+        for path in sorted(self._index.glob("*.json")):
+            key = path.stem
+            try:
+                entry = json.loads(path.read_text(encoding="utf-8"))
+                digest = entry.get("object") if isinstance(entry, dict) else None
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                digest = None
+            if digest is None:
+                report.corrupt_index.append(key)
+                if repair:
+                    path.unlink()
+            elif digest not in valid_objects:
+                report.dangling_index.append(key)
+                if repair:
+                    path.unlink()
+            else:
+                referenced.add(digest)
+
+        for path in sorted(self._campaigns.glob("*.json")):
+            if path.name.endswith(".store.json"):
+                continue
+            try:
+                manifest = json.loads(path.read_text(encoding="utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                report.corrupt_manifests.append(path.stem)
+                continue
+            dirty = False
+            for cc, entry in sorted(
+                manifest.get("countries", {}).items()
+            ):
+                digest = entry.get("object")
+                if digest is None:
+                    continue
+                if digest in valid_objects:
+                    referenced.add(digest)
+                    continue
+                report.manifest_entries_cleared.append(
+                    (manifest.get("campaign", path.stem), cc)
+                )
+                if repair:
+                    entry["object"] = None
+                    entry.pop("quarantined", None)
+                    manifest["complete"] = False
+                    dirty = True
+            if dirty:
+                self.save_manifest(manifest)
+
+        report.orphan_objects.extend(
+            sorted(valid_objects - referenced)
+        )
+        return report
+
+
+@dataclass
+class FsckReport:
+    """What :meth:`CampaignStore.fsck` found (and possibly repaired)."""
+
+    repaired: bool = False
+    objects_scanned: int = 0
+    #: Digests whose object failed to parse or re-hash.
+    corrupt_objects: list[str] = field(default_factory=list)
+    #: Valid objects referenced by no index entry and no manifest.
+    orphan_objects: list[str] = field(default_factory=list)
+    #: Shard keys resolving to a missing or corrupt object.
+    dangling_index: list[str] = field(default_factory=list)
+    #: Shard keys whose index entry itself does not parse.
+    corrupt_index: list[str] = field(default_factory=list)
+    #: Manifests that no longer parse (reported, never auto-dropped).
+    corrupt_manifests: list[str] = field(default_factory=list)
+    #: ``(campaign, country)`` manifest entries pointing at bad objects.
+    manifest_entries_cleared: list[tuple[str, str]] = field(
+        default_factory=list
+    )
+    #: Orphaned temp files swept when the store was opened.
+    tmp_swept: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing was damaged (orphans/tmp are not damage)."""
+        return not (
+            self.corrupt_objects
+            or self.dangling_index
+            or self.corrupt_index
+            or self.corrupt_manifests
+            or self.manifest_entries_cleared
+        )
+
+    def to_metrics(self) -> dict:
+        """The ``fsck_*`` metric families as a registry payload."""
+        from ..obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+
+        def count(name: str, help: str, value: int) -> None:
+            registry.counter(f"repro_fsck_{name}_total", help).inc(value)
+
+        count("objects_scanned", "objects examined by fsck",
+              self.objects_scanned)
+        count("corrupt_objects", "objects failing parse or re-hash",
+              len(self.corrupt_objects))
+        count("orphan_objects", "valid objects referenced by nothing",
+              len(self.orphan_objects))
+        count("dangling_index_entries",
+              "index entries resolving to missing/corrupt objects",
+              len(self.dangling_index))
+        count("corrupt_index_entries", "unparseable index entries",
+              len(self.corrupt_index))
+        count("corrupt_manifests", "unparseable campaign manifests",
+              len(self.corrupt_manifests))
+        count("manifest_entries_cleared",
+              "manifest country entries pointing at bad objects",
+              len(self.manifest_entries_cleared))
+        count("tmp_swept", "orphaned temp files swept on store open",
+              self.tmp_swept)
+        count("repairs",
+              "artifacts dropped or cleared by --repair",
+              (len(self.corrupt_objects) + len(self.dangling_index)
+               + len(self.corrupt_index)
+               + len(self.manifest_entries_cleared))
+              if self.repaired else 0)
+        return registry.to_dict()
+
+    def render(self) -> str:
+        """Operator-facing summary for ``repro campaigns fsck``."""
+        lines = [
+            f"scanned {self.objects_scanned} objects"
+            + (f" (swept {self.tmp_swept} orphaned tmp files on open)"
+               if self.tmp_swept else "")
+        ]
+        verb = "dropped" if self.repaired else "found"
+        cleared = "cleared" if self.repaired else "found"
+        if self.corrupt_objects:
+            lines.append(
+                f"{verb} {len(self.corrupt_objects)} corrupt object"
+                f"{'s' if len(self.corrupt_objects) != 1 else ''}: "
+                + ", ".join(d[:16] for d in self.corrupt_objects)
+            )
+        if self.corrupt_index:
+            lines.append(
+                f"{verb} {len(self.corrupt_index)} corrupt index "
+                f"entr{'ies' if len(self.corrupt_index) != 1 else 'y'}"
+            )
+        if self.dangling_index:
+            lines.append(
+                f"{verb} {len(self.dangling_index)} dangling index "
+                f"entr{'ies' if len(self.dangling_index) != 1 else 'y'}"
+            )
+        if self.corrupt_manifests:
+            lines.append(
+                f"found {len(self.corrupt_manifests)} corrupt "
+                f"manifest(s): " + ", ".join(self.corrupt_manifests)
+            )
+        if self.manifest_entries_cleared:
+            detail = ", ".join(
+                f"{campaign[:16]}/{cc}"
+                for campaign, cc in self.manifest_entries_cleared
+            )
+            lines.append(
+                f"{cleared} {len(self.manifest_entries_cleared)} "
+                f"manifest entr"
+                f"{'ies' if len(self.manifest_entries_cleared) != 1 else 'y'}"
+                f" pointing at bad objects: {detail}"
+            )
+        if self.orphan_objects:
+            lines.append(
+                f"found {len(self.orphan_objects)} orphan object"
+                f"{'s' if len(self.orphan_objects) != 1 else ''} "
+                f"(run `repro campaigns gc` to drop)"
+            )
+        if self.clean:
+            lines.append("store is clean")
+        elif self.repaired:
+            lines.append(
+                "store repaired; `--resume`/`--since` will re-measure "
+                "the affected countries"
+            )
+        else:
+            lines.append(
+                "store is damaged; re-run with --repair to drop bad "
+                "entries"
+            )
+        return "\n".join(lines)

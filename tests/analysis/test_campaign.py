@@ -151,3 +151,47 @@ class TestStoreSection:
         assert "resume skipped:   1" in report
         assert "reused: DE TH US" in report
         assert "measured: BR" in report
+
+
+class TestSupervisionSection:
+    def store_metrics(self, with_supervision: bool) -> dict:
+        from repro.obs.instrument import (
+            StoreTelemetry,
+            SupervisorTelemetry,
+        )
+        from repro.obs.metrics import merge_metrics_payloads
+
+        store = StoreTelemetry()
+        store.shard_miss("TH")
+        if not with_supervision:
+            return store.to_dict()
+        supervisor = SupervisorTelemetry()
+        supervisor.shard_retry("TH", "crash")
+        supervisor.shard_retry("TH", "timeout")
+        supervisor.shard_timeout("TH")
+        supervisor.quarantined("TH", "crash")
+        return merge_metrics_payloads(
+            [store.to_dict(), supervisor.to_dict()]
+        )
+
+    def test_absent_on_unsupervised_artifacts(self, artifacts) -> None:
+        metrics_path, _ = artifacts
+        report = render_campaign_report(
+            load_metrics(metrics_path),
+            store_metrics=self.store_metrics(with_supervision=False),
+        )
+        assert "-- supervision" not in report
+
+    def test_supervision_section_rendered(self, artifacts) -> None:
+        metrics_path, _ = artifacts
+        report = render_campaign_report(
+            load_metrics(metrics_path),
+            store_metrics=self.store_metrics(with_supervision=True),
+        )
+        assert "-- supervision" in report
+        assert "shard retries:    2" in report
+        assert "shard timeouts:   1" in report
+        assert "quarantined:      1" in report
+        assert "retry reasons:    crash=1, timeout=1" in report
+        assert "quarantined countries: TH" in report
+        assert "--resume run re-measures them" in report

@@ -1,0 +1,139 @@
+"""Property-based tests: store damage is never a silent wrong answer.
+
+The safety contract of the content-addressed store, hammered with
+hypothesis: however an object file is damaged — any single bit flip,
+any truncation — a load either raises the typed
+:class:`~repro.errors.StoreCorruptionError` or returns the original
+payload (when the damage hit semantically dead bytes such as
+indentation).  It must never return a payload that differs from what
+was stored, and it must never leak a bare ``KeyError`` or
+``JSONDecodeError``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError, StoreCorruptionError
+from repro.store import CampaignStore, decode_shard
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+)
+json_payloads = st.dictionaries(
+    st.text(min_size=1, max_size=10),
+    st.recursive(
+        json_scalars,
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.dictionaries(
+                st.text(min_size=1, max_size=8), children, max_size=4
+            ),
+        ),
+        max_leaves=10,
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def _store(tmp_path_factory) -> CampaignStore:
+    return CampaignStore(tmp_path_factory.mktemp("prop-store"))
+
+
+class TestObjectDamage:
+    @settings(max_examples=60, deadline=None)
+    @given(payload=json_payloads, position=st.integers(min_value=0), bit=st.integers(min_value=0, max_value=7))
+    def test_bit_flip_never_returns_a_different_payload(
+        self, tmp_path_factory, payload: dict, position: int, bit: int
+    ) -> None:
+        store = _store(tmp_path_factory)
+        digest = store.put_object(payload)
+        path = store._object_path(digest)
+        original = path.read_bytes()
+        data = bytearray(original)
+        data[position % len(data)] ^= 1 << bit
+        if bytes(data) == original:
+            return
+        path.write_bytes(bytes(data))
+        try:
+            loaded = store.get_object(digest)
+        except StoreCorruptionError:
+            return
+        # The flip hit semantically dead bytes (whitespace, an escape
+        # respelling): acceptable only if the payload is untouched.
+        assert loaded == json.loads(original.decode("utf-8"))
+
+    @settings(max_examples=40, deadline=None)
+    @given(payload=json_payloads, cut=st.integers(min_value=0))
+    def test_truncation_always_raises_typed_error(
+        self, tmp_path_factory, payload: dict, cut: int
+    ) -> None:
+        store = _store(tmp_path_factory)
+        digest = store.put_object(payload)
+        path = store._object_path(digest)
+        original = path.read_bytes()
+        keep = cut % len(original)  # strictly shorter than the file
+        path.write_bytes(original[:keep])
+        try:
+            store.get_object(digest)
+        except StoreCorruptionError:
+            return
+        raise AssertionError(
+            f"truncation to {keep}/{len(original)} bytes loaded silently"
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(payload=json_payloads)
+    def test_wholesale_swap_raises(
+        self, tmp_path_factory, payload: dict
+    ) -> None:
+        # Replacing an object's content with ANY other valid JSON must
+        # fail content verification (unless it canonicalizes equal).
+        store = _store(tmp_path_factory)
+        digest = store.put_object({"anchor": "payload"})
+        path = store._object_path(digest)
+        path.write_text(
+            json.dumps(payload, sort_keys=True), encoding="utf-8"
+        )
+        try:
+            loaded = store.get_object(digest)
+        except StoreCorruptionError:
+            return
+        assert loaded == {"anchor": "payload"}
+
+
+class TestShardDecoding:
+    @settings(max_examples=60, deadline=None)
+    @given(payload=json_payloads)
+    def test_junk_payloads_raise_typed_errors_only(
+        self, payload: dict
+    ) -> None:
+        # decode_shard over arbitrary JSON objects: either a valid
+        # CountryResult (the payload happened to be well-formed) or a
+        # library-typed error — never a bare KeyError/TypeError.
+        try:
+            result = decode_shard(payload)
+        except ReproError:
+            return
+        assert result.country == payload["country"]
+
+    @settings(max_examples=30, deadline=None)
+    @given(value=json_scalars)
+    def test_non_dict_payloads_raise_typed_errors_only(
+        self, value
+    ) -> None:
+        try:
+            decode_shard(value)  # type: ignore[arg-type]
+        except ReproError:
+            return
+        raise AssertionError(
+            f"decode_shard accepted non-dict payload {value!r}"
+        )

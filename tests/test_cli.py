@@ -473,3 +473,192 @@ class TestCampaignStoreCli:
                     "--resume",
                 ]
             )
+
+
+class TestWorkerValidation:
+    def test_workers_zero_rejected(self, capsys) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["measure", "--workers", "0"])
+        assert excinfo.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_workers_negative_rejected(self, capsys) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["measure", "--workers", "-3"])
+        assert excinfo.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_workers_non_numeric_rejected(self, capsys) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["measure", "--workers", "many"])
+        assert excinfo.value.code == 2
+        assert "invalid int value" in capsys.readouterr().err
+
+    def test_more_workers_than_countries_warns(self, capsys) -> None:
+        code = main(
+            [
+                "measure",
+                "--sites", "60",
+                "--countries", "US", "TH",
+                "--workers", "5",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "exceeds the campaign's 2 countries" in captured.err
+        assert "measured 120 sites" in captured.out
+
+    def test_country_timeout_must_be_positive(self, capsys) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["measure", "--country-timeout", "0"])
+        assert excinfo.value.code == 2
+        assert "positive number" in capsys.readouterr().err
+
+    def test_max_shard_retries_rejects_negative(self, capsys) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["measure", "--max-shard-retries", "-1"])
+        assert excinfo.value.code == 2
+        assert ">= 0" in capsys.readouterr().err
+
+
+class TestSupervisionCli:
+    def test_supervision_flags_parse(self) -> None:
+        args = build_parser().parse_args(
+            [
+                "measure",
+                "--country-timeout", "30",
+                "--max-shard-retries", "1",
+                "--quarantine",
+                "--chaos", "worker-kill",
+                "--chaos-seed", "7",
+            ]
+        )
+        assert args.country_timeout == 30.0
+        assert args.max_shard_retries == 1
+        assert args.quarantine is True
+        assert args.chaos == "worker-kill"
+        assert args.chaos_seed == 7
+
+    def test_unknown_chaos_profile_rejected(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["measure", "--chaos", "meteor-strike"]
+            )
+
+    def test_chaos_run_converges_and_reports_supervision(
+        self, capsys
+    ) -> None:
+        code = main(
+            [
+                "measure",
+                "--sites", "60",
+                "--countries", "US", "TH",
+                "--workers", "2",
+                "--chaos", "worker-kill",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "measured 120 sites" in out
+        assert "supervision: 1 shard retries, 0 timeouts, 0 quarantined" in out
+
+    def test_quarantine_exits_4_and_resume_heals(
+        self, capsys, tmp_path
+    ) -> None:
+        store = tmp_path / "store"
+        base = [
+            "measure",
+            "--sites", "60",
+            "--countries", "US", "TH",
+            "--workers", "2",
+            "--store", str(store),
+        ]
+        code = main(
+            base
+            + [
+                "--chaos", "quarantine",
+                "--quarantine",
+                "--max-shard-retries", "0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 4
+        assert "quarantined countries:" in out
+        assert "--resume run re-measures" in out
+
+        code = main(base + ["--resume"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "measured 120 sites" in out
+        assert "quarantined" not in out
+
+    def test_campaigns_list_flags_quarantined_campaign(
+        self, capsys, tmp_path
+    ) -> None:
+        store = tmp_path / "store"
+        main(
+            [
+                "measure",
+                "--sites", "60",
+                "--countries", "US", "TH",
+                "--workers", "2",
+                "--store", str(store),
+                "--chaos", "quarantine",
+                "--quarantine",
+                "--max-shard-retries", "0",
+            ]
+        )
+        capsys.readouterr()
+        assert main(["campaigns", "--store", str(store), "list"]) == 0
+        out = capsys.readouterr().out
+        assert "partial" in out
+        assert "1 quarantined" in out
+
+
+class TestFsckCli:
+    def test_clean_store_exits_zero(self, capsys, tmp_path) -> None:
+        store = tmp_path / "store"
+        main(
+            [
+                "measure",
+                "--sites", "60",
+                "--countries", "US",
+                "--store", str(store),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["campaigns", "--store", str(store), "fsck"]) == 0
+        assert "store is clean" in capsys.readouterr().out
+
+    def test_damage_exits_5_then_repair_then_resume(
+        self, capsys, tmp_path
+    ) -> None:
+        from repro.faults.chaos import corrupt_store
+        from repro.store import CampaignStore
+
+        store_dir = tmp_path / "store"
+        base = [
+            "measure",
+            "--sites", "60",
+            "--countries", "US", "TH",
+            "--store", str(store_dir),
+        ]
+        main(base)
+        capsys.readouterr()
+        corrupt_store(CampaignStore(store_dir), seed=0, count=1)
+
+        code = main(["campaigns", "--store", str(store_dir), "fsck"])
+        out = capsys.readouterr().out
+        assert code == 5
+        assert "--repair" in out
+
+        code = main(
+            ["campaigns", "--store", str(store_dir), "fsck", "--repair"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "store repaired" in out
+
+        assert main(base + ["--resume"]) == 0
+        assert "measured 120 sites" in capsys.readouterr().out
+        assert main(["campaigns", "--store", str(store_dir), "fsck"]) == 0
