@@ -26,6 +26,7 @@ that instrumentation accounting stays honest.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import gc
 import json
 import platform
@@ -146,17 +147,63 @@ def bench_overhead(
     return instrumented, bare
 
 
+def _profile_campaign(spec: CampaignSpec, workers: int) -> dict:
+    """One instrumented run's phase breakdown and worker utilization.
+
+    Runs *outside* the timed region (after the bare readings are
+    taken), so profiling never perturbs the headline numbers.  The
+    breakdown comes from the campaign profiler's own metric families,
+    the same payload ``repro measure --profile-out`` writes.
+    """
+    result = run_campaign(
+        dataclasses.replace(spec, instrument=True), workers=workers
+    )
+    metrics = result.profile["metrics"]  # type: ignore[index]
+
+    def series(name: str, label: str) -> dict[str, float]:
+        return {
+            sample["labels"][label]: sample["value"]
+            for sample in metrics[name]["samples"]
+        }
+
+    wall = metrics["repro_campaign_wall_seconds"]["samples"][0]["value"]
+    busy = series("repro_worker_busy_seconds", "worker")
+    idle = series("repro_worker_idle_seconds", "worker")
+    spawn = series("repro_worker_spawn_seconds", "worker")
+    tasks = series("repro_worker_tasks_total", "worker")
+    return {
+        "wall_seconds": wall,
+        "phases": series("repro_phase_seconds", "phase"),
+        "workers": {
+            label: {
+                "tasks": int(tasks.get(label, 0)),
+                "busy_seconds": busy[label],
+                "idle_seconds": idle.get(label, 0.0),
+                "spawn_seconds": spawn.get(label, 0.0),
+                "busy_pct": round(100.0 * busy[label] / wall, 1)
+                if wall
+                else None,
+            }
+            for label in sorted(busy)
+        },
+    }
+
+
 def bench_parallel(
     sites: int,
     countries: tuple[str, ...],
     repeat: int,
     workers_counts: tuple[int, ...],
+    profile: bool = False,
 ) -> dict:
     """Time the campaign runner across worker counts, end to end.
 
     Each reading includes everything ``repro measure --workers N``
     pays — worker spawn and per-worker World builds included — so the
-    speedup column reflects what a user actually gets.
+    speedup column reflects what a user actually gets.  With
+    ``profile``, each worker count gets one extra *instrumented* run
+    after its timing passes, attaching per-phase seconds and a worker
+    utilization breakdown to the entry.
     """
     spec = CampaignSpec(
         config=WorldConfig(
@@ -188,6 +235,8 @@ def bench_parallel(
             entry["speedup_vs_serial"] = round(
                 serial_seconds / seconds, 2
             )
+        if profile:
+            entry["profile"] = _profile_campaign(spec, workers)
         out[str(workers)] = entry
     return out
 
@@ -232,6 +281,13 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="worker counts to benchmark the campaign runner at "
         "(default: 1 2 for --smoke, 1 2 4 otherwise)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach a per-phase breakdown and worker utilization "
+        "table to each campaign worker count (one extra instrumented "
+        "run per count, outside the timed region)",
     )
     parser.add_argument(
         "--max-overhead-pct",
@@ -322,7 +378,8 @@ def main(argv: list[str] | None = None) -> int:
             "pipeline_instrumented": instrumented,
             "pipeline_uninstrumented": bare,
             "parallel_campaign": bench_parallel(
-                sites, countries, repeat, workers_counts
+                sites, countries, repeat, workers_counts,
+                profile=args.profile,
             ),
             "core_primitives": bench_primitives(
                 repeat, n=primitives_n
@@ -344,6 +401,33 @@ def main(argv: list[str] | None = None) -> int:
             f"campaign --workers {workers}: "
             f"{entry['run_seconds']}s{suffix}"
         )
+    if args.profile:
+        print()
+        print(
+            f"{'workers':<8} {'worker':<8} {'tasks':>5} "
+            f"{'busy s':>8} {'busy %':>7} {'idle s':>8} {'spawn s':>8}"
+        )
+        for workers, entry in report["results"][
+            "parallel_campaign"
+        ].items():
+            prof = entry.get("profile")
+            if not prof:
+                continue
+            for label, row in prof["workers"].items():
+                print(
+                    f"{workers:<8} {label:<8} {row['tasks']:>5} "
+                    f"{row['busy_seconds']:>8.3f} "
+                    f"{row['busy_pct']:>6.1f}% "
+                    f"{row['idle_seconds']:>8.3f} "
+                    f"{row['spawn_seconds']:>8.3f}"
+                )
+            top = sorted(
+                prof["phases"].items(), key=lambda kv: -kv[1]
+            )[:4]
+            breakdown = ", ".join(
+                f"{name} {seconds:.3f}s" for name, seconds in top
+            )
+            print(f"{'':8} phases: {breakdown}")
     print(f"wrote {out_path}")
     if (
         args.max_overhead_pct is not None

@@ -8,6 +8,16 @@ matrices; :mod:`~repro.analysis.longitudinal` compares snapshots.
 """
 
 from .campaign import load_metrics, render_campaign_report
+from .traceprof import (
+    TraceProfile,
+    amdahl_decomposition,
+    analyze_trace,
+    chrome_trace,
+    critical_path,
+    render_critical_path,
+    render_trace_summary,
+    worker_timelines,
+)
 from .crosslayer import (
     BundlingReport,
     ca_attribution,
@@ -49,6 +59,14 @@ from .whatif import (
 __all__ = [
     "load_metrics",
     "render_campaign_report",
+    "TraceProfile",
+    "analyze_trace",
+    "critical_path",
+    "amdahl_decomposition",
+    "worker_timelines",
+    "chrome_trace",
+    "render_trace_summary",
+    "render_critical_path",
     "campaign_dataset",
     "campaign_diff",
     "render_campaign_diff",

@@ -9,6 +9,8 @@ Commands
 ``longitudinal`` run the 2023→2025 churn study
 ``measure``      run the pipeline with fault injection and resilience
 ``report-campaign``  summarize a run's metrics/trace artifacts
+``trace``        profile a campaign trace (summarize / critical-path /
+                 export --format chrome for Perfetto)
 ``campaigns``    list / show / diff / gc / fsck the campaign store
 ``version``      print the package version (also ``--version``)
 
@@ -262,6 +264,14 @@ def build_parser() -> argparse.ArgumentParser:
         "histograms) as JSON",
     )
     measure.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="JSON",
+        help="write the campaign profile (worker utilization, queue "
+        "depth, phase attribution — wall-clock, so not byte-stable) "
+        "as JSON; implies instrumentation",
+    )
+    measure.add_argument(
         "--store",
         default=None,
         metavar="DIR",
@@ -414,6 +424,61 @@ def build_parser() -> argparse.ArgumentParser:
         "(campaigns/<id>.store.json); adds a campaign-store section "
         "with shard hit/miss/resume counts",
     )
+
+    trace = sub.add_parser(
+        "trace",
+        help="profile a campaign trace: worker timelines, critical "
+        "path, Chrome/Perfetto export",
+    )
+    trace_sub = trace.add_subparsers(dest="subcommand", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="worker busy/idle fractions, phase attribution, critical-"
+        "path phases, and an Amdahl decomposition for one trace",
+    )
+    summarize.add_argument(
+        "traces",
+        nargs="+",
+        metavar="JSONL",
+        help="trace file(s) written by 'measure --trace-out'; several "
+        "per-shard files are stitched into one id space",
+    )
+    summarize.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the profile as JSON instead of the text report",
+    )
+    crit = trace_sub.add_parser(
+        "critical-path",
+        help="the chain of spans bounding the campaign wall clock, "
+        "longest segments first",
+    )
+    crit.add_argument("traces", nargs="+", metavar="JSONL")
+    crit.add_argument(
+        "--top",
+        type=_positive_int,
+        default=20,
+        metavar="N",
+        help="segments to show (default 20)",
+    )
+    export_trace = trace_sub.add_parser(
+        "export",
+        help="convert a trace for an external viewer",
+    )
+    export_trace.add_argument("traces", nargs="+", metavar="JSONL")
+    export_trace.add_argument(
+        "--format",
+        choices=("chrome",),
+        default="chrome",
+        help="output format: chrome trace_event JSON, loadable in "
+        "Perfetto / chrome://tracing (default)",
+    )
+    export_trace.add_argument(
+        "--out",
+        required=True,
+        metavar="JSON",
+        help="output file",
+    )
     return parser
 
 
@@ -551,7 +616,9 @@ def _cmd_measure(args: argparse.Namespace) -> int:
         fault_profile=args.fault_profile,
         fault_seed=args.fault_seed,
         retries=args.retries,
-        instrument=bool(args.trace_out or args.metrics_out),
+        instrument=bool(
+            args.trace_out or args.metrics_out or args.profile_out
+        ),
         churn=churn,
     )
     store = None
@@ -646,6 +713,9 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     if args.trace_out:
         spans = result.write_trace(args.trace_out)
         print(f"wrote {spans} spans to {args.trace_out}")
+    if args.profile_out:
+        result.write_profile(args.profile_out)
+        print(f"wrote campaign profile to {args.profile_out}")
     if result.campaign is not None:
         hits, misses, skipped = (0, 0, 0)
         if result.store_metrics is not None:
@@ -702,10 +772,26 @@ def _cmd_report_campaign(args: argparse.Namespace) -> int:
     metrics = load_metrics(args.metrics)
     spans = None
     if args.trace:
-        traces = [load_trace(path) for path in args.trace]
-        spans = (
-            stitch_spans(traces) if len(traces) > 1 else traces[0]
-        )
+        traces = []
+        for path in args.trace:
+            trace = load_trace(path, errors="skip")
+            if not trace:
+                print(
+                    f"warning: trace {path} holds no spans; skipping it",
+                    file=sys.stderr,
+                )
+                continue
+            traces.append(trace)
+        if traces:
+            spans = (
+                stitch_spans(traces) if len(traces) > 1 else traces[0]
+            )
+        else:
+            print(
+                "warning: no spans in any --trace file; reporting "
+                "from metrics only",
+                file=sys.stderr,
+            )
     store_metrics = None
     if args.store_metrics:
         store_metrics = load_metrics(args.store_metrics)
@@ -786,6 +872,50 @@ def _cmd_campaigns(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    from .analysis.traceprof import (
+        analyze_trace,
+        chrome_trace,
+        render_critical_path,
+        render_trace_summary,
+    )
+    from .obs.spans import load_trace, stitch_spans
+
+    traces = [load_trace(path) for path in args.traces]
+    spans = stitch_spans(traces) if len(traces) > 1 else traces[0]
+    if args.subcommand == "summarize":
+        profile = analyze_trace(spans)
+        if args.json:
+            print(
+                json_module.dumps(
+                    profile.to_dict(), indent=2, sort_keys=True
+                )
+            )
+        else:
+            print(render_trace_summary(profile), end="")
+        return 0
+    if args.subcommand == "critical-path":
+        profile = analyze_trace(spans)
+        print(render_critical_path(profile, top=args.top), end="")
+        return 0
+    if args.subcommand == "export":
+        payload = chrome_trace(spans)
+        Path(args.out).write_text(
+            json_module.dumps(payload) + "\n", encoding="utf-8"
+        )
+        print(
+            f"wrote {len(payload['traceEvents'])} trace events to "
+            f"{args.out} (open in https://ui.perfetto.dev)"
+        )
+        return 0
+    raise AssertionError(  # pragma: no cover - argparse enforces choices
+        f"unknown trace subcommand {args.subcommand!r}"
+    )
+
+
 def _cmd_version(args: argparse.Namespace) -> int:
     print(f"repro {package_version()}")
     return 0
@@ -799,6 +929,7 @@ _COMMANDS = {
     "longitudinal": _cmd_longitudinal,
     "measure": _cmd_measure,
     "report-campaign": _cmd_report_campaign,
+    "trace": _cmd_trace,
     "campaigns": _cmd_campaigns,
     "version": _cmd_version,
 }

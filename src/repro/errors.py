@@ -71,6 +71,32 @@ class PipelineError(ReproError, RuntimeError):
     """Raised when the measurement pipeline is misconfigured."""
 
 
+class TraceFormatError(PipelineError):
+    """Raised when a span trace artifact cannot be understood.
+
+    A JSONL line that does not parse, a span object missing its
+    required fields, or a ``_schema`` header naming a version this
+    code does not speak.  Typed (rather than a bare
+    ``JSONDecodeError``/``KeyError``) so trace consumers can
+    distinguish "this artifact is damaged or from an incompatible
+    version" from programming errors, and so lenient loaders can skip
+    exactly these lines.
+    """
+
+    def __init__(
+        self, message: str, path: object = None, line: int | None = None
+    ) -> None:
+        where = ""
+        if path is not None:
+            where = f"{path}"
+            if line is not None:
+                where += f":{line}"
+            where = f" ({where})"
+        super().__init__(f"{message}{where}")
+        self.path = path
+        self.line = line
+
+
 class StoreCorruptionError(PipelineError):
     """Raised when the campaign store holds a damaged artifact.
 

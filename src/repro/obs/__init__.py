@@ -29,7 +29,19 @@ from .metrics import (
     merge_metrics_payloads,
     render_metrics_json,
 )
-from .spans import Span, Tracer, load_trace, write_spans_jsonl
+from .profile import (
+    PROFILE_SPAN_NAMES,
+    CampaignProfiler,
+    render_profile_json,
+)
+from .spans import (
+    TRACE_SCHEMA,
+    Span,
+    Tracer,
+    load_trace,
+    stitch_spans,
+    write_spans_jsonl,
+)
 
 __all__ = [
     "Instrumentation",
@@ -46,8 +58,13 @@ __all__ = [
     "DEFAULT_SECONDS_BUCKETS",
     "merge_metrics_payloads",
     "render_metrics_json",
+    "CampaignProfiler",
+    "PROFILE_SPAN_NAMES",
+    "render_profile_json",
     "Span",
     "Tracer",
+    "TRACE_SCHEMA",
     "load_trace",
+    "stitch_spans",
     "write_spans_jsonl",
 ]

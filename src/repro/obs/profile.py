@@ -1,0 +1,481 @@
+"""Campaign-level profiling: where the wall clock goes *between* sites.
+
+The per-site spans in :mod:`repro.obs.spans` explain a pipeline's
+inner stages, but a sharded campaign spends real time in places no
+site span covers — forking workers, building one World per process,
+shipping tasks over pipes, waiting for a free worker, backing off
+failed shards, merging results.  :class:`CampaignProfiler` records
+exactly that layer: the parent process (and, via timings shipped back
+over the supervisor pipe, each worker) reports lifecycle events, and
+the profiler turns them into
+
+* **lifecycle spans** — the same dict shape the site tracer emits, so
+  they stitch into the campaign trace and flow through every existing
+  trace tool.  Timestamps are campaign-relative wall-clock seconds
+  stored in the ``start_logical``/``logical_seconds`` fields: the
+  profiler's "logical clock" *is* the campaign wall clock, which is
+  what makes worker timelines and the critical path computable from
+  the trace alone (:mod:`repro.analysis.traceprof`);
+* **metric families** — worker busy/idle/spawn seconds, per-worker
+  World-build seconds, queue-depth distribution, and phase-attributed
+  totals, kept in the profiler's *own*
+  :class:`~repro.obs.metrics.MetricsRegistry` (never merged into a
+  campaign's measurement metrics, which must stay byte-identical
+  across worker counts and wall-clock noise).
+
+The span taxonomy (all children of one ``campaign`` root)::
+
+    campaign
+    ├── worker-spawn {worker}           process start()
+    ├── world-build  {worker}           World construction (parent or
+    │                                   per-worker under spawn)
+    ├── queue-wait   {country,attempt}  enqueued/ready → dispatched
+    ├── dispatch     {worker,country,attempt}
+    │   │                               send → result received; gaps
+    │   │                               around children are IPC cost
+    │   ├── world-build {worker}        first task in a spawned worker
+    │   └── compute  {worker,country}   measure_country_unit proper
+    ├── backoff      {country,reason}   supervisor resubmission delay
+    └── merge                           sorted-country merge/stitch
+
+Everything here is opt-in: :func:`repro.pipeline.parallel.run_campaign`
+only builds a profiler when the spec is instrumented, so
+uninstrumented runs stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+from .metrics import MetricsRegistry, render_metrics_json
+
+__all__ = [
+    "CampaignProfiler",
+    "PROFILE_SPAN_NAMES",
+    "QUEUE_DEPTH_BUCKETS",
+    "render_profile_json",
+]
+
+#: Every span name the profiler emits.  Disjoint from the pipeline's
+#: per-site stage names (site/http/resolve/label/ns-walk/tls/enrich),
+#: which is how trace analyzers split the two layers apart.
+PROFILE_SPAN_NAMES = frozenset(
+    {
+        "campaign",
+        "worker-spawn",
+        "world-build",
+        "queue-wait",
+        "dispatch",
+        "compute",
+        "backoff",
+        "merge",
+    }
+)
+
+#: Queue-depth histogram boundaries (countries waiting for a worker).
+QUEUE_DEPTH_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def render_profile_json(payload: dict) -> str:
+    """Canonical JSON rendering of a profile payload.
+
+    The profile artifact reuses the metrics export format, so this is
+    the same renderer — named separately to keep call sites honest
+    about which artifact they are writing.
+    """
+    return render_metrics_json(payload)
+
+
+class CampaignProfiler:
+    """Collects campaign lifecycle events into spans and metrics.
+
+    Parent-process side only: worker processes never see this object.
+    Timestamps are raw readings of ``wall`` (default
+    :func:`time.monotonic`, which is comparable across processes on
+    one machine — worker-side readings shipped over the pipe land on
+    the same axis); :meth:`finish` normalizes them to campaign-relative
+    seconds.
+    """
+
+    def __init__(self, wall: Callable[[], float] | None = None) -> None:
+        self.wall = wall if wall is not None else time.monotonic
+        self._t0 = self.wall()
+        #: (name, start, end, parent_key, attrs, status, error); parent
+        #: key None means the campaign root.
+        self._events: list[tuple] = []
+        #: country -> instant it became schedulable (campaign start or
+        #: the end of its backoff window).
+        self._enqueued: dict[str, float] = {}
+        self._queue_depths: list[int] = []
+        self._merge: tuple[float, float] | None = None
+        self._finished: tuple[list[dict], dict] | None = None
+
+    # ------------------------------------------------------------------
+    # Event hooks (parent side)
+    # ------------------------------------------------------------------
+
+    def now(self) -> float:
+        """A raw wall reading on the profiler's clock."""
+        return self.wall()
+
+    def worker_spawned(self, worker: str, start: float, end: float) -> None:
+        """One worker process was started (``process.start()`` window)."""
+        self._events.append(
+            ("worker-spawn", start, end, None, {"worker": worker}, "ok", None)
+        )
+
+    def world_built(
+        self,
+        worker: str,
+        start: float,
+        end: float,
+        parent: int | None = None,
+    ) -> None:
+        """A World was materialized (parent pre-fork or in a worker).
+
+        ``parent`` is the dispatch token returned by :meth:`dispatched`
+        when the build happened inside a worker task; None parents the
+        span on the campaign root.
+        """
+        self._events.append(
+            ("world-build", start, end, parent, {"worker": worker}, "ok", None)
+        )
+
+    def enqueued(self, country: str, at: float) -> None:
+        """A country became schedulable (start of its queue wait)."""
+        self._enqueued[country] = at
+
+    def dispatched(
+        self,
+        worker: str,
+        country: str,
+        attempt: int,
+        at: float,
+        queue_depth: int,
+    ) -> int:
+        """A country was sent to a worker; returns a dispatch token.
+
+        Emits the country's ``queue-wait`` span (enqueue → dispatch)
+        and opens the ``dispatch`` round-trip span, which
+        :meth:`completed`/:meth:`failed` closes.  ``queue_depth`` is
+        the number of countries still waiting after this dispatch.
+        """
+        waited_since = self._enqueued.pop(country, None)
+        if waited_since is not None and at > waited_since:
+            self._events.append(
+                (
+                    "queue-wait",
+                    waited_since,
+                    at,
+                    None,
+                    {"country": country, "attempt": attempt},
+                    "ok",
+                    None,
+                )
+            )
+        self._queue_depths.append(queue_depth)
+        token = len(self._events)
+        self._events.append(
+            (
+                "dispatch",
+                at,
+                None,  # closed by completed()/failed()
+                None,
+                {"worker": worker, "country": country, "attempt": attempt},
+                "ok",
+                None,
+            )
+        )
+        return token
+
+    def _close_dispatch(
+        self, token: int, end: float, status: str, error: str | None
+    ) -> None:
+        name, start, _end, parent, attrs, _status, _error = self._events[token]
+        self._events[token] = (name, start, end, parent, attrs, status, error)
+
+    def completed(self, token: int, at: float, timings: dict | None) -> None:
+        """A dispatched country returned a result.
+
+        ``timings`` is the worker-side clock readings shipped back over
+        the pipe: ``{"recv": t, "build": (t0, t1) | None,
+        "measure": (t0, t1), "send": t}``.  Build and measure become
+        children of the dispatch span; the uncovered remainder of the
+        round trip is IPC + scheduling cost, deliberately left as the
+        dispatch span's own time.
+        """
+        self._close_dispatch(token, at, "ok", None)
+        if not timings:
+            return
+        attrs = self._events[token][4]
+        worker = attrs["worker"]
+        build = timings.get("build")
+        if build is not None:
+            self.world_built(worker, build[0], build[1], parent=token)
+        measure = timings.get("measure")
+        if measure is not None:
+            self._events.append(
+                (
+                    "compute",
+                    measure[0],
+                    measure[1],
+                    token,
+                    {"worker": worker, "country": attrs["country"]},
+                    "ok",
+                    None,
+                )
+            )
+
+    def failed(self, token: int, at: float, reason: str) -> None:
+        """A dispatched country failed (crash / error / timeout)."""
+        self._close_dispatch(token, at, "error", reason)
+
+    def backoff(
+        self, country: str, reason: str, start: float, ready_at: float
+    ) -> None:
+        """A failed country is waiting out its resubmission delay."""
+        if ready_at > start:
+            self._events.append(
+                (
+                    "backoff",
+                    start,
+                    ready_at,
+                    None,
+                    {"country": country, "reason": reason},
+                    "ok",
+                    None,
+                )
+            )
+        self.enqueued(country, ready_at)
+
+    def computed(
+        self, country: str, start: float, end: float, worker: str = "main"
+    ) -> None:
+        """One country was measured inline (the ``workers<=1`` path)."""
+        self._events.append(
+            (
+                "compute",
+                start,
+                end,
+                None,
+                {"worker": worker, "country": country},
+                "ok",
+                None,
+            )
+        )
+
+    def merged(self, start: float, end: float) -> None:
+        """The sorted-country merge/stitch phase ran."""
+        self._merge = (start, end)
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+
+    def finish(self) -> tuple[list[dict], dict]:
+        """Close the campaign and return ``(spans, metrics payload)``.
+
+        Spans are in the tracer dict shape with campaign-relative
+        wall-clock timestamps; the payload is a metrics-registry
+        export holding the worker-utilization, queue-depth, and
+        phase-attribution families.  Idempotent: the first call
+        freezes the campaign end.
+        """
+        if self._finished is not None:
+            return self._finished
+        end = self.wall()
+        if self._merge is not None:
+            self._events.append(
+                ("merge", self._merge[0], self._merge[1], None, {}, "ok", None)
+            )
+            end = max(end, self._merge[1])
+        spans = self._build_spans(end)
+        payload = self._build_metrics(spans, end - self._t0)
+        self._finished = (spans, payload)
+        return self._finished
+
+    def _build_spans(self, end: float) -> list[dict]:
+        t0 = self._t0
+
+        def rel(t: float) -> float:
+            return round(max(t - t0, 0.0), 6)
+
+        spans: list[dict] = []
+
+        def emit(
+            name: str,
+            start: float,
+            stop: float,
+            parent_id: int | None,
+            attrs: dict,
+            status: str,
+            error: str | None,
+        ) -> int:
+            span_id = len(spans) + 1
+            duration = max(stop - start, 0.0)
+            spans.append(
+                {
+                    "span_id": span_id,
+                    "parent_id": parent_id,
+                    "name": name,
+                    "attrs": attrs,
+                    "start_logical": rel(start),
+                    "logical_seconds": round(duration, 6),
+                    "wall_ms": round(duration * 1000.0, 3),
+                    "status": status,
+                    "error": error,
+                }
+            )
+            return span_id
+
+        root = emit("campaign", t0, end, None, {}, "ok", None)
+        #: event index -> emitted span id (for dispatch parenting).
+        ids: dict[int, int] = {}
+        # Two passes: parents (parent_key None) first, then children of
+        # dispatch events, so parent ids exist when children emit.
+        for index, event in enumerate(self._events):
+            name, start, stop, parent, attrs, status, error = event
+            if parent is not None:
+                continue
+            ids[index] = emit(
+                name,
+                start,
+                stop if stop is not None else end,
+                root,
+                attrs,
+                status,
+                error,
+            )
+        for index, event in enumerate(self._events):
+            name, start, stop, parent, attrs, status, error = event
+            if parent is None:
+                continue
+            ids[index] = emit(
+                name,
+                start,
+                stop if stop is not None else end,
+                ids.get(parent, root),
+                attrs,
+                status,
+                error,
+            )
+        return spans
+
+    def _build_metrics(self, spans: list[dict], wall: float) -> dict:
+        registry = MetricsRegistry()
+        registry.gauge(
+            "repro_campaign_wall_seconds",
+            "campaign wall-clock duration as seen by the profiler",
+        ).set(round(wall, 6))
+
+        busy: dict[str, float] = {}
+        spawn: dict[str, float] = {}
+        build: dict[str, float] = {}
+        tasks: dict[str, int] = {}
+        phases: dict[str, float] = {}
+        dispatch_overhead = 0.0
+        #: span_id -> worker-side seconds nested under that dispatch.
+        nested: dict[int, float] = {}
+        for span in spans:
+            if span["name"] in ("compute", "world-build"):
+                parent = span["parent_id"]
+                if parent is not None:
+                    nested[parent] = (
+                        nested.get(parent, 0.0) + span["logical_seconds"]
+                    )
+        for span in spans:
+            name = span["name"]
+            seconds = span["logical_seconds"]
+            worker = span["attrs"].get("worker")
+            if name == "dispatch":
+                busy[worker] = busy.get(worker, 0.0) + seconds
+                tasks[worker] = tasks.get(worker, 0) + 1
+                phases["dispatch"] = phases.get("dispatch", 0.0) + seconds
+                dispatch_overhead += max(
+                    seconds - nested.get(span["span_id"], 0.0), 0.0
+                )
+            elif name == "compute":
+                if span["parent_id"] == 1:  # inline (unsharded) compute
+                    busy[worker] = busy.get(worker, 0.0) + seconds
+                    tasks[worker] = tasks.get(worker, 0) + 1
+                phases["compute"] = phases.get("compute", 0.0) + seconds
+            elif name == "worker-spawn":
+                spawn[worker] = spawn.get(worker, 0.0) + seconds
+                phases["spawn"] = phases.get("spawn", 0.0) + seconds
+            elif name == "world-build":
+                build[worker] = build.get(worker, 0.0) + seconds
+                if span["parent_id"] == 1 and worker == "main":
+                    busy["main"] = busy.get("main", 0.0) + seconds
+                phases["world-build"] = (
+                    phases.get("world-build", 0.0) + seconds
+                )
+            elif name in ("queue-wait", "backoff", "merge"):
+                phases[name] = phases.get(name, 0.0) + seconds
+                if name == "merge":
+                    busy["main"] = busy.get("main", 0.0) + seconds
+        phases["dispatch-overhead"] = dispatch_overhead
+
+        busy_gauge = registry.gauge(
+            "repro_worker_busy_seconds",
+            "wall-clock seconds each worker spent holding a dispatched "
+            "country (inline compute for the main process)",
+            ("worker",),
+        )
+        idle_gauge = registry.gauge(
+            "repro_worker_idle_seconds",
+            "wall-clock seconds each worker sat idle between spawn "
+            "and campaign end (campaign wall - spawn - busy)",
+            ("worker",),
+        )
+        spawn_gauge = registry.gauge(
+            "repro_worker_spawn_seconds",
+            "wall-clock seconds spent starting each worker process",
+            ("worker",),
+        )
+        tasks_counter = registry.counter(
+            "repro_worker_tasks_total",
+            "country dispatches handled per worker",
+            ("worker",),
+        )
+        build_gauge = registry.gauge(
+            "repro_world_build_seconds",
+            "wall-clock seconds spent building the World, per process",
+            ("worker",),
+        )
+        for worker in sorted(
+            set(busy) | set(spawn) | set(tasks), key=str
+        ):
+            worker_busy = busy.get(worker, 0.0)
+            worker_spawn = spawn.get(worker, 0.0)
+            idle = max(wall - worker_spawn - worker_busy, 0.0)
+            busy_gauge.set(round(worker_busy, 6), worker=worker)
+            idle_gauge.set(round(idle, 6), worker=worker)
+            spawn_gauge.set(round(worker_spawn, 6), worker=worker)
+            tasks_counter.inc(tasks.get(worker, 0), worker=worker)
+        for worker in sorted(build, key=str):
+            build_gauge.set(round(build[worker], 6), worker=worker)
+
+        phase_gauge = registry.gauge(
+            "repro_phase_seconds",
+            "wall-clock seconds attributed to each campaign phase "
+            "(overlapping phases sum independently; this is "
+            "attribution, not a partition)",
+            ("phase",),
+        )
+        for phase in sorted(phases):
+            phase_gauge.set(round(phases[phase], 6), phase=phase)
+
+        depth_hist = registry.histogram(
+            "repro_queue_depth",
+            "countries still waiting for a worker, observed at each "
+            "dispatch",
+            buckets=QUEUE_DEPTH_BUCKETS,
+        )
+        for depth in self._queue_depths:
+            depth_hist.observe(depth)
+        registry.gauge(
+            "repro_queue_depth_peak",
+            "largest observed dispatch-time queue depth",
+        ).set(max(self._queue_depths, default=0))
+        return registry.to_dict()

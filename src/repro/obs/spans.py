@@ -12,9 +12,13 @@ campaign.  Every span carries **two** clocks:
 
 Only logical durations are deterministic; wall durations vary run to
 run and therefore never feed the metrics registry.  Finished spans are
-emitted as JSON Lines (one object per span, in completion order) via
-:meth:`Tracer.write_jsonl`, a format that streams, greps, and loads
-into dataframes without a schema negotiation.
+emitted as JSON Lines (a ``_schema`` header line, then one object per
+span) via :meth:`Tracer.write_jsonl`, a format that streams, greps,
+and loads into dataframes without a schema negotiation.  Loading is
+versioned and typed: :func:`load_trace` raises
+:class:`~repro.errors.TraceFormatError` (or, when asked, skips) on
+malformed lines and refuses schema versions it does not speak,
+instead of crashing mid-file with a bare decoder error.
 """
 
 from __future__ import annotations
@@ -25,13 +29,22 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..errors import TraceFormatError
+from .log import get_logger
+
 __all__ = [
     "Span",
     "Tracer",
+    "TRACE_SCHEMA",
     "load_trace",
     "stitch_spans",
     "write_spans_jsonl",
 ]
+
+#: Schema tag written as the first JSONL line of every trace export.
+#: Readers accept headerless files (pre-versioning traces) but refuse
+#: any *other* version string.
+TRACE_SCHEMA = "repro-trace-v1"
 
 
 @dataclass(slots=True)
@@ -171,9 +184,14 @@ class Tracer:
         return context
 
     def write_jsonl(self, path: str | Path) -> int:
-        """Write finished spans as JSON Lines; returns the span count."""
+        """Write finished spans as JSON Lines; returns the span count.
+
+        The first line is a ``{"_schema": TRACE_SCHEMA}`` header; it is
+        not counted and :func:`load_trace` never returns it.
+        """
         path = Path(path)
         with path.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"_schema": TRACE_SCHEMA}) + "\n")
             for span in self._finished:
                 handle.write(
                     json.dumps(span.to_dict(), sort_keys=True) + "\n"
@@ -184,45 +202,142 @@ class Tracer:
 def write_spans_jsonl(spans: list[dict], path: str | Path) -> int:
     """Write already-serialized span dicts as JSON Lines.
 
-    The dict twin of :meth:`Tracer.write_jsonl` (same formatting), for
-    stitched multi-shard traces where no single tracer holds the
-    spans.  Returns the span count.
+    The dict twin of :meth:`Tracer.write_jsonl` (same formatting,
+    same ``_schema`` header line), for stitched multi-shard traces
+    where no single tracer holds the spans.  Returns the span count
+    (the header excluded).
     """
     path = Path(path)
     with path.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"_schema": TRACE_SCHEMA}) + "\n")
         for span in spans:
             handle.write(json.dumps(span, sort_keys=True) + "\n")
     return len(spans)
+
+
+def _stitch_sort_key(entry: tuple) -> tuple:
+    start, name, shard, _span = entry
+    return (start, name, shard)
 
 
 def stitch_spans(traces: Sequence[list[dict] | tuple[dict, ...]]) -> list[dict]:
     """Merge several traces into one globally consistent id space.
 
     Every tracer numbers its spans 1..n, so concatenating shard traces
-    verbatim would collide ids.  Adding a cumulative per-trace offset
-    (in the order given) keeps span ids dense, unique, and — because
-    the offsets depend only on trace lengths — identical however the
-    campaign was sharded.  Input dicts are not mutated.
+    verbatim would collide ids.  Spans are ordered by the fully
+    deterministic key ``(start_logical, name, shard index)`` — a
+    *stable* sort, so spans tying on all three keep their within-trace
+    completion order — and then renumbered densely 1..N in that order,
+    parent links included.  Because the key ranks a span the same way
+    whether its country ran in one big trace or its own shard file,
+    the stitched output is identical however the campaign was sharded,
+    and (ties aside) independent of the order shard files are passed
+    in.  Input dicts are not mutated.
     """
-    stitched: list[dict] = []
+    decorated: list[tuple] = []
     offset = 0
-    for trace in traces:
+    for shard, trace in enumerate(traces):
         for span in trace:
             span = dict(span)
             span["span_id"] = span["span_id"] + offset
             if span["parent_id"] is not None:
                 span["parent_id"] = span["parent_id"] + offset
-            stitched.append(span)
+            decorated.append(
+                (
+                    float(span.get("start_logical", 0.0)),
+                    str(span.get("name", "")),
+                    shard,
+                    span,
+                )
+            )
         offset += len(trace)
+    decorated.sort(key=_stitch_sort_key)
+    renumber = {
+        entry[3]["span_id"]: new_id
+        for new_id, entry in enumerate(decorated, start=1)
+    }
+    stitched: list[dict] = []
+    for _start, _name, _shard, span in decorated:
+        span["span_id"] = renumber[span["span_id"]]
+        if span["parent_id"] is not None:
+            span["parent_id"] = renumber.get(
+                span["parent_id"], span["parent_id"]
+            )
+        stitched.append(span)
     return stitched
 
 
-def load_trace(path: str | Path) -> list[dict]:
-    """Load a JSONL trace file back into span dicts."""
+def load_trace(path: str | Path, errors: str = "raise") -> list[dict]:
+    """Load a JSONL trace file back into span dicts.
+
+    A leading ``{"_schema": ...}`` header line is validated and
+    dropped: an unknown version always raises
+    :class:`~repro.errors.TraceFormatError` (whatever ``errors`` says —
+    a wrong-version file is wrong as a whole), while a headerless file
+    is accepted as a legacy trace.  A line that does not parse as a
+    JSON object or lacks the required span fields raises the same
+    typed error with the offending line number, or — with
+    ``errors="skip"`` — is dropped with a structured warning so one
+    mangled line cannot poison a multi-gigabyte campaign trace.
+    """
+    if errors not in ("raise", "skip"):
+        raise ValueError(f"errors must be 'raise' or 'skip', got {errors!r}")
+    log = get_logger("repro.obs.spans")
     spans: list[dict] = []
+    skipped = 0
     with Path(path).open(encoding="utf-8") as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
-                spans.append(json.loads(line))
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if errors == "skip":
+                    skipped += 1
+                    log.warning(
+                        "trace-line-skipped",
+                        path=str(path),
+                        line=lineno,
+                        reason=f"not JSON: {exc.msg}",
+                    )
+                    continue
+                raise TraceFormatError(
+                    f"trace line is not JSON: {exc.msg}", path, lineno
+                ) from exc
+            if isinstance(record, dict) and "_schema" in record:
+                if record["_schema"] != TRACE_SCHEMA:
+                    raise TraceFormatError(
+                        f"unsupported trace schema "
+                        f"{record['_schema']!r} (this build reads "
+                        f"{TRACE_SCHEMA!r})",
+                        path,
+                        lineno,
+                    )
+                continue
+            if (
+                not isinstance(record, dict)
+                or "span_id" not in record
+                or "name" not in record
+            ):
+                if errors == "skip":
+                    skipped += 1
+                    log.warning(
+                        "trace-line-skipped",
+                        path=str(path),
+                        line=lineno,
+                        reason="not a span object",
+                    )
+                    continue
+                raise TraceFormatError(
+                    "trace line is not a span object (missing span_id/"
+                    "name)",
+                    path,
+                    lineno,
+                )
+            spans.append(record)
+    if skipped:
+        log.warning(
+            "trace-lines-skipped-total", path=str(path), skipped=skipped
+        )
     return spans

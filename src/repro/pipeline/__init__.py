@@ -24,6 +24,7 @@ from .parallel import (
     CampaignSpec,
     CountryResult,
     measure_country_unit,
+    pop_world_build,
     run_campaign,
 )
 from .records import LAYER_FIELDS, MeasurementDataset, WebsiteMeasurement
@@ -40,6 +41,7 @@ __all__ = [
     "ShardSupervisor",
     "SupervisorPolicy",
     "measure_country_unit",
+    "pop_world_build",
     "run_campaign",
     "MeasurementDataset",
     "WebsiteMeasurement",

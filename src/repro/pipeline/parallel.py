@@ -51,6 +51,7 @@ hit the store, and are never re-measured.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -64,6 +65,7 @@ from ..obs.instrument import (
     SupervisorTelemetry,
 )
 from ..obs.metrics import merge_metrics_payloads, render_metrics_json
+from ..obs.profile import CampaignProfiler, render_profile_json
 from ..obs.spans import stitch_spans, write_spans_jsonl
 from ..worldgen.churn import ChurnConfig, evolve
 from ..worldgen.config import WorldConfig
@@ -82,6 +84,7 @@ __all__ = [
     "CampaignResult",
     "CampaignHalted",
     "measure_country_unit",
+    "pop_world_build",
     "run_campaign",
 ]
 
@@ -190,6 +193,18 @@ class CampaignResult:
     #: counters).  None when nothing went wrong, so happy-path
     #: artifacts stay byte-identical to the unsupervised executor's.
     supervisor_metrics: dict | None = None
+    #: Campaign profiler payload (worker utilization, queue depth,
+    #: phase attribution; :mod:`repro.obs.profile`).  Its own artifact,
+    #: never merged into ``metrics``: profiler numbers are wall-clock
+    #: and vary run to run, while ``metrics`` must stay byte-identical
+    #: across worker counts.  None when uninstrumented.
+    profile: dict | None = None
+    #: Campaign lifecycle spans (spawn/world-build/dispatch/compute/
+    #: queue-wait/backoff/merge under one ``campaign`` root), kept out
+    #: of ``spans`` for the same reason ``profile`` is kept out of
+    #: ``metrics``.  :meth:`write_trace` appends them to the trace
+    #: file, where trace analyzers split the layers by span name.
+    profile_spans: tuple[dict, ...] | None = None
 
     def write_metrics(self, path: str | Path) -> None:
         """Write the merged metrics payload as deterministic JSON."""
@@ -202,12 +217,36 @@ class CampaignResult:
         )
 
     def write_trace(self, path: str | Path) -> int:
-        """Write the stitched spans as JSONL; returns the span count."""
+        """Write the stitched spans as JSONL; returns the span count.
+
+        Campaign lifecycle spans, when profiling ran, follow the
+        pipeline spans with ids continuing the sequence — one file
+        holds both layers, and loaders need no special casing.
+        """
         if self.spans is None:
             raise PipelineError(
                 "campaign ran uninstrumented; no trace to write"
             )
-        return write_spans_jsonl(list(self.spans), path)
+        spans = list(self.spans)
+        if self.profile_spans:
+            offset = len(spans)
+            for span in self.profile_spans:
+                span = dict(span)
+                span["span_id"] += offset
+                if span["parent_id"] is not None:
+                    span["parent_id"] += offset
+                spans.append(span)
+        return write_spans_jsonl(spans, path)
+
+    def write_profile(self, path: str | Path) -> None:
+        """Write the campaign profile payload as deterministic JSON."""
+        if self.profile is None:
+            raise PipelineError(
+                "campaign ran without profiling; no profile to write"
+            )
+        Path(path).write_text(
+            render_profile_json(self.profile), encoding="utf-8"
+        )
 
 
 def _build_plan(spec: CampaignSpec) -> FaultPlan:
@@ -275,6 +314,11 @@ _WORKER_WORLD: tuple[tuple[WorldConfig, ChurnConfig | None], World] | None = (
     None
 )
 
+#: Monotonic (start, end) of the most recent in-process World build,
+#: consumed once by :func:`pop_world_build` so the supervised worker
+#: can report the build interval for exactly the task that paid it.
+_LAST_WORLD_BUILD: tuple[float, float] | None = None
+
 
 def worker_world(spec: CampaignSpec) -> World:
     """The World a worker process measures against (memoized).
@@ -283,13 +327,27 @@ def worker_world(spec: CampaignSpec) -> World:
     spawned (or respawned) workers build it once per process from the
     spec's recipe and keep it across tasks.
     """
-    global _WORKER_WORLD
+    global _WORKER_WORLD, _LAST_WORLD_BUILD
     if _PREFORK_WORLD is not None:
         return _PREFORK_WORLD
     recipe = (spec.config, spec.churn)
     if _WORKER_WORLD is None or _WORKER_WORLD[0] != recipe:
+        build_start = time.monotonic()
         _WORKER_WORLD = (recipe, spec.build_world())
+        _LAST_WORLD_BUILD = (build_start, time.monotonic())
     return _WORKER_WORLD[1]
+
+
+def pop_world_build() -> tuple[float, float] | None:
+    """The monotonic interval of this process's last World build.
+
+    Returns ``(start, end)`` once — the caller that triggered the
+    build collects it; later calls (and calls after a copy-on-write
+    reuse, which builds nothing) return None.
+    """
+    global _LAST_WORLD_BUILD
+    interval, _LAST_WORLD_BUILD = _LAST_WORLD_BUILD, None
+    return interval
 
 
 class _StoreSession:
@@ -448,10 +506,20 @@ def run_campaign(
     if not countries:
         raise PipelineError("campaign has no countries to measure")
 
+    profiler = CampaignProfiler() if spec.instrument else None
+
+    def build_parent_world() -> World:
+        if profiler is None:
+            return spec.build_world()
+        build_start = profiler.now()
+        world = spec.build_world()
+        profiler.world_built("main", build_start, profiler.now())
+        return world
+
     parent_world: World | None = None
     session: _StoreSession | None = None
     if store is not None:
-        parent_world = spec.build_world()
+        parent_world = build_parent_world()
         session = _StoreSession(
             store,
             spec,
@@ -482,10 +550,14 @@ def run_campaign(
     if not supervised:
         world = parent_world
         if world is None and to_measure:
-            world = spec.build_world()
+            world = build_parent_world()
         for cc in to_measure:
             assert world is not None
-            if note(measure_country_unit(world, spec, cc)):
+            compute_start = profiler.now() if profiler is not None else 0.0
+            result = measure_country_unit(world, spec, cc)
+            if profiler is not None:
+                profiler.computed(cc, compute_start, profiler.now())
+            if note(result):
                 halted = True
                 break
     elif to_measure:
@@ -506,7 +578,7 @@ def run_campaign(
             _PREFORK_WORLD = (
                 parent_world
                 if parent_world is not None
-                else spec.build_world()
+                else build_parent_world()
             )
         supervisor_telemetry = SupervisorTelemetry()
         supervisor = ShardSupervisor(
@@ -516,6 +588,7 @@ def run_campaign(
             policy if policy is not None else SupervisorPolicy(),
             chaos=chaos,
             telemetry=supervisor_telemetry,
+            profiler=profiler,
             mp_context=context,
         )
         try:
@@ -538,6 +611,7 @@ def run_campaign(
             raise CampaignHalted(session.campaign, len(measured))
         raise CampaignHalted(None, len(measured))
 
+    merge_start = profiler.now() if profiler is not None else 0.0
     units = [
         session.reused[cc] if session is not None and cc in session.reused
         else measured[cc]
@@ -566,6 +640,12 @@ def run_campaign(
     open_circuits = sorted(
         {key for unit in units for key in unit.open_circuits}
     )
+    profile: dict | None = None
+    profile_spans: tuple[dict, ...] | None = None
+    if profiler is not None:
+        profiler.merged(merge_start, profiler.now())
+        finished_spans, profile = profiler.finish()
+        profile_spans = tuple(finished_spans)
     if session is not None:
         session.finish(
             complete=not quarantined,
@@ -583,4 +663,6 @@ def run_campaign(
         ),
         quarantined=quarantined,
         supervisor_metrics=supervisor_metrics,
+        profile=profile,
+        profile_spans=profile_spans,
     )

@@ -64,6 +64,7 @@ from ..faults.retry import RetryPolicy
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.chaos import ChaosPlan
     from ..obs.instrument import SupervisorTelemetry
+    from ..obs.profile import CampaignProfiler
     from .parallel import CampaignSpec, CountryResult
 
 __all__ = [
@@ -156,12 +157,17 @@ def _supervised_worker(
     """Worker-process loop: measure countries until told to stop.
 
     One task at a time arrives as ``(country, attempt)``; the result
-    goes back as ``("ok", country, attempt, CountryResult)`` or
-    ``("error", country, attempt, reason)``.  The chaos hooks are the
-    test harness's seam for killing or wedging the process at
-    deterministic points; they are no-ops in production.
+    goes back as ``("ok", country, attempt, CountryResult, timings)``
+    or ``("error", country, attempt, reason, None)``.  ``timings`` is
+    the worker's own :func:`time.monotonic` readings around the task
+    (receive instant, World-build interval if this task triggered one,
+    measure interval, send instant) — CLOCK_MONOTONIC is system-wide
+    on Linux, so the parent-side profiler can place them on its own
+    axis.  The chaos hooks are the test harness's seam for killing or
+    wedging the process at deterministic points; they are no-ops in
+    production.
     """
-    from .parallel import measure_country_unit, worker_world
+    from .parallel import measure_country_unit, pop_world_build, worker_world
 
     try:
         while True:
@@ -172,14 +178,24 @@ def _supervised_worker(
             if task is None:
                 return
             country, attempt = task
+            recv_at = time.monotonic()
             try:
                 if chaos is not None:
                     chaos.before_measure(country, attempt)
                 world = worker_world(spec)
+                build = pop_world_build()
+                measure_start = time.monotonic()
                 result = measure_country_unit(world, spec, country)
+                measure_end = time.monotonic()
                 if chaos is not None:
                     chaos.after_measure(country, attempt)
-                conn.send(("ok", country, attempt, result))
+                timings = {
+                    "recv": recv_at,
+                    "build": build,
+                    "measure": (measure_start, measure_end),
+                    "send": time.monotonic(),
+                }
+                conn.send(("ok", country, attempt, result, timings))
             except BaseException as exc:  # noqa: BLE001 - report, don't die
                 try:
                     conn.send(
@@ -188,6 +204,7 @@ def _supervised_worker(
                             country,
                             attempt,
                             f"{type(exc).__name__}: {exc}",
+                            None,
                         )
                     )
                 except (BrokenPipeError, OSError):
@@ -199,9 +216,9 @@ def _supervised_worker(
 class _Worker:
     """Parent-side handle on one worker process."""
 
-    __slots__ = ("process", "conn", "task", "deadline")
+    __slots__ = ("process", "conn", "task", "deadline", "label", "token")
 
-    def __init__(self, process, conn: Connection) -> None:
+    def __init__(self, process, conn: Connection, label: str) -> None:
         self.process = process
         self.conn = conn
         #: The in-flight ``(country, attempt)`` or None when idle.
@@ -209,6 +226,13 @@ class _Worker:
         #: Wall-clock instant the in-flight task times out (None when
         #: idle or no country_timeout configured).
         self.deadline: float | None = None
+        #: Stable profiling label ("w0", "w1", ...) — a replacement
+        #: process inherits its predecessor's label, so a worker
+        #: timeline survives crashes.
+        self.label = label
+        #: Profiler token for the in-flight dispatch span (None when
+        #: idle or unprofiled).
+        self.token: int | None = None
 
 
 class ShardSupervisor:
@@ -230,6 +254,7 @@ class ShardSupervisor:
         *,
         chaos: "ChaosPlan | None" = None,
         telemetry: "SupervisorTelemetry | None" = None,
+        profiler: "CampaignProfiler | None" = None,
         mp_context=None,
     ) -> None:
         self.spec = spec
@@ -238,6 +263,7 @@ class ShardSupervisor:
         self.policy = policy
         self.chaos = chaos
         self.telemetry = telemetry
+        self.profiler = profiler
         self._context = (
             mp_context if mp_context is not None else multiprocessing
         )
@@ -251,18 +277,23 @@ class ShardSupervisor:
     # Worker lifecycle
     # ------------------------------------------------------------------
 
-    def _spawn_worker(self) -> _Worker:
+    def _spawn_worker(self, label: str) -> _Worker:
         parent_conn, child_conn = self._context.Pipe(duplex=True)
         process = self._context.Process(
             target=_supervised_worker,
             args=(self.spec, self.chaos, child_conn),
             daemon=True,
         )
+        spawn_start = time.monotonic()
         process.start()
+        if self.profiler is not None:
+            self.profiler.worker_spawned(
+                label, spawn_start, time.monotonic()
+            )
         # Close the parent's copy of the child end: otherwise the pipe
         # never reads EOF when the worker dies.
         child_conn.close()
-        return _Worker(process, parent_conn)
+        return _Worker(process, parent_conn, label)
 
     def _retire_worker(self, worker: _Worker) -> None:
         """Tear one worker down hard (it is dead or being killed)."""
@@ -277,7 +308,7 @@ class ShardSupervisor:
     def _replace_worker(self, worker: _Worker) -> None:
         self._retire_worker(worker)
         index = self._workers.index(worker)
-        self._workers[index] = self._spawn_worker()
+        self._workers[index] = self._spawn_worker(worker.label)
 
     def _shutdown(self) -> None:
         for worker in self._workers:
@@ -316,9 +347,12 @@ class ShardSupervisor:
         if attempt <= self.policy.max_shard_retries:
             delays = self.policy.backoff_schedule(country)
             delay = delays[min(attempt - 1, len(delays) - 1)] if delays else 0.0
-            self._pending[country] = (attempt + 1, time.monotonic() + delay)
+            now = time.monotonic()
+            self._pending[country] = (attempt + 1, now + delay)
             if self.telemetry is not None:
                 self.telemetry.shard_retry(country, reason)
+            if self.profiler is not None:
+                self.profiler.backoff(country, reason, now, now + delay)
             return
         message = (
             f"country {country} failed {attempt} dispatch"
@@ -342,6 +376,12 @@ class ShardSupervisor:
         worker.process.join(timeout=5.0)
         exitcode = worker.process.exitcode
         task = worker.task
+        if (
+            task is not None
+            and self.profiler is not None
+            and worker.token is not None
+        ):
+            self.profiler.failed(worker.token, time.monotonic(), "crash")
         self._replace_worker(worker)
         if task is None:
             return
@@ -383,6 +423,14 @@ class ShardSupervisor:
                 if self.policy.country_timeout is not None
                 else None
             )
+            if self.profiler is not None:
+                worker.token = self.profiler.dispatched(
+                    worker.label,
+                    country,
+                    attempt,
+                    time.monotonic(),
+                    len(self._pending),
+                )
 
     def _wait_budget(self, now: float) -> float:
         budget = self.policy.poll_interval
@@ -407,8 +455,12 @@ class ShardSupervisor:
         self._pending = {cc: (1, 0.0) for cc in self.countries}
         self._results = {}
         self._halted = False
+        if self.profiler is not None:
+            enqueue_at = time.monotonic()
+            for cc in self.countries:
+                self.profiler.enqueued(cc, enqueue_at)
         self._workers = [
-            self._spawn_worker() for _ in range(self.worker_count)
+            self._spawn_worker(f"w{i}") for i in range(self.worker_count)
         ]
         try:
             while (
@@ -438,15 +490,24 @@ class ShardSupervisor:
                     except (EOFError, OSError):
                         self._worker_died(worker, note)
                         continue
-                    kind, country, attempt, payload = message
+                    kind, country, attempt, payload, timings = message
                     worker.task = None
                     worker.deadline = None
+                    token, worker.token = worker.token, None
                     if kind == "ok":
+                        if self.profiler is not None and token is not None:
+                            self.profiler.completed(
+                                token, time.monotonic(), timings
+                            )
                         self._results[country] = payload
                         if note(payload):
                             self._halted = True
                             break
                     else:
+                        if self.profiler is not None and token is not None:
+                            self.profiler.failed(
+                                token, time.monotonic(), "error"
+                            )
                         self._task_failed(
                             country, attempt, "error", payload, note
                         )
@@ -462,6 +523,13 @@ class ShardSupervisor:
                         and now >= worker.deadline
                     ):
                         country, attempt = worker.task
+                        if (
+                            self.profiler is not None
+                            and worker.token is not None
+                        ):
+                            self.profiler.failed(
+                                worker.token, now, "timeout"
+                            )
                         self._replace_worker(worker)
                         self._task_failed(
                             country,

@@ -6,7 +6,8 @@ import json
 
 import pytest
 
-from repro.obs import Tracer, load_trace
+from repro.errors import TraceFormatError
+from repro.obs import TRACE_SCHEMA, Tracer, load_trace
 
 
 class _Clock:
@@ -78,13 +79,16 @@ class TestJsonl:
                 clock.now = 3.0
         path = tmp_path / "trace.jsonl"
         assert tracer.write_jsonl(path) == 2
-        # Every line is standalone JSON.
+        # Every line is standalone JSON: a schema header, then spans.
         lines = path.read_text().strip().splitlines()
-        assert len(lines) == 2
-        parsed = [json.loads(line) for line in lines]
+        assert len(lines) == 3
+        header = json.loads(lines[0])
+        assert header == {"_schema": TRACE_SCHEMA}
+        parsed = [json.loads(line) for line in lines[1:]]
         assert parsed[0]["name"] == "resolve"
         assert parsed[0]["logical_seconds"] == 2.0
         assert parsed[1]["attrs"] == {"domain": "x.th"}
+        # load_trace drops the header and returns only spans.
         assert load_trace(path) == parsed
 
     def test_wall_ms_present_and_nonnegative(self, tmp_path) -> None:
@@ -95,3 +99,83 @@ class TestJsonl:
         tracer.write_jsonl(path)
         (span,) = load_trace(path)
         assert span["wall_ms"] >= 0.0
+
+
+class TestTraceSchema:
+    def _span_line(self) -> str:
+        return json.dumps(
+            {
+                "span_id": 1,
+                "parent_id": None,
+                "name": "site",
+                "attrs": {},
+                "start_logical": 0.0,
+                "logical_seconds": 1.0,
+                "wall_ms": 1.0,
+                "status": "ok",
+                "error": None,
+            }
+        )
+
+    def test_headerless_file_is_accepted_as_legacy(self, tmp_path) -> None:
+        path = tmp_path / "legacy.jsonl"
+        path.write_text(self._span_line() + "\n")
+        (span,) = load_trace(path)
+        assert span["name"] == "site"
+
+    def test_wrong_schema_version_always_raises(self, tmp_path) -> None:
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            json.dumps({"_schema": "repro-trace-v99"})
+            + "\n"
+            + self._span_line()
+            + "\n"
+        )
+        with pytest.raises(TraceFormatError, match="repro-trace-v99"):
+            load_trace(path)
+        # Even lenient loading refuses a wrong-version file as a whole.
+        with pytest.raises(TraceFormatError):
+            load_trace(path, errors="skip")
+
+    def test_malformed_line_raises_with_location(self, tmp_path) -> None:
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"_schema": TRACE_SCHEMA})
+            + "\n"
+            + self._span_line()
+            + "\n{not json\n"
+        )
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_trace(path)
+        assert excinfo.value.line == 3
+        assert str(path) in str(excinfo.value)
+
+    def test_malformed_line_skipped_when_asked(self, tmp_path) -> None:
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"_schema": TRACE_SCHEMA})
+            + "\n{not json\n"
+            + self._span_line()
+            + "\n"
+            + json.dumps({"some": "object"})
+            + "\n"
+        )
+        spans = load_trace(path, errors="skip")
+        assert [s["name"] for s in spans] == ["site"]
+
+    def test_non_span_object_raises(self, tmp_path) -> None:
+        path = tmp_path / "notspan.jsonl"
+        path.write_text(json.dumps({"foo": 1}) + "\n")
+        with pytest.raises(TraceFormatError, match="not a span object"):
+            load_trace(path)
+
+    def test_invalid_errors_mode_rejected(self, tmp_path) -> None:
+        path = tmp_path / "t.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="errors must be"):
+            load_trace(path, errors="ignore")
+
+    def test_empty_file_loads_to_zero_spans(self, tmp_path) -> None:
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert load_trace(path) == []

@@ -151,10 +151,49 @@ class TestStitchSpans:
             {"span_id": 2, "parent_id": 1, "name": "tls"},
         ]
         stitched = stitch_spans([first, second])
+        # Deterministic order under ties: all four spans tie on start
+        # (no start_logical -> 0.0), so (start, name, shard) ranks
+        # resolve, site@0, site@1, tls — renumbered densely with
+        # parent links following their spans.
         assert [s["span_id"] for s in stitched] == [1, 2, 3, 4]
-        assert [s["parent_id"] for s in stitched] == [None, 1, None, 3]
+        assert [s["name"] for s in stitched] == [
+            "resolve",
+            "site",
+            "site",
+            "tls",
+        ]
+        assert [s["parent_id"] for s in stitched] == [2, None, None, 3]
         # Inputs are not mutated.
         assert second[0]["span_id"] == 1
+
+    def test_order_is_invariant_under_shard_layout(self) -> None:
+        spans = [
+            {
+                "span_id": i + 1,
+                "parent_id": None,
+                "name": "site",
+                "start_logical": float(i),
+            }
+            for i in range(6)
+        ]
+        one_big = stitch_spans([spans])
+        resharded = stitch_spans(
+            [
+                [
+                    dict(s, span_id=j + 1)
+                    for j, s in enumerate(shard)
+                ]
+                for shard in (spans[:2], spans[2:5], spans[5:])
+            ]
+        )
+        # Shard-local ids differ, but the stitched order and dense
+        # renumbering come out the same however the campaign sharded.
+        assert [s["start_logical"] for s in one_big] == [
+            s["start_logical"] for s in resharded
+        ]
+        assert [s["span_id"] for s in one_big] == [
+            s["span_id"] for s in resharded
+        ]
 
     def test_roundtrips_through_json(self, tmp_path: Path) -> None:
         from repro.obs.spans import load_trace, write_spans_jsonl

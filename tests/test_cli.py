@@ -211,11 +211,17 @@ class TestObservabilityFlags:
         assert payload["_schema"] == "repro-metrics-v1"
         rows = payload["metrics"]["repro_rows_total"]["samples"]
         assert sum(s["value"] for s in rows) == 120
-        spans = [
+        lines = [
             json.loads(line)
             for line in trace.read_text().splitlines()
         ]
-        assert sum(1 for s in spans if s["name"] == "site") == 120
+        # First line is the schema header, then one object per span.
+        assert lines[0] == {"_schema": "repro-trace-v1"}
+        assert (
+            sum(1 for s in lines if s.get("name") == "site") == 120
+        )
+        # An instrumented campaign also records lifecycle spans.
+        assert any(s.get("name") == "campaign" for s in lines)
 
     def test_report_campaign_end_to_end(
         self, capsys: pytest.CaptureFixture, tmp_path
