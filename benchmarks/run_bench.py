@@ -29,6 +29,7 @@ import argparse
 import dataclasses
 import gc
 import json
+import os
 import platform
 import sys
 import time
@@ -38,6 +39,7 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
+from repro.analysis.traceprof import amdahl_decomposition  # noqa: E402
 from repro.core import (  # noqa: E402
     ProviderDistribution,
     centralization_score,
@@ -45,6 +47,7 @@ from repro.core import (  # noqa: E402
     top_n_share,
 )
 from repro.faults import RetryPolicy, fault_profile  # noqa: E402
+from repro.net.dns import ZoneCache  # noqa: E402
 from repro.obs import Instrumentation  # noqa: E402
 from repro.pipeline import (  # noqa: E402
     CampaignSpec,
@@ -52,6 +55,21 @@ from repro.pipeline import (  # noqa: E402
     run_campaign,
 )
 from repro.worldgen import World, WorldConfig  # noqa: E402
+
+
+def _cpu_info() -> dict:
+    """How much parallel hardware this box actually offers.
+
+    Recorded in every report so a speedup number can be judged against
+    the machine that produced it — on a 1-CPU container no worker
+    count can beat serial by more than scheduling luck, and the Amdahl
+    bounds only make sense next to the core count.
+    """
+    try:
+        affinity = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        affinity = None
+    return {"count": os.cpu_count(), "affinity": affinity}
 
 
 def _best_of(repeat: int, fn) -> tuple[float, object]:
@@ -82,11 +100,15 @@ def bench_overhead(
 
     def run(instrumented: bool):
         obs = Instrumentation() if instrumented else None
+        # A fresh ZoneCache per run, exactly as each campaign gets one:
+        # plan building is billed inside the timed region the same way
+        # the production path pays it.
         pipeline = MeasurementPipeline(
             world,
             fault_plan=fault_profile("chaos", seed=0),
             retry_policy=RetryPolicy(max_attempts=3, seed=0),
             obs=obs,
+            zone_cache=ZoneCache(world.namespace),
         )
         # Collect the previous run's garbage outside the timed region
         # and keep the collector off inside it, so cycle-collection
@@ -129,6 +151,15 @@ def bench_overhead(
         "metrics": {
             "dns_queries": obs.dns_queries.total(),
             "dns_cache_hits": obs.dns_cache_hits.total(),
+            # The resolver-level hit counter alone understates caching:
+            # most repeat lookups are absorbed by the pipeline's
+            # nameserver-label cache before they reach the resolver,
+            # and structural work is shared by the zone-plan cache
+            # below.  Recorded side by side so the caching story in
+            # the bench reflects reality.
+            "ns_label_cache_hits": int(
+                obs.ns_cache_events.value(event="hit")
+            ),
             "attempts": obs.attempts.total(),
             "retries": obs.retries.total(),
             "backoff_seconds": round(obs.backoff_seconds.total(), 3),
@@ -159,6 +190,11 @@ def _profile_campaign(spec: CampaignSpec, workers: int) -> dict:
         dataclasses.replace(spec, instrument=True), workers=workers
     )
     metrics = result.profile["metrics"]  # type: ignore[index]
+    amdahl = (
+        amdahl_decomposition(list(result.profile_spans))
+        if result.profile_spans
+        else None
+    )
 
     def series(name: str, label: str) -> dict[str, float]:
         return {
@@ -173,6 +209,10 @@ def _profile_campaign(spec: CampaignSpec, workers: int) -> dict:
     tasks = series("repro_worker_tasks_total", "worker")
     return {
         "wall_seconds": wall,
+        # The empirical Amdahl split from the lifecycle spans: how
+        # much of the campaign ran >= 2-wide, and the speedup ceiling
+        # that serial fraction implies per worker count.
+        "amdahl": amdahl,
         "phases": series("repro_phase_seconds", "phase"),
         "workers": {
             label: {
@@ -195,15 +235,28 @@ def bench_parallel(
     repeat: int,
     workers_counts: tuple[int, ...],
     profile: bool = False,
-) -> dict:
+) -> tuple[dict, dict]:
     """Time the campaign runner across worker counts, end to end.
 
-    Each reading includes everything ``repro measure --workers N``
-    pays — worker spawn and per-worker World builds included — so the
-    speedup column reflects what a user actually gets.  With
+    Each campaign reading includes everything ``repro measure
+    --workers N`` pays — world build, worker spawn, dispatch — so the
+    speedup column reflects what a user actually gets.  **Two**
+    baselines are recorded, because earlier BENCH files compared
+    campaigns against the wrong one:
+
+    * ``serial_pipeline`` — one bare :class:`MeasurementPipeline` over
+      a prebuilt World.  No world build, no campaign machinery, one
+      shared resolver across countries.  Useful as the raw pipeline
+      throughput floor, misleading as a sharding baseline.
+    * the ``"1"`` campaign entry — ``run_campaign(workers=1)``, the
+      like-for-like serial baseline every ``speedup_vs_serial`` is
+      computed against.
+
+    Returns ``(serial_pipeline, campaign_entries)``.  With
     ``profile``, each worker count gets one extra *instrumented* run
-    after its timing passes, attaching per-phase seconds and a worker
-    utilization breakdown to the entry.
+    after its timing passes, attaching per-phase seconds, a worker
+    utilization breakdown, and the empirical Amdahl bound to the
+    entry.
     """
     spec = CampaignSpec(
         config=WorldConfig(
@@ -214,6 +267,34 @@ def bench_parallel(
         retries=3,
         instrument=False,
     )
+    build_seconds, world = _best_of(repeat, lambda: World(spec.config))
+    assert isinstance(world, World)
+    cache_stats: dict | None = None
+
+    def run_pipeline():
+        nonlocal cache_stats
+        cache = ZoneCache(world.namespace)
+        pipeline = MeasurementPipeline(
+            world,
+            fault_plan=fault_profile("chaos", seed=0),
+            retry_policy=RetryPolicy(max_attempts=3, seed=0),
+            zone_cache=cache,
+        )
+        dataset = pipeline.run()
+        cache_stats = cache.stats()
+        return dataset
+
+    pipeline_seconds, dataset = _best_of(repeat, run_pipeline)
+    total = len(dataset)  # type: ignore[arg-type]
+    serial_pipeline = {
+        "world_build_seconds": round(build_seconds, 4),
+        "run_seconds": round(pipeline_seconds, 4),
+        "sites": total,
+        "sites_per_second": round(total / pipeline_seconds, 1)
+        if pipeline_seconds
+        else None,
+        "zone_cache": cache_stats,
+    }
     out: dict = {}
     serial_seconds: float | None = None
     for workers in workers_counts:
@@ -238,7 +319,7 @@ def bench_parallel(
         if profile:
             entry["profile"] = _profile_campaign(spec, workers)
         out[str(workers)] = entry
-    return out
+    return serial_pipeline, out
 
 
 def bench_primitives(repeat: int, n: int = 20000) -> dict:
@@ -271,6 +352,19 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="tiny sizes for CI: 60 sites x 2 countries, 1 repeat",
     )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="the paper's real workload: 10K sites x all 150 "
+        "countries (~1.5M site-measurements); expect a long run",
+    )
+    parser.add_argument(
+        "--paper-scale-smoke",
+        action="store_true",
+        help="reduced CI-safe slice of --paper-scale: 300 sites x 20 "
+        "countries, enough countries for chunked dispatch and zone "
+        "batching to engage",
+    )
     parser.add_argument("--sites", type=int, default=None)
     parser.add_argument("--repeat", type=int, default=None)
     parser.add_argument(
@@ -298,6 +392,14 @@ def main(argv: list[str] | None = None) -> int:
         "percent — the CI perf-regression gate",
     )
     parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail (exit 1) when the largest worker count's "
+        "speedup_vs_serial falls below X — the CI sharding gate",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         metavar="JSON",
@@ -305,18 +407,43 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.smoke:
-        sites = args.sites or 60
-        countries: tuple[str, ...] = ("TH", "US")
+    if args.paper_scale:
+        mode = "paper-scale"
+        sites = args.sites or 10000
+        countries: tuple[str, ...] = WorldConfig().countries
+        repeat = args.repeat or 1
+        workers_counts = tuple(args.workers or (1, 2, 4))
+        primitives_n = 20000
+        # Overhead is a per-site property; measuring it at paper scale
+        # would only multiply the run time, so the overhead section
+        # keeps the standard config.
+        overhead_sites, overhead_countries = 300, (
+            "BR", "DE", "IR", "TH", "US",
+        )
+    elif args.paper_scale_smoke:
+        mode = "paper-scale-smoke"
+        sites = args.sites or 300
+        countries = WorldConfig().countries[:20]
         repeat = args.repeat or 1
         workers_counts = tuple(args.workers or (1, 2))
         primitives_n = 2000
+        overhead_sites, overhead_countries = 60, ("TH", "US")
+    elif args.smoke:
+        mode = "smoke"
+        sites = args.sites or 60
+        countries = ("TH", "US")
+        repeat = args.repeat or 1
+        workers_counts = tuple(args.workers or (1, 2))
+        primitives_n = 2000
+        overhead_sites, overhead_countries = sites, countries
     else:
+        mode = "standard"
         sites = args.sites or 300
         countries = ("BR", "DE", "IR", "TH", "US")
         repeat = args.repeat or 3
         workers_counts = tuple(args.workers or (1, 2, 4))
         primitives_n = 20000
+        overhead_sites, overhead_countries = sites, countries
 
     out_path = (
         Path(args.out)
@@ -325,9 +452,9 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     print(
-        f"benchmarking: {sites} sites x {len(countries)} countries, "
-        f"repeat={repeat}, workers={list(workers_counts)} "
-        f"(smoke={args.smoke})"
+        f"benchmarking [{mode}]: {sites} sites x {len(countries)} "
+        f"countries, repeat={repeat}, workers={list(workers_counts)}, "
+        f"cpus={_cpu_info()}"
     )
     # Scheduler noise only ever *adds* time, so the ratio-of-minima
     # overhead estimate is biased upward: when a gate is set, a
@@ -337,7 +464,9 @@ def main(argv: list[str] | None = None) -> int:
     attempts = 3 if args.max_overhead_pct is not None else 1
     instrumented, bare, overhead_pct = {}, {}, None
     for attempt in range(attempts):
-        inst, bar = bench_overhead(sites, countries, repeat)
+        inst, bar = bench_overhead(
+            overhead_sites, overhead_countries, repeat
+        )
         pct = (
             round(
                 100.0
@@ -367,25 +496,30 @@ def main(argv: list[str] | None = None) -> int:
         "date": date.today().isoformat(),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "cpus": _cpu_info(),
         "smoke": args.smoke,
+        "mode": mode,
         "config": {
             "sites_per_country": sites,
             "countries": list(countries),
             "repeat": repeat,
             "workers": list(workers_counts),
+            "overhead_sites_per_country": overhead_sites,
+            "overhead_countries": list(overhead_countries),
         },
         "results": {
             "pipeline_instrumented": instrumented,
             "pipeline_uninstrumented": bare,
-            "parallel_campaign": bench_parallel(
-                sites, countries, repeat, workers_counts,
-                profile=args.profile,
-            ),
             "core_primitives": bench_primitives(
                 repeat, n=primitives_n
             ),
         },
     }
+    serial_pipeline, campaigns = bench_parallel(
+        sites, countries, repeat, workers_counts, profile=args.profile
+    )
+    report["results"]["serial_pipeline"] = serial_pipeline
+    report["results"]["parallel_campaign"] = campaigns
     if overhead_pct is not None:
         report["results"]["observability_overhead_pct"] = overhead_pct
     out_path.write_text(json.dumps(report, indent=2) + "\n")
@@ -394,9 +528,21 @@ def main(argv: list[str] | None = None) -> int:
         f"instrumented, {bare['sites_per_second']} sites/s bare "
         f"(overhead {overhead_pct}%)"
     )
-    for workers, entry in report["results"]["parallel_campaign"].items():
+    print(
+        f"serial pipeline baseline: "
+        f"{serial_pipeline['run_seconds']}s "
+        f"({serial_pipeline['sites_per_second']} sites/s, world build "
+        f"{serial_pipeline['world_build_seconds']}s, zone cache "
+        f"{serial_pipeline['zone_cache']})"
+    )
+    for workers, entry in campaigns.items():
         speedup = entry.get("speedup_vs_serial")
         suffix = f" ({speedup}x vs serial)" if speedup else ""
+        amdahl = (entry.get("profile") or {}).get("amdahl")
+        if speedup and amdahl:
+            bound = amdahl["speedup_bounds"].get(workers)
+            if bound is not None:
+                suffix += f" [Amdahl bound {bound}x]"
         print(
             f"campaign --workers {workers}: "
             f"{entry['run_seconds']}s{suffix}"
@@ -439,6 +585,16 @@ def main(argv: list[str] | None = None) -> int:
             f"--max-overhead-pct {args.max_overhead_pct}%"
         )
         return 1
+    if args.min_speedup is not None:
+        top = str(max(workers_counts))
+        speedup = campaigns.get(top, {}).get("speedup_vs_serial")
+        if speedup is None or speedup < args.min_speedup:
+            print(
+                f"FAIL: speedup_vs_serial at --workers {top} is "
+                f"{speedup} (< --min-speedup {args.min_speedup}) on "
+                f"{_cpu_info()}"
+            )
+            return 1
     return 0
 
 

@@ -29,6 +29,8 @@ countries, exit code 3).  Supervision flags harden sharded runs:
 hangs, or errors), and ``--quarantine`` (tombstone a country that
 exhausts its budget instead of aborting; exit code 4 when any
 country ends up quarantined — a later ``--resume`` re-measures it).
+``--chunk-size N`` tunes how many countries ride one dispatch to a
+worker process (default: auto-sized from the campaign).
 ``campaigns fsck [--repair]`` verifies store integrity (exit code 5
 when damage is found and not repaired).
 
@@ -219,6 +221,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard the campaign's countries across N worker "
         "processes; output is byte-identical to --workers 1 for the "
         "same seed (default: 1, in-process)",
+    )
+    measure.add_argument(
+        "--chunk-size",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="countries per dispatch to a worker process; larger "
+        "chunks amortize pipe round trips at paper scale (default: "
+        "auto, ceil(countries / (workers * 4)))",
     )
     measure.add_argument(
         "--country-timeout",
@@ -643,6 +654,10 @@ def _cmd_measure(args: argparse.Namespace) -> int:
         args.country_timeout is not None
         or args.max_shard_retries is not None
         or args.quarantine
+        # chunk size only matters across a process boundary; alone it
+        # must not force the supervised path onto a --workers 1 run,
+        # which measures inline (and ignores chunking) by design.
+        or (args.chunk_size is not None and args.workers > 1)
     ):
         from .pipeline import SupervisorPolicy
 
@@ -654,6 +669,8 @@ def _cmd_measure(args: argparse.Namespace) -> int:
             policy_kwargs["country_timeout"] = args.country_timeout
         if args.max_shard_retries is not None:
             policy_kwargs["max_shard_retries"] = args.max_shard_retries
+        if args.chunk_size is not None:
+            policy_kwargs["chunk_size"] = args.chunk_size
         policy = SupervisorPolicy(**policy_kwargs)
     chaos = None
     if args.chaos:

@@ -23,7 +23,14 @@ from .addressing import (
 from .anycast import AnycastRegistry
 from .asdb import ASDatabase, ASRecord, UnknownASNError
 from .ccadb import CCADB, CAOwner, default_ccadb
-from .dns import Namespace, ResolutionResult, Resolver, ResourceRecord, Zone
+from .dns import (
+    Namespace,
+    ResolutionResult,
+    Resolver,
+    ResourceRecord,
+    Zone,
+    ZoneCache,
+)
 from .geo import NETACUITY_COUNTRY_ACCURACY, GeoDatabase, GeoEntry
 from .http import (
     HttpFabric,
@@ -51,6 +58,7 @@ __all__ = [
     "Resolver",
     "ResolutionResult",
     "ResourceRecord",
+    "ZoneCache",
     "TLSFabric",
     "TLSEndpoint",
     "Certificate",

@@ -17,8 +17,8 @@ vantage-point experiment meaningful.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Mapping
-from dataclasses import dataclass
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, replace
 from functools import partial
 
 from ..errors import (
@@ -35,9 +35,13 @@ __all__ = [
     "ResolutionResult",
     "Resolver",
     "Namespace",
+    "ZoneCache",
 ]
 
 _GEO_DEFAULT = "default"
+
+#: Shared empty answer for :meth:`Zone.records` misses.
+_NO_RECORDS: tuple["ResourceRecord", ...] = ()
 
 
 @dataclass(frozen=True, slots=True)
@@ -93,6 +97,8 @@ class Zone:
     def __init__(self, origin: str) -> None:
         self.origin = origin.lower().rstrip(".")
         self._records: dict[tuple[str, str], list[ResourceRecord]] = {}
+        self._names: set[str] = set()
+        self._ns_names: tuple[str, ...] | None = None
         self.broken = False  # failure injection: SERVFAIL every query
 
     def add(
@@ -106,6 +112,9 @@ class Zone:
         fqdn = self.qualify(name)
         record = ResourceRecord(name=fqdn, rtype=rtype, value=value, ttl=ttl)
         self._records.setdefault((fqdn, rtype), []).append(record)
+        self._names.add(fqdn)
+        if rtype == "NS":
+            self._ns_names = None
         return record
 
     def qualify(self, name: str) -> str:
@@ -118,13 +127,36 @@ class Zone:
         return f"{name}.{self.origin}"
 
     def lookup(self, name: str, rtype: str) -> list[ResourceRecord]:
-        """Records matching (name, rtype) in this zone."""
-        return list(self._records.get((name.lower().rstrip("."), rtype), ()))
+        """Records matching (name, rtype) in this zone (a fresh list)."""
+        return list(self.records(name, rtype))
+
+    def records(self, name: str, rtype: str) -> Sequence[ResourceRecord]:
+        """Records matching (name, rtype) without the defensive copy.
+
+        The resolver's hot path — callers must treat the returned
+        sequence as read-only.  External callers that may mutate their
+        answer keep :meth:`lookup`.
+        """
+        return self._records.get((name.lower().rstrip("."), rtype), _NO_RECORDS)
 
     def has_name(self, name: str) -> bool:
         """True when any record exists under the name."""
-        name = name.lower().rstrip(".")
-        return any(key[0] == name for key in self._records)
+        return name.lower().rstrip(".") in self._names
+
+    def ns_names(self) -> tuple[str, ...]:
+        """The zone's apex NS record values (memoized; add invalidates).
+
+        Every uncached resolve returns the authoritative NS set, so
+        rebuilding this tuple per query was a measurable share of the
+        resolver's time when thousands of sites delegate to the same
+        provider zone.
+        """
+        if self._ns_names is None:
+            self._ns_names = tuple(
+                str(r.value)
+                for r in self._records.get((self.origin, "NS"), ())
+            )
+        return self._ns_names
 
     def record_count(self) -> int:
         """Total records in the zone."""
@@ -150,7 +182,10 @@ class ResolutionResult:
 
 @dataclass(slots=True)
 class _CacheEntry:
-    result: ResolutionResult
+    #: The answer pre-built with ``from_cache=True`` at insert time, so
+    #: a hit returns one shared frozen object instead of rebuilding the
+    #: result per query.
+    cached: ResolutionResult
     expires_at: float
 
 
@@ -201,6 +236,227 @@ class Namespace:
         return list(self._zones.values())
 
 
+@dataclass(frozen=True, slots=True)
+class _NamePlan:
+    """The structural outcome of resolving one name.
+
+    Everything that depends only on immutable zone contents: the zones
+    the delegation walk visits (in hop order, for live ``broken``
+    checks), the terminal answer records or error, the CNAME chain,
+    the authoritative NS set, and the answer's minimum TTL.  What a
+    plan deliberately does *not* capture: vantage-dependent geo answers
+    (:meth:`ResourceRecord.resolve_address` runs at query time), fault
+    hooks, and the resolver's TTL caches — those stay live so plan
+    execution is observably identical to a fresh walk.
+    """
+
+    zones: tuple[Zone, ...]
+    error: type[ReproError] | None
+    error_msg: str
+    a_records: tuple[ResourceRecord, ...]
+    cname_chain: tuple[str, ...]
+    ns: tuple[str, ...]
+    min_ttl: float
+
+
+class ZoneCache:
+    """Zone-batched resolution plans, shared across resolvers.
+
+    The per-site resolver walks the delegation chain once per query:
+    a public-suffix split, zone dict walks, record-list copies, and an
+    NS-tuple rebuild for every site — even though 10K sites delegating
+    to the same provider zone share all of that structure.  A
+    ``ZoneCache`` walks each zone **once**, building a
+    :class:`_NamePlan` for every name in it (a site zone's apex + www
+    names, a provider zone's ns hosts), and the resolver executes the
+    plan instead of re-walking: live ``broken`` checks in hop order,
+    then the precomputed outcome, with geo-aware addresses still
+    picked per vantage at query time.  Faults, TTL caching, and the
+    logical clock are untouched, so batched output is byte-identical
+    to per-site resolution — the property suite asserts exactly that
+    under every fault profile.
+
+    Purely world data: a cache carries no per-unit state, so one
+    instance is shared across a campaign's per-country pipelines (and
+    copy-on-write across forked workers) without breaking the
+    country-unit purity sharding relies on.  The namespace must be
+    immutable while the cache is attached; the campaign paths only
+    attach caches to Worlds that are.
+    """
+
+    def __init__(
+        self, namespace: Namespace, max_cname_depth: int = 8
+    ) -> None:
+        self._namespace = namespace
+        self._max_cname_depth = max_cname_depth
+        self._plans: dict[str, _NamePlan] = {}
+        #: Zone origins whose names have all been planned already.
+        self._walked: set[str] = set()
+        #: One batch walk per zone ever touched.
+        self.zone_walks = 0
+        #: Individual plans built (batch walks included).
+        self.plans_built = 0
+        #: Queries answered from an existing plan.
+        self.hits = 0
+        #: Queries that had to build (or batch-build) their plan.
+        self.misses = 0
+
+    @property
+    def namespace(self) -> Namespace:
+        """The namespace the plans were built against."""
+        return self._namespace
+
+    def stats(self) -> dict[str, int]:
+        """Walk/plan/hit counters (plain ints, never registry metrics).
+
+        Kept out of the observability registry on purpose: batched and
+        per-site resolution must export byte-identical metrics, so the
+        cache reports its own efficiency only through side channels
+        (benchmarks, profiles).
+        """
+        return {
+            "zone_walks": self.zone_walks,
+            "plans_built": self.plans_built,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def warm(self, hostnames: Sequence[str]) -> None:
+        """Pre-plan hostnames and their authoritative NS hosts.
+
+        Called by the campaign runner on the parent's World before
+        forking workers: the walks happen once and every forked worker
+        inherits the full plan table copy-on-write.
+        """
+        for hostname in hostnames:
+            plan = self.plan(hostname.lower().rstrip("."))
+            if plan.error is None:
+                for ns_host in plan.ns:
+                    self.plan(ns_host.lower().rstrip("."))
+
+    def warm_shared_zones(self) -> None:
+        """Pre-plan every NS-host name in the namespace.
+
+        Provider (NS) zones are consulted by every site that delegates
+        to them, so their plans pay off in every worker — building them
+        once in the parent before a fork shares the table
+        copy-on-write.  Site zones are deliberately *not* pre-planned:
+        each is visited by exactly one country unit, so planning them
+        here would serialize work the workers can do in parallel.
+        """
+        hosts: set[str] = set()
+        for zone in self._namespace.zones():
+            hosts.update(zone.ns_names())
+        for host in sorted(hosts):
+            self.plan(host.lower().rstrip("."))
+
+    def plan(self, name: str) -> _NamePlan:
+        """The plan for a (normalized) hostname, building on demand.
+
+        A miss batch-walks the hostname's zone first, so sibling names
+        (apex/www, a provider zone's other ns hosts) are planned by
+        the same walk.
+        """
+        plan = self._plans.get(name)
+        if plan is not None:
+            self.hits += 1
+            return plan
+        self.misses += 1
+        zone = self._namespace.zone_for(name)
+        if zone is not None and zone.origin not in self._walked:
+            self._walk_zone(zone)
+            plan = self._plans.get(name)
+            if plan is not None:
+                return plan
+        plan = self._build_plan(name)
+        self.plans_built += 1
+        self._plans[name] = plan
+        return plan
+
+    def _walk_zone(self, zone: Zone) -> None:
+        """One pass over a zone plans every name it can answer for."""
+        self._walked.add(zone.origin)
+        self.zone_walks += 1
+        for rname, rtype in list(zone._records):
+            if rtype not in ("A", "CNAME") or rname in self._plans:
+                continue
+            self._plans[rname] = self._build_plan(rname)
+            self.plans_built += 1
+
+    def _build_plan(self, name: str) -> _NamePlan:
+        """Mirror of ``Resolver._resolve_uncached`` minus live state.
+
+        The hop structure (zone_for per hop, A before CNAME, NODATA
+        before NXDOMAIN, raw-string loop detection) must match the
+        fresh walk exactly — the plan captures which zones the walk
+        *would* visit and what it *would* return, and the broken-zone
+        checks replay live at execution time.
+        """
+        zones: list[Zone] = []
+        cname_chain: list[str] = []
+        current = name
+        min_ttl = float("inf")
+
+        def failure(
+            error: type[ReproError], message: str
+        ) -> _NamePlan:
+            return _NamePlan(
+                zones=tuple(zones),
+                error=error,
+                error_msg=message,
+                a_records=(),
+                cname_chain=(),
+                ns=(),
+                min_ttl=300.0,
+            )
+
+        for _ in range(self._max_cname_depth):
+            zone = self._namespace.zone_for(current)
+            if zone is None:
+                return failure(
+                    NXDomainError, f"{current!r} does not exist"
+                )
+            if zone not in zones:
+                zones.append(zone)
+            a_records = zone.records(current, "A")
+            if a_records:
+                min_ttl = min(
+                    [min_ttl] + [float(r.ttl) for r in a_records]
+                )
+                return _NamePlan(
+                    zones=tuple(zones),
+                    error=None,
+                    error_msg="",
+                    a_records=tuple(a_records),
+                    cname_chain=tuple(cname_chain),
+                    ns=zone.ns_names(),
+                    min_ttl=min_ttl if min_ttl != float("inf") else 300.0,
+                )
+            cnames = zone.records(current, "CNAME")
+            if cnames:
+                target = str(cnames[0].value)
+                min_ttl = min(min_ttl, float(cnames[0].ttl))
+                if target in cname_chain or target == current:
+                    return failure(
+                        ResolutionError,
+                        f"CNAME loop resolving {name!r} at {target!r}",
+                    )
+                cname_chain.append(target)
+                current = target
+                continue
+            if zone.has_name(current):
+                return failure(
+                    ResolutionError,
+                    f"{current!r} has no address records",
+                )
+            return failure(NXDomainError, f"{current!r} does not exist")
+        return failure(
+            ResolutionError,
+            f"CNAME chain longer than {self._max_cname_depth} "
+            f"for {name!r}",
+        )
+
+
 class Resolver:
     """An iterative resolver over a :class:`Namespace` with caching.
 
@@ -228,8 +484,14 @@ class Resolver:
         vantage_country: str | None = None,
         cache_enabled: bool = True,
         max_cname_depth: int = 8,
+        zone_cache: ZoneCache | None = None,
     ) -> None:
+        if zone_cache is not None and zone_cache.namespace is not namespace:
+            raise ValueError(
+                "zone_cache was built for a different namespace"
+            )
         self._ns = namespace
+        self._zone_cache = zone_cache
         self._continent = vantage_continent
         self._country = vantage_country
         #: Caches are keyed by (name, vantage_continent, vantage_country)
@@ -326,15 +588,7 @@ class Resolver:
                 self.cache_hits += 1
                 if observer is not None:
                     observer.dns_cache_hit(name)
-                cached = entry.result
-                return ResolutionResult(
-                    name=cached.name,
-                    addresses=cached.addresses,
-                    cname_chain=cached.cname_chain,
-                    authoritative_ns=cached.authoritative_ns,
-                    from_cache=True,
-                    min_ttl=cached.min_ttl,
-                )
+                return entry.cached
             # Negative caching (RFC 2308): a recent NXDOMAIN answers
             # repeated queries without bothering the authorities.
             negative_until = self._negative_cache.get(cache_key)
@@ -368,7 +622,7 @@ class Resolver:
             observer.dns_uncached(name, None)
         if self._cache_enabled:
             self._cache[cache_key] = _CacheEntry(
-                result=result,
+                cached=replace(result, from_cache=True),
                 expires_at=self._clock + min(result.min_ttl, self.MAX_TTL),
             )
         return result
@@ -380,10 +634,12 @@ class Resolver:
             raise NXDomainError(f"no zone is authoritative for {hostname!r}")
         if zone.broken:
             raise ServFailError(f"zone {zone.origin} failed to answer")
-        ns_records = zone.lookup(zone.origin, "NS")
-        return tuple(str(r.value) for r in ns_records)
+        return zone.ns_names()
 
     def _resolve_uncached(self, name: str) -> ResolutionResult:
+        cache = self._zone_cache
+        if cache is not None:
+            return self._resolve_plan(name, cache.plan(name))
         cname_chain: list[str] = []
         current = name
         min_ttl = float("inf")
@@ -393,7 +649,7 @@ class Resolver:
                 raise NXDomainError(f"{current!r} does not exist")
             if zone.broken:
                 raise ServFailError(f"zone {zone.origin} failed to answer")
-            a_records = zone.lookup(current, "A")
+            a_records = zone.records(current, "A")
             if a_records:
                 addresses = tuple(
                     r.resolve_address(self._continent, self._country)
@@ -402,17 +658,14 @@ class Resolver:
                 min_ttl = min(
                     [min_ttl] + [float(r.ttl) for r in a_records]
                 )
-                ns = tuple(
-                    str(r.value) for r in zone.lookup(zone.origin, "NS")
-                )
                 return ResolutionResult(
                     name=name,
                     addresses=addresses,
                     cname_chain=tuple(cname_chain),
-                    authoritative_ns=ns,
+                    authoritative_ns=zone.ns_names(),
                     min_ttl=min_ttl if min_ttl != float("inf") else 300.0,
                 )
-            cnames = zone.lookup(current, "CNAME")
+            cnames = zone.records(current, "CNAME")
             if cnames:
                 target = str(cnames[0].value)
                 min_ttl = min(min_ttl, float(cnames[0].ttl))
@@ -430,4 +683,32 @@ class Resolver:
             raise NXDomainError(f"{current!r} does not exist")
         raise ResolutionError(
             f"CNAME chain longer than {self._max_cname_depth} for {name!r}"
+        )
+
+    def _resolve_plan(self, name: str, plan: _NamePlan) -> ResolutionResult:
+        """Execute a precomputed plan with live failure state.
+
+        The broken-zone checks replay in the exact hop order the fresh
+        walk would visit, so a zone broken *now* produces the same
+        SERVFAIL (same origin in the message) whether or not the plan
+        was built while it was healthy.  Geo answers are still picked
+        per vantage at query time.
+        """
+        for zone in plan.zones:
+            if zone.broken:
+                raise ServFailError(
+                    f"zone {zone.origin} failed to answer"
+                )
+        if plan.error is not None:
+            raise plan.error(plan.error_msg)
+        addresses = tuple(
+            r.resolve_address(self._continent, self._country)
+            for r in plan.a_records
+        )
+        return ResolutionResult(
+            name=name,
+            addresses=addresses,
+            cname_chain=plan.cname_chain,
+            authoritative_ns=plan.ns,
+            min_ttl=plan.min_ttl,
         )

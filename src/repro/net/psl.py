@@ -91,6 +91,11 @@ class DomainName:
 class PublicSuffixList:
     """Longest-match public suffix rules over dotted labels."""
 
+    #: Cap on the split memo; a campaign's hostname population is
+    #: bounded by the world, so the cap only matters for adversarial
+    #: callers feeding unbounded distinct names.
+    _SPLIT_CACHE_MAX = 1 << 20
+
     def __init__(self, suffixes: set[str] | None = None) -> None:
         if suffixes is None:
             suffixes = set(GLOBAL_TLDS)
@@ -103,6 +108,12 @@ class PublicSuffixList:
             # provider home registries (.cn, .ru already in dataset).
             suffixes.update({"cn", "eu", "su"})
         self._suffixes = frozenset(s.lower() for s in suffixes)
+        #: hostname -> DomainName memo.  The rules are frozen and
+        #: DomainName is immutable, so a split never changes; the memo
+        #: turns the longest-suffix label scan into a dict hit for the
+        #: resolver/TLS/enrich call sites that split the same hostnames
+        #: once per site.
+        self._split_cache: dict[str, DomainName] = {}
 
     @property
     def suffixes(self) -> frozenset[str]:
@@ -119,6 +130,9 @@ class PublicSuffixList:
         Raises if the hostname is empty, has empty labels, or consists
         entirely of a public suffix (nothing registrable).
         """
+        cached = self._split_cache.get(hostname)
+        if cached is not None:
+            return cached
         name = hostname.lower().rstrip(".")
         if not name:
             raise InvalidDistributionError("empty hostname")
@@ -145,12 +159,16 @@ class PublicSuffixList:
         suffix = ".".join(labels[-suffix_labels:])
         registrable = ".".join(labels[-suffix_labels - 1 :])
         subdomain = ".".join(labels[: -suffix_labels - 1])
-        return DomainName(
+        result = DomainName(
             hostname=name,
             subdomain=subdomain,
             registrable=registrable,
             suffix=suffix,
         )
+        if len(self._split_cache) >= self._SPLIT_CACHE_MAX:
+            self._split_cache.clear()
+        self._split_cache[hostname] = result
+        return result
 
     def tld_of(self, hostname: str) -> str:
         """The top-level label a site depends on (Appendix B unit)."""

@@ -29,6 +29,8 @@ The span taxonomy (all children of one ``campaign`` root)::
     ├── worker-spawn {worker}           process start()
     ├── world-build  {worker}           World construction (parent or
     │                                   per-worker under spawn)
+    ├── zone-warm    {worker}           pre-fork shared DNS zone-plan
+    │                                   warmup (parent only)
     ├── queue-wait   {country,attempt}  enqueued/ready → dispatched
     ├── dispatch     {worker,country,attempt}
     │   │                               send → result received; gaps
@@ -65,6 +67,7 @@ PROFILE_SPAN_NAMES = frozenset(
         "campaign",
         "worker-spawn",
         "world-build",
+        "zone-warm",
         "queue-wait",
         "dispatch",
         "compute",
@@ -140,6 +143,12 @@ class CampaignProfiler:
         """
         self._events.append(
             ("world-build", start, end, parent, {"worker": worker}, "ok", None)
+        )
+
+    def zone_warmed(self, worker: str, start: float, end: float) -> None:
+        """Shared DNS zone plans were pre-built (parent, pre-fork)."""
+        self._events.append(
+            ("zone-warm", start, end, None, {"worker": worker}, "ok", None)
         )
 
     def enqueued(self, country: str, at: float) -> None:
@@ -409,6 +418,12 @@ class CampaignProfiler:
                     busy["main"] = busy.get("main", 0.0) + seconds
                 phases["world-build"] = (
                     phases.get("world-build", 0.0) + seconds
+                )
+            elif name == "zone-warm":
+                if span["parent_id"] == 1 and worker == "main":
+                    busy["main"] = busy.get("main", 0.0) + seconds
+                phases["zone-warm"] = (
+                    phases.get("zone-warm", 0.0) + seconds
                 )
             elif name in ("queue-wait", "backoff", "merge"):
                 phases[name] = phases.get(name, 0.0) + seconds

@@ -31,7 +31,7 @@ from ..faults.breaker import CircuitBreaker
 from ..faults.plan import FaultPlan
 from ..faults.retry import RetryPolicy, RetrySession
 from ..faults.taxonomy import failure_class, format_failure
-from ..net.dns import Resolver
+from ..net.dns import Resolver, ZoneCache
 from ..obs.instrument import NULL_OBS, Instrumentation
 from ..worldgen.world import World
 from .records import MeasurementDataset, WebsiteMeasurement
@@ -68,6 +68,7 @@ class MeasurementPipeline:
         retry_policy: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
         obs: Instrumentation | None = None,
+        zone_cache: ZoneCache | None = None,
     ) -> None:
         self.world = world
         self.vantage_continent = vantage_continent
@@ -79,6 +80,7 @@ class MeasurementPipeline:
             world.namespace,
             vantage_continent=vantage_continent,
             vantage_country=vantage_country,
+            zone_cache=zone_cache,
         )
         self.fault_plan = fault_plan
         if fault_plan is not None:

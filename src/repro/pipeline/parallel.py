@@ -58,6 +58,7 @@ from typing import TYPE_CHECKING
 
 from ..errors import PipelineError
 from ..faults.plan import FaultPlan, fault_profile
+from ..net.dns import ZoneCache
 from ..faults.retry import RetryPolicy
 from ..obs.instrument import (
     Instrumentation,
@@ -83,9 +84,11 @@ __all__ = [
     "CountryResult",
     "CampaignResult",
     "CampaignHalted",
+    "WorkerContext",
     "measure_country_unit",
     "pop_world_build",
     "run_campaign",
+    "worker_context",
 ]
 
 
@@ -254,15 +257,19 @@ def _build_plan(spec: CampaignSpec) -> FaultPlan:
 
 
 def measure_country_unit(
-    world: World, spec: CampaignSpec, country: str
+    world: World,
+    spec: CampaignSpec,
+    country: str,
+    zone_cache: ZoneCache | None = None,
 ) -> CountryResult:
     """Measure one country with completely fresh pipeline state.
 
-    The World is the only shared object (it is immutable during
-    measurement); resolver, fault plan, retry policy, breaker, and
-    instrumentation are all unit-local, so the result is independent
-    of what other countries ran before it — the invariant sharding
-    relies on.
+    The World — and the optional :class:`~repro.net.dns.ZoneCache`,
+    which is pure world structure — are the only shared objects (both
+    immutable during measurement); resolver, fault plan, retry policy,
+    breaker, and instrumentation are all unit-local, so the result is
+    independent of what other countries ran before it — the invariant
+    sharding relies on.
     """
     plan = _build_plan(spec)
     policy = (
@@ -278,6 +285,7 @@ def measure_country_unit(
         fault_plan=plan,
         retry_policy=policy,
         obs=obs,
+        zone_cache=zone_cache,
     )
     rows = pipeline.measure_country(country)
     metrics: dict | None = None
@@ -298,21 +306,47 @@ def measure_country_unit(
     )
 
 
-#: World handed to forked workers copy-on-write.  The parent builds it
-#: once before creating the pool; fork children inherit it for free,
-#: which beats rebuilding a multi-second World in every worker.  Set
-#: only for the duration of one sharded run (run_campaign is not
-#: reentrant while a pool is live).
-_PREFORK_WORLD: World | None = None
+@dataclass
+class WorkerContext:
+    """Long-lived measurement state shared across country units.
 
-#: Per-process World memo for spawn-based pools, where workers inherit
-#: nothing: the first task in each worker builds the World from the
-#: spec's recipe (identical by construction — the world is a pure
-#: function of config + churn) and every later task in that process
-#: reuses it.
-_WORKER_WORLD: tuple[tuple[WorldConfig, ChurnConfig | None], World] | None = (
-    None
-)
+    The reusable per-worker context the dispatch overhaul amortizes
+    setup behind: the World plus the zone-batched DNS plan table
+    (:class:`~repro.net.dns.ZoneCache`).  Both are pure functions of
+    the world recipe — never of campaign progress — so sharing one
+    context across every unit a process measures cannot couple
+    country units (the purity invariant sharding relies on).
+    Unit-local state (resolver caches, fault plans, breakers,
+    instrumentation) is still built fresh per country inside
+    :func:`measure_country_unit`.
+    """
+
+    world: World
+    zone_cache: ZoneCache
+
+    @classmethod
+    def for_world(cls, world: World) -> "WorkerContext":
+        return cls(
+            world=world, zone_cache=ZoneCache(world.namespace)
+        )
+
+
+#: Context handed to forked workers copy-on-write.  The parent builds
+#: it once (and pre-warms the shared provider-zone plans) before
+#: creating the pool; fork children inherit it for free, which beats
+#: rebuilding a multi-second World in every worker.  Set only for the
+#: duration of one sharded run (run_campaign is not reentrant while a
+#: pool is live).
+_PREFORK_CONTEXT: WorkerContext | None = None
+
+#: Per-process context memo for spawn-based pools, where workers
+#: inherit nothing: the first task in each worker builds the World
+#: from the spec's recipe (identical by construction — the world is a
+#: pure function of config + churn) and every later task in that
+#: process reuses it, zone plans included.
+_WORKER_CONTEXT: (
+    tuple[tuple[WorldConfig, ChurnConfig | None], WorkerContext] | None
+) = None
 
 #: Monotonic (start, end) of the most recent in-process World build,
 #: consumed once by :func:`pop_world_build` so the supervised worker
@@ -320,22 +354,28 @@ _WORKER_WORLD: tuple[tuple[WorldConfig, ChurnConfig | None], World] | None = (
 _LAST_WORLD_BUILD: tuple[float, float] | None = None
 
 
-def worker_world(spec: CampaignSpec) -> World:
-    """The World a worker process measures against (memoized).
+def worker_context(spec: CampaignSpec) -> WorkerContext:
+    """The context a worker process measures with (memoized).
 
-    Forked workers reuse the parent's pre-built World copy-on-write;
+    Forked workers reuse the parent's pre-built context copy-on-write;
     spawned (or respawned) workers build it once per process from the
     spec's recipe and keep it across tasks.
     """
-    global _WORKER_WORLD, _LAST_WORLD_BUILD
-    if _PREFORK_WORLD is not None:
-        return _PREFORK_WORLD
+    global _WORKER_CONTEXT, _LAST_WORLD_BUILD
+    if _PREFORK_CONTEXT is not None:
+        return _PREFORK_CONTEXT
     recipe = (spec.config, spec.churn)
-    if _WORKER_WORLD is None or _WORKER_WORLD[0] != recipe:
+    if _WORKER_CONTEXT is None or _WORKER_CONTEXT[0] != recipe:
         build_start = time.monotonic()
-        _WORKER_WORLD = (recipe, spec.build_world())
+        context = WorkerContext.for_world(spec.build_world())
+        _WORKER_CONTEXT = (recipe, context)
         _LAST_WORLD_BUILD = (build_start, time.monotonic())
-    return _WORKER_WORLD[1]
+    return _WORKER_CONTEXT[1]
+
+
+def worker_world(spec: CampaignSpec) -> World:
+    """The World a worker process measures against (memoized)."""
+    return worker_context(spec).world
 
 
 def pop_world_build() -> tuple[float, float] | None:
@@ -551,10 +591,15 @@ def run_campaign(
         world = parent_world
         if world is None and to_measure:
             world = build_parent_world()
+        shared: WorkerContext | None = None
+        if world is not None:
+            shared = WorkerContext.for_world(world)
         for cc in to_measure:
-            assert world is not None
+            assert shared is not None
             compute_start = profiler.now() if profiler is not None else 0.0
-            result = measure_country_unit(world, spec, cc)
+            result = measure_country_unit(
+                shared.world, spec, cc, zone_cache=shared.zone_cache
+            )
             if profiler is not None:
                 profiler.computed(cc, compute_start, profiler.now())
             if note(result):
@@ -573,13 +618,20 @@ def run_campaign(
             if context is not None
             else multiprocessing.get_start_method()
         )
-        global _PREFORK_WORLD
+        global _PREFORK_CONTEXT
         if method == "fork":
-            _PREFORK_WORLD = (
+            prefork = WorkerContext.for_world(
                 parent_world
                 if parent_world is not None
                 else build_parent_world()
             )
+            warm_start = profiler.now() if profiler is not None else 0.0
+            prefork.zone_cache.warm_shared_zones()
+            if profiler is not None:
+                profiler.zone_warmed(
+                    "main", warm_start, profiler.now()
+                )
+            _PREFORK_CONTEXT = prefork
         supervisor_telemetry = SupervisorTelemetry()
         supervisor = ShardSupervisor(
             spec,
@@ -594,7 +646,7 @@ def run_campaign(
         try:
             _results, halted = supervisor.run(note)
         finally:
-            _PREFORK_WORLD = None
+            _PREFORK_CONTEXT = None
 
     supervisor_metrics = (
         supervisor_telemetry.to_dict()

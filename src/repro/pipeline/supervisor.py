@@ -51,6 +51,7 @@ process-level chaos harness (:mod:`repro.faults.chaos`).
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import time
 from dataclasses import dataclass
@@ -89,6 +90,11 @@ class SupervisorPolicy:
     country_timeout: float | None = None
     max_shard_retries: int = 2
     quarantine: bool = False
+    #: Countries dispatched to a worker per pipe round trip.  None
+    #: picks an automatic size that spreads the queue over roughly
+    #: four dispatch rounds per worker (1 at small scales, so chunking
+    #: only kicks in when there are enough countries to amortize).
+    chunk_size: int | None = None
     #: Backoff before resubmitting a failed country, following the
     #: decorrelated-jitter recurrence of the in-pipeline RetryPolicy —
     #: but spent on the real clock (the supervisor has no logical one).
@@ -116,6 +122,10 @@ class SupervisorPolicy:
         if self.poll_interval <= 0:
             raise PipelineError(
                 f"poll_interval must be positive, got {self.poll_interval}"
+            )
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise PipelineError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
             )
 
     def backoff_schedule(self, country: str) -> tuple[float, ...]:
@@ -154,20 +164,23 @@ def quarantine_tombstone(country: str, reason: str) -> "CountryResult":
 def _supervised_worker(
     spec: "CampaignSpec", chaos: "ChaosPlan | None", conn: Connection
 ) -> None:
-    """Worker-process loop: measure countries until told to stop.
+    """Worker-process loop: measure country chunks until told to stop.
 
-    One task at a time arrives as ``(country, attempt)``; the result
-    goes back as ``("ok", country, attempt, CountryResult, timings)``
-    or ``("error", country, attempt, reason, None)``.  ``timings`` is
-    the worker's own :func:`time.monotonic` readings around the task
-    (receive instant, World-build interval if this task triggered one,
-    measure interval, send instant) — CLOCK_MONOTONIC is system-wide
-    on Linux, so the parent-side profiler can place them on its own
-    axis.  The chaos hooks are the test harness's seam for killing or
-    wedging the process at deterministic points; they are no-ops in
-    production.
+    Each task arrives as a tuple of ``(country, attempt)`` pairs — a
+    locality-aware chunk — and the worker streams one message back per
+    country as it finishes: ``("ok", country, attempt, CountryResult,
+    timings)`` or ``("error", country, attempt, reason, None)``.  A
+    per-country error does not abandon the rest of the chunk: the
+    failed country is reported (the parent resubmits it) and the loop
+    moves on to the next chunk member.  ``timings`` is the worker's
+    own :func:`time.monotonic` readings around the country (processing
+    start, World-build interval if this country triggered one, measure
+    interval, send instant) — CLOCK_MONOTONIC is system-wide on Linux,
+    so the parent-side profiler can place them on its own axis.  The
+    chaos hooks are the test harness's seam for killing or wedging the
+    process at deterministic points; they are no-ops in production.
     """
-    from .parallel import measure_country_unit, pop_world_build, worker_world
+    from .parallel import measure_country_unit, pop_world_build, worker_context
 
     try:
         while True:
@@ -177,38 +190,43 @@ def _supervised_worker(
                 return
             if task is None:
                 return
-            country, attempt = task
-            recv_at = time.monotonic()
-            try:
-                if chaos is not None:
-                    chaos.before_measure(country, attempt)
-                world = worker_world(spec)
-                build = pop_world_build()
-                measure_start = time.monotonic()
-                result = measure_country_unit(world, spec, country)
-                measure_end = time.monotonic()
-                if chaos is not None:
-                    chaos.after_measure(country, attempt)
-                timings = {
-                    "recv": recv_at,
-                    "build": build,
-                    "measure": (measure_start, measure_end),
-                    "send": time.monotonic(),
-                }
-                conn.send(("ok", country, attempt, result, timings))
-            except BaseException as exc:  # noqa: BLE001 - report, don't die
+            for country, attempt in task:
+                recv_at = time.monotonic()
                 try:
-                    conn.send(
-                        (
-                            "error",
-                            country,
-                            attempt,
-                            f"{type(exc).__name__}: {exc}",
-                            None,
-                        )
+                    if chaos is not None:
+                        chaos.before_measure(country, attempt)
+                    context = worker_context(spec)
+                    build = pop_world_build()
+                    measure_start = time.monotonic()
+                    result = measure_country_unit(
+                        context.world,
+                        spec,
+                        country,
+                        zone_cache=context.zone_cache,
                     )
-                except (BrokenPipeError, OSError):
-                    return
+                    measure_end = time.monotonic()
+                    if chaos is not None:
+                        chaos.after_measure(country, attempt)
+                    timings = {
+                        "recv": recv_at,
+                        "build": build,
+                        "measure": (measure_start, measure_end),
+                        "send": time.monotonic(),
+                    }
+                    conn.send(("ok", country, attempt, result, timings))
+                except BaseException as exc:  # noqa: BLE001 - report, don't die
+                    try:
+                        conn.send(
+                            (
+                                "error",
+                                country,
+                                attempt,
+                                f"{type(exc).__name__}: {exc}",
+                                None,
+                            )
+                        )
+                    except (BrokenPipeError, OSError):
+                        return
     finally:
         conn.close()
 
@@ -216,22 +234,29 @@ def _supervised_worker(
 class _Worker:
     """Parent-side handle on one worker process."""
 
-    __slots__ = ("process", "conn", "task", "deadline", "label", "token")
+    __slots__ = ("process", "conn", "chunk", "deadline", "label", "token")
 
     def __init__(self, process, conn: Connection, label: str) -> None:
         self.process = process
         self.conn = conn
-        #: The in-flight ``(country, attempt)`` or None when idle.
-        self.task: tuple[str, int] | None = None
-        #: Wall-clock instant the in-flight task times out (None when
-        #: idle or no country_timeout configured).
+        #: Outstanding ``(country, attempt)`` pairs of the dispatched
+        #: chunk, in the order the worker processes them; ``chunk[0]``
+        #: is in flight, the rest are queued worker-side.  Empty when
+        #: idle.
+        self.chunk: list[tuple[str, int]] = []
+        #: Wall-clock instant the in-flight country times out (None
+        #: when idle or no country_timeout configured); reset as each
+        #: chunk member's result arrives, so the budget stays
+        #: per-country under chunking.
         self.deadline: float | None = None
         #: Stable profiling label ("w0", "w1", ...) — a replacement
         #: process inherits its predecessor's label, so a worker
         #: timeline survives crashes.
         self.label = label
-        #: Profiler token for the in-flight dispatch span (None when
-        #: idle or unprofiled).
+        #: Profiler token for the in-flight country's dispatch span
+        #: (None when idle or unprofiled).  Tokens open lazily — one
+        #: per country, at the instant it becomes the chunk head — so
+        #: per-country dispatch spans survive chunked dispatch.
         self.token: int | None = None
 
 
@@ -312,7 +337,7 @@ class ShardSupervisor:
 
     def _shutdown(self) -> None:
         for worker in self._workers:
-            if worker.process.is_alive() and worker.task is None:
+            if worker.process.is_alive() and not worker.chunk:
                 try:
                     worker.conn.send(None)
                 except (BrokenPipeError, OSError):
@@ -375,17 +400,18 @@ class ShardSupervisor:
     ) -> None:
         worker.process.join(timeout=5.0)
         exitcode = worker.process.exitcode
-        task = worker.task
+        chunk = list(worker.chunk)
         if (
-            task is not None
+            chunk
             and self.profiler is not None
             and worker.token is not None
         ):
             self.profiler.failed(worker.token, time.monotonic(), "crash")
         self._replace_worker(worker)
-        if task is None:
+        if not chunk:
             return
-        country, attempt = task
+        self._requeue_chunk_mates(chunk[1:])
+        country, attempt = chunk[0]
         self._task_failed(
             country,
             attempt,
@@ -394,12 +420,43 @@ class ShardSupervisor:
             note,
         )
 
+    def _requeue_chunk_mates(
+        self, mates: list[tuple[str, int]]
+    ) -> None:
+        """Requeue the not-yet-started members of a failed chunk.
+
+        Only the in-flight head caused (or suffered) the failure; its
+        chunk-mates never started, so they go back to the ready queue
+        at the *same* attempt — no retry-budget penalty, no backoff
+        (their profiler queue-wait simply keeps running, since their
+        dispatch tokens are opened lazily).
+        """
+        now = time.monotonic()
+        for country, attempt in mates:
+            self._pending[country] = (attempt, now)
+
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
 
+    def _chunk_size(self) -> int:
+        """Countries per dispatch round trip.
+
+        The automatic size spreads the campaign over roughly four
+        dispatch rounds per worker: enough chunking to amortize pipe
+        latency at paper scale, enough rounds to keep the tail
+        balanced.  It evaluates to 1 until the country count outgrows
+        ``4 × workers``, so small campaigns keep one-at-a-time
+        dispatch.
+        """
+        if self.policy.chunk_size is not None:
+            return self.policy.chunk_size
+        return max(
+            1, math.ceil(len(self.countries) / (self.worker_count * 4))
+        )
+
     def _dispatch_ready(self, now: float) -> None:
-        idle = [w for w in self._workers if w.task is None]
+        idle = [w for w in self._workers if not w.chunk]
         if not idle:
             return
         ready = sorted(
@@ -407,23 +464,34 @@ class ShardSupervisor:
             for cc, (_attempt, ready_at) in self._pending.items()
             if ready_at <= now
         )
-        for worker, country in zip(idle, ready):
-            attempt, _ready_at = self._pending.pop(country)
+        size = self._chunk_size()
+        for worker in idle:
+            if not ready:
+                break
+            # Contiguous slice of the sorted ready list: neighbouring
+            # countries ship together, preserving the sorted dispatch
+            # order the serial run and merge both use.
+            take, ready = ready[:size], ready[size:]
+            chunk = [
+                (cc, self._pending.pop(cc)[0]) for cc in take
+            ]
             try:
-                worker.conn.send((country, attempt))
+                worker.conn.send(tuple(chunk))
             except (BrokenPipeError, OSError):
-                # Worker died while idle; put the task back and bring
+                # Worker died while idle; put the tasks back and bring
                 # up a replacement immediately.
-                self._pending[country] = (attempt, now)
+                for country, attempt in chunk:
+                    self._pending[country] = (attempt, now)
                 self._replace_worker(worker)
                 continue
-            worker.task = (country, attempt)
+            worker.chunk = chunk
             worker.deadline = (
                 now + self.policy.country_timeout
                 if self.policy.country_timeout is not None
                 else None
             )
             if self.profiler is not None:
+                country, attempt = chunk[0]
                 worker.token = self.profiler.dispatched(
                     worker.label,
                     country,
@@ -470,7 +538,7 @@ class ShardSupervisor:
                 now = time.monotonic()
                 self._dispatch_ready(now)
                 busy = {
-                    w.conn: w for w in self._workers if w.task is not None
+                    w.conn: w for w in self._workers if w.chunk
                 }
                 if not busy and not self._pending:
                     # Nothing in flight and nothing schedulable: every
@@ -485,32 +553,70 @@ class ShardSupervisor:
                     readable = []
                 for conn in readable:
                     worker = busy[conn]
-                    try:
-                        message = conn.recv()
-                    except (EOFError, OSError):
-                        self._worker_died(worker, note)
-                        continue
-                    kind, country, attempt, payload, timings = message
-                    worker.task = None
-                    worker.deadline = None
-                    token, worker.token = worker.token, None
-                    if kind == "ok":
-                        if self.profiler is not None and token is not None:
-                            self.profiler.completed(
-                                token, time.monotonic(), timings
-                            )
-                        self._results[country] = payload
-                        if note(payload):
-                            self._halted = True
+                    # Drain every streamed chunk result already on the
+                    # pipe — a chunked worker can land several results
+                    # between two wakeups.
+                    while worker.chunk:
+                        try:
+                            message = conn.recv()
+                        except (EOFError, OSError):
+                            self._worker_died(worker, note)
                             break
-                    else:
-                        if self.profiler is not None and token is not None:
-                            self.profiler.failed(
-                                token, time.monotonic(), "error"
+                        kind, country, attempt, payload, timings = message
+                        pair = (country, attempt)
+                        if worker.chunk and worker.chunk[0] == pair:
+                            worker.chunk.pop(0)
+                        elif pair in worker.chunk:  # pragma: no cover
+                            worker.chunk.remove(pair)
+                        arrived = time.monotonic()
+                        token, worker.token = worker.token, None
+                        if kind == "ok":
+                            if (
+                                self.profiler is not None
+                                and token is not None
+                            ):
+                                self.profiler.completed(
+                                    token, arrived, timings
+                                )
+                            self._results[country] = payload
+                            if note(payload):
+                                self._halted = True
+                                break
+                        else:
+                            if (
+                                self.profiler is not None
+                                and token is not None
+                            ):
+                                self.profiler.failed(
+                                    token, arrived, "error"
+                                )
+                            self._task_failed(
+                                country, attempt, "error", payload, note
                             )
-                        self._task_failed(
-                            country, attempt, "error", payload, note
-                        )
+                        if self._halted:
+                            break
+                        if worker.chunk:
+                            # The next chunk member is now in flight:
+                            # restart its per-country deadline and open
+                            # its dispatch span.
+                            worker.deadline = (
+                                arrived + self.policy.country_timeout
+                                if self.policy.country_timeout is not None
+                                else None
+                            )
+                            if self.profiler is not None:
+                                head, head_attempt = worker.chunk[0]
+                                worker.token = self.profiler.dispatched(
+                                    worker.label,
+                                    head,
+                                    head_attempt,
+                                    arrived,
+                                    len(self._pending),
+                                )
+                        else:
+                            worker.deadline = None
+                        if not conn.poll():
+                            break
                     if self._halted:
                         break
                 if self._halted:
@@ -518,11 +624,12 @@ class ShardSupervisor:
                 now = time.monotonic()
                 for worker in list(self._workers):
                     if (
-                        worker.task is not None
+                        worker.chunk
                         and worker.deadline is not None
                         and now >= worker.deadline
                     ):
-                        country, attempt = worker.task
+                        chunk = list(worker.chunk)
+                        country, attempt = chunk[0]
                         if (
                             self.profiler is not None
                             and worker.token is not None
@@ -531,6 +638,7 @@ class ShardSupervisor:
                                 worker.token, now, "timeout"
                             )
                         self._replace_worker(worker)
+                        self._requeue_chunk_mates(chunk[1:])
                         self._task_failed(
                             country,
                             attempt,
@@ -540,7 +648,7 @@ class ShardSupervisor:
                             note,
                         )
                     elif (
-                        worker.task is not None
+                        worker.chunk
                         and not worker.process.is_alive()
                         and not worker.conn.poll()
                     ):

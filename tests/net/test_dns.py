@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import NXDomainError, ResolutionError, ServFailError
-from repro.net import Namespace, Resolver, ResourceRecord
+from repro.net import Namespace, Resolver, ResourceRecord, ZoneCache
 
 
 @pytest.fixture
@@ -338,3 +338,111 @@ class TestVantageCacheIsolation:
             resolver.resolve("missing.example.com")
         assert "negative cache" not in str(excinfo.value)
         assert resolver.negative_cache_hits == 0
+
+
+class TestZoneCache:
+    """Zone-batched resolution: one walk plans a whole zone, and the
+    cached plans stay byte-equivalent to per-site iterative walks."""
+
+    def test_batched_answers_match_unbatched(
+        self, namespace: Namespace
+    ) -> None:
+        cache = ZoneCache(namespace)
+        for name in (
+            "example.com",
+            "www.example.com",
+            "cdn.example.com",
+            "mail.example.com",
+        ):
+            for continent in (None, "EU", "NA"):
+                plain = Resolver(
+                    namespace, vantage_continent=continent
+                ).resolve(name)
+                batched = Resolver(
+                    namespace,
+                    vantage_continent=continent,
+                    zone_cache=cache,
+                ).resolve(name)
+                assert batched == plain
+
+    def test_batched_errors_match_unbatched(
+        self, namespace: Namespace
+    ) -> None:
+        zone = namespace.zone("example.com")
+        assert zone is not None
+        zone.add("loop-a", "CNAME", "loop-b.example.com")
+        zone.add("loop-b", "CNAME", "loop-a.example.com")
+        cache = ZoneCache(namespace)
+        for name in (
+            "missing.example.com",
+            "unknown-zone.net",
+            "loop-a.example.com",
+        ):
+            with pytest.raises(ResolutionError) as plain:
+                Resolver(namespace).resolve(name)
+            with pytest.raises(ResolutionError) as batched:
+                Resolver(namespace, zone_cache=cache).resolve(name)
+            assert type(batched.value) is type(plain.value)
+            assert str(batched.value) == str(plain.value)
+
+    def test_one_walk_plans_the_whole_zone(
+        self, namespace: Namespace
+    ) -> None:
+        cache = ZoneCache(namespace)
+        cache.plan("example.com")
+        stats = cache.stats()
+        assert stats["zone_walks"] == 1
+        assert stats["misses"] == 1
+        assert stats["hits"] == 0
+        # Every A/CNAME owner in the zone was planned by that walk.
+        assert stats["plans_built"] >= 5
+        cache.plan("www.example.com")
+        cache.plan("cdn.example.com")
+        stats = cache.stats()
+        assert stats["zone_walks"] == 1
+        assert stats["hits"] == 2
+
+    def test_broken_zone_checked_live_not_at_plan_time(
+        self, namespace: Namespace
+    ) -> None:
+        cache = ZoneCache(namespace)
+        resolver = Resolver(
+            namespace, zone_cache=cache, cache_enabled=False
+        )
+        assert resolver.resolve("example.com").addresses == (1000,)
+        zone = namespace.zone("example.com")
+        assert zone is not None
+        zone.broken = True
+        with pytest.raises(ServFailError):
+            resolver.resolve("example.com")
+        zone.broken = False
+        assert resolver.resolve("example.com").addresses == (1000,)
+
+    def test_warm_shared_zones_plans_nameserver_hosts(
+        self, namespace: Namespace
+    ) -> None:
+        cache = ZoneCache(namespace)
+        cache.warm_shared_zones()
+        warmed = cache.stats()
+        assert warmed["plans_built"] > 0
+        cache.plan("ns1.dns-co.com")
+        assert cache.stats()["hits"] == warmed["hits"] + 1
+
+    def test_namespace_mismatch_rejected(
+        self, namespace: Namespace
+    ) -> None:
+        with pytest.raises(ValueError, match="namespace"):
+            Resolver(namespace, zone_cache=ZoneCache(Namespace()))
+
+    def test_shared_cache_keeps_geo_answers_per_vantage(
+        self, namespace: Namespace
+    ) -> None:
+        cache = ZoneCache(namespace)
+        eu = Resolver(
+            namespace, vantage_continent="EU", zone_cache=cache
+        )
+        na = Resolver(
+            namespace, vantage_continent="NA", zone_cache=cache
+        )
+        assert eu.resolve("www.example.com").addresses == (2000,)
+        assert na.resolve("www.example.com").addresses == (3000,)
