@@ -42,6 +42,11 @@ from .regional import (
     subregion_means,
 )
 from .report import comparison_table, country_report, layer_summary
+from .series import (
+    render_series_detail,
+    render_series_list,
+    resolve_series_id,
+)
 from .storediff import (
     campaign_dataset,
     campaign_diff,
@@ -70,6 +75,9 @@ __all__ = [
     "campaign_dataset",
     "campaign_diff",
     "render_campaign_diff",
+    "render_series_detail",
+    "render_series_list",
+    "resolve_series_id",
     "BundlingReport",
     "hosting_dns_bundling",
     "ca_attribution",

@@ -1,0 +1,177 @@
+"""Rendering longitudinal series: what did `repro watch` record?
+
+A series ledger (:mod:`repro.store.series`) is the watcher's durable
+record — one entry per epoch with status, object footprint, and quota
+decisions.  This module turns it into the ``repro campaigns series``
+views: a one-line-per-series listing and a per-series detail with the
+epoch table plus per-layer centralization deltas between consecutive
+live epochs (reusing :func:`~repro.analysis.storediff.campaign_diff`
+when both epochs' manifests are still in the store — retired epochs
+have no manifest to diff).
+"""
+
+from __future__ import annotations
+
+from ..errors import PipelineError
+from ..store.store import CampaignStore
+from .storediff import campaign_diff
+
+__all__ = [
+    "render_series_detail",
+    "render_series_list",
+    "resolve_series_id",
+]
+
+
+def resolve_series_id(store: CampaignStore, prefix: str) -> str:
+    """Expand a series-id prefix against the store's ledgers."""
+    matches = [
+        series
+        for series in store.list_series_ids()
+        if series.startswith(prefix)
+    ]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise PipelineError(
+            f"no series matching {prefix!r} in {store.root}"
+        )
+    raise PipelineError(
+        f"series prefix {prefix!r} is ambiguous: "
+        f"{', '.join(m[:16] for m in matches)}"
+    )
+
+
+def _live_bytes(entries: list[dict], retired: set[int]) -> int:
+    """Accounted payload bytes of the live epochs (shared objects once)."""
+    union: dict[str, int] = {}
+    for entry in entries:
+        if entry["epoch"] in retired:
+            continue
+        union.update({digest: size for digest, size in entry["objects"]})
+    return sum(union.values())
+
+
+def _retired_union(entries: list[dict]) -> set[int]:
+    retired: set[int] = set()
+    for entry in entries:
+        retired.update(entry["retired"])
+    return retired
+
+
+def render_series_list(store: CampaignStore) -> str:
+    """One line per stored series: epochs, health, live footprint."""
+    series_ids = store.list_series_ids()
+    if not series_ids:
+        return f"no series stored in {store.root}"
+    out = []
+    for series in series_ids:
+        payload = store.load_series(series)
+        if payload is None:
+            out.append(f"{series[:16]}  (unreadable ledger)")
+            continue
+        entries = payload.get("entries", [])
+        retired = _retired_union(entries)
+        degraded = sum(
+            1 for entry in entries if entry["status"] != "ok"
+        )
+        unmet = sum(
+            1 for entry in entries if not entry["quota_met"]
+        )
+        line = (
+            f"{series[:16]}  {len(entries)} epochs  "
+            f"{len(retired)} retired  "
+            f"live {_live_bytes(entries, retired)} bytes"
+        )
+        if degraded:
+            line += f"  {degraded} degraded"
+        if unmet:
+            line += f"  {unmet} quota-unmet"
+        out.append(line)
+    return "\n".join(out)
+
+
+def render_series_detail(
+    store: CampaignStore, series: str, top: int = 5
+) -> str:
+    """One series in detail: epoch table, then epoch-over-epoch deltas.
+
+    The delta section diffs each consecutive pair of live epochs whose
+    manifests both survive in the store, showing the ``top`` countries
+    per layer by absolute centralization delta.
+    """
+    payload = store.load_series(series)
+    if payload is None:
+        raise PipelineError(
+            f"series {series} not found in store {store.root}"
+        )
+    entries = payload.get("entries", [])
+    retired = _retired_union(entries)
+    out = [
+        f"series {series[:16]}",
+        "=" * (7 + 16),
+        f"epochs recorded: {len(entries)}   retired: "
+        f"{len(retired)}   live payload: "
+        f"{_live_bytes(entries, retired)} bytes",
+        "",
+        "epoch  status               snapshot          campaign"
+        "          objects      bytes  quota  state",
+    ]
+    for entry in entries:
+        epoch = entry["epoch"]
+        size = sum(size for _, size in entry["objects"])
+        out.append(
+            f"{epoch:5d}  {entry['status']:19s}  "
+            f"{entry['snapshot']:16s}  {entry['campaign'][:16]}  "
+            f"{len(entry['objects']):7d}  {size:9d}  "
+            f"{'met' if entry['quota_met'] else 'UNMET':5s}  "
+            f"{'retired' if epoch in retired else 'live'}"
+        )
+        if entry["retired"]:
+            out.append(
+                f"       retires epochs "
+                f"{', '.join(str(e) for e in entry['retired'])}"
+            )
+    pairs = [
+        (entries[i - 1], entries[i])
+        for i in range(1, len(entries))
+        if entries[i - 1]["epoch"] not in retired
+        and entries[i]["epoch"] not in retired
+        and store.load_manifest(entries[i - 1]["campaign"]) is not None
+        and store.load_manifest(entries[i]["campaign"]) is not None
+    ]
+    for earlier, later in pairs:
+        diff = campaign_diff(
+            store, earlier["campaign"], later["campaign"]
+        )
+        out.append("")
+        out.append(
+            f"-- epoch {earlier['epoch']} -> {later['epoch']} "
+            f"({earlier['snapshot']} -> {later['snapshot']}): "
+            f"{len(diff['reused_shards'])} shards reused, "
+            f"{len(diff['remeasured'])} re-measured"
+        )
+        for layer, per_country in diff["layers"].items():
+            ranked = sorted(
+                per_country.items(),
+                key=lambda item: (
+                    -abs(item[1]["centralization"][2]),
+                    item[0],
+                ),
+            )[:top]
+            moved = [
+                f"{cc} {entry['centralization'][2]:+.4f}"
+                for cc, entry in ranked
+                if entry["centralization"][2]
+            ]
+            out.append(
+                f"   {layer:8s} "
+                + (" ".join(moved) if moved else "(no score movement)")
+            )
+    if not pairs and len(entries) > 1:
+        out.append("")
+        out.append(
+            "-- no consecutive live epoch pair with surviving "
+            "manifests to diff (quota GC retired them)"
+        )
+    return "\n".join(out)

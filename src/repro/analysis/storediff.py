@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from ..core.centralization import centralization_score
 from ..datasets.paper_scores import LAYERS
-from ..errors import PipelineError
+from ..errors import PipelineError, StoreCorruptionError
 from ..pipeline.records import MeasurementDataset
 from ..store.store import CampaignStore, decode_shard
 from .layers import LayerAnalysis
@@ -36,6 +36,10 @@ def manifest_snapshot(manifest: dict) -> str | None:
     """
     spec = manifest.get("spec", {})
     churn = spec.get("churn")
+    if isinstance(churn, list):
+        # A churn chain: the measured world carries the last step's
+        # snapshot.
+        churn = churn[-1] if churn else None
     if churn is not None:
         return churn.get("new_snapshot")
     return spec.get("config", {}).get("snapshot")
@@ -61,9 +65,10 @@ def campaign_dataset(
             )
         payload = store.get_object(digest)
         if payload is None:
-            raise PipelineError(
-                f"campaign {campaign} shard object {digest} missing "
-                f"from store (was it gc'ed?)"
+            raise StoreCorruptionError(
+                f"campaign {campaign}: manifest references missing "
+                f"object {digest} for {cc}; run `repro campaigns fsck "
+                f"--repair` and re-measure with --resume"
             )
         dataset.extend(decode_shard(payload).rows)
     return dataset

@@ -8,11 +8,20 @@ Commands
 ``compare``      print measured-vs-published rows for one layer
 ``longitudinal`` run the 2023→2025 churn study
 ``measure``      run the pipeline with fault injection and resilience
+``watch``        crash-safe longitudinal watcher: one churn step per
+                 epoch, incremental measurement, durable series ledger
 ``report-campaign``  summarize a run's metrics/trace artifacts
 ``trace``        profile a campaign trace (summarize / critical-path /
                  export --format chrome for Perfetto)
-``campaigns``    list / show / diff / gc / fsck the campaign store
+``campaigns``    list / show / diff / series / gc / fsck the store
 ``version``      print the package version (also ``--version``)
+
+Exit codes: 0 success; 3 campaign halted (``--halt-after``); 4 a
+country was quarantined; 5 ``fsck`` found unrepaired damage; 6 a
+SIGTERM/SIGINT stopped a stored run after a checkpoint (finish with
+``--resume`` / ``--resume-series``); 7 a watch completed but recorded
+degraded epochs or unmet quotas; 9 a ``--watch-chaos`` simulated kill
+fired (testing hook).
 
 Global flags: ``-v/--verbose`` (repeatable) raises the structured-log
 level, ``-q/--quiet`` lowers it to errors only.  ``measure`` grows
@@ -344,10 +353,113 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for chaos target selection (default: 0)",
     )
 
+    from .faults.chaos import WATCH_CHAOS_PROFILES
+
+    watch = sub.add_parser(
+        "watch",
+        help="crash-safe longitudinal watcher: evolve the world one "
+        "churn step per epoch, measure incrementally, and append "
+        "each epoch to a durable series ledger (exit 0 complete, 6 "
+        "signal-interrupted after a checkpoint, 7 complete with "
+        "degraded epochs or unmet quota)",
+    )
+    watch.add_argument(
+        "--store",
+        required=True,
+        metavar="DIR",
+        help="campaign store directory holding the series ledger and "
+        "every epoch's shards",
+    )
+    watch.add_argument(
+        "--epochs",
+        type=_positive_int,
+        required=True,
+        metavar="N",
+        help="target epoch count for the series (epoch 0 is the base "
+        "world; a --resume-series run with a larger N extends the "
+        "same series)",
+    )
+    watch.add_argument("--sites", type=int, default=300)
+    watch.add_argument("--countries", nargs="*", default=None)
+    watch.add_argument(
+        "--fault-profile",
+        choices=sorted(FAULT_PROFILES),
+        default="none",
+    )
+    watch.add_argument("--fault-seed", type=int, default=0)
+    watch.add_argument("--retries", type=int, default=1, metavar="N")
+    watch.add_argument(
+        "--workers", type=_positive_int, default=1, metavar="N"
+    )
+    watch.add_argument(
+        "--churn-countries",
+        nargs="+",
+        default=None,
+        metavar="CC",
+        help="restrict each epoch's churn step to these countries; "
+        "all others carry between epochs byte-identically and reuse "
+        "their stored shards",
+    )
+    watch.add_argument(
+        "--store-quota-bytes",
+        type=_positive_int,
+        default=None,
+        metavar="BYTES",
+        help="retention budget for the series' live objects/ payload; "
+        "oldest epochs are retired (manifest dropped, objects swept) "
+        "until the live set fits; an unmeetable quota is recorded, "
+        "never fatal",
+    )
+    watch.add_argument(
+        "--epoch-deadline",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per epoch; a blown epoch is "
+        "tombstoned degraded:deadline in the ledger and never "
+        "retried",
+    )
+    watch.add_argument(
+        "--resume-series",
+        action="store_true",
+        help="continue a series that already has ledger entries "
+        "(picking up mid-epoch via shard resume or mid-series via "
+        "the ledger); without it, touching an existing series is an "
+        "error",
+    )
+    watch.add_argument(
+        "--export-dir",
+        default=None,
+        metavar="DIR",
+        help="write one epoch-<n>.csv per fully measured epoch",
+    )
+    watch.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="tombstone countries that exhaust their shard-retry "
+        "budget instead of aborting the epoch; such epochs are "
+        "recorded degraded:quarantine",
+    )
+    watch.add_argument(
+        "--watch-chaos",
+        choices=sorted(WATCH_CHAOS_PROFILES),
+        default=None,
+        help="testing hook: batter the watcher itself with a seeded "
+        "kill/disk-pressure profile (exit 9 when a simulated kill "
+        "fires; resume with --resume-series)",
+    )
+    watch.add_argument(
+        "--watch-chaos-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for watcher chaos placement (default: 0)",
+    )
+
     campaigns = sub.add_parser(
         "campaigns",
         help="inspect and maintain the campaign store "
-        "(list / show / diff / gc)",
+        "(list / show / diff / series / gc / fsck)",
     )
     campaigns.add_argument(
         "--store",
@@ -377,10 +489,35 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="countries per layer, ranked by |score delta| (default 10)",
     )
-    campaigns_sub.add_parser(
+    series_cmd = campaigns_sub.add_parser(
+        "series",
+        help="list stored longitudinal series, or show one series' "
+        "epoch table and epoch-over-epoch centralization deltas",
+    )
+    series_cmd.add_argument(
+        "series",
+        nargs="?",
+        default=None,
+        help="series id (prefix accepted); omit to list all series",
+    )
+    series_cmd.add_argument(
+        "--top",
+        type=_positive_int,
+        default=5,
+        metavar="N",
+        help="countries per layer in the delta section, ranked by "
+        "|score delta| (default 5)",
+    )
+    gc = campaigns_sub.add_parser(
         "gc",
         help="drop shard objects and index entries no manifest "
         "references",
+    )
+    gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be removed (objects, index entries, "
+        "bytes) without deleting anything",
     )
     fsck = campaigns_sub.add_parser(
         "fsck",
@@ -679,18 +816,39 @@ def _cmd_measure(args: argparse.Namespace) -> int:
         chaos = chaos_profile(
             args.chaos, list(countries), seed=args.chaos_seed
         )
+    # With a store, SIGTERM/SIGINT mean checkpoint-then-exit: the
+    # next country boundary persists everything measured, the run
+    # stops with exit 6, and --resume finishes it.  Without a store
+    # there is nothing durable to save, so signals keep their default
+    # behavior.
+    import contextlib
+
+    from .pipeline import GracefulShutdown
+
+    shutdown = GracefulShutdown() if store is not None else None
     try:
-        result = run_campaign(
-            spec,
-            workers=args.workers,
-            store=store,
-            resume=args.resume,
-            baseline=baseline,
-            halt_after=args.halt_after,
-            policy=policy,
-            chaos=chaos,
-        )
+        with shutdown if shutdown is not None else contextlib.nullcontext():
+            result = run_campaign(
+                spec,
+                workers=args.workers,
+                store=store,
+                resume=args.resume,
+                baseline=baseline,
+                halt_after=args.halt_after,
+                policy=policy,
+                chaos=chaos,
+                should_halt=(
+                    shutdown.requested if shutdown is not None else None
+                ),
+            )
     except CampaignHalted as halted:
+        if shutdown is not None and shutdown.requested():
+            print(
+                f"interrupted by {shutdown.signal_name} after a "
+                f"checkpoint (campaign {halted.campaign or '-'}); "
+                f"finish it with --resume"
+            )
+            return 6
         print(f"{halted} (campaign {halted.campaign or '-'}); "
               f"finish it with --resume")
         return 3
@@ -780,6 +938,98 @@ def _cmd_measure(args: argparse.Namespace) -> int:
         )
         return 4
     return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from .faults.chaos import SimulatedKill, watch_chaos_profile
+    from .pipeline import CampaignSpec
+    from .pipeline.watch import WatchSpec, run_watch
+    from .store import CampaignStore
+    from .worldgen import ChurnConfig, WorldConfig
+
+    kwargs = {"sites_per_country": args.sites}
+    if args.countries:
+        kwargs["countries"] = tuple(
+            sorted({c.upper() for c in args.countries})
+        )
+    churn_kwargs = {}
+    if args.churn_countries:
+        churn_kwargs["churn_countries"] = tuple(
+            sorted({c.upper() for c in args.churn_countries})
+        )
+    watch = WatchSpec(
+        spec=CampaignSpec(
+            config=WorldConfig(**kwargs),
+            fault_profile=args.fault_profile,
+            fault_seed=args.fault_seed,
+            retries=args.retries,
+        ),
+        epochs=args.epochs,
+        churn=ChurnConfig(**churn_kwargs),
+        store_quota_bytes=args.store_quota_bytes,
+        epoch_deadline=args.epoch_deadline,
+    )
+    store = CampaignStore(args.store)
+    policy = None
+    if args.quarantine:
+        from .pipeline import SupervisorPolicy
+
+        policy = SupervisorPolicy(
+            quarantine=True, seed=args.fault_seed
+        )
+    chaos = None
+    if args.watch_chaos:
+        chaos = watch_chaos_profile(
+            args.watch_chaos, args.epochs, seed=args.watch_chaos_seed
+        )
+    try:
+        report = run_watch(
+            watch,
+            store,
+            workers=args.workers,
+            resume=args.resume_series,
+            export_dir=args.export_dir,
+            policy=policy,
+            chaos=chaos,
+        )
+    except SimulatedKill as kill:
+        print(
+            f"simulated kill fired at epoch {kill.kill.epoch} "
+            f"({kill.kill.phase}); the series is durable — continue "
+            f"it with --resume-series"
+        )
+        return 9
+    print(
+        f"series {report.series[:16]}: {report.epochs_recorded}/"
+        f"{report.epochs_target} epochs recorded "
+        f"({len(report.ran)} this session)"
+    )
+    if report.statuses:
+        print(f"statuses: {' '.join(report.statuses)}")
+    if report.retired:
+        print(
+            "quota-retired epochs: "
+            + ", ".join(str(e) for e in report.retired)
+        )
+    if report.quota_unmet:
+        print(
+            "quota unmet at epochs: "
+            + ", ".join(str(e) for e in report.quota_unmet)
+            + " (recorded and continued)"
+        )
+    print(f"live store payload: {report.store_bytes} bytes")
+    print(
+        f"ledger: {store.series_path(report.series)}"
+    )
+    print(
+        f"watch telemetry: {store.watch_metrics_path(report.series)}"
+    )
+    if report.interrupted is not None:
+        print(
+            f"interrupted by {report.interrupted} after a durable "
+            f"step; continue with --resume-series"
+        )
+    return report.exit_code()
 
 
 def _cmd_report_campaign(args: argparse.Namespace) -> int:
@@ -873,12 +1123,26 @@ def _cmd_campaigns(args: argparse.Namespace) -> int:
             )
         )
         return 0
-    if args.subcommand == "gc":
-        objects_removed, index_removed = store.gc()
-        print(
-            f"removed {objects_removed} objects, "
-            f"{index_removed} index entries"
+    if args.subcommand == "series":
+        from .analysis import (
+            render_series_detail,
+            render_series_list,
+            resolve_series_id,
         )
+
+        if args.series is None:
+            print(render_series_list(store))
+        else:
+            print(
+                render_series_detail(
+                    store,
+                    resolve_series_id(store, args.series),
+                    top=args.top,
+                )
+            )
+        return 0
+    if args.subcommand == "gc":
+        print(store.gc(dry_run=args.dry_run).render())
         return 0
     if args.subcommand == "fsck":
         report = store.fsck(repair=args.repair)
@@ -945,6 +1209,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "longitudinal": _cmd_longitudinal,
     "measure": _cmd_measure,
+    "watch": _cmd_watch,
     "report-campaign": _cmd_report_campaign,
     "trace": _cmd_trace,
     "campaigns": _cmd_campaigns,

@@ -48,6 +48,13 @@ __all__ = [
     "chaos_profile",
     "corrupt_object",
     "corrupt_store",
+    "SimulatedKill",
+    "KillWatch",
+    "DiskPressure",
+    "WatchChaosPlan",
+    "WATCH_CHAOS_PROFILES",
+    "WATCH_PHASES",
+    "watch_chaos_profile",
 ]
 
 
@@ -169,6 +176,218 @@ def chaos_profile(
             f"{sorted(CHAOS_PROFILES)}"
         ) from None
     return build(_target(list(countries), seed))
+
+
+# ----------------------------------------------------------------------
+# Watcher-level chaos (repro watch)
+# ----------------------------------------------------------------------
+
+#: The hook points a watch exposes to chaos, in epoch order.
+#: ``mid-measure`` fires from the campaign's checkpoint hook (after
+#: ``after_checkpoints`` countries have been persisted this epoch);
+#: the others fire between the watch driver's own durable steps.
+WATCH_PHASES = (
+    "epoch-start",
+    "mid-measure",
+    "mid-gc",
+    "epoch-end",
+)
+
+
+class SimulatedKill(BaseException):
+    """A simulated hard kill of the watch driver (testing hook).
+
+    Deliberately a ``BaseException``: nothing in the watch or campaign
+    machinery may catch it, exactly as nothing catches SIGKILL.  The
+    harness that injected the plan catches it at the very top, then
+    resumes the series with the fired kill removed — the in-process
+    equivalent of ``kill -9`` plus a restart.
+    """
+
+    def __init__(self, kill: "KillWatch") -> None:
+        super().__init__(
+            f"simulated watcher kill at epoch {kill.epoch} "
+            f"phase {kill.phase}"
+        )
+        self.kill = kill
+
+
+@dataclass(frozen=True, slots=True)
+class KillWatch:
+    """Kill the watch driver at a chosen epoch and phase.
+
+    ``graceful=False`` (the default) models SIGKILL: the driver dies
+    mid-step via :class:`SimulatedKill` with nothing flushed beyond
+    what was already durable.  ``graceful=True`` models SIGTERM: the
+    real signal is raised through the installed handler, so the watch
+    checkpoints and stops the series cleanly instead.
+    """
+
+    epoch: int
+    phase: str
+    #: For ``mid-measure``: fire after this many countries have been
+    #: checkpointed in the epoch (ignored for the other phases).
+    after_checkpoints: int = 1
+    graceful: bool = False
+
+    def __post_init__(self) -> None:
+        if self.phase not in WATCH_PHASES:
+            raise PipelineError(
+                f"unknown watch phase {self.phase!r}; expected one "
+                f"of {WATCH_PHASES}"
+            )
+
+    def fires(
+        self, epoch: int, phase: str, checkpoints: int | None
+    ) -> bool:
+        """Whether this hook invocation is the one that dies."""
+        if epoch != self.epoch or phase != self.phase:
+            return False
+        if self.phase == "mid-measure":
+            return checkpoints == self.after_checkpoints
+        return True
+
+
+@dataclass(frozen=True, slots=True)
+class DiskPressure:
+    """Phantom bytes added to the quota accounting of chosen epochs.
+
+    Models a disk filling up under the store: the quota planner sees
+    ``extra_bytes`` it cannot reclaim, retires everything retirable,
+    and — when still over budget — records the epoch as
+    ``quota_met=false`` and keeps going (skip-and-record, never a
+    crash).
+    """
+
+    epochs: tuple[int, ...]
+    extra_bytes: int = 1 << 30
+
+    def bytes_for(self, epoch: int) -> int:
+        """Phantom bytes this epoch's planner must account for."""
+        return self.extra_bytes if epoch in self.epochs else 0
+
+
+@dataclass(frozen=True, slots=True)
+class WatchChaosPlan:
+    """A composed set of watcher-level faults (frozen, picklable).
+
+    Like :class:`ChaosPlan`, never part of series identity: chaos
+    batters the *driver*, and a battered-then-resumed series must
+    converge to the unbattered ledger bytes.
+    """
+
+    kills: tuple[KillWatch, ...] = ()
+    pressure: DiskPressure | None = None
+
+    def fire(
+        self,
+        epoch: int,
+        phase: str,
+        checkpoints: int | None = None,
+        raise_signal: bool = True,
+    ) -> None:
+        """Watch hook: die (or raise SIGTERM) when a kill matches."""
+        for kill in self.kills:
+            if not kill.fires(epoch, phase, checkpoints):
+                continue
+            if kill.graceful:
+                if raise_signal:
+                    signal.raise_signal(signal.SIGTERM)
+                return
+            raise SimulatedKill(kill)
+
+    def pressure_bytes(self, epoch: int) -> int:
+        """Phantom quota bytes injected into this epoch's GC planning."""
+        if self.pressure is None:
+            return 0
+        return self.pressure.bytes_for(epoch)
+
+    def without(self, fired: KillWatch) -> "WatchChaosPlan":
+        """The plan minus one fired kill — what a restart runs under."""
+        return WatchChaosPlan(
+            kills=tuple(k for k in self.kills if k != fired),
+            pressure=self.pressure,
+        )
+
+
+def _watch_epoch(epochs: int, seed: int, salt: str) -> int:
+    """Seeded choice of the epoch a watcher-level fault lands in."""
+    if epochs < 1:
+        raise PipelineError("watch chaos needs at least one epoch")
+    index = int(stable_fraction(seed, "watch-chaos", salt) * epochs)
+    return min(index, epochs - 1)
+
+
+#: Named watcher chaos profiles for ``repro watch --watch-chaos`` and
+#: the soak tests.  Each maps (epoch count, seed) to a plan:
+#:
+#: ``kill-boundary``     hard kill as a seeded epoch starts (nothing
+#:                       of that epoch exists yet);
+#: ``kill-mid-measure``  hard kill after the epoch's first country
+#:                       checkpoint (the campaign is half-durable);
+#: ``kill-mid-gc``       hard kill between manifest retirement and
+#:                       the object sweep (GC half-applied);
+#: ``sigterm-boundary``  graceful SIGTERM at a seeded epoch start
+#:                       (exit 6, ledger intact);
+#: ``disk-pressure``     phantom bytes swamp the quota from a seeded
+#:                       epoch on (exercises skip-and-record).
+#:
+#: A hard kill re-fires every time its (epoch, phase) is re-attempted,
+#: so a CLI soak drives each profile once and resumes under the next —
+#: the in-test harness instead strips fired kills via ``without``.
+WATCH_CHAOS_PROFILES: dict[str, object] = {
+    "kill-boundary": lambda epochs, seed: WatchChaosPlan(
+        kills=(
+            KillWatch(
+                _watch_epoch(epochs, seed, "boundary"), "epoch-start"
+            ),
+        )
+    ),
+    "kill-mid-measure": lambda epochs, seed: WatchChaosPlan(
+        kills=(
+            KillWatch(
+                _watch_epoch(epochs, seed, "measure"),
+                "mid-measure",
+                after_checkpoints=1,
+            ),
+        )
+    ),
+    "kill-mid-gc": lambda epochs, seed: WatchChaosPlan(
+        kills=(
+            KillWatch(_watch_epoch(epochs, seed, "gc"), "mid-gc"),
+        )
+    ),
+    "sigterm-boundary": lambda epochs, seed: WatchChaosPlan(
+        kills=(
+            KillWatch(
+                _watch_epoch(epochs, seed, "sigterm"),
+                "epoch-start",
+                graceful=True,
+            ),
+        )
+    ),
+    "disk-pressure": lambda epochs, seed: WatchChaosPlan(
+        pressure=DiskPressure(
+            epochs=tuple(
+                range(_watch_epoch(epochs, seed, "pressure"), epochs)
+            )
+        )
+    ),
+}
+
+
+def watch_chaos_profile(
+    name: str, epochs: int, seed: int = 0
+) -> WatchChaosPlan:
+    """Build a named watcher chaos plan against seeded epochs."""
+    try:
+        build = WATCH_CHAOS_PROFILES[name]
+    except KeyError:
+        raise PipelineError(
+            f"unknown watch chaos profile {name!r}; expected one of "
+            f"{sorted(WATCH_CHAOS_PROFILES)}"
+        ) from None
+    return build(epochs, seed)
 
 
 # ----------------------------------------------------------------------

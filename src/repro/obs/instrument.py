@@ -38,6 +38,7 @@ __all__ = [
     "NULL_OBS",
     "StoreTelemetry",
     "SupervisorTelemetry",
+    "WatchTelemetry",
 ]
 
 
@@ -563,4 +564,92 @@ class SupervisorTelemetry:
 
     def to_dict(self) -> dict:
         """The supervisor payload (``MetricsRegistry.to_dict``)."""
+        return self.registry.to_dict()
+
+
+class WatchTelemetry:
+    """Longitudinal-watch accounting: epochs, GC, quota, signals.
+
+    The ``repro_watch_*`` metric families.  Like the other two
+    operational telemetry classes, this lives in its own registry and
+    never merges into measurement metrics: watch telemetry records
+    *how the driver fared* (sessions, kills, sweeps), which differs
+    between a battered and a clean run by design, while the ledger and
+    per-epoch artifacts must not.  Each session's payload is folded
+    into the series' ``.watch.json`` artifact
+    (:meth:`repro.store.series.SeriesLedger.merge_watch_metrics`), so
+    counters accumulate across resumes.
+    """
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self._sessions = self.registry.counter(
+            "repro_watch_sessions_total",
+            "Watch driver invocations against this series",
+            labelnames=("mode",),
+        )
+        self._epochs = self.registry.counter(
+            "repro_watch_epochs_total",
+            "Epochs appended to the series ledger, by final status",
+            labelnames=("status",),
+        )
+        self._signals = self.registry.counter(
+            "repro_watch_signals_total",
+            "Graceful-shutdown signals that stopped a watch session",
+            labelnames=("signal",),
+        )
+        self._deadlines = self.registry.counter(
+            "repro_watch_deadlines_blown_total",
+            "Epochs tombstoned as degraded for blowing the per-epoch "
+            "wall-clock deadline",
+        )
+        self._gc_epochs = self.registry.counter(
+            "repro_watch_gc_retired_epochs_total",
+            "Epochs retired by the store-quota retention policy",
+        )
+        self._gc_objects = self.registry.counter(
+            "repro_watch_gc_objects_swept_total",
+            "Store objects swept by between-epoch quota GC",
+        )
+        self._gc_bytes = self.registry.counter(
+            "repro_watch_gc_bytes_swept_total",
+            "Store bytes reclaimed by between-epoch quota GC",
+        )
+        self._quota_unmet = self.registry.counter(
+            "repro_watch_quota_unmet_total",
+            "Epochs whose quota could not be met even after retiring "
+            "every retirable epoch (recorded, not fatal)",
+        )
+
+    def session(self, mode: str) -> None:
+        """One driver invocation (``fresh`` or ``resume``)."""
+        self._sessions.inc(mode=mode)
+
+    def epoch(self, status: str) -> None:
+        """One epoch entry landed in the ledger."""
+        self._epochs.inc(status=status)
+
+    def signal_stop(self, name: str) -> None:
+        """A SIGTERM/SIGINT checkpointed and stopped the session."""
+        self._signals.inc(signal=name)
+
+    def deadline_blown(self) -> None:
+        """An epoch exceeded its wall-clock budget and was tombstoned."""
+        self._deadlines.inc()
+
+    def gc_sweep(self, retired: int, objects: int, bytes: int) -> None:
+        """One between-epoch quota GC pass."""
+        if retired:
+            self._gc_epochs.inc(retired)
+        if objects:
+            self._gc_objects.inc(objects)
+        if bytes:
+            self._gc_bytes.inc(bytes)
+
+    def quota_unmet(self) -> None:
+        """Quota could not be met this epoch; recorded and skipped."""
+        self._quota_unmet.inc()
+
+    def to_dict(self) -> dict:
+        """The watch payload (``MetricsRegistry.to_dict``)."""
         return self.registry.to_dict()

@@ -30,8 +30,13 @@ from .parallel import (
 from .records import LAYER_FIELDS, MeasurementDataset, WebsiteMeasurement
 from .supervisor import ShardSupervisor, SupervisorPolicy
 from .vantage import VantageComparison, ripe_style_dataset, validate_vantage
+from .watch import GracefulShutdown, WatchReport, WatchSpec, run_watch
 
 __all__ = [
+    "GracefulShutdown",
+    "WatchSpec",
+    "WatchReport",
+    "run_watch",
     "MeasurementPipeline",
     "STANFORD_VANTAGE_CONTINENT",
     "CampaignSpec",

@@ -52,11 +52,12 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+from collections.abc import Callable
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
 
-from ..errors import PipelineError
+from ..errors import PipelineError, StoreCorruptionError
 from ..faults.plan import FaultPlan, fault_profile
 from ..net.dns import ZoneCache
 from ..faults.retry import RetryPolicy
@@ -132,14 +133,24 @@ class CampaignSpec:
     #: cannot be rebuilt from its *own* config (the evolution plan
     #: carries sites from the previous epoch), so the spec carries the
     #: base config + churn recipe instead — still a pure, picklable
-    #: description that any worker process can replay exactly.
-    churn: ChurnConfig | None = None
+    #: description that any worker process can replay exactly.  A
+    #: *tuple* of recipes is a churn chain applied left to right
+    #: (epoch N of a longitudinal watch is N chained evolutions).
+    churn: ChurnConfig | tuple[ChurnConfig, ...] | None = None
+
+    def churn_chain(self) -> tuple[ChurnConfig, ...]:
+        """The churn recipes applied to the base world, in order."""
+        if self.churn is None:
+            return ()
+        if isinstance(self.churn, ChurnConfig):
+            return (self.churn,)
+        return tuple(self.churn)
 
     def build_world(self) -> World:
         """Materialize the world this campaign measures."""
         world = World(self.config)
-        if self.churn is not None:
-            world = evolve(world, self.churn)
+        for churn in self.churn_chain():
+            world = evolve(world, churn)
         return world
 
     def resolved_countries(self) -> list[str]:
@@ -345,7 +356,11 @@ _PREFORK_CONTEXT: WorkerContext | None = None
 #: pure function of config + churn) and every later task in that
 #: process reuses it, zone plans included.
 _WORKER_CONTEXT: (
-    tuple[tuple[WorldConfig, ChurnConfig | None], WorkerContext] | None
+    tuple[
+        tuple[WorldConfig, ChurnConfig | tuple[ChurnConfig, ...] | None],
+        WorkerContext,
+    ]
+    | None
 ) = None
 
 #: Monotonic (start, end) of the most recent in-process World build,
@@ -436,7 +451,16 @@ class _StoreSession:
         reuse_wanted = resume or baseline is not None
         for cc in countries:
             if reuse_wanted and store.has_shard(self.keys[cc]):
-                shard = store.get_shard(self.keys[cc])
+                try:
+                    shard = store.get_shard(self.keys[cc])
+                except StoreCorruptionError as exc:
+                    # Re-raise with the campaign the reuse was for: the
+                    # operator sees *which* resume/--since hit damage,
+                    # not just a bare digest.
+                    raise StoreCorruptionError(
+                        f"campaign {self.campaign}: reusing {cc} "
+                        f"(shard key {self.keys[cc][:16]}...): {exc}"
+                    ) from exc
                 assert shard is not None
                 if shard.quarantined is not None:
                     # A stored tombstone is a promise to re-measure,
@@ -510,6 +534,7 @@ def run_campaign(
     mp_start_method: str | None = None,
     policy: SupervisorPolicy | None = None,
     chaos: "ChaosPlan | None" = None,
+    should_halt: Callable[[], bool] | None = None,
 ) -> CampaignResult:
     """Run a campaign, optionally sharded, persisted, and supervised.
 
@@ -536,7 +561,10 @@ def run_campaign(
     (default: fork when available).  ``policy`` (or ``chaos``) forces
     the supervised path even for ``workers=1``; ``chaos`` is the test
     harness's process-fault injector and must never be set in
-    production use.
+    production use.  ``should_halt`` is the cooperative-stop hook:
+    checked after every checkpoint, a True return halts the campaign
+    exactly like ``halt_after`` (used for signal-triggered graceful
+    shutdown and per-epoch deadlines in ``repro watch``).
     """
     if (resume or baseline is not None) and store is None:
         raise PipelineError(
@@ -583,7 +611,12 @@ def run_campaign(
         measured[result.country] = result
         if session is not None:
             session.checkpoint(result)
-        return halt_after is not None and len(measured) >= halt_after
+        if halt_after is not None and len(measured) >= halt_after:
+            return True
+        # The cooperative-halt hook fires *after* the checkpoint, so a
+        # signal-triggered stop never loses a finished country: the
+        # shard is already durable and --resume picks up from here.
+        return should_halt is not None and should_halt()
 
     workers = min(workers, max(len(to_measure), 1))
     supervised = workers > 1 or policy is not None or chaos is not None

@@ -15,11 +15,14 @@ from .digest import (
     shard_key,
     spec_fingerprint,
 )
+from .series import SeriesLedger, series_id
 from .store import (
     MANIFEST_SCHEMA,
+    SERIES_SCHEMA,
     SHARD_SCHEMA,
     CampaignStore,
     FsckReport,
+    GcReport,
     decode_shard,
     encode_shard,
 )
@@ -27,9 +30,13 @@ from .store import (
 __all__ = [
     "PIPELINE_VERSION",
     "MANIFEST_SCHEMA",
+    "SERIES_SCHEMA",
     "SHARD_SCHEMA",
     "CampaignStore",
     "FsckReport",
+    "GcReport",
+    "SeriesLedger",
+    "series_id",
     "campaign_id",
     "canonical_json",
     "decode_shard",

@@ -70,14 +70,25 @@ def _knobs(spec) -> dict:
     }
 
 
-def _churn(spec) -> dict | None:
-    """JSON-ready churn recipe (None for a base-world campaign)."""
+def _churn_step(churn) -> dict:
+    step = dataclasses.asdict(churn)
+    if step.get("churn_countries") is not None:
+        step["churn_countries"] = list(step["churn_countries"])
+    return step
+
+
+def _churn(spec) -> dict | list | None:
+    """JSON-ready churn recipe (None for a base-world campaign).
+
+    A single recipe keeps the original dict shape (ids of existing
+    stores stay valid); a churn *chain* (epoch N of a watch series)
+    fingerprints as the list of steps, in application order.
+    """
     if spec.churn is None:
         return None
-    churn = dataclasses.asdict(spec.churn)
-    if churn.get("churn_countries") is not None:
-        churn["churn_countries"] = list(churn["churn_countries"])
-    return churn
+    if isinstance(spec.churn, tuple):
+        return [_churn_step(step) for step in spec.churn]
+    return _churn_step(spec.churn)
 
 
 def spec_fingerprint(spec) -> dict:

@@ -6,6 +6,8 @@ Layout (under one root directory)::
     index/<shard_key>.json       shard-key -> object digest
     campaigns/<id>.json          campaign manifests
     campaigns/<id>.store.json    store-telemetry artifacts
+    series/<id>.json             longitudinal series ledgers
+    series/<id>.watch.json       watch-telemetry artifacts
 
 Objects are immutable: a payload is written once under the sha256 of
 its canonical JSON and never modified.  The index maps the
@@ -43,8 +45,10 @@ from .digest import digest_of
 __all__ = [
     "CampaignStore",
     "FsckReport",
+    "GcReport",
     "SHARD_SCHEMA",
     "MANIFEST_SCHEMA",
+    "SERIES_SCHEMA",
 ]
 
 #: Schema tag of stored shard payloads.
@@ -52,6 +56,9 @@ SHARD_SCHEMA = "repro-shard-v1"
 
 #: Schema tag of campaign manifests.
 MANIFEST_SCHEMA = "repro-manifest-v1"
+
+#: Schema tag of longitudinal series ledgers (:mod:`repro.store.series`).
+SERIES_SCHEMA = "repro-series-v1"
 
 
 def _atomic_write_text(path: Path, text: str) -> None:
@@ -118,7 +125,13 @@ class CampaignStore:
         self._objects = self._root / "objects"
         self._index = self._root / "index"
         self._campaigns = self._root / "campaigns"
-        for directory in (self._objects, self._index, self._campaigns):
+        self._series = self._root / "series"
+        for directory in (
+            self._objects,
+            self._index,
+            self._campaigns,
+            self._series,
+        ):
             directory.mkdir(parents=True, exist_ok=True)
         #: Orphaned temp files swept on open (crash between tmp-write
         #: and ``os.replace`` leaks them; they are never referenced,
@@ -127,7 +140,12 @@ class CampaignStore:
 
     def _sweep_tmp(self) -> int:
         swept = 0
-        for directory in (self._objects, self._index, self._campaigns):
+        for directory in (
+            self._objects,
+            self._index,
+            self._campaigns,
+            self._series,
+        ):
             for tmp in directory.rglob("*.tmp"):
                 try:
                     tmp.unlink()
@@ -196,6 +214,26 @@ class CampaignStore:
                 f"hashes to {actual}); run `repro campaigns fsck --repair`"
             )
         return payload
+
+    def object_size(self, digest: str) -> int | None:
+        """On-disk byte size of a stored object (None when absent).
+
+        Object files are canonical JSON written once, so the size is
+        as deterministic as the digest — which is what lets the watch
+        quota planner account bytes without ever re-reading payloads.
+        """
+        path = self._object_path(digest)
+        try:
+            return path.stat().st_size
+        except OSError:
+            return None
+
+    def objects_bytes(self) -> int:
+        """Total on-disk bytes of the ``objects/`` payload tree."""
+        return sum(
+            path.stat().st_size
+            for path in self._objects.glob("*/*.json")
+        )
 
     def put_shard(self, key: str, result: CountryResult) -> str:
         """Store one country's result under its shard key.
@@ -279,6 +317,26 @@ class CampaignStore:
                 f"manifest {campaign} is corrupt ({exc})"
             ) from exc
 
+    def delete_manifest(self, campaign: str) -> bool:
+        """Drop a campaign manifest (and its store-metrics artifact).
+
+        Returns True when the manifest existed.  Idempotent on
+        purpose: the watch retirement path replays after a crash, and
+        deleting an already-deleted manifest must be a no-op, not an
+        error.  The shard objects themselves are reclaimed by the next
+        :meth:`gc` — manifests are the root set, so dropping one is
+        how an epoch is retired.
+        """
+        removed = False
+        path = self._manifest_path(campaign)
+        if path.exists():
+            path.unlink()
+            removed = True
+        metrics = self._store_metrics_path(campaign)
+        if metrics.exists():
+            metrics.unlink()
+        return removed
+
     def list_campaigns(self) -> list[dict]:
         """Every stored manifest, sorted by campaign id."""
         manifests = []
@@ -315,15 +373,56 @@ class CampaignStore:
         return json.loads(path.read_text(encoding="utf-8"))
 
     # ------------------------------------------------------------------
+    # Series ledgers (longitudinal watch)
+    # ------------------------------------------------------------------
+
+    def series_path(self, series: str) -> Path:
+        """Where a series ledger lives (``series/<id>.json``)."""
+        return self._series / f"{series}.json"
+
+    def watch_metrics_path(self, series: str) -> Path:
+        """Where a series' watch-telemetry artifact lives."""
+        return self._series / f"{series}.watch.json"
+
+    def write_series_text(self, series: str, text: str) -> None:
+        """Atomically persist a rendered series ledger."""
+        _atomic_write_text(self.series_path(series), text)
+
+    def load_series(self, series: str) -> dict | None:
+        """A series ledger's payload, or None when absent/unreadable.
+
+        A reading convenience for inspection commands;
+        :class:`~repro.store.series.SeriesLedger` is the validating
+        loader and ``fsck`` the corruption detector.
+        """
+        path = self.series_path(series)
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def list_series_ids(self) -> list[str]:
+        """Ids of every stored series ledger, sorted."""
+        return sorted(
+            path.stem
+            for path in self._series.glob("*.json")
+            if not path.name.endswith(".watch.json")
+        )
+
+    # ------------------------------------------------------------------
     # Garbage collection
     # ------------------------------------------------------------------
 
-    def gc(self) -> tuple[int, int]:
+    def gc(self, dry_run: bool = False) -> "GcReport":
         """Drop objects and index entries no manifest references.
 
         Manifests are the root set: an object survives iff some
         manifest's country table points at it (directly or through the
-        shard index).  Returns ``(objects_removed, index_removed)``.
+        shard index).  With ``dry_run=True`` nothing is deleted — the
+        report says what a real sweep *would* reclaim, which is also
+        what the watch quota planner previews before committing to a
+        retirement.  GC is idempotent: sweeping twice removes nothing
+        the second time, so a crash mid-sweep heals on the next run.
         """
         live_objects: set[str] = set()
         live_keys: set[str] = set()
@@ -333,17 +432,20 @@ class CampaignStore:
                     live_objects.add(entry["object"])
                 if entry.get("shard_key"):
                     live_keys.add(entry["shard_key"])
-        index_removed = 0
+        report = GcReport(dry_run=dry_run)
         for path in self._index.glob("*.json"):
             if path.stem not in live_keys:
-                path.unlink()
-                index_removed += 1
-        objects_removed = 0
+                report.index_removed += 1
+                report.index_bytes += path.stat().st_size
+                if not dry_run:
+                    path.unlink()
         for path in self._objects.glob("*/*.json"):
             if path.stem not in live_objects:
-                path.unlink()
-                objects_removed += 1
-        return objects_removed, index_removed
+                report.objects_removed += 1
+                report.objects_bytes += path.stat().st_size
+                if not dry_run:
+                    path.unlink()
+        return report
 
     # ------------------------------------------------------------------
     # Integrity checking
@@ -433,10 +535,53 @@ class CampaignStore:
             if dirty:
                 self.save_manifest(manifest)
 
+        for path in sorted(self._series.glob("*.json")):
+            if path.name.endswith(".watch.json"):
+                continue
+            try:
+                ledger = json.loads(path.read_text(encoding="utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                report.corrupt_series.append(path.stem)
+                continue
+            if (
+                not isinstance(ledger, dict)
+                or ledger.get("_schema") != SERIES_SCHEMA
+                or ledger.get("series") != path.stem
+            ):
+                report.corrupt_series.append(path.stem)
+
         report.orphan_objects.extend(
             sorted(valid_objects - referenced)
         )
         return report
+
+
+@dataclass
+class GcReport:
+    """What :meth:`CampaignStore.gc` swept (or would sweep)."""
+
+    dry_run: bool = False
+    objects_removed: int = 0
+    index_removed: int = 0
+    #: On-disk bytes of the swept object payloads.
+    objects_bytes: int = 0
+    #: On-disk bytes of the swept index entries.
+    index_bytes: int = 0
+
+    @property
+    def bytes_freed(self) -> int:
+        """Total bytes the sweep reclaimed (or would reclaim)."""
+        return self.objects_bytes + self.index_bytes
+
+    def render(self) -> str:
+        """Operator-facing summary for ``repro campaigns gc``."""
+        verb = "would remove" if self.dry_run else "removed"
+        return (
+            f"{verb} {self.objects_removed} objects "
+            f"({self.objects_bytes} bytes), "
+            f"{self.index_removed} index entries "
+            f"({self.index_bytes} bytes)"
+        )
 
 
 @dataclass
@@ -455,6 +600,9 @@ class FsckReport:
     corrupt_index: list[str] = field(default_factory=list)
     #: Manifests that no longer parse (reported, never auto-dropped).
     corrupt_manifests: list[str] = field(default_factory=list)
+    #: Series ledgers that fail to parse or carry the wrong schema/id
+    #: (reported, never auto-dropped — a ledger is series history).
+    corrupt_series: list[str] = field(default_factory=list)
     #: ``(campaign, country)`` manifest entries pointing at bad objects.
     manifest_entries_cleared: list[tuple[str, str]] = field(
         default_factory=list
@@ -470,6 +618,7 @@ class FsckReport:
             or self.dangling_index
             or self.corrupt_index
             or self.corrupt_manifests
+            or self.corrupt_series
             or self.manifest_entries_cleared
         )
 
@@ -495,6 +644,8 @@ class FsckReport:
               len(self.corrupt_index))
         count("corrupt_manifests", "unparseable campaign manifests",
               len(self.corrupt_manifests))
+        count("corrupt_series", "unparseable or mis-tagged series "
+              "ledgers", len(self.corrupt_series))
         count("manifest_entries_cleared",
               "manifest country entries pointing at bad objects",
               len(self.manifest_entries_cleared))
@@ -537,6 +688,12 @@ class FsckReport:
             lines.append(
                 f"found {len(self.corrupt_manifests)} corrupt "
                 f"manifest(s): " + ", ".join(self.corrupt_manifests)
+            )
+        if self.corrupt_series:
+            lines.append(
+                f"found {len(self.corrupt_series)} corrupt series "
+                f"ledger(s): "
+                + ", ".join(s[:16] for s in self.corrupt_series)
             )
         if self.manifest_entries_cleared:
             detail = ", ".join(

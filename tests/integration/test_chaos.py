@@ -326,3 +326,64 @@ class TestChaosDeterminism:
             SPEC, workers=2, store=store, policy=POLICY, chaos=chaos
         )
         assert result.campaign == campaign_id(SPEC)
+
+
+class TestInlineWorkersChaos:
+    """Chaos profiles against ``--workers 1``.
+
+    A chaos plan forces the supervised path even for a single worker
+    (faults need a process boundary to batter), so every profile must
+    converge there exactly as it does for a sharded fleet — the CLI
+    default is ``--workers 1`` and chaos must not silently no-op on it.
+    """
+
+    def test_worker_kill_converges(
+        self, unfaulted, tmp_path: Path
+    ) -> None:
+        chaos = chaos_profile("worker-kill", list(CONFIG.countries))
+        result = run_campaign(
+            SPEC, workers=1, policy=POLICY, chaos=chaos
+        )
+        assert_converged(result, unfaulted, tmp_path)
+        assert (
+            counter_total(
+                result.supervisor_metrics, "repro_shard_retries_total"
+            )
+            == 1
+        )
+
+    def test_hung_shard_converges(
+        self, unfaulted, tmp_path: Path
+    ) -> None:
+        chaos = chaos_profile("hung-shard", list(CONFIG.countries))
+        policy = SupervisorPolicy(
+            country_timeout=1.5, backoff_base=0.01, backoff_cap=0.05
+        )
+        result = run_campaign(
+            SPEC, workers=1, policy=policy, chaos=chaos
+        )
+        assert_converged(result, unfaulted, tmp_path)
+        assert (
+            counter_total(
+                result.supervisor_metrics, "repro_shard_timeouts_total"
+            )
+            == 1
+        )
+
+    def test_quarantine_then_resume_heals(
+        self, unfaulted, tmp_path: Path
+    ) -> None:
+        store = CampaignStore(tmp_path / "store")
+        chaos = chaos_profile("quarantine", list(CONFIG.countries))
+        policy = SupervisorPolicy(
+            quarantine=True, backoff_base=0.01, backoff_cap=0.05
+        )
+        battered = run_campaign(
+            SPEC, workers=1, store=store, policy=policy, chaos=chaos
+        )
+        assert battered.quarantined == (chaos.kills[0].country,)
+        healed = run_campaign(
+            SPEC, workers=1, store=store, resume=True
+        )
+        assert healed.quarantined == ()
+        assert_converged(healed, unfaulted, tmp_path)

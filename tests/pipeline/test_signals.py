@@ -1,0 +1,154 @@
+"""Graceful shutdown: signals checkpoint-then-exit, resume heals.
+
+Signals are raised in-process through the *installed handler*
+(``signal.raise_signal``), so every test exercises the real signal
+path deterministically — no timers racing the pipeline.
+"""
+
+from __future__ import annotations
+
+import signal
+from pathlib import Path
+
+import pytest
+
+from repro import cli
+from repro.pipeline import (
+    CampaignHalted,
+    CampaignSpec,
+    GracefulShutdown,
+    export_csv,
+    run_campaign,
+)
+from repro.store import CampaignStore
+from repro.worldgen import WorldConfig
+
+CONFIG = WorldConfig(
+    sites_per_country=50, countries=("BR", "DE", "TH", "US")
+)
+SPEC = CampaignSpec(
+    config=CONFIG, fault_profile="flaky-dns", fault_seed=7, retries=3
+)
+
+
+class TestGracefulShutdown:
+    def test_first_signal_sets_flag(self) -> None:
+        with GracefulShutdown() as shutdown:
+            assert not shutdown.requested()
+            assert shutdown.signal_name is None
+            signal.raise_signal(signal.SIGTERM)
+            assert shutdown.requested()
+            assert shutdown.signal_name == "SIGTERM"
+
+    def test_second_signal_escalates(self) -> None:
+        with GracefulShutdown():
+            signal.raise_signal(signal.SIGINT)
+            with pytest.raises(KeyboardInterrupt):
+                signal.raise_signal(signal.SIGINT)
+
+    def test_handlers_restored_on_exit(self) -> None:
+        before = {
+            s: signal.getsignal(s) for s in GracefulShutdown.SIGNALS
+        }
+        with GracefulShutdown():
+            assert signal.getsignal(signal.SIGTERM) != before[
+                signal.SIGTERM
+            ]
+        after = {
+            s: signal.getsignal(s) for s in GracefulShutdown.SIGNALS
+        }
+        assert after == before
+
+
+class TestCheckpointThenExit:
+    def test_signal_halts_after_checkpoint_and_resume_heals(
+        self, tmp_path: Path
+    ) -> None:
+        store = CampaignStore(tmp_path / "store")
+        fired = False
+
+        def hook() -> bool:
+            # Raise the real signal at the first checkpoint; the
+            # handler sets the flag and the campaign halts there.
+            nonlocal fired
+            if not fired:
+                fired = True
+                signal.raise_signal(signal.SIGTERM)
+            return shutdown.requested()
+
+        with GracefulShutdown() as shutdown:
+            with pytest.raises(CampaignHalted) as halted:
+                run_campaign(SPEC, store=store, should_halt=hook)
+        # Exactly one country survived the signal: the one whose
+        # checkpoint triggered the halt check.
+        manifest = store.load_manifest(halted.value.campaign)
+        stored = [
+            cc
+            for cc, entry in manifest["countries"].items()
+            if entry.get("object")
+        ]
+        assert len(stored) == 1
+
+        resumed = run_campaign(SPEC, store=store, resume=True)
+        clean = run_campaign(SPEC)
+        export_csv(resumed.dataset, tmp_path / "resumed.csv")
+        export_csv(clean.dataset, tmp_path / "clean.csv")
+        assert (tmp_path / "resumed.csv").read_bytes() == (
+            tmp_path / "clean.csv"
+        ).read_bytes()
+
+
+class TestMeasureCliExitCodes:
+    ARGS = [
+        "measure",
+        "--sites", "50",
+        "--countries", "BR", "DE", "TH", "US",
+        "--fault-profile", "flaky-dns",
+        "--fault-seed", "7",
+        "--retries", "3",
+    ]
+
+    def test_interrupted_store_run_exits_six_then_resumes(
+        self, tmp_path: Path, monkeypatch: pytest.MonkeyPatch, capsys
+    ) -> None:
+        import repro.pipeline
+
+        real = repro.pipeline.run_campaign
+
+        def signal_before_running(*args, **kwargs):
+            # The signal lands before the first checkpoint: the CLI's
+            # handler records it and the halt hook stops the campaign
+            # at the first durable point.
+            signal.raise_signal(signal.SIGTERM)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(
+            repro.pipeline, "run_campaign", signal_before_running
+        )
+        args = self.ARGS + ["--store", str(tmp_path / "store")]
+        assert cli.main(args) == 6
+        assert "finish it with --resume" in capsys.readouterr().out
+
+        monkeypatch.setattr(repro.pipeline, "run_campaign", real)
+        assert cli.main(args + ["--resume"]) == 0
+
+    def test_storeless_run_keeps_default_signal_behavior(
+        self, tmp_path: Path, monkeypatch: pytest.MonkeyPatch
+    ) -> None:
+        import repro.pipeline
+
+        real = repro.pipeline.run_campaign
+        seen: dict = {}
+
+        def record_handler(*args, **kwargs):
+            seen["handler"] = signal.getsignal(signal.SIGTERM)
+            seen["should_halt"] = kwargs.get("should_halt")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(
+            repro.pipeline, "run_campaign", record_handler
+        )
+        assert cli.main(self.ARGS) == 0
+        # No store: no handler installed, no halt hook passed.
+        assert seen["handler"] == signal.SIG_DFL
+        assert seen["should_halt"] is None

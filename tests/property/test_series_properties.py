@@ -1,0 +1,121 @@
+"""Property-based tests: ledger bytes are independent of kill placement.
+
+The series ledger's convergence rule, hammered with hypothesis: for
+*any* set of hard kills at any (epoch, phase, checkpoint) the chaos
+plan can express, a battered watch resumed to completion renders the
+byte-identical ledger and epoch CSVs of an unbattered run — and
+replaying a complete series is a no-op.  Each example is a full
+multi-session soak, so the suite trades example count for depth.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults.chaos import (
+    WATCH_PHASES,
+    KillWatch,
+    SimulatedKill,
+    WatchChaosPlan,
+)
+from repro.pipeline import CampaignSpec, WatchSpec, run_watch
+from repro.store import CampaignStore
+from repro.worldgen import ChurnConfig, WorldConfig
+
+EPOCHS = 3
+QUOTA = 30_000  # two of the ~17k epochs fit; epoch 2 must retire epoch 0
+SPEC = CampaignSpec(
+    config=WorldConfig(
+        sites_per_country=50, countries=("BR", "TH"), seed=7
+    ),
+    fault_profile="flaky-dns",
+    fault_seed=7,
+    retries=2,
+)
+WATCH = WatchSpec(
+    spec=SPEC,
+    epochs=EPOCHS,
+    churn=ChurnConfig(churn_countries=("TH",)),
+    store_quota_bytes=QUOTA,
+)
+
+kills = st.lists(
+    st.builds(
+        KillWatch,
+        epoch=st.integers(min_value=0, max_value=EPOCHS - 1),
+        phase=st.sampled_from(WATCH_PHASES),
+        after_checkpoints=st.integers(min_value=1, max_value=2),
+    ),
+    max_size=4,
+    unique_by=lambda kill: (kill.epoch, kill.phase),
+)
+
+_baseline: dict[str, bytes] = {}
+
+
+def soak(root: Path, plan: WatchChaosPlan) -> dict[str, bytes]:
+    """Run the watch to completion under kills; return its artifacts."""
+    store = CampaignStore(root / "store")
+    sessions = 0
+    while True:
+        sessions += 1
+        assert sessions <= 12, "battered series failed to converge"
+        try:
+            report = run_watch(
+                WATCH,
+                store,
+                resume=sessions > 1,
+                export_dir=root / "exports",
+                chaos=plan,
+            )
+        except SimulatedKill as fired:
+            plan = plan.without(fired.kill)
+            continue
+        if report.complete:
+            break
+    artifacts = {
+        "ledger": store.series_path(report.series).read_bytes()
+    }
+    for epoch in range(EPOCHS):
+        name = f"epoch-{epoch:03d}.csv"
+        artifacts[name] = (root / "exports" / name).read_bytes()
+    return artifacts
+
+
+def clean_artifacts() -> dict[str, bytes]:
+    if not _baseline:
+        root = Path(tempfile.mkdtemp(prefix="watch-prop-clean"))
+        try:
+            _baseline.update(soak(root, WatchChaosPlan()))
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+    return _baseline
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(plan_kills=kills)
+def test_ledger_bytes_independent_of_kill_placement(plan_kills) -> None:
+    root = Path(tempfile.mkdtemp(prefix="watch-prop"))
+    try:
+        battered = soak(root, WatchChaosPlan(kills=tuple(plan_kills)))
+        assert battered == clean_artifacts()
+        # Replay idempotence: the series is complete, so one more
+        # session must run nothing and leave every byte in place.
+        store = CampaignStore(root / "store")
+        again = run_watch(WATCH, store, resume=True)
+        assert again.ran == ()
+        assert (
+            store.series_path(again.series).read_bytes()
+            == battered["ledger"]
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)

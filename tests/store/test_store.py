@@ -171,9 +171,29 @@ class TestGc:
                 },
             }
         )
-        objects_removed, index_removed = store.gc()
-        assert (objects_removed, index_removed) == (1, 1)
+        report = store.gc()
+        assert (report.objects_removed, report.index_removed) == (1, 1)
+        assert not report.dry_run
+        assert report.bytes_freed > 0
+        assert "removed 1 objects" in report.render()
         assert store.get_shard("key-kept") == sample_result("DE")
         assert not store.has_shard("key-drop")
         # A second pass finds nothing left to collect.
-        assert store.gc() == (0, 0)
+        second = store.gc()
+        assert (second.objects_removed, second.index_removed) == (0, 0)
+
+    def test_dry_run_reports_without_deleting(
+        self, tmp_path: Path
+    ) -> None:
+        store = CampaignStore(tmp_path)
+        store.put_shard("key-drop", sample_result("BR"))
+        report = store.gc(dry_run=True)
+        assert report.dry_run
+        assert (report.objects_removed, report.index_removed) == (1, 1)
+        assert report.render().startswith("would remove")
+        # Nothing was actually deleted: the shard is still there and
+        # a real pass removes exactly what the dry run reported.
+        assert store.has_shard("key-drop")
+        real = store.gc()
+        assert (real.objects_removed, real.index_removed) == (1, 1)
+        assert real.bytes_freed == report.bytes_freed

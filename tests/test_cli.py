@@ -433,7 +433,7 @@ class TestCampaignStoreCli:
             ["campaigns", "--store", str(store_workflow["store"]), "gc"]
         )
         assert code == 0
-        assert "removed 0 objects, 0 index entries" in out
+        assert "removed 0 objects (0 bytes), 0 index entries" in out
 
     def test_report_campaign_store_section(self, store_workflow) -> None:
         store = store_workflow["store"]
