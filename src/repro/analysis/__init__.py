@@ -45,11 +45,14 @@ from .report import comparison_table, country_report, layer_summary
 from .series import (
     render_series_detail,
     render_series_list,
+    render_series_trend,
     resolve_series_id,
+    series_trend,
 )
 from .storediff import (
     campaign_dataset,
     campaign_diff,
+    dataset_from_manifest,
     render_campaign_diff,
 )
 from .study import DependenceStudy
@@ -74,10 +77,13 @@ __all__ = [
     "render_critical_path",
     "campaign_dataset",
     "campaign_diff",
+    "dataset_from_manifest",
     "render_campaign_diff",
     "render_series_detail",
     "render_series_list",
+    "render_series_trend",
     "resolve_series_id",
+    "series_trend",
     "BundlingReport",
     "hosting_dns_bundling",
     "ca_attribution",

@@ -12,14 +12,19 @@ have no manifest to diff).
 
 from __future__ import annotations
 
-from ..errors import PipelineError
+from ..core.centralization import centralization_score
+from ..datasets.paper_scores import LAYERS
+from ..errors import EmptyDistributionError, PipelineError
 from ..store.store import CampaignStore
-from .storediff import campaign_diff
+from .layers import LayerAnalysis
+from .storediff import campaign_diff, dataset_from_manifest
 
 __all__ = [
     "render_series_detail",
     "render_series_list",
+    "render_series_trend",
     "resolve_series_id",
+    "series_trend",
 ]
 
 
@@ -88,6 +93,188 @@ def render_series_list(store: CampaignStore) -> str:
         if unmet:
             line += f"  {unmet} quota-unmet"
         out.append(line)
+    return "\n".join(out)
+
+
+def series_trend(
+    store: CampaignStore,
+    series: str,
+    *,
+    ledger: dict | None = None,
+    manifests: dict[str, dict] | None = None,
+) -> dict:
+    """Full-series consolidation trend across *all* recorded epochs.
+
+    Where :func:`render_series_detail` diffs consecutive live pairs,
+    this walks the entire ledger — retired epochs included — and
+    reports, JSON-ready:
+
+    * ``epochs`` — one summary row per recorded epoch (status, state,
+      footprint); retired or manifest-less epochs stay in the table
+      with ``measurable: false`` so the timeline never has holes.
+    * ``layers`` — per-layer centralization/insularity time series:
+      for every country ``[[epoch, value], ...]`` over the measurable
+      epochs, plus the cross-country mean per epoch.
+    * ``providers`` — per-layer provider entry/exit events between
+      consecutive measurable epochs (who appeared, who vanished).
+
+    ``ledger``/``manifests`` let the serve read path pin the exact
+    snapshots it keyed its cache on; the CLI just lets them load here.
+    """
+    payload = ledger if ledger is not None else store.load_series(series)
+    if payload is None:
+        raise PipelineError(
+            f"series {series} not found in store {store.root}"
+        )
+    entries = payload.get("entries", [])
+    retired = _retired_union(entries)
+
+    epochs: list[dict] = []
+    layer_series: dict[str, dict] = {
+        layer: {
+            "centralization": {},
+            "insularity": {},
+            "mean_centralization": [],
+        }
+        for layer in LAYERS
+    }
+    providers: dict[str, dict] = {
+        layer: {"entries": [], "exits": []} for layer in LAYERS
+    }
+    previous_providers: dict[str, set[str]] | None = None
+
+    for entry in entries:
+        epoch = entry["epoch"]
+        campaign = entry["campaign"]
+        if manifests is not None:
+            manifest = manifests.get(campaign)
+        elif epoch in retired:
+            manifest = None
+        else:
+            manifest = store.load_manifest(campaign)
+        state = (
+            "retired"
+            if epoch in retired
+            else ("live" if manifest is not None else "manifest-gone")
+        )
+        row = {
+            "epoch": epoch,
+            "snapshot": entry["snapshot"],
+            "campaign": campaign,
+            "status": entry["status"],
+            "state": state,
+            "quota_met": entry["quota_met"],
+            "objects": len(entry["objects"]),
+            "bytes": sum(size for _, size in entry["objects"]),
+            "measurable": manifest is not None,
+        }
+        epochs.append(row)
+        if manifest is None:
+            continue
+        dataset, missing, _ = dataset_from_manifest(store, manifest)
+        row["missing_countries"] = missing
+        epoch_providers: dict[str, set[str]] = {}
+        for layer in LAYERS:
+            analysis = LayerAnalysis(dataset, layer)
+            insularity = analysis.insularity
+            scores: list[float] = []
+            seen: set[str] = set()
+            for cc in dataset.countries:
+                try:
+                    score = centralization_score(
+                        dataset.distribution(cc, layer)
+                    )
+                except EmptyDistributionError:
+                    continue
+                layer_series[layer]["centralization"].setdefault(
+                    cc, []
+                ).append([epoch, score])
+                layer_series[layer]["insularity"].setdefault(
+                    cc, []
+                ).append([epoch, insularity[cc]])
+                scores.append(score)
+                seen.update(
+                    name
+                    for name, _ in dataset.distribution(
+                        cc, layer
+                    ).ranked()
+                )
+            if scores:
+                layer_series[layer]["mean_centralization"].append(
+                    [epoch, sum(scores) / len(scores)]
+                )
+            epoch_providers[layer] = seen
+        if previous_providers is not None:
+            for layer in LAYERS:
+                entered = sorted(
+                    epoch_providers[layer] - previous_providers[layer]
+                )
+                exited = sorted(
+                    previous_providers[layer] - epoch_providers[layer]
+                )
+                if entered:
+                    providers[layer]["entries"].append([epoch, entered])
+                if exited:
+                    providers[layer]["exits"].append([epoch, exited])
+        previous_providers = epoch_providers
+
+    return {
+        "series": series,
+        "epochs": epochs,
+        "measurable_epochs": sum(1 for row in epochs if row["measurable"]),
+        "layers": layer_series,
+        "providers": providers,
+    }
+
+
+def render_series_trend(trend: dict, top: int = 5) -> str:
+    """Operator-facing trend report for ``campaigns series --trend``."""
+    out = [
+        f"series {trend['series'][:16]} — consolidation trend",
+        "=" * 44,
+        f"epochs recorded: {len(trend['epochs'])}   measurable: "
+        f"{trend['measurable_epochs']}",
+        "",
+        "epoch  status               state          quota  bytes",
+    ]
+    for row in trend["epochs"]:
+        out.append(
+            f"{row['epoch']:5d}  {row['status']:19s}  "
+            f"{row['state']:13s}  "
+            f"{'met' if row['quota_met'] else 'UNMET':5s}  "
+            f"{row['bytes']}"
+        )
+    for layer, data in trend["layers"].items():
+        means = data["mean_centralization"]
+        if not means:
+            continue
+        out.append("")
+        path = " -> ".join(f"{score:.4f}" for _, score in means)
+        out.append(f"-- {layer}: mean centralization {path}")
+        movers = sorted(
+            (
+                (cc, points[-1][1] - points[0][1])
+                for cc, points in data["centralization"].items()
+                if len(points) > 1
+            ),
+            key=lambda kv: (-abs(kv[1]), kv[0]),
+        )[:top]
+        moved = [f"{cc} {delta:+.4f}" for cc, delta in movers if delta]
+        if moved:
+            out.append(f"   top movers: {' '.join(moved)}")
+        events = trend["providers"][layer]
+        for epoch, names in events["entries"]:
+            out.append(
+                f"   epoch {epoch}: entered {', '.join(names)}"
+            )
+        for epoch, names in events["exits"]:
+            out.append(f"   epoch {epoch}: exited {', '.join(names)}")
+    if trend["measurable_epochs"] < 2:
+        out.append("")
+        out.append(
+            "-- fewer than two measurable epochs: retired/archived "
+            "epochs appear as summary rows only"
+        )
     return "\n".join(out)
 
 

@@ -23,6 +23,7 @@ from .layers import LayerAnalysis
 __all__ = [
     "campaign_dataset",
     "campaign_diff",
+    "dataset_from_manifest",
     "manifest_snapshot",
     "render_campaign_diff",
 ]
@@ -45,6 +46,43 @@ def manifest_snapshot(manifest: dict) -> str | None:
     return spec.get("config", {}).get("snapshot")
 
 
+def dataset_from_manifest(
+    store: CampaignStore, manifest: dict
+) -> tuple[MeasurementDataset, list[str], list[str]]:
+    """Rebuild a dataset from a *preloaded* manifest, tolerating gaps.
+
+    Unlike :func:`campaign_dataset` this never raises on an incomplete
+    campaign: countries whose shard is unwritten or whose object is
+    missing are skipped and reported, so a partially-measured campaign
+    is still servable.  Returns ``(dataset, missing, quarantined)``
+    where ``missing`` is the countries excluded from the dataset and
+    ``quarantined`` the countries flagged by the supervisor (these still
+    contribute rows when their object exists).
+
+    Taking the manifest (not a campaign id) makes the read atomic under
+    concurrent writers: the caller loads the manifest once and every
+    shard it references is immutable and was written before the
+    manifest named it, so the rebuilt dataset is a consistent snapshot.
+    """
+    dataset = MeasurementDataset()
+    missing: list[str] = []
+    quarantined: list[str] = []
+    for cc in sorted(manifest.get("countries", {})):
+        entry = manifest["countries"][cc]
+        if entry.get("quarantined"):
+            quarantined.append(cc)
+        digest = entry.get("object")
+        if digest is None:
+            missing.append(cc)
+            continue
+        payload = store.get_object(digest)
+        if payload is None:
+            missing.append(cc)
+            continue
+        dataset.extend(decode_shard(payload).rows)
+    return dataset, missing, quarantined
+
+
 def campaign_dataset(
     store: CampaignStore, campaign: str
 ) -> MeasurementDataset:
@@ -54,6 +92,13 @@ def campaign_dataset(
         raise PipelineError(
             f"campaign {campaign} not found in store {store.root}"
         )
+    return _complete_dataset(store, campaign, manifest)
+
+
+def _complete_dataset(
+    store: CampaignStore, campaign: str, manifest: dict
+) -> MeasurementDataset:
+    """Rebuild a dataset from a manifest, raising on any gap."""
     dataset = MeasurementDataset()
     for cc in sorted(manifest.get("countries", {})):
         entry = manifest["countries"][cc]
@@ -75,7 +120,12 @@ def campaign_dataset(
 
 
 def campaign_diff(
-    store: CampaignStore, campaign_a: str, campaign_b: str
+    store: CampaignStore,
+    campaign_a: str,
+    campaign_b: str,
+    *,
+    manifest_a: dict | None = None,
+    manifest_b: dict | None = None,
 ) -> dict:
     """Structured per-layer, per-country deltas between two campaigns.
 
@@ -83,16 +133,23 @@ def campaign_diff(
     countries' stored results are literally the same object) and, for
     every layer, each country's centralization score and insularity in
     both campaigns plus the delta.
+
+    Callers that already hold the two manifests (the serve read path,
+    which must diff the exact snapshots it keyed its cache on) pass
+    them via ``manifest_a``/``manifest_b``; otherwise they are loaded
+    here.
     """
-    manifest_a = store.load_manifest(campaign_a)
-    manifest_b = store.load_manifest(campaign_b)
+    if manifest_a is None:
+        manifest_a = store.load_manifest(campaign_a)
+    if manifest_b is None:
+        manifest_b = store.load_manifest(campaign_b)
     if manifest_a is None or manifest_b is None:
         missing = campaign_a if manifest_a is None else campaign_b
         raise PipelineError(
             f"campaign {missing} not found in store {store.root}"
         )
-    dataset_a = campaign_dataset(store, campaign_a)
-    dataset_b = campaign_dataset(store, campaign_b)
+    dataset_a = _complete_dataset(store, campaign_a, manifest_a)
+    dataset_b = _complete_dataset(store, campaign_b, manifest_b)
 
     countries_a = manifest_a.get("countries", {})
     countries_b = manifest_b.get("countries", {})

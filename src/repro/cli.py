@@ -14,6 +14,8 @@ Commands
 ``trace``        profile a campaign trace (summarize / critical-path /
                  export --format chrome for Perfetto)
 ``campaigns``    list / show / diff / series / gc / fsck the store
+``serve``        read-optimized HTTP API over a campaign store
+                 (materialized summaries, ETag revalidation)
 ``version``      print the package version (also ``--version``)
 
 Exit codes: 0 success; 3 campaign halted (``--halt-after``); 4 a
@@ -508,6 +510,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="countries per layer in the delta section, ranked by "
         "|score delta| (default 5)",
     )
+    series_cmd.add_argument(
+        "--trend",
+        action="store_true",
+        help="full-series consolidation trend instead of the epoch "
+        "detail: per-layer centralization/insularity time series "
+        "across every recorded epoch (retired epochs as summary "
+        "rows) plus provider entry/exit events",
+    )
     gc = campaigns_sub.add_parser(
         "gc",
         help="drop shard objects and index entries no manifest "
@@ -532,6 +542,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="drop damaged objects and index entries and clear the "
         "manifest references to them, so --resume/--since re-measure "
         "exactly the damaged countries",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a campaign store over HTTP: materialized score "
+        "summaries, campaign diffs, series trends, and what-if "
+        "queries with content-digest ETags (Ctrl-C to stop)",
+    )
+    serve.add_argument(
+        "--store",
+        required=True,
+        metavar="DIR",
+        help="campaign store directory to serve",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        metavar="P",
+        help="listen port (default 8080; 0 picks an ephemeral port)",
     )
 
     sub.add_parser("version", help="print the package version")
@@ -1075,13 +1110,19 @@ def _cmd_campaigns(args: argparse.Namespace) -> int:
 
     store = CampaignStore(args.store)
     if args.subcommand == "list":
-        manifests = store.list_campaigns()
-        if not manifests:
+        if not store.list_campaign_ids():
             print(f"no campaigns stored in {store.root}")
             return 0
         from .analysis.storediff import manifest_snapshot
 
-        for manifest in manifests:
+        def warn_corrupt(campaign: str, exc: Exception) -> None:
+            print(
+                f"warning: skipping corrupt manifest "
+                f"{campaign[:16]} (run `repro campaigns fsck`)",
+                file=sys.stderr,
+            )
+
+        for _, manifest in store.iter_campaigns(on_corrupt=warn_corrupt):
             config = manifest["spec"]["config"]
             countries = manifest.get("countries", {})
             stored = sum(
@@ -1127,11 +1168,18 @@ def _cmd_campaigns(args: argparse.Namespace) -> int:
         from .analysis import (
             render_series_detail,
             render_series_list,
+            render_series_trend,
             resolve_series_id,
+            series_trend,
         )
 
         if args.series is None:
             print(render_series_list(store))
+        elif args.trend:
+            trend = series_trend(
+                store, resolve_series_id(store, args.series)
+            )
+            print(render_series_trend(trend, top=args.top))
         else:
             print(
                 render_series_detail(
@@ -1197,6 +1245,24 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import serve
+
+    server = serve(args.store, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"repro serve: {args.store} on http://{host}:{port} "
+        f"(Ctrl-C to stop)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 def _cmd_version(args: argparse.Namespace) -> int:
     print(f"repro {package_version()}")
     return 0
@@ -1213,6 +1279,7 @@ _COMMANDS = {
     "report-campaign": _cmd_report_campaign,
     "trace": _cmd_trace,
     "campaigns": _cmd_campaigns,
+    "serve": _cmd_serve,
     "version": _cmd_version,
 }
 

@@ -31,6 +31,7 @@ why a battered campaign can converge to the unbattered artifacts.
 
 from __future__ import annotations
 
+import json
 import os
 import signal
 import time
@@ -415,9 +416,38 @@ def corrupt_object(path: Path, seed: int = 0, truncate: bool = False) -> None:
     if not positions:  # pragma: no cover - JSON always has alnum bytes
         positions = list(range(len(data)))
     frac = stable_fraction(seed, "corrupt", path.name)
-    pos = positions[min(int(frac * len(positions)), len(positions) - 1)]
-    data[pos] ^= 0x01
-    path.write_bytes(bytes(data))
+    start = min(int(frac * len(positions)), len(positions) - 1)
+    for offset in range(len(positions)):
+        pos = positions[(start + offset) % len(positions)]
+        flipped = bytearray(data)
+        flipped[pos] ^= 0x01
+        if _flip_is_detectable(bytes(flipped), path.stem):
+            path.write_bytes(bytes(flipped))
+            return
+    raise PipelineError(  # pragma: no cover - needs an unflippable file
+        f"no detectable single-byte corruption found for {path}"
+    )
+
+
+def _flip_is_detectable(flipped: bytes, digest: str) -> bool:
+    """Would content verification catch this byte flip?
+
+    Not every flip damages the *content*: objects are stored
+    pretty-printed but hashed over their canonical form, so a flip on
+    the last digit of a 17-significant-digit float repr can parse back
+    to the very same double and re-hash clean.  Corruption injection
+    must skip such semantic no-ops or fsck tests chase ghosts.
+    """
+    try:
+        payload = json.loads(flipped.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return True
+    from ..store.digest import digest_of
+
+    try:
+        return digest_of(payload) != digest
+    except (TypeError, ValueError):  # pragma: no cover - unhashable JSON
+        return True
 
 
 def corrupt_store(

@@ -1,0 +1,36 @@
+"""Read path: materialized summaries served over HTTP.
+
+The store (:mod:`repro.store`) is a write path — campaigns land as
+content-addressed shards under crash-safe manifests.  This package is
+the read path a production service needs on top of it:
+
+* :mod:`repro.serve.materialize` — per-manifest score summaries,
+  campaign diffs, what-if results, and series trends precomputed as
+  content-addressed *derived objects* keyed by their input digests, so
+  they are built once, survive restarts, and are invalidated for free
+  when any input changes.
+* :mod:`repro.serve.api` — the transport-agnostic router: URL paths to
+  JSON responses with content-digest ETags, ``If-None-Match`` → 304
+  revalidation, and typed error payloads that never leak tracebacks.
+* :mod:`repro.serve.http` — the stdlib ``ThreadingHTTPServer`` front
+  end behind ``repro serve --store DIR``.
+
+Identical store state yields byte-identical response bodies across
+restarts: every payload is rendered through the store's canonical JSON
+and every ETag is the sha256 of the body bytes.
+"""
+
+from .api import ApiError, Response, ServeApi
+from .http import ReproServer, serve
+from .materialize import MATERIALIZE_VERSION, Materializer, derived_key
+
+__all__ = [
+    "ApiError",
+    "MATERIALIZE_VERSION",
+    "Materializer",
+    "ReproServer",
+    "Response",
+    "ServeApi",
+    "derived_key",
+    "serve",
+]

@@ -1,0 +1,335 @@
+"""Materialization: summaries built once, served many times.
+
+Every payload the API serves is a pure function of store contents —
+a manifest and the immutable shards it references, or a series ledger
+and its surviving manifests.  So each payload is cached as a derived
+object (:meth:`~repro.store.store.CampaignStore.put_derived`) under a
+key that digests *all* of its inputs::
+
+    derived_key(kind, inputs) = digest_of({
+        "materialize": MATERIALIZE_VERSION,
+        "kind": kind,            # "campaign" | "diff" | "whatif" | "trend"
+        "inputs": inputs,        # manifest digest(s), knob params, ...
+    })
+
+A checkpoint landing in the store changes the manifest, which changes
+its digest, which changes every key derived from it — invalidation is
+free and the stale entries are swept by ``campaigns gc``.  Two cache
+tiers sit above the raw shards:
+
+1. an in-process LRU (payloads by derived key) so a hot query touches
+   no store objects at all, and
+2. the on-disk derived entries, so a restarted server rebuilds nothing
+   that any earlier process already built.
+
+Builds, disk hits, and memory hits are counted per kind in the shared
+:class:`~repro.obs.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from ..analysis.layers import LayerAnalysis
+from ..analysis.series import series_trend
+from ..analysis.storediff import (
+    campaign_diff,
+    dataset_from_manifest,
+    manifest_snapshot,
+)
+from ..analysis.whatif import (
+    country_schism,
+    provider_outage,
+    single_points_of_failure,
+)
+from ..core.centralization import centralization_score
+from ..datasets.paper_scores import LAYERS
+from ..errors import EmptyDistributionError
+from ..obs.metrics import MetricsRegistry
+from ..pipeline.records import MeasurementDataset
+from ..store.digest import digest_of
+from ..store.store import DERIVED_SCHEMA, CampaignStore
+
+__all__ = [
+    "MATERIALIZE_VERSION",
+    "Materializer",
+    "campaign_summary",
+    "derived_key",
+]
+
+#: Part of every derived key.  Bump whenever a materialized payload's
+#: shape or semantics change: old entries then simply never match and
+#: are swept by gc, instead of being served in the stale shape.
+MATERIALIZE_VERSION = "repro-materialize-v1"
+
+#: How many providers each per-country summary lists.
+TOP_PROVIDERS = 5
+
+
+def derived_key(kind: str, inputs: dict) -> str:
+    """The derived-object key for one materialized payload."""
+    return digest_of(
+        {
+            "materialize": MATERIALIZE_VERSION,
+            "kind": kind,
+            "inputs": inputs,
+        }
+    )
+
+
+def campaign_summary(
+    store: CampaignStore, campaign: str, manifest: dict
+) -> dict:
+    """The full per-campaign summary payload (pure function of inputs).
+
+    Tolerates partial campaigns: countries without a stored shard are
+    reported in ``missing`` and excluded from the per-layer tables, so
+    a campaign mid-measurement is servable at every point.
+    """
+    dataset, missing, quarantined = dataset_from_manifest(store, manifest)
+    layers: dict[str, dict] = {}
+    for layer in LAYERS:
+        analysis = LayerAnalysis(dataset, layer)
+        insularity = analysis.insularity
+        scores: dict[str, float | None] = {}
+        top: dict[str, list] = {}
+        for cc in dataset.countries:
+            try:
+                distribution = dataset.distribution(cc, layer)
+            except EmptyDistributionError:
+                scores[cc] = None
+                top[cc] = []
+                continue
+            scores[cc] = centralization_score(distribution)
+            top[cc] = [
+                [name, count / distribution.total]
+                for name, count in distribution.ranked()[:TOP_PROVIDERS]
+            ]
+        ranking = sorted(
+            (
+                (cc, score)
+                for cc, score in scores.items()
+                if score is not None
+            ),
+            key=lambda kv: (-kv[1], kv[0]),
+        )
+        layers[layer] = {
+            "centralization": scores,
+            "insularity": insularity,
+            "ranking": [[cc, score] for cc, score in ranking],
+            "top_providers": top,
+        }
+    return {
+        "_schema": DERIVED_SCHEMA,
+        "kind": "campaign",
+        "campaign": campaign,
+        "snapshot": manifest_snapshot(manifest),
+        "baseline": manifest.get("baseline"),
+        "complete": manifest.get("complete", False),
+        "countries": dataset.countries,
+        "missing": missing,
+        "quarantined": quarantined,
+        "layers": layers,
+    }
+
+
+class Materializer:
+    """Build-or-reuse front end over the store's derived objects.
+
+    Thread-safe: the API layer serves from a ``ThreadingHTTPServer``,
+    so the memory LRU is lock-guarded.  Store reads and writes need no
+    extra locking — objects are immutable and derived-entry writes are
+    atomic (last writer wins with an identical payload, since the key
+    digests the inputs).
+    """
+
+    def __init__(
+        self,
+        store: CampaignStore,
+        registry: MetricsRegistry | None = None,
+        memory_slots: int = 128,
+    ) -> None:
+        self.store = store
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._memory: OrderedDict[str, dict] = OrderedDict()
+        self._memory_slots = memory_slots
+        self._datasets: OrderedDict[str, tuple] = OrderedDict()
+        self._lock = threading.Lock()
+        self._outcomes = self.registry.counter(
+            "repro_serve_materialize_total",
+            "materializations by kind and cache outcome",
+            labelnames=("kind", "outcome"),
+        )
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+
+    def _materialize(
+        self, kind: str, inputs: dict, manifests: tuple[str, ...], build
+    ) -> dict:
+        """Memory LRU -> disk derived entry -> build (and persist)."""
+        key = derived_key(kind, inputs)
+        with self._lock:
+            payload = self._memory.get(key)
+            if payload is not None:
+                self._memory.move_to_end(key)
+                self._outcomes.inc(kind=kind, outcome="memory")
+                return payload
+        payload = self.store.get_derived(key)
+        if payload is not None:
+            self._outcomes.inc(kind=kind, outcome="disk")
+        else:
+            payload = build()
+            self.store.put_derived(key, payload, manifests=manifests)
+            # Re-read so memory serves exactly the bytes a restarted
+            # server would: the JSON round-trip normalizes tuples etc.
+            payload = self.store.get_derived(key) or payload
+            self._outcomes.inc(kind=kind, outcome="build")
+        with self._lock:
+            self._memory[key] = payload
+            self._memory.move_to_end(key)
+            while len(self._memory) > self._memory_slots:
+                self._memory.popitem(last=False)
+        return payload
+
+    def dataset(self, manifest: dict) -> MeasurementDataset:
+        """The (memory-cached) dataset behind one manifest snapshot."""
+        digest = digest_of(manifest)
+        with self._lock:
+            hit = self._datasets.get(digest)
+            if hit is not None:
+                self._datasets.move_to_end(digest)
+                return hit[0]
+        built = dataset_from_manifest(self.store, manifest)
+        with self._lock:
+            self._datasets[digest] = built
+            self._datasets.move_to_end(digest)
+            while len(self._datasets) > 8:
+                self._datasets.popitem(last=False)
+        return built[0]
+
+    # ------------------------------------------------------------------
+    # Payload kinds
+    # ------------------------------------------------------------------
+
+    def summary(self, campaign: str, manifest: dict) -> dict:
+        """Per-campaign score summary, keyed by the manifest digest."""
+        digest = digest_of(manifest)
+        return self._materialize(
+            "campaign",
+            {"manifest": digest},
+            (digest,),
+            lambda: campaign_summary(self.store, campaign, manifest),
+        )
+
+    def diff(
+        self,
+        campaign_a: str,
+        campaign_b: str,
+        manifest_a: dict,
+        manifest_b: dict,
+    ) -> dict:
+        """Campaign diff, keyed by both manifest digests (ordered)."""
+        digest_a = digest_of(manifest_a)
+        digest_b = digest_of(manifest_b)
+        return self._materialize(
+            "diff",
+            {"manifest_a": digest_a, "manifest_b": digest_b},
+            (digest_a, digest_b),
+            lambda: campaign_diff(
+                self.store,
+                campaign_a,
+                campaign_b,
+                manifest_a=manifest_a,
+                manifest_b=manifest_b,
+            ),
+        )
+
+    def whatif(
+        self, campaign: str, manifest: dict, knob: str, params: dict
+    ) -> dict:
+        """A counterfactual result, keyed by manifest digest + knob."""
+        digest = digest_of(manifest)
+        return self._materialize(
+            "whatif",
+            {"manifest": digest, "knob": knob, "params": params},
+            (digest,),
+            lambda: self._build_whatif(campaign, manifest, knob, params),
+        )
+
+    def _build_whatif(
+        self, campaign: str, manifest: dict, knob: str, params: dict
+    ) -> dict:
+        dataset = self.dataset(manifest)
+        base = {
+            "_schema": DERIVED_SCHEMA,
+            "kind": "whatif",
+            "campaign": campaign,
+            "knob": knob,
+        }
+        if knob == "outage":
+            impact = provider_outage(
+                dataset, params["provider"], params["layer"]
+            )
+            worst_cc, worst_share = impact.worst_hit
+            return {
+                **base,
+                "provider": impact.provider,
+                "layer": impact.layer,
+                "affected_share": impact.affected_share,
+                "surviving_score": impact.surviving_score,
+                "worst_hit": [worst_cc, worst_share],
+                "global_affected_share": impact.global_affected_share(),
+            }
+        if knob == "schism":
+            impact = country_schism(dataset, params["country"])
+            return {
+                **base,
+                "blocked_country": impact.blocked_country,
+                "exposure": impact.exposure,
+            }
+        # knob == "spof" — the router validated the knob name already.
+        spofs = single_points_of_failure(
+            dataset, params["layer"], params["threshold"]
+        )
+        return {
+            **base,
+            "layer": params["layer"],
+            "threshold": params["threshold"],
+            "single_points": {
+                cc: [[name, share] for name, share in heavy]
+                for cc, heavy in spofs.items()
+            },
+        }
+
+    def trend(
+        self, series: str, ledger: dict, manifests: dict[str, dict]
+    ) -> dict:
+        """Series trend, keyed by the ledger + every surviving manifest.
+
+        ``manifests`` maps campaign id -> preloaded manifest for every
+        epoch whose manifest still exists; the key digests each of them
+        so a new epoch (or a retirement) invalidates the trend.
+        """
+        manifest_digests = {
+            campaign: digest_of(manifest)
+            for campaign, manifest in manifests.items()
+        }
+        payload = self._materialize(
+            "trend",
+            {
+                "ledger": digest_of(ledger),
+                "manifests": manifest_digests,
+            },
+            tuple(sorted(manifest_digests.values())),
+            lambda: {
+                "_schema": DERIVED_SCHEMA,
+                "kind": "trend",
+                **series_trend(
+                    self.store, series, ledger=ledger, manifests=manifests
+                ),
+            },
+        )
+        return payload

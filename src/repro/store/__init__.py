@@ -17,6 +17,7 @@ from .digest import (
 )
 from .series import SeriesLedger, series_id
 from .store import (
+    DERIVED_SCHEMA,
     MANIFEST_SCHEMA,
     SERIES_SCHEMA,
     SHARD_SCHEMA,
@@ -29,6 +30,7 @@ from .store import (
 
 __all__ = [
     "PIPELINE_VERSION",
+    "DERIVED_SCHEMA",
     "MANIFEST_SCHEMA",
     "SERIES_SCHEMA",
     "SHARD_SCHEMA",

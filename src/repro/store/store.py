@@ -4,6 +4,7 @@ Layout (under one root directory)::
 
     objects/<aa>/<digest>.json   content-addressed shard payloads
     index/<shard_key>.json       shard-key -> object digest
+    derived/<key>.json           derived-key -> materialized object
     campaigns/<id>.json          campaign manifests
     campaigns/<id>.store.json    store-telemetry artifacts
     series/<id>.json             longitudinal series ledgers
@@ -49,6 +50,7 @@ __all__ = [
     "SHARD_SCHEMA",
     "MANIFEST_SCHEMA",
     "SERIES_SCHEMA",
+    "DERIVED_SCHEMA",
 ]
 
 #: Schema tag of stored shard payloads.
@@ -59,6 +61,10 @@ MANIFEST_SCHEMA = "repro-manifest-v1"
 
 #: Schema tag of longitudinal series ledgers (:mod:`repro.store.series`).
 SERIES_SCHEMA = "repro-series-v1"
+
+#: Schema tag of materialized (derived) summary payloads
+#: (:mod:`repro.serve.materialize`).
+DERIVED_SCHEMA = "repro-derived-v1"
 
 
 def _atomic_write_text(path: Path, text: str) -> None:
@@ -124,11 +130,13 @@ class CampaignStore:
         self._root = Path(root)
         self._objects = self._root / "objects"
         self._index = self._root / "index"
+        self._derived = self._root / "derived"
         self._campaigns = self._root / "campaigns"
         self._series = self._root / "series"
         for directory in (
             self._objects,
             self._index,
+            self._derived,
             self._campaigns,
             self._series,
         ):
@@ -143,6 +151,7 @@ class CampaignStore:
         for directory in (
             self._objects,
             self._index,
+            self._derived,
             self._campaigns,
             self._series,
         ):
@@ -287,6 +296,65 @@ class CampaignStore:
         return decode_shard(payload)
 
     # ------------------------------------------------------------------
+    # Derived (materialized) objects
+    # ------------------------------------------------------------------
+
+    def _derived_path(self, key: str) -> Path:
+        return self._derived / f"{key}.json"
+
+    def put_derived(
+        self, key: str, payload: dict, manifests: "list[str] | tuple[str, ...]" = ()
+    ) -> str:
+        """Store a materialized payload under a derived key.
+
+        The payload lands in ``objects/`` (content-addressed, verified
+        on load like any object) and the derived entry maps the key to
+        it, recording which manifest digests it was computed from so
+        :meth:`gc` can drop it the moment any input manifest changes
+        or disappears.  Idempotent: rebuilding the same payload under
+        the same key rewrites identical bytes.
+        """
+        digest = self.put_object(payload)
+        _atomic_write_text(
+            self._derived_path(key),
+            json.dumps(
+                {"object": digest, "manifests": sorted(manifests)}
+            ),
+        )
+        return digest
+
+    def get_derived(self, key: str) -> dict | None:
+        """Load a materialized payload by derived key (None on miss).
+
+        Derived entries are *caches*: unlike shard loads, damage here
+        is self-healing — a corrupt entry or object is dropped and
+        ``None`` returned, so the caller simply rebuilds.
+        """
+        path = self._derived_path(key)
+        if not path.exists():
+            return None
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+            digest = entry.get("object") if isinstance(entry, dict) else None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            digest = None
+        if digest is None:
+            path.unlink(missing_ok=True)
+            return None
+        try:
+            payload = self.get_object(digest)
+        except StoreCorruptionError:
+            payload = None
+        if payload is None:
+            path.unlink(missing_ok=True)
+            return None
+        return payload
+
+    def derived_keys(self) -> list[str]:
+        """Every stored derived key, sorted."""
+        return sorted(path.stem for path in self._derived.glob("*.json"))
+
+    # ------------------------------------------------------------------
     # Manifests
     # ------------------------------------------------------------------
 
@@ -337,14 +405,51 @@ class CampaignStore:
             metrics.unlink()
         return removed
 
-    def list_campaigns(self) -> list[dict]:
-        """Every stored manifest, sorted by campaign id."""
-        manifests = []
-        for path in sorted(self._campaigns.glob("*.json")):
-            if path.name.endswith(".store.json"):
+    def list_campaign_ids(self) -> list[str]:
+        """Ids of every stored manifest, sorted — no manifest loads.
+
+        The listing index: one directory scan, zero JSON parses, so
+        resolving an id prefix or paging a listing never pays for
+        manifests it does not read.
+        """
+        return sorted(
+            path.stem
+            for path in self._campaigns.glob("*.json")
+            if not path.name.endswith(".store.json")
+        )
+
+    def iter_campaigns(self, on_corrupt=None):
+        """Yield ``(campaign_id, manifest)`` pairs, loading lazily.
+
+        Manifests are loaded one at a time as the caller consumes the
+        iterator, in sorted-id order.  A manifest that raises
+        :class:`~repro.errors.StoreCorruptionError` aborts the whole
+        iteration by default; with an ``on_corrupt(campaign, exc)``
+        callback it is reported and skipped instead, so one damaged
+        manifest no longer takes the listing down with it.
+        """
+        for campaign in self.list_campaign_ids():
+            try:
+                manifest = self.load_manifest(campaign)
+            except StoreCorruptionError as exc:
+                if on_corrupt is None:
+                    raise
+                on_corrupt(campaign, exc)
                 continue
-            manifests.append(json.loads(path.read_text(encoding="utf-8")))
-        return manifests
+            if manifest is None:  # pragma: no cover - deleted mid-scan
+                continue
+            yield campaign, manifest
+
+    def list_campaigns(self, on_corrupt=None) -> list[dict]:
+        """Every stored manifest, sorted by campaign id.
+
+        ``on_corrupt`` as in :meth:`iter_campaigns`; without it a
+        damaged manifest raises.
+        """
+        return [
+            manifest
+            for _, manifest in self.iter_campaigns(on_corrupt=on_corrupt)
+        ]
 
     # ------------------------------------------------------------------
     # Store telemetry artifacts
@@ -426,13 +531,39 @@ class CampaignStore:
         """
         live_objects: set[str] = set()
         live_keys: set[str] = set()
+        manifest_digests: set[str] = set()
         for manifest in self.list_campaigns():
+            manifest_digests.add(digest_of(manifest))
             for entry in manifest.get("countries", {}).values():
                 if entry.get("object"):
                     live_objects.add(entry["object"])
                 if entry.get("shard_key"):
                     live_keys.add(entry["shard_key"])
         report = GcReport(dry_run=dry_run)
+        # Derived entries are live exactly while every manifest they
+        # were computed from is still stored, byte-for-byte: a changed
+        # or retired input manifest invalidates its materializations
+        # for free.  (A derived entry with no recorded inputs — e.g. a
+        # series trend whose live epochs are all retired — is kept; it
+        # is content-addressed and its key changes when inputs do.)
+        for path in sorted(self._derived.glob("*.json")):
+            try:
+                entry = json.loads(path.read_text(encoding="utf-8"))
+                digest = entry.get("object") if isinstance(entry, dict) else None
+                inputs = entry.get("manifests", []) if isinstance(entry, dict) else []
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                digest = None
+                inputs = []
+            stale = digest is None or any(
+                d not in manifest_digests for d in inputs
+            )
+            if stale:
+                report.derived_removed += 1
+                report.index_bytes += path.stat().st_size
+                if not dry_run:
+                    path.unlink()
+            else:
+                live_objects.add(digest)
         for path in self._index.glob("*.json"):
             if path.stem not in live_keys:
                 report.index_removed += 1
@@ -550,6 +681,22 @@ class CampaignStore:
             ):
                 report.corrupt_series.append(path.stem)
 
+        for path in sorted(self._derived.glob("*.json")):
+            key = path.stem
+            try:
+                entry = json.loads(path.read_text(encoding="utf-8"))
+                digest = entry.get("object") if isinstance(entry, dict) else None
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                digest = None
+            if digest is None or digest not in valid_objects:
+                # Derived entries are caches: dropping one costs a
+                # rebuild, never data, so repair always deletes.
+                report.bad_derived.append(key)
+                if repair:
+                    path.unlink()
+            else:
+                referenced.add(digest)
+
         report.orphan_objects.extend(
             sorted(valid_objects - referenced)
         )
@@ -563,6 +710,9 @@ class GcReport:
     dry_run: bool = False
     objects_removed: int = 0
     index_removed: int = 0
+    #: Derived entries dropped because an input manifest changed or
+    #: the entry no longer parses (their objects are then swept too).
+    derived_removed: int = 0
     #: On-disk bytes of the swept object payloads.
     objects_bytes: int = 0
     #: On-disk bytes of the swept index entries.
@@ -576,12 +726,18 @@ class GcReport:
     def render(self) -> str:
         """Operator-facing summary for ``repro campaigns gc``."""
         verb = "would remove" if self.dry_run else "removed"
-        return (
+        summary = (
             f"{verb} {self.objects_removed} objects "
             f"({self.objects_bytes} bytes), "
             f"{self.index_removed} index entries "
             f"({self.index_bytes} bytes)"
         )
+        if self.derived_removed:
+            summary += (
+                f", {self.derived_removed} stale derived entr"
+                f"{'ies' if self.derived_removed != 1 else 'y'}"
+            )
+        return summary
 
 
 @dataclass
@@ -607,6 +763,9 @@ class FsckReport:
     manifest_entries_cleared: list[tuple[str, str]] = field(
         default_factory=list
     )
+    #: Derived keys whose entry is unparseable or points at a missing
+    #: or corrupt object (safe to drop — derived entries are caches).
+    bad_derived: list[str] = field(default_factory=list)
     #: Orphaned temp files swept when the store was opened.
     tmp_swept: int = 0
 
@@ -620,6 +779,7 @@ class FsckReport:
             or self.corrupt_manifests
             or self.corrupt_series
             or self.manifest_entries_cleared
+            or self.bad_derived
         )
 
     def to_metrics(self) -> dict:
@@ -649,13 +809,17 @@ class FsckReport:
         count("manifest_entries_cleared",
               "manifest country entries pointing at bad objects",
               len(self.manifest_entries_cleared))
+        count("bad_derived_entries",
+              "derived entries unparseable or pointing at bad objects",
+              len(self.bad_derived))
         count("tmp_swept", "orphaned temp files swept on store open",
               self.tmp_swept)
         count("repairs",
               "artifacts dropped or cleared by --repair",
               (len(self.corrupt_objects) + len(self.dangling_index)
                + len(self.corrupt_index)
-               + len(self.manifest_entries_cleared))
+               + len(self.manifest_entries_cleared)
+               + len(self.bad_derived))
               if self.repaired else 0)
         return registry.to_dict()
 
@@ -705,6 +869,11 @@ class FsckReport:
                 f"manifest entr"
                 f"{'ies' if len(self.manifest_entries_cleared) != 1 else 'y'}"
                 f" pointing at bad objects: {detail}"
+            )
+        if self.bad_derived:
+            lines.append(
+                f"{verb} {len(self.bad_derived)} bad derived entr"
+                f"{'ies' if len(self.bad_derived) != 1 else 'y'}"
             )
         if self.orphan_objects:
             lines.append(

@@ -1,0 +1,49 @@
+"""Shared fixture store for the serve tests.
+
+One session-scoped store with two campaigns — a base run and a
+churn-evolved one (BR re-measured, DE/US shards reused) — so listing,
+summaries, diffs, and what-ifs all have real data to serve.  Tests
+treat it as read-only; anything that mutates store state builds its
+own store in ``tmp_path``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.pipeline import CampaignSpec, run_campaign
+from repro.store import CampaignStore
+from repro.worldgen import ChurnConfig, WorldConfig
+
+CONFIG = WorldConfig(
+    sites_per_country=50, countries=("BR", "DE", "US")
+)
+SPEC = CampaignSpec(
+    config=CONFIG, fault_profile="flaky-dns", fault_seed=7, retries=3
+)
+EVOLVED_SPEC = dataclasses.replace(
+    SPEC, churn=ChurnConfig(churn_countries=("BR",))
+)
+
+
+@pytest.fixture(scope="session")
+def served_store(tmp_path_factory):
+    """A store holding the base and evolved campaigns (read-only)."""
+    root = tmp_path_factory.mktemp("serve-store")
+    run_campaign(SPEC, store=CampaignStore(root))
+    run_campaign(EVOLVED_SPEC, store=CampaignStore(root))
+    return root
+
+
+@pytest.fixture(scope="session")
+def campaign_ids(served_store):
+    """Both campaign ids, base first (store order is sorted)."""
+    from repro.store import campaign_id
+
+    base = campaign_id(SPEC)
+    ids = CampaignStore(served_store).list_campaign_ids()
+    assert len(ids) == 2 and base in ids
+    evolved = next(c for c in ids if c != base)
+    return base, evolved

@@ -1,0 +1,139 @@
+"""Real-socket round trips: the stdlib front end end to end."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.serve import serve
+
+
+@pytest.fixture(scope="module")
+def server(served_store):
+    instance = serve(str(served_store), port=0)
+    thread = threading.Thread(
+        target=instance.serve_forever, daemon=True
+    )
+    thread.start()
+    yield instance
+    instance.shutdown()
+    instance.server_close()
+
+
+@pytest.fixture()
+def conn(server):
+    host, port = server.server_address[:2]
+    connection = http.client.HTTPConnection(host, port, timeout=10)
+    yield connection
+    connection.close()
+
+
+class TestRoundTrips:
+    def test_campaigns_listing(self, conn):
+        conn.request("GET", "/campaigns")
+        response = conn.getresponse()
+        body = response.read()
+        assert response.status == 200
+        assert response.getheader("Content-Type") == "application/json"
+        assert response.getheader("ETag")
+        assert int(response.getheader("Content-Length")) == len(body)
+        assert len(json.loads(body)["campaigns"]) == 2
+
+    def test_etag_304_round_trip(self, conn, campaign_ids):
+        base, _ = campaign_ids
+        conn.request("GET", f"/campaigns/{base}")
+        first = conn.getresponse()
+        body = first.read()
+        etag = first.getheader("ETag")
+        assert first.status == 200 and body
+        conn.request(
+            "GET",
+            f"/campaigns/{base}",
+            headers={"If-None-Match": etag},
+        )
+        revalidated = conn.getresponse()
+        assert revalidated.status == 304
+        assert revalidated.read() == b""
+        assert revalidated.getheader("ETag") == etag
+        assert revalidated.getheader("Content-Length") == "0"
+
+    def test_head_is_bodyless(self, conn):
+        conn.request("HEAD", "/campaigns")
+        response = conn.getresponse()
+        assert response.status == 200
+        assert response.read() == b""
+        assert response.getheader("ETag")
+
+    def test_404_is_json_without_traceback(self, conn):
+        conn.request("GET", "/no/such/path")
+        response = conn.getresponse()
+        body = response.read()
+        assert response.status == 404
+        payload = json.loads(body)
+        assert payload["error"]["code"] == "not_found"
+        assert b"Traceback" not in body
+
+    def test_unsupported_method_is_json(self, conn):
+        conn.request("POST", "/campaigns")
+        response = conn.getresponse()
+        body = response.read()
+        assert response.status == 501
+        assert json.loads(body)["error"]["code"] == "http_error"
+
+    def test_query_string_round_trip(self, conn, campaign_ids):
+        base, _ = campaign_ids
+        conn.request(
+            "GET",
+            f"/whatif/{base}?knob=outage&provider=Cloudflare&layer=dns",
+        )
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        assert response.status == 200
+        assert payload["layer"] == "dns"
+
+    def test_keep_alive_serves_many_requests(self, conn):
+        for _ in range(5):
+            conn.request("GET", "/campaigns")
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 200
+
+
+class TestRestart:
+    def test_bodies_and_etags_survive_restart(
+        self, served_store, campaign_ids
+    ):
+        base, evolved = campaign_ids
+        paths = [
+            "/campaigns",
+            f"/campaigns/{base}",
+            f"/diff/{base}/{evolved}",
+        ]
+
+        def snapshot():
+            instance = serve(str(served_store), port=0)
+            thread = threading.Thread(
+                target=instance.serve_forever, daemon=True
+            )
+            thread.start()
+            host, port = instance.server_address[:2]
+            connection = http.client.HTTPConnection(
+                host, port, timeout=10
+            )
+            out = {}
+            for path in paths:
+                connection.request("GET", path)
+                response = connection.getresponse()
+                out[path] = (
+                    response.read(),
+                    response.getheader("ETag"),
+                )
+            connection.close()
+            instance.shutdown()
+            instance.server_close()
+            return out
+
+        assert snapshot() == snapshot()

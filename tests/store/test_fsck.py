@@ -103,6 +103,32 @@ class TestTypedCorruptionErrors:
         with pytest.raises(StoreCorruptionError, match="missing object"):
             populated.get_shard(index_path.stem)
 
+    def test_corruption_always_detectable_on_float_heavy_objects(
+        self, populated: CampaignStore
+    ) -> None:
+        # Objects are hashed over canonical JSON but stored
+        # pretty-printed; flipping the last digit of a 17-significant
+        # digit float repr can parse back to the same double, making
+        # the "corruption" semantically invisible to verification.
+        # corrupt_object must skip such positions for every seed.
+        digest = populated.put_object(
+            {
+                "spans": [
+                    {"start_logical": 23.390902429021756 + i * 1e-9}
+                    for i in range(12)
+                ]
+            }
+        )
+        path = next(
+            p for p in object_paths(populated) if p.stem == digest
+        )
+        pristine = path.read_bytes()
+        for seed in range(50):
+            path.write_bytes(pristine)
+            corrupt_object(path, seed=seed)
+            with pytest.raises(StoreCorruptionError):
+                populated.get_object(digest)
+
 
 class TestFsck:
     def test_clean_store(self, populated: CampaignStore) -> None:

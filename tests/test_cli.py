@@ -668,3 +668,110 @@ class TestFsckCli:
         assert main(base + ["--resume"]) == 0
         assert "measured 120 sites" in capsys.readouterr().out
         assert main(["campaigns", "--store", str(store_dir), "fsck"]) == 0
+
+
+class TestLazyListCli:
+    def test_list_skips_corrupt_manifest_with_warning(
+        self, capsys, tmp_path
+    ) -> None:
+        store_dir = tmp_path / "store"
+        for country in ("US", "TH"):
+            main(
+                [
+                    "measure",
+                    "--sites", "60",
+                    "--countries", country,
+                    "--store", str(store_dir),
+                ]
+            )
+        capsys.readouterr()
+        victim = sorted(
+            path
+            for path in (store_dir / "campaigns").glob("*.json")
+            if not path.name.endswith(".store.json")
+        )[0]
+        victim.write_text("{broken", encoding="utf-8")
+
+        assert main(["campaigns", "--store", str(store_dir), "list"]) == 0
+        captured = capsys.readouterr()
+        assert "warning: skipping corrupt manifest" in captured.err
+        assert "fsck" in captured.err
+        # the healthy campaign is still listed
+        lines = captured.out.strip().splitlines()
+        assert len(lines) == 1
+        assert "complete" in lines[0]
+
+
+class TestSeriesTrendCli:
+    def test_watch_then_trend_report(self, capsys, tmp_path) -> None:
+        import re
+
+        store = tmp_path / "store"
+        assert (
+            main(
+                [
+                    "watch",
+                    "--store", str(store),
+                    "--epochs", "2",
+                    "--sites", "50",
+                    "--countries", "TH", "US",
+                    "--churn-countries", "TH",
+                ]
+            )
+            == 0
+        )
+        series = re.search(
+            r"series (\w{16})", capsys.readouterr().out
+        ).group(1)
+
+        assert (
+            main(
+                [
+                    "campaigns",
+                    "--store", str(store),
+                    "series", series,
+                    "--trend",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "consolidation trend" in out
+        assert "epochs recorded: 2   measurable: 2" in out
+        assert "mean centralization" in out
+
+
+class TestServeCli:
+    def test_parser_defaults(self) -> None:
+        args = build_parser().parse_args(["serve", "--store", "s"])
+        assert args.command == "serve"
+        assert (args.host, args.port) == ("127.0.0.1", 8080)
+
+    def test_store_is_required(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_prints_listen_line_and_exits_cleanly(
+        self, capsys, tmp_path, monkeypatch
+    ) -> None:
+        store = tmp_path / "store"
+        main(
+            [
+                "measure",
+                "--sites", "60",
+                "--countries", "US",
+                "--store", str(store),
+            ]
+        )
+        capsys.readouterr()
+
+        from repro.serve.http import ReproServer
+
+        def interrupted(self, poll_interval=0.5):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(ReproServer, "serve_forever", interrupted)
+        assert main(["serve", "--store", str(store), "--port", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "repro serve:" in out
+        assert "http://127.0.0.1:" in out
